@@ -1,0 +1,45 @@
+"""ABL2 — adaptation batch-size sweep (accuracy + latency).
+
+Fig. 2 evaluates LD-BN-ADAPT at batch sizes 1/2/4 and finds bs=1 the most
+accurate; Fig. 3 then only considers bs=1 ("other batch sizes not
+considered as they show lower accuracy").  This bench reproduces both
+sides of that trade-off: executed accuracy per batch size, and the
+analytic Orin-60W step/amortized latency (larger batches amortize the
+adaptation cost across frames but adapt less often).
+"""
+
+from conftest import results_path
+
+from repro.experiments import (
+    format_table,
+    get_run_scale,
+    run_batch_size_ablation,
+    save_json,
+)
+
+
+def test_batch_size_ablation(benchmark):
+    scale = get_run_scale()
+    rows = benchmark.pedantic(
+        run_batch_size_ablation, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    print(f"\nABL2 — LD-BN-ADAPT batch-size sweep (scale={scale.name})")
+    print(format_table(rows))
+    save_json(results_path("ablation_batch.json"), rows)
+
+    by_bs = {r["batch_size"]: r for r in rows}
+    # more frames per step -> fewer steps over the same pool
+    assert by_bs[1]["adapt_steps"] > by_bs[2]["adapt_steps"] > by_bs[4]["adapt_steps"]
+    # a single step gets more expensive with batch size...
+    assert by_bs[1]["step_latency_ms"] < by_bs[4]["step_latency_ms"]
+    # ...but the amortized per-frame cost drops
+    assert by_bs[4]["amortized_frame_ms"] < by_bs[1]["amortized_frame_ms"]
+    # every batch size must improve on (or at least not hurt) no-adapt.
+    # NOTE on the paper comparison: Fig. 2 finds bs=1 the most accurate at
+    # 288x800 input, where the deepest feature map is 9x25 and single-frame
+    # BN statistics are well estimated.  At the scaled test resolution that
+    # map is ~1x3, so bs=1 statistics are noisy and bs>=2 can win — a
+    # documented scale artifact (EXPERIMENTS.md, ABL2).
+    for r in rows:
+        assert r["accuracy_percent"] >= r["no_adapt_percent"] - 1.0, r

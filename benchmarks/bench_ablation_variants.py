@@ -1,0 +1,43 @@
+"""ABL1 — parameter-group ablation: BN vs conv vs FC adaptation.
+
+Sec. III: "In addition to BN-based adaptation, we also tested
+convolutional and fully-connected adaptation but found the BN-based
+approach to be the most effective."
+
+Runs all three single-step entropy adapters (plus the no-adapt reference)
+on MoLane and checks that BN-based adaptation is the best performer while
+updating orders of magnitude fewer parameters.
+"""
+
+from conftest import results_path
+
+from repro.experiments import (
+    format_table,
+    get_run_scale,
+    run_variant_comparison,
+    save_json,
+)
+
+
+def test_variant_comparison(benchmark):
+    scale = get_run_scale()
+    results = benchmark.pedantic(
+        run_variant_comparison, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    rows = [r.as_dict() for r in results]
+    print(f"\nABL1 — adaptation parameter-group comparison (scale={scale.name})")
+    print(format_table(rows))
+    save_json(results_path("ablation_variants.json"), rows)
+
+    by_name = {r.method: r for r in results}
+    bn = by_name["ld_bn_adapt"]
+    # BN adaptation beats both alternative parameter groups (Sec. III)
+    assert bn.accuracy_percent >= by_name["conv_adapt"].accuracy_percent - 0.5
+    assert bn.accuracy_percent >= by_name["fc_adapt"].accuracy_percent - 0.5
+    # and does not lose to leaving the model alone
+    assert bn.accuracy_percent >= by_name["no_adapt"].accuracy_percent - 0.5
+    # while being far lighter than either alternative (at paper scale the
+    # factors are ~3,500x vs conv and ~5,800x vs the FC head)
+    assert bn.trainable_params * 10 < by_name["conv_adapt"].trainable_params
+    assert bn.trainable_params * 5 < by_name["fc_adapt"].trainable_params

@@ -1,0 +1,37 @@
+"""FIG1 — CARLANE benchmark gallery / domain statistics.
+
+Regenerates the quantitative counterpart of Fig. 1: per-benchmark,
+per-domain image statistics demonstrating the sim-to-real appearance gap
+(the shift LD-BN-ADAPT corrects), plus lane-count/label structure of the
+MoLane (2-lane), TuLane (4-lane) and MuLane (multi-target) splits.
+"""
+
+from conftest import results_path
+
+from repro.experiments import format_table, get_run_scale, run_fig1, save_json
+
+
+def test_fig1_dataset_statistics(benchmark):
+    scale = get_run_scale()
+    result = benchmark.pedantic(
+        run_fig1, kwargs={"scale": scale, "frames_per_split": 24},
+        rounds=1, iterations=1,
+    )
+
+    rows = result.summary_rows()
+    print(f"\nFIG1 — benchmark/domain statistics (scale={scale.name})")
+    print(format_table(rows, floatfmt=".3f"))
+    save_json(results_path("fig1_datasets.json"), rows)
+
+    # the appearance gap must be present in every benchmark
+    for bench in ("molane", "tulane", "mulane"):
+        assert result.shift_magnitude(bench) > 0.05, bench
+
+    # lane structure mirrors CARLANE: MoLane 2 slots, Tu/MuLane 4
+    molane = [r for r in result.rows if r.benchmark == "molane"]
+    assert all(r.lanes_per_frame <= 2.0 for r in molane)
+    mulane_targets = {
+        r.domain for r in result.rows
+        if r.benchmark == "mulane" and r.split == "target"
+    }
+    assert mulane_targets == {"model_vehicle", "tusimple_highway"}

@@ -1,0 +1,39 @@
+"""FIG3 — latency of inference + LD-BN-ADAPT on Jetson Orin power modes.
+
+Regenerates Fig. 3: per-frame latency (inference followed by a batch-size-1
+adaptation step) for UFLD-R18/R34 at full paper scale across the Orin's
+15/30/50/60 W power modes, against the 33.3 ms (30 FPS) and 55.5 ms
+(18 FPS / Audi A8 L3) deadlines.
+
+Expected shape (asserted): only R-18@60W meets 30 FPS; exactly
+{R-18@60W, R-18@50W, R-34@60W} meet 18 FPS.
+"""
+
+from conftest import results_path
+
+from repro.experiments import format_table, run_fig3, save_json
+
+
+def test_fig3_latency_grid(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=3, iterations=1)
+
+    rows = result.summary_rows()
+    print("\nFIG3 — per-frame latency (ms) on Jetson Orin power modes")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "backbone", "power_mode", "inference_ms", "adaptation_ms",
+                "total_ms", "meets_30fps", "meets_18fps", "matches_paper",
+            ],
+        )
+    )
+    save_json(results_path("fig3_latency.json"), rows)
+
+    assert result.all_match_paper, "Fig. 3 feasibility pattern diverged from the paper"
+    meets_30 = [(r.backbone, r.power_mode) for r in result.rows if r.meets_30fps]
+    assert meets_30 == [("r18", "orin-60w")]
+    meets_18 = sorted((r.backbone, r.power_mode) for r in result.rows if r.meets_18fps)
+    assert meets_18 == [
+        ("r18", "orin-50w"), ("r18", "orin-60w"), ("r34", "orin-60w"),
+    ]

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+Not a paper artifact — these time the numpy framework itself (conv
+forward/backward, one full LD-BN-ADAPT step, UFLD inference) so that
+performance regressions in the substrate are visible.  Uses real repeated
+timing rounds, unlike the single-shot experiment benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.adapt import LDBNAdapt, LDBNAdaptConfig
+from repro.models import build_model
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return build_model("tiny-r18", num_lanes=2, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return np.random.default_rng(1).random((1, 3, 32, 80)).astype(np.float32)
+
+
+def test_conv2d_forward(benchmark):
+    rng = np.random.default_rng(0)
+    x = nn.Tensor(rng.standard_normal((4, 16, 16, 40)).astype(np.float32))
+    w = nn.Tensor(rng.standard_normal((32, 16, 3, 3)).astype(np.float32))
+
+    benchmark(lambda: F.conv2d(x, w, stride=1, padding=1))
+
+
+def test_conv2d_backward(benchmark):
+    rng = np.random.default_rng(0)
+    x_data = rng.standard_normal((4, 16, 16, 40)).astype(np.float32)
+    w_data = rng.standard_normal((32, 16, 3, 3)).astype(np.float32)
+
+    def run():
+        x = nn.Tensor(x_data, requires_grad=True)
+        w = nn.Tensor(w_data, requires_grad=True)
+        F.conv2d(x, w, stride=1, padding=1).sum().backward()
+
+    benchmark(run)
+
+
+def test_ufld_inference(benchmark, tiny_model, frame):
+    tiny_model.eval()
+
+    def run():
+        with nn.no_grad():
+            return tiny_model(nn.Tensor(frame, _copy=False))
+
+    benchmark(run)
+
+
+def test_ld_bn_adapt_step(benchmark, tiny_model, frame):
+    adapter = LDBNAdapt(tiny_model, LDBNAdaptConfig(lr=1e-3))
+
+    benchmark(lambda: adapter.adapt(frame))
+
+
+def test_batchnorm_train_forward(benchmark):
+    rng = np.random.default_rng(0)
+    bn = nn.BatchNorm2d(64)
+    x = nn.Tensor(rng.standard_normal((4, 64, 8, 20)).astype(np.float32))
+
+    benchmark(lambda: bn(x))

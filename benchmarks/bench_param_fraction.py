@@ -1,0 +1,31 @@
+"""TXT2 — parameter census: BN is a tiny, cheap-to-adapt fraction.
+
+Sec. III: "BN parameters typically only comprise of 1% of the total model
+parameters, hence updating these parameters is lightweight."  For the
+actual UFLD architecture the fraction is even smaller (the head's FC
+layers dominate the count), which *strengthens* the lightweightness
+argument; the assertion below uses < 1 % accordingly.
+"""
+
+from conftest import results_path
+
+from repro.experiments import format_table, run_param_census, save_json
+
+
+def test_param_census(benchmark):
+    rows = benchmark.pedantic(run_param_census, rounds=5, iterations=1)
+
+    print("\nTXT2 — parameter census (paper-size models)")
+    print(format_table(rows, floatfmt=".5f"))
+    save_json(results_path("param_census.json"), rows)
+
+    for row in rows:
+        assert row["bn_params"] > 0
+        assert row["bn_fraction_of_model"] < 0.01  # "~1%" claim, comfortably
+        assert row["bn_fraction_of_backbone"] < 0.01
+        # conv + linear + bn account for everything
+        total_frac = (
+            row["conv_fraction"] + row["linear_fraction"]
+            + row["bn_fraction_of_model"]
+        )
+        assert abs(total_frac - 1.0) < 1e-9

@@ -1,0 +1,29 @@
+"""TXT3 — the CARLANE-SOTA baseline cannot run in real time.
+
+Sec. II: "Each epoch on Orin took greater than 1 hour (depending on the
+benchmark), hence making it unsuitable for real-time adaptation."
+
+Regenerates the cost comparison: one SOTA epoch at CARLANE split sizes on
+the Orin-60W profile vs one LD-BN-ADAPT step (tens of milliseconds) — a
+4-5 order-of-magnitude asymmetry.
+"""
+
+from conftest import results_path
+
+from repro.experiments import format_table, run_sota_cost, save_json
+
+
+def test_sota_epoch_cost(benchmark):
+    rows = benchmark.pedantic(run_sota_cost, rounds=5, iterations=1)
+
+    print("\nTXT3 — CARLANE-SOTA epoch cost vs one LD-BN-ADAPT step (Orin 60 W)")
+    print(format_table(rows, floatfmt=".2f"))
+    save_json(results_path("sota_cost.json"), rows)
+
+    hours = {r["benchmark"]: r["sota_epoch_hours"] for r in rows}
+    # ">1 hour depending on the benchmark": true for the larger splits
+    assert hours["mulane"] > 1.0
+    assert hours["molane"] > 1.0
+    for row in rows:
+        assert row["ldbn_step_ms"] < 33.4  # the step itself fits one frame
+        assert row["epoch_vs_step_ratio"] > 1e4

@@ -1,0 +1,111 @@
+"""Compare every adaptation method on one benchmark (mini Fig. 2 column).
+
+Runs, from the same source-trained UFLD model:
+
+* no adaptation (the deployed baseline),
+* LD-BN-ADAPT (the paper's method; BN statistics + gamma/beta only),
+* CONV-ADAPT / FC-ADAPT (the Sec. III parameter-group ablations),
+* the offline CARLANE-SOTA baseline (k-means embedding alignment +
+  pseudo-labels + full retraining).
+
+and prints accuracy, trainable-parameter footprint and — for the online
+methods — whether a step fits the 30 FPS budget on the Orin 60 W model.
+
+    python examples/method_comparison.py [molane|tulane|mulane]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.adapt import (
+    CarlaneSOTA,
+    ConvAdapt,
+    FCAdapt,
+    LDBNAdapt,
+    LDBNAdaptConfig,
+    SOTAConfig,
+    VariantConfig,
+)
+from repro.data import make_benchmark
+from repro.experiments.reporting import format_table
+from repro.hw import DEADLINE_30FPS_MS, ORIN_POWER_MODES, ld_bn_adapt_latency
+from repro.metrics import evaluate_model
+from repro.models import build_model, get_config
+from repro.train import SourceTrainer, TrainConfig
+
+
+def main() -> None:
+    bench_name = sys.argv[1] if len(sys.argv) > 1 else "molane"
+    print(f"benchmark: {bench_name}")
+    benchmark = make_benchmark(
+        bench_name, get_config("tiny-r18"),
+        source_frames=150, target_train_frames=48, target_test_frames=96, seed=0,
+    )
+    rng = np.random.default_rng(0)
+    model = build_model("tiny-r18", num_lanes=benchmark.config.num_lanes, rng=rng)
+    print("training source model...")
+    SourceTrainer(model, TrainConfig(epochs=10, lr=0.02, batch_size=16)).fit(
+        benchmark.source_train, rng
+    )
+    pristine = model.state_dict()
+    spec = get_config("paper-r18").to_spec()
+    step_ms = ld_bn_adapt_latency(spec, ORIN_POWER_MODES["orin-60w"], 4).total_ms
+
+    rows = []
+
+    def record(name, trainable, realtime):
+        acc = evaluate_model(model, benchmark.target_test).accuracy_percent
+        rows.append(
+            {
+                "method": name,
+                "accuracy_percent": acc,
+                "trainable_params": trainable,
+                "real_time_30fps": realtime,
+            }
+        )
+
+    record("no_adapt", 0, True)
+
+    def stream(adapter, passes=4):
+        for _ in range(passes):
+            for i in range(len(benchmark.target_train)):
+                adapter.observe_frame(benchmark.target_train.images[i])
+
+    print("running LD-BN-ADAPT...")
+    adapter = LDBNAdapt(
+        model, LDBNAdaptConfig(lr=1e-3, batch_size=4, stats_mode="ema", ema_momentum=0.2)
+    )
+    stream(adapter)
+    record("ld_bn_adapt", adapter.trainable_parameter_count(),
+           step_ms <= DEADLINE_30FPS_MS * 4)
+
+    print("running CONV-ADAPT...")
+    model.load_state_dict(pristine)
+    adapter = ConvAdapt(model, VariantConfig(lr=1e-4, batch_size=4))
+    stream(adapter)
+    record("conv_adapt", adapter.trainable_parameter_count(), False)
+
+    print("running FC-ADAPT...")
+    model.load_state_dict(pristine)
+    adapter = FCAdapt(model, VariantConfig(lr=1e-4, batch_size=4))
+    stream(adapter)
+    record("fc_adapt", adapter.trainable_parameter_count(), False)
+
+    print("running CARLANE-SOTA (offline, needs labeled source data)...")
+    model.load_state_dict(pristine)
+    sota = CarlaneSOTA(model, SOTAConfig(epochs=2))
+    sota.adapt_offline(benchmark.source_train, benchmark.target_train,
+                       np.random.default_rng(99))
+    record("carlane_sota (offline)", model.num_parameters(), False)
+
+    print()
+    print(format_table(rows))
+    print(
+        "\nLD-BN-ADAPT reaches near-SOTA accuracy with ~0.6% of the "
+        "parameters, no source data, and real-time per-frame cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

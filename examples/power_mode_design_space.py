@@ -1,0 +1,76 @@
+"""Multi-objective design-space exploration (Sec. IV of the paper).
+
+Enumerates every (backbone x Orin power mode) operating point with the
+analytic latency/energy model, prints Fig. 3's data with both deadlines,
+and walks through the paper's selection narrative:
+
+* 30 FPS hard deadline            -> R-18 @ 60 W (the only feasible point)
+* 18 FPS with a 50 W power budget -> R-18 @ 50 W
+* 18 FPS, robustness first        -> R-34 @ 60 W (better multi-target
+                                      accuracy, still feasible)
+
+    python examples/power_mode_design_space.py
+"""
+
+from repro.experiments.reporting import format_table
+from repro.hw import (
+    DEADLINE_18FPS_MS,
+    DEADLINE_30FPS_MS,
+    ORIN_POWER_MODES,
+    POWER_MODE_ORDER,
+    design_space,
+    select_operating_point,
+)
+from repro.models import get_config
+
+
+def main() -> None:
+    specs = {
+        "ufld-r18": get_config("paper-r18").to_spec("ufld-r18"),
+        "ufld-r34": get_config("paper-r34").to_spec("ufld-r34"),
+    }
+    devices = [ORIN_POWER_MODES[m] for m in POWER_MODE_ORDER]
+    points = design_space(specs, devices)
+
+    rows = [
+        {
+            "config": p.config,
+            "latency_ms": p.latency_ms,
+            "energy_mj_per_frame": p.energy_mj,
+            "30fps": p.latency_ms <= DEADLINE_30FPS_MS,
+            "18fps": p.latency_ms <= DEADLINE_18FPS_MS,
+        }
+        for p in points
+    ]
+    print("design space — inference + LD-BN-ADAPT(bs=1) per frame, paper scale\n")
+    print(format_table(rows))
+
+    print("\nselection scenarios (Sec. IV):")
+    hard = select_operating_point(points, DEADLINE_30FPS_MS)
+    print(f"  30 FPS hard deadline          -> {hard.config} ({hard.latency_ms:.1f} ms)")
+
+    budget50 = select_operating_point(points, DEADLINE_18FPS_MS, power_budget_w=50.0)
+    print(
+        f"  18 FPS, <= 50 W power budget  -> {budget50.config} "
+        f"({budget50.latency_ms:.1f} ms, {budget50.device.power_w:.0f} W)"
+    )
+
+    robust = [
+        p for p in points
+        if p.model_name == "ufld-r34" and p.latency_ms <= DEADLINE_18FPS_MS
+    ]
+    best_r34 = min(robust, key=lambda p: p.latency_ms)
+    print(
+        f"  18 FPS, robustness first      -> {best_r34.config} "
+        f"({best_r34.latency_ms:.1f} ms; R-34 is the stronger multi-target model)"
+    )
+
+    infeasible = select_operating_point(points, DEADLINE_30FPS_MS, power_budget_w=30.0)
+    print(
+        f"  30 FPS, <= 30 W power budget  -> "
+        f"{'infeasible (no operating point)' if infeasible is None else infeasible.config}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""LD-BN-ADAPT reproduction — real-time fully unsupervised domain
+adaptation for lane detection (Bhardwaj et al., DATE 2023).
+
+Package layout:
+
+* :mod:`repro.nn` — numpy autograd + NN framework (PyTorch substitute);
+* :mod:`repro.models` — ResNet-18/34 backbones, the UFLD lane detector,
+  and symbolic cost models;
+* :mod:`repro.data` — synthetic CARLANE benchmarks (MoLane/TuLane/MuLane);
+* :mod:`repro.adapt` — LD-BN-ADAPT, the conv/FC ablations, and the
+  offline CARLANE-SOTA baseline;
+* :mod:`repro.train` — source-domain UFLD training;
+* :mod:`repro.metrics` — TuSimple-style accuracy, entropy tracking;
+* :mod:`repro.hw` — Jetson Orin power-mode latency/energy model;
+* :mod:`repro.pipeline` — the 30 FPS inference→adapt→next-frame loop;
+* :mod:`repro.experiments` — harnesses regenerating every paper artifact.
+
+Quickstart::
+
+    from repro.models import build_model, get_config
+    from repro.data import make_benchmark
+    from repro.train import SourceTrainer
+    from repro.adapt import LDBNAdapt, LDBNAdaptConfig
+    from repro.metrics import evaluate_model
+
+See ``examples/quickstart.py`` for the end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"
+
+from . import adapt, data, experiments, hw, metrics, models, nn, pipeline, train, utils
+
+__all__ = [
+    "nn",
+    "models",
+    "data",
+    "adapt",
+    "train",
+    "metrics",
+    "hw",
+    "pipeline",
+    "experiments",
+    "utils",
+    "__version__",
+]

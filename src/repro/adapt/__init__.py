@@ -1,0 +1,51 @@
+"""``repro.adapt`` — domain-adaptation algorithms.
+
+* :class:`LDBNAdapt` — the paper's LD-BN-ADAPT (BN statistics refresh +
+  single-step entropy descent on gamma/beta);
+* :class:`ConvAdapt` / :class:`FCAdapt` — the Sec. III parameter-group
+  ablations;
+* :class:`CarlaneSOTA` — the offline SGPCS-style baseline (k-means
+  embedding alignment + pseudo-labels + full retraining);
+* :class:`NoAdapt` — the un-adapted source model.
+
+``LDBNAdapt`` with ``stats_mode="replace"`` and entropy loss is the
+structured-output analogue of Tent [Wang et al., ICLR 2021], which the
+paper cites as the image-classification precursor.
+"""
+
+from .base import (
+    AdaptResult,
+    Adapter,
+    NoAdapt,
+    ParameterSnapshot,
+    freeze_all,
+    freeze_except,
+    set_bn_training,
+)
+from .bn_adapt import LDBNAdapt, LDBNAdaptConfig
+from .entropy import entropy_loss
+from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from .sota import CarlaneSOTA, SOTAConfig, SOTAReport
+from .variants import ConvAdapt, FCAdapt, VariantConfig
+
+__all__ = [
+    "Adapter",
+    "AdaptResult",
+    "NoAdapt",
+    "freeze_all",
+    "freeze_except",
+    "set_bn_training",
+    "ParameterSnapshot",
+    "entropy_loss",
+    "LDBNAdapt",
+    "LDBNAdaptConfig",
+    "ConvAdapt",
+    "FCAdapt",
+    "VariantConfig",
+    "CarlaneSOTA",
+    "SOTAConfig",
+    "SOTAReport",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "KMeansResult",
+]

@@ -1,0 +1,41 @@
+"""The Shannon-entropy adaptation objective (differentiable).
+
+From the paper (Sec. III): "Since the optimization is performed using only
+unlabeled data, entropy of model predictions is used as the loss function.
+Shannon entropy for a prediction y is defined as
+H(y) = - sum_c p(y_c) log p(y_c)", with y of shape
+``gridcells x rowanchors x numlanes``.
+
+Minimizing prediction entropy sharpens the model's row-anchor distributions
+on target data — the same objective as Tent [Wang et al., ICLR 2021], here
+applied to the structured UFLD output: entropy is computed per (row anchor,
+lane slot) over the ``num_cells + 1`` location classes and averaged.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from ..nn import functional as F
+
+
+def entropy_loss(logits: nn.Tensor, axis: int = 1) -> nn.Tensor:
+    """Mean Shannon entropy of the prediction distributions (differentiable).
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C, anchors, lanes)`` raw scores (any layout works as long as
+        ``axis`` names the class dimension).
+    axis:
+        Class dimension (UFLD layout: 1).
+
+    Returns
+    -------
+    Tensor
+        Scalar mean entropy in nats; backward() yields gradients for the
+        adaptation step.
+    """
+    log_probs = F.log_softmax(logits, axis=axis)
+    probs = log_probs.exp()
+    point_entropy = -(probs * log_probs).sum(axis=axis)
+    return point_entropy.mean()

@@ -1,0 +1,81 @@
+"""``repro.data`` — the synthetic CARLANE substitute.
+
+Procedural lane-scene generation (ground-plane geometry + pinhole camera +
+layered rasterizer) with three appearance domains standing in for CARLA
+simulation, the MoLane model-vehicle track, and TuSimple highways.  See
+DESIGN.md section 2 for the substitution argument.
+"""
+
+from .augment import AugmentConfig, augment_batch
+from .benchmarks import (
+    BENCHMARKS,
+    Benchmark,
+    BenchmarkSpec,
+    MOLANE,
+    MULANE,
+    TULANE,
+    get_benchmark_spec,
+    make_benchmark,
+)
+from .camera import CameraModel, default_camera, row_anchor_rows
+from .dataset import DataLoader, FrameStream, LaneDataset, LaneSample, generate_dataset
+from .domains import (
+    CARLA_SIM,
+    DOMAINS,
+    MODEL_VEHICLE,
+    TUSIMPLE_HIGHWAY,
+    DomainConfig,
+    DomainSample,
+    get_domain,
+)
+from .encoding import (
+    cell_units_to_cols,
+    cols_to_cell_units,
+    encode_labels,
+    flip_gt,
+    flip_labels,
+)
+from .geometry import LaneBoundary, LaneScene, evolve_scene, sample_scene
+from .render import render_scene
+from .visualize import ascii_frame, ascii_lanes, frame_report
+
+__all__ = [
+    "CameraModel",
+    "default_camera",
+    "row_anchor_rows",
+    "LaneBoundary",
+    "LaneScene",
+    "sample_scene",
+    "evolve_scene",
+    "render_scene",
+    "ascii_frame",
+    "ascii_lanes",
+    "frame_report",
+    "DomainConfig",
+    "DomainSample",
+    "DOMAINS",
+    "CARLA_SIM",
+    "MODEL_VEHICLE",
+    "TUSIMPLE_HIGHWAY",
+    "get_domain",
+    "encode_labels",
+    "flip_labels",
+    "flip_gt",
+    "cols_to_cell_units",
+    "cell_units_to_cols",
+    "LaneSample",
+    "LaneDataset",
+    "DataLoader",
+    "FrameStream",
+    "generate_dataset",
+    "AugmentConfig",
+    "augment_batch",
+    "Benchmark",
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "MOLANE",
+    "TULANE",
+    "MULANE",
+    "get_benchmark_spec",
+    "make_benchmark",
+]

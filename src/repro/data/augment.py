@@ -1,0 +1,89 @@
+"""Photometric/geometric augmentations for source training.
+
+UFLD's source training uses light augmentation (the CARLANE baseline does
+the same); keeping some appearance variation in the source set also makes
+the no-adaptation baseline realistic rather than brittle.  All transforms
+are label-aware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .encoding import flip_labels
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Augmentation strengths (all optional; defaults are mild)."""
+
+    brightness: float = 0.1  # +- uniform gain delta
+    contrast: float = 0.1  # +- uniform gamma delta
+    noise_sigma: float = 0.01
+    hflip_prob: float = 0.5
+    channel_jitter: float = 0.05
+
+
+def augment_batch(
+    images: np.ndarray,
+    labels: np.ndarray,
+    num_cells: int,
+    rng: np.random.Generator,
+    config: Optional[AugmentConfig] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Augment a training batch in place-safe fashion.
+
+    Parameters
+    ----------
+    images:
+        ``(N, 3, H, W)`` float32 in [0, 1].
+    labels:
+        ``(N, anchors, lanes)`` int64 UFLD labels.
+    num_cells:
+        Needed to mirror labels on horizontal flip.
+
+    Returns
+    -------
+    (images, labels):
+        New arrays; inputs are not modified.
+    """
+    cfg = config if config is not None else AugmentConfig()
+    images = images.copy()
+    labels = labels.copy()
+    n = images.shape[0]
+
+    # horizontal flip (per sample)
+    if cfg.hflip_prob > 0:
+        flips = rng.random(n) < cfg.hflip_prob
+        for i in np.nonzero(flips)[0]:
+            images[i] = images[i, :, :, ::-1]
+            labels[i] = flip_labels(labels[i], num_cells)
+
+    # brightness gain
+    if cfg.brightness > 0:
+        gains = 1.0 + rng.uniform(-cfg.brightness, cfg.brightness, size=(n, 1, 1, 1))
+        images *= gains.astype(np.float32)
+
+    # contrast (gamma)
+    if cfg.contrast > 0:
+        gammas = 1.0 + rng.uniform(-cfg.contrast, cfg.contrast, size=n)
+        for i in range(n):
+            images[i] = np.power(np.clip(images[i], 0.0, 1.0), gammas[i])
+
+    # per-channel gain jitter
+    if cfg.channel_jitter > 0:
+        jitter = 1.0 + rng.uniform(
+            -cfg.channel_jitter, cfg.channel_jitter, size=(n, 3, 1, 1)
+        )
+        images *= jitter.astype(np.float32)
+
+    # sensor noise
+    if cfg.noise_sigma > 0:
+        images += rng.normal(0.0, cfg.noise_sigma, size=images.shape).astype(
+            np.float32
+        )
+
+    return np.clip(images, 0.0, 1.0), labels

@@ -1,0 +1,198 @@
+"""CARLANE-style benchmark builders: MoLane, TuLane, MuLane.
+
+Mirrors the structure of the CARLANE benchmark suite [Stuhr et al.,
+NeurIPS 2022] the paper evaluates on (Fig. 1):
+
+* **MoLane** — 2 lanes.  Source: CARLA simulation; target: real 1/8-scale
+  *model vehicle* track.
+* **TuLane** — 4 lanes.  Source: CARLA; target: *TuSimple* U.S. highway
+  recordings.
+* **MuLane** — 4-slot multi-target mix of both targets (balanced), with
+  MoLane frames occupying the inner two slots.
+
+Each benchmark provides a labeled source training set, an *unlabeled*
+target training pool (labels retained only for post-hoc analysis), a
+labeled target test set, and a factory for temporally coherent 30 FPS
+target streams (for the real-time pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.ufld import UFLDConfig
+from ..utils.rng import split_rng
+from .dataset import FrameStream, LaneDataset, generate_dataset
+from .domains import CARLA_SIM, MODEL_VEHICLE, TUSIMPLE_HIGHWAY, DomainConfig
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Static description of one benchmark."""
+
+    name: str
+    num_lanes: int  # label slots
+    source_domain: DomainConfig
+    target_domains: Tuple[DomainConfig, ...]
+    # how many boundary curves the road has per target domain
+    target_scene_lanes: Tuple[int, ...]
+    source_scene_lanes: int
+
+    @property
+    def is_multi_target(self) -> bool:
+        return len(self.target_domains) > 1
+
+
+MOLANE = BenchmarkSpec(
+    name="molane",
+    num_lanes=2,
+    source_domain=CARLA_SIM,
+    target_domains=(MODEL_VEHICLE,),
+    target_scene_lanes=(2,),
+    source_scene_lanes=2,
+)
+
+TULANE = BenchmarkSpec(
+    name="tulane",
+    num_lanes=4,
+    source_domain=CARLA_SIM,
+    target_domains=(TUSIMPLE_HIGHWAY,),
+    target_scene_lanes=(4,),
+    source_scene_lanes=4,
+)
+
+MULANE = BenchmarkSpec(
+    name="mulane",
+    num_lanes=4,
+    source_domain=CARLA_SIM,
+    target_domains=(MODEL_VEHICLE, TUSIMPLE_HIGHWAY),
+    target_scene_lanes=(2, 4),
+    source_scene_lanes=4,
+)
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    b.name: b for b in (MOLANE, TULANE, MULANE)
+}
+
+
+def get_benchmark_spec(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by name ("molane", "tulane", "mulane")."""
+    key = name.lower()
+    if key not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}")
+    return BENCHMARKS[key]
+
+
+@dataclass
+class Benchmark:
+    """Materialized benchmark: datasets + stream factory."""
+
+    spec: BenchmarkSpec
+    config: UFLDConfig
+    source_train: LaneDataset
+    target_train: LaneDataset  # treat as UNLABELED for adaptation
+    target_test: LaneDataset
+    _stream_rng: np.random.Generator = field(repr=False, default=None)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def target_stream(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        fps: float = 30.0,
+        switch_every: int = 150,
+    ) -> FrameStream:
+        """A fresh temporally coherent target-domain stream."""
+        gen = rng if rng is not None else self._stream_rng
+        if gen is None:
+            gen = np.random.default_rng()
+        return FrameStream(
+            domains=self.spec.target_domains,
+            config=self.config,
+            rng=gen,
+            fps=fps,
+            scene_lanes_per_domain=self.spec.target_scene_lanes,
+            switch_every=switch_every,
+        )
+
+
+def _mixed_target_dataset(
+    spec: BenchmarkSpec,
+    config: UFLDConfig,
+    num_frames: int,
+    rng: np.random.Generator,
+    name: str,
+) -> LaneDataset:
+    """Balanced mixture across the benchmark's target domains."""
+    if num_frames < 1:
+        raise ValueError("target splits need at least one frame")
+    domains = spec.target_domains
+    lanes = spec.target_scene_lanes
+    per = [num_frames // len(domains)] * len(domains)
+    per[0] += num_frames - sum(per)
+    rngs = split_rng(rng, len(domains))
+    samples = []
+    for domain, n, scene_lanes, child in zip(domains, per, lanes, rngs):
+        if n == 0:  # fewer frames than domains: skip empty splits
+            continue
+        ds = generate_dataset(
+            domain, config, n, child, scene_lanes=scene_lanes
+        )
+        samples.extend(ds.samples)
+    # interleave domains so evaluation batches are mixed
+    order = rng.permutation(len(samples))
+    return LaneDataset([samples[i] for i in order], name=name)
+
+
+def make_benchmark(
+    name: str,
+    config: UFLDConfig,
+    source_frames: int = 400,
+    target_train_frames: int = 200,
+    target_test_frames: int = 200,
+    seed: int = 0,
+) -> Benchmark:
+    """Build a full benchmark instance.
+
+    ``config.num_lanes`` is overridden to the benchmark's slot count so a
+    single preset string works for all three benchmarks:
+
+    >>> from repro.models import get_config
+    >>> bench = make_benchmark("molane", get_config("tiny-r18"),
+    ...                        source_frames=4, target_train_frames=2,
+    ...                        target_test_frames=2, seed=1)
+    >>> bench.config.num_lanes
+    2
+    """
+    spec = get_benchmark_spec(name)
+    config = config.with_lanes(spec.num_lanes)
+    root = np.random.default_rng(seed)
+    rng_source, rng_train, rng_test, rng_stream = split_rng(root, 4)
+
+    source = generate_dataset(
+        spec.source_domain,
+        config,
+        source_frames,
+        rng_source,
+        scene_lanes=spec.source_scene_lanes,
+        name=f"{spec.name}-source",
+    )
+    target_train = _mixed_target_dataset(
+        spec, config, target_train_frames, rng_train, f"{spec.name}-target-train"
+    )
+    target_test = _mixed_target_dataset(
+        spec, config, target_test_frames, rng_test, f"{spec.name}-target-test"
+    )
+    return Benchmark(
+        spec=spec,
+        config=config,
+        source_train=source,
+        target_train=target_train,
+        target_test=target_test,
+        _stream_rng=rng_stream,
+    )

@@ -1,0 +1,110 @@
+"""Pinhole camera model for projecting ground-plane lanes into the image.
+
+The synthetic CARLANE substitute generates lane geometry in *ground-plane*
+coordinates (lateral offset X in meters, forward distance Z in meters) and
+projects it through a forward-facing pinhole camera, which produces the
+characteristic perspective convergence toward the vanishing point that the
+real benchmarks exhibit.  Using a physical model (instead of drawing 2-D
+curves directly) means camera pose changes — a *geometric* component of
+domain shift — are expressible with one parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CameraModel:
+    """Forward-facing pinhole camera above a flat ground plane.
+
+    Attributes
+    ----------
+    image_hw:
+        Output image size (height, width) in pixels.
+    focal_px:
+        Focal length in pixels (same for x and y).
+    height_m:
+        Camera height above the ground plane in meters.
+    horizon_frac:
+        Vertical position of the horizon line as a fraction of image
+        height (0 = top).  Encodes camera pitch.
+    cx_frac:
+        Horizontal principal point as a fraction of image width.
+    """
+
+    image_hw: Tuple[int, int] = (64, 160)
+    focal_px: float = 100.0
+    height_m: float = 1.5
+    horizon_frac: float = 0.35
+    cx_frac: float = 0.5
+
+    @property
+    def horizon_px(self) -> float:
+        return self.horizon_frac * self.image_hw[0]
+
+    @property
+    def cx_px(self) -> float:
+        return self.cx_frac * self.image_hw[1]
+
+    def depth_for_rows(self, rows_px: np.ndarray) -> np.ndarray:
+        """Ground-plane depth Z (meters) seen at the given image rows.
+
+        Rows above (or at) the horizon map to ``inf``; callers treat those
+        as "no ground visible".
+        """
+        rows = np.asarray(rows_px, dtype=np.float64)
+        dy = rows - self.horizon_px
+        with np.errstate(divide="ignore"):
+            z = np.where(dy > 0.5, self.focal_px * self.height_m / dy, np.inf)
+        return z
+
+    def row_for_depth(self, z_m: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`depth_for_rows`."""
+        z = np.asarray(z_m, dtype=np.float64)
+        return self.horizon_px + self.focal_px * self.height_m / z
+
+    def lateral_to_col(self, x_m: np.ndarray, z_m: np.ndarray) -> np.ndarray:
+        """Project lateral ground offsets X at depths Z to image columns."""
+        x = np.asarray(x_m, dtype=np.float64)
+        z = np.asarray(z_m, dtype=np.float64)
+        return self.cx_px + self.focal_px * x / z
+
+    def col_to_lateral(self, cols_px: np.ndarray, z_m: np.ndarray) -> np.ndarray:
+        """Back-project image columns at known depth to lateral offsets."""
+        cols = np.asarray(cols_px, dtype=np.float64)
+        z = np.asarray(z_m, dtype=np.float64)
+        return (cols - self.cx_px) * z / self.focal_px
+
+
+def default_camera(image_hw: Tuple[int, int]) -> CameraModel:
+    """Reasonable camera intrinsics scaled to an image size.
+
+    The focal length scales with width so the field of view (and thus lane
+    appearance) is resolution-independent.
+    """
+    h, w = image_hw
+    return CameraModel(
+        image_hw=(h, w),
+        focal_px=0.9 * w,
+        height_m=1.5,
+        horizon_frac=0.35,
+        cx_frac=0.5,
+    )
+
+
+def row_anchor_rows(num_anchors: int, image_h: int, horizon_frac: float = 0.35) -> np.ndarray:
+    """Pixel rows of the UFLD row anchors.
+
+    Anchors are spaced evenly from just below the horizon to the bottom of
+    the image — mirroring how TuSimple/CULane anchor rows cover the road
+    region only.
+    """
+    if num_anchors < 2:
+        raise ValueError("need at least 2 row anchors")
+    top = (horizon_frac + 0.08) * image_h
+    bottom = image_h - 1.0
+    return np.linspace(top, bottom, num_anchors)

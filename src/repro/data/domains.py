@@ -1,0 +1,220 @@
+"""Domain configurations: the synthetic stand-ins for CARLANE's domains.
+
+CARLANE's domain gap is between *simulated* training imagery (CARLA) and
+*real* target imagery (a 1/8-scale model vehicle for MoLane; TuSimple U.S.
+highways for TuLane; both for MuLane).  The gap is dominated by low-level
+appearance statistics — illumination, contrast, sensor noise, optics blur,
+road texture, marking quality, color balance — precisely the statistics
+that batch-norm adaptation corrects.
+
+Each :class:`DomainConfig` describes a *distribution* over appearance (and
+mild geometry) parameters; :meth:`DomainConfig.sample` draws one frame's
+concrete :class:`DomainSample`.  Three canonical domains are provided:
+
+* :data:`CARLA_SIM` — the labeled source domain: clean, crisp, noise-free;
+* :data:`MODEL_VEHICLE` — MoLane's target: dark indoor track, tape
+  markings, vignetting, warm cast;
+* :data:`TUSIMPLE_HIGHWAY` — TuLane's target: bright hazy highway, worn
+  paint, clutter and glare.
+
+The shift *magnitudes* were tuned once so that a source-trained model
+degrades substantially but not catastrophically on targets (mirroring
+Fig. 2's no-adaptation bars) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+Range = Tuple[float, float]
+
+
+def _draw(rng: np.random.Generator, bounds: Range) -> float:
+    lo, hi = bounds
+    if hi < lo:
+        raise ValueError(f"invalid range {bounds}")
+    return float(rng.uniform(lo, hi)) if hi > lo else float(lo)
+
+
+@dataclass(frozen=True)
+class DomainSample:
+    """Concrete appearance parameters for one rendered frame."""
+
+    road_albedo: float
+    roadside_albedo: float
+    sky_top: float
+    sky_bottom: float
+    marking_brightness: float
+    marking_width_m: float
+    marking_wear: float  # 0 = pristine paint, 1 = invisible
+    dash_period_m: float  # 0 = solid lines
+    dash_duty: float
+    illumination: float
+    contrast_gamma: float
+    color_cast: Tuple[float, float, float]
+    noise_sigma: float
+    blur_radius: int
+    vignette: float
+    clutter_count: int
+    clutter_strength: float
+    glare_strength: float
+    texture_strength: float
+    haze: float  # atmospheric haze blend factor (affine contrast loss)
+
+
+@dataclass(frozen=True)
+class DomainConfig:
+    """A named distribution over frame appearance + geometry tweaks."""
+
+    name: str
+    # appearance ranges
+    road_albedo: Range = (0.32, 0.38)
+    roadside_albedo: Range = (0.45, 0.55)
+    sky_top: Range = (0.75, 0.85)
+    sky_bottom: Range = (0.55, 0.65)
+    marking_brightness: Range = (0.9, 1.0)
+    marking_width_m: Range = (0.12, 0.18)
+    marking_wear: Range = (0.0, 0.05)
+    dash_period_m: Range = (0.0, 0.0)
+    dash_duty: Range = (0.5, 0.5)
+    illumination: Range = (0.95, 1.05)
+    contrast_gamma: Range = (1.0, 1.0)
+    color_cast_r: Range = (1.0, 1.0)
+    color_cast_g: Range = (1.0, 1.0)
+    color_cast_b: Range = (1.0, 1.0)
+    noise_sigma: Range = (0.005, 0.012)
+    blur_radius: Tuple[int, int] = (0, 0)
+    vignette: Range = (0.0, 0.0)
+    clutter_count: Tuple[int, int] = (0, 0)
+    clutter_strength: Range = (0.0, 0.0)
+    glare_strength: Range = (0.0, 0.0)
+    texture_strength: Range = (0.01, 0.02)
+    haze: Range = (0.0, 0.0)
+    # geometry tweaks
+    lane_width_m: float = 3.7
+    curvature_scale: float = 0.003
+    heading_scale: float = 0.015
+    horizon_frac: float = 0.35
+    missing_boundary_prob: float = 0.0
+
+    def sample(self, rng: np.random.Generator) -> DomainSample:
+        """Draw one frame's appearance parameters."""
+        return DomainSample(
+            road_albedo=_draw(rng, self.road_albedo),
+            roadside_albedo=_draw(rng, self.roadside_albedo),
+            sky_top=_draw(rng, self.sky_top),
+            sky_bottom=_draw(rng, self.sky_bottom),
+            marking_brightness=_draw(rng, self.marking_brightness),
+            marking_width_m=_draw(rng, self.marking_width_m),
+            marking_wear=_draw(rng, self.marking_wear),
+            dash_period_m=_draw(rng, self.dash_period_m),
+            dash_duty=_draw(rng, self.dash_duty),
+            illumination=_draw(rng, self.illumination),
+            contrast_gamma=_draw(rng, self.contrast_gamma),
+            color_cast=(
+                _draw(rng, self.color_cast_r),
+                _draw(rng, self.color_cast_g),
+                _draw(rng, self.color_cast_b),
+            ),
+            noise_sigma=_draw(rng, self.noise_sigma),
+            blur_radius=int(rng.integers(self.blur_radius[0], self.blur_radius[1] + 1)),
+            vignette=_draw(rng, self.vignette),
+            clutter_count=int(
+                rng.integers(self.clutter_count[0], self.clutter_count[1] + 1)
+            ),
+            clutter_strength=_draw(rng, self.clutter_strength),
+            glare_strength=_draw(rng, self.glare_strength),
+            texture_strength=_draw(rng, self.texture_strength),
+            haze=_draw(rng, self.haze),
+        )
+
+
+# ----------------------------------------------------------------------
+# canonical domains
+# ----------------------------------------------------------------------
+CARLA_SIM = DomainConfig(
+    name="carla_sim",
+    # clean simulator rendering: crisp markings, uniform road, no sensor noise
+    road_albedo=(0.33, 0.37),
+    roadside_albedo=(0.48, 0.52),
+    marking_brightness=(0.92, 1.0),
+    marking_wear=(0.0, 0.05),
+    noise_sigma=(0.004, 0.01),
+    blur_radius=(0, 0),
+    texture_strength=(0.008, 0.015),
+    lane_width_m=3.7,
+)
+
+MODEL_VEHICLE = DomainConfig(
+    name="model_vehicle",
+    # 1/8-scale indoor track: dim halogen lighting (strong global gain
+    # drop), warm/blue-deficient color cast, elevated sensor noise, dark
+    # floor with tape markings.  The shift is dominated by first/second-
+    # moment statistics — exactly what BN-statistics adaptation corrects
+    # (see the probe study in EXPERIMENTS.md).
+    road_albedo=(0.18, 0.26),
+    roadside_albedo=(0.30, 0.42),
+    sky_top=(0.42, 0.55),
+    sky_bottom=(0.32, 0.46),
+    marking_brightness=(0.55, 0.75),
+    marking_width_m=(0.14, 0.20),
+    marking_wear=(0.05, 0.25),
+    illumination=(0.25, 0.40),
+    contrast_gamma=(0.95, 1.05),
+    color_cast_r=(1.05, 1.15),
+    color_cast_g=(0.90, 1.00),
+    color_cast_b=(0.55, 0.75),
+    noise_sigma=(0.05, 0.09),
+    blur_radius=(0, 1),
+    vignette=(0.05, 0.15),
+    texture_strength=(0.02, 0.05),
+    # geometry matches the source: CARLANE's residual camera-pitch/track
+    # differences are dropped because geometric shift is orthogonal to the
+    # BN-statistics mechanism under study (DESIGN.md section 2)
+    lane_width_m=3.7,
+    curvature_scale=0.005,
+)
+
+TUSIMPLE_HIGHWAY = DomainConfig(
+    name="tusimple_highway",
+    # over-exposed hazy U.S. highway: strong global gain increase, blue
+    # cast, elevated noise, worn dashed paint, traffic clutter and glare.
+    # Like the model-vehicle domain the dominant shift is statistical
+    # (gain/cast/noise), with mild structured extras for realism.
+    road_albedo=(0.44, 0.54),
+    roadside_albedo=(0.52, 0.64),
+    sky_top=(0.85, 0.95),
+    sky_bottom=(0.75, 0.90),
+    marking_brightness=(0.72, 0.85),
+    marking_wear=(0.15, 0.35),
+    dash_period_m=(8.0, 12.0),
+    dash_duty=(0.4, 0.6),
+    illumination=(1.00, 1.20),
+    contrast_gamma=(0.90, 1.00),
+    color_cast_r=(0.95, 1.05),
+    color_cast_g=(0.95, 1.05),
+    color_cast_b=(1.10, 1.30),
+    noise_sigma=(0.05, 0.08),
+    haze=(0.45, 0.65),
+    blur_radius=(0, 1),
+    clutter_count=(1, 4),
+    clutter_strength=(0.10, 0.25),
+    glare_strength=(0.00, 0.20),
+    texture_strength=(0.02, 0.045),
+    lane_width_m=3.7,
+    missing_boundary_prob=0.15,
+)
+
+DOMAINS: Dict[str, DomainConfig] = {
+    d.name: d for d in (CARLA_SIM, MODEL_VEHICLE, TUSIMPLE_HIGHWAY)
+}
+
+
+def get_domain(name: str) -> DomainConfig:
+    """Look up a canonical domain by name."""
+    if name not in DOMAINS:
+        raise KeyError(f"unknown domain {name!r}; available: {sorted(DOMAINS)}")
+    return DOMAINS[name]

@@ -1,0 +1,103 @@
+"""Row-anchor label encoding/decoding for UFLD.
+
+UFLD labels a frame as an ``(anchors, lanes)`` integer grid: for each row
+anchor and lane slot, the index of the horizontal cell the lane crosses, or
+``num_cells`` for "absent".  This module converts between:
+
+* boundary columns in pixels (from :class:`~repro.data.geometry.LaneScene`),
+* continuous positions in *cell units* (used by the accuracy metric), and
+* the quantized integer labels (used by the training loss).
+
+Cell-unit convention: position ``p`` lies in cell ``round(p)``; cell ``i``
+has its center at pixel ``(i + 0.5) * image_w / num_cells``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def cols_to_cell_units(cols_px: np.ndarray, image_w: int, num_cells: int) -> np.ndarray:
+    """Pixel columns → continuous positions in cell units (NaN passes through)."""
+    cell_w = image_w / num_cells
+    return cols_px / cell_w - 0.5
+
+
+def cell_units_to_cols(positions: np.ndarray, image_w: int, num_cells: int) -> np.ndarray:
+    """Continuous cell-unit positions → pixel columns."""
+    cell_w = image_w / num_cells
+    return (positions + 0.5) * cell_w
+
+
+def encode_labels(
+    boundary_cols: np.ndarray,
+    image_w: int,
+    num_cells: int,
+    num_slots: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize boundary columns into UFLD training labels.
+
+    Parameters
+    ----------
+    boundary_cols:
+        ``(num_boundaries, num_anchors)`` pixel columns with NaN for
+        not-visible points (output of ``LaneScene.boundary_cols_at_rows``
+        evaluated at the anchor rows).
+    image_w:
+        Image width in pixels.
+    num_cells:
+        Number of location cells (the absent class is ``num_cells``).
+    num_slots:
+        Number of lane slots in the label layout.  When the scene has
+        fewer boundaries than slots (e.g. a 2-lane MoLane frame inside the
+        4-slot MuLane label space), boundaries are centred among the slots
+        and the outer slots stay absent.
+
+    Returns
+    -------
+    (labels, gt_cells):
+        ``labels`` — ``(num_anchors, num_slots)`` int64, values in
+        ``[0, num_cells]``;
+        ``gt_cells`` — ``(num_anchors, num_slots)`` float64 continuous
+        cell-unit positions with NaN where absent (metric ground truth).
+    """
+    num_boundaries, num_anchors = boundary_cols.shape
+    if num_boundaries > num_slots:
+        raise ValueError(
+            f"{num_boundaries} boundaries do not fit in {num_slots} lane slots"
+        )
+    offset = (num_slots - num_boundaries) // 2
+    gt = np.full((num_anchors, num_slots), np.nan)
+    gt[:, offset : offset + num_boundaries] = cols_to_cell_units(
+        boundary_cols, image_w, num_cells
+    ).T
+
+    labels = np.full((num_anchors, num_slots), num_cells, dtype=np.int64)
+    visible = ~np.isnan(gt)
+    quantized = np.clip(np.round(gt[visible]), 0, num_cells - 1).astype(np.int64)
+    labels[visible] = quantized
+    # points that project outside the cell range are treated as absent
+    outside = visible & ((gt < -0.5) | (gt > num_cells - 0.5))
+    labels[outside] = num_cells
+    gt[outside] = np.nan
+    return labels, gt
+
+
+def flip_labels(labels: np.ndarray, num_cells: int) -> np.ndarray:
+    """Labels of the horizontally mirrored image.
+
+    Lane slot order reverses (leftmost becomes rightmost) and present
+    cells mirror around the image centre; absent stays absent.
+    """
+    flipped = labels[:, ::-1].copy()
+    present = flipped < num_cells
+    flipped[present] = num_cells - 1 - flipped[present]
+    return flipped
+
+
+def flip_gt(gt_cells: np.ndarray, num_cells: int) -> np.ndarray:
+    """Continuous ground truth of the mirrored image (NaN preserved)."""
+    flipped = gt_cells[:, ::-1].copy()
+    return (num_cells - 1) - flipped

@@ -1,0 +1,222 @@
+"""Lane-scene geometry: ground-plane lane boundaries and their image traces.
+
+A :class:`LaneScene` is a snapshot of the road ahead: several lane-boundary
+curves on the ground plane, each of the clothoid-like form
+
+    X(Z) = offset + heading * Z + 0.5 * curvature * Z**2
+
+(the standard second-order road model used by lane-keeping systems), plus
+the camera observing them.  Scenes know how to evaluate their boundaries at
+arbitrary image rows, which provides both the rasterizer's input and the
+ground-truth labels.
+
+Scene *sequences* (for the 30 FPS online-adaptation stream) evolve the
+curvature/heading/offset parameters with a bounded random walk, emulating
+driving along a road; see :func:`evolve_scene`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .camera import CameraModel, default_camera
+
+# Standard lane width range (meters) — US highway ~3.7 m, model track narrower.
+DEFAULT_LANE_WIDTH_M = 3.7
+
+
+@dataclass(frozen=True)
+class LaneBoundary:
+    """One painted lane boundary on the ground plane."""
+
+    offset_m: float  # lateral offset at Z=0 (vehicle position)
+    heading: float  # lateral slope dX/dZ at Z=0
+    curvature: float  # d2X/dZ2 (constant over the visible range)
+    visible: bool = True  # False models a missing boundary (road edge, worn paint)
+
+    def lateral_at(self, z_m: np.ndarray) -> np.ndarray:
+        """Lateral position X (meters) at forward distances Z."""
+        z = np.asarray(z_m, dtype=np.float64)
+        return self.offset_m + self.heading * z + 0.5 * self.curvature * z * z
+
+
+@dataclass(frozen=True)
+class LaneScene:
+    """A full road snapshot: ordered lane boundaries + camera.
+
+    Boundaries are ordered left-to-right; ``boundaries[i]`` fills lane slot
+    ``i`` of the UFLD label layout.  MoLane scenes carry 2 boundaries (the
+    ego lane), TuLane/MuLane scenes carry 4 (ego + adjacent lanes).
+    """
+
+    boundaries: Tuple[LaneBoundary, ...]
+    camera: CameraModel
+    max_depth_m: float = 60.0
+    min_depth_m: float = 3.0
+    # drivable-surface margins beyond the outermost boundaries.  These are
+    # randomized per scene so that the road/roadside edge carries no fixed
+    # geometric relationship to the lane positions — otherwise models can
+    # regress lanes from the (blur-resistant) road edge and sidestep the
+    # marking-appearance domain shift entirely.
+    left_margin_m: float = 2.2
+    right_margin_m: float = 2.2
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self.boundaries)
+
+    def boundary_cols_at_rows(self, rows_px: np.ndarray) -> np.ndarray:
+        """Image columns of every boundary at the given rows.
+
+        Returns ``(num_boundaries, num_rows)`` float64; ``nan`` marks rows
+        where the boundary is not visible (above horizon, beyond the depth
+        range, outside the image, or a non-visible boundary).
+        """
+        rows = np.asarray(rows_px, dtype=np.float64)
+        z = self.camera.depth_for_rows(rows)
+        in_range = np.isfinite(z) & (z >= self.min_depth_m) & (z <= self.max_depth_m)
+        z_safe = np.where(in_range, z, 1.0)  # dummy depth outside range
+        width = self.camera.image_hw[1]
+        out = np.full((self.num_lanes, rows.size), np.nan)
+        for i, boundary in enumerate(self.boundaries):
+            if not boundary.visible:
+                continue
+            x = boundary.lateral_at(z_safe)
+            cols = self.camera.lateral_to_col(x, z_safe)
+            valid = in_range & (cols >= -0.5) & (cols <= width - 0.5)
+            out[i, valid] = cols[valid]
+        return out
+
+    def road_edges_at_rows(self, rows_px: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Left/right extent of the drivable surface at each row (columns).
+
+        Used by the rasterizer to paint road vs roadside.  The road spans
+        half a lane width beyond the outermost boundaries.
+        """
+        rows = np.asarray(rows_px, dtype=np.float64)
+        z = self.camera.depth_for_rows(rows)
+        finite = np.isfinite(z)
+        z_safe = np.where(finite, z, 1.0)
+        left = self.boundaries[0].lateral_at(z_safe) - self.left_margin_m
+        right = self.boundaries[-1].lateral_at(z_safe) + self.right_margin_m
+        left_cols = self.camera.lateral_to_col(left, z_safe)
+        right_cols = self.camera.lateral_to_col(right, z_safe)
+        left_cols[~finite] = np.nan
+        right_cols[~finite] = np.nan
+        return left_cols, right_cols
+
+
+def sample_scene(
+    rng: np.random.Generator,
+    num_lanes: int,
+    image_hw: Tuple[int, int],
+    lane_width_m: float = DEFAULT_LANE_WIDTH_M,
+    curvature_scale: float = 0.004,
+    heading_scale: float = 0.035,
+    offset_jitter_m: float = 0.65,
+    lane_width_jitter: float = 0.15,
+    camera: Optional[CameraModel] = None,
+    missing_boundary_prob: float = 0.0,
+) -> LaneScene:
+    """Draw a random plausible road scene.
+
+    The ego vehicle sits roughly centred in its lane; all boundaries share
+    one road curvature and heading (they are parallel curves), with small
+    per-boundary offset jitter.
+
+    Parameters
+    ----------
+    num_lanes:
+        Number of boundary curves (2 → MoLane layout, 4 → TuLane layout).
+    curvature_scale / heading_scale:
+        Standard deviations of the road curvature (1/m) and heading.
+    offset_jitter_m:
+        Lateral jitter of the vehicle within its lane.  Large enough by
+        default that lane positions vary substantially across frames —
+        a positional prior alone cannot score well, so models must read
+        the image (this is what makes the appearance domain shift bite).
+    lane_width_jitter:
+        Relative per-scene variation of the lane width.
+    missing_boundary_prob:
+        Probability that an *outer* boundary is absent (unpainted edge),
+        exercising the "absent lane" class.
+    """
+    cam = camera if camera is not None else default_camera(image_hw)
+    curvature = rng.normal(0.0, curvature_scale)
+    heading = rng.normal(0.0, heading_scale)
+    ego_offset = float(np.clip(rng.normal(0.0, offset_jitter_m), -1.4, 1.4))
+    lane_width_m = lane_width_m * float(
+        rng.uniform(1.0 - lane_width_jitter, 1.0 + lane_width_jitter)
+    )
+
+    # boundary offsets left→right, centred on the ego lane
+    half = lane_width_m / 2.0
+    if num_lanes == 2:
+        offsets = [-half, half]
+    elif num_lanes == 4:
+        offsets = [-half - lane_width_m, -half, half, half + lane_width_m]
+    else:
+        # generic symmetric layout
+        offsets = [
+            (i - (num_lanes - 1) / 2.0) * lane_width_m for i in range(num_lanes)
+        ]
+
+    boundaries: List[LaneBoundary] = []
+    for idx, off in enumerate(offsets):
+        outer = idx in (0, len(offsets) - 1) and num_lanes > 2
+        visible = True
+        if outer and missing_boundary_prob > 0.0:
+            visible = rng.random() >= missing_boundary_prob
+        boundaries.append(
+            LaneBoundary(
+                offset_m=off - ego_offset + rng.normal(0.0, 0.03),
+                heading=heading,
+                curvature=curvature,
+                visible=visible,
+            )
+        )
+    return LaneScene(
+        boundaries=tuple(boundaries),
+        camera=cam,
+        # independent random shoulders: the road edge is decorrelated from
+        # the lane geometry (see LaneScene docstring)
+        left_margin_m=float(rng.uniform(0.8, 6.0)),
+        right_margin_m=float(rng.uniform(0.8, 6.0)),
+    )
+
+
+def evolve_scene(
+    scene: LaneScene,
+    rng: np.random.Generator,
+    curvature_step: float = 3e-4,
+    heading_step: float = 2e-3,
+    offset_step: float = 0.03,
+    curvature_limit: float = 0.008,
+    heading_limit: float = 0.05,
+) -> LaneScene:
+    """One 33 ms step of "driving": smoothly perturb the road parameters.
+
+    Curvature and heading follow a mean-reverting random walk (clipped),
+    and the vehicle drifts slightly in its lane.  All boundaries move
+    together, preserving lane parallelism.
+    """
+    first = scene.boundaries[0]
+    d_curv = rng.normal(0.0, curvature_step) - 0.05 * first.curvature
+    d_head = rng.normal(0.0, heading_step) - 0.05 * first.heading
+    d_off = rng.normal(0.0, offset_step)
+    new_curv = float(np.clip(first.curvature + d_curv, -curvature_limit, curvature_limit))
+    new_head = float(np.clip(first.heading + d_head, -heading_limit, heading_limit))
+
+    new_boundaries = tuple(
+        replace(
+            b,
+            curvature=new_curv if b.visible else b.curvature,
+            heading=new_head,
+            offset_m=b.offset_m + d_off,
+        )
+        for b in scene.boundaries
+    )
+    return replace(scene, boundaries=new_boundaries)

@@ -1,0 +1,172 @@
+"""Rasterizer: turn a :class:`LaneScene` + :class:`DomainSample` into an image.
+
+The renderer is fully vectorized numpy and deliberately simple — a layered
+composition of sky, roadside, road surface, lane markings, clutter, glare,
+vignette, color cast, photometric transfer and sensor noise.  It is *not*
+photorealistic; it only needs to (a) contain lanes detectable from local
+evidence, and (b) expose the appearance axes along which CARLANE's
+sim-to-real shift lives, so that adapting BN statistics measurably helps.
+
+Output: float32 CHW image in [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .domains import DomainSample
+from .geometry import LaneScene
+
+
+def _vertical_gradient(h: int, w: int, top: float, bottom: float) -> np.ndarray:
+    column = np.linspace(top, bottom, h, dtype=np.float64)
+    return np.repeat(column[:, None], w, axis=1)
+
+
+def _low_freq_noise(
+    rng: np.random.Generator, h: int, w: int, strength: float, cell: int = 4
+) -> np.ndarray:
+    """Blocky low-frequency texture (cheap stand-in for asphalt grain)."""
+    gh = max(1, -(-h // cell))  # ceil division so upsampling covers h x w
+    gw = max(1, -(-w // cell))
+    coarse = rng.normal(0.0, strength, size=(gh, gw))
+    up = np.repeat(np.repeat(coarse, cell, axis=0), cell, axis=1)
+    return up[:h, :w]
+
+
+def _box_blur(image: np.ndarray, radius: int) -> np.ndarray:
+    """Separable box blur with edge replication; ``radius`` in pixels."""
+    if radius <= 0:
+        return image
+    size = 2 * radius + 1
+    kernel = np.ones(size) / size
+    padded = np.pad(image, ((radius, radius), (0, 0)), mode="edge")
+    out = np.apply_along_axis(
+        lambda col: np.convolve(col, kernel, mode="valid"), 0, padded
+    )
+    padded = np.pad(out, ((0, 0), (radius, radius)), mode="edge")
+    out = np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="valid"), 1, padded
+    )
+    return out
+
+
+def render_scene(
+    scene: LaneScene,
+    sample: DomainSample,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Render one frame.
+
+    Parameters
+    ----------
+    scene:
+        Geometry (lane boundaries + camera).
+    sample:
+        One frame's appearance parameters (draw via ``DomainConfig.sample``).
+    rng:
+        Generator for texture/noise/clutter randomness.
+
+    Returns
+    -------
+    np.ndarray
+        ``(3, H, W)`` float32 image in [0, 1].
+    """
+    h, w = scene.camera.image_hw
+    rows = np.arange(h, dtype=np.float64)
+    cols = np.arange(w, dtype=np.float64)
+    col_grid = np.broadcast_to(cols[None, :], (h, w))
+
+    # ---- base layers: sky / roadside / road --------------------------
+    luma = _vertical_gradient(h, w, sample.sky_top, sample.sky_bottom)
+    horizon = scene.camera.horizon_px
+    below = rows >= horizon
+
+    left_edge, right_edge = scene.road_edges_at_rows(rows)
+    left_b = np.where(np.isnan(left_edge), -1e9, left_edge)
+    right_b = np.where(np.isnan(right_edge), 1e9, right_edge)
+    ground_mask = below[:, None] & np.ones((1, w), dtype=bool)
+    road_mask = ground_mask & (col_grid >= left_b[:, None]) & (
+        col_grid <= right_b[:, None]
+    )
+    roadside_mask = ground_mask & ~road_mask
+
+    luma = np.where(roadside_mask, sample.roadside_albedo, luma)
+    luma = np.where(road_mask, sample.road_albedo, luma)
+
+    # asphalt / floor texture on the ground region
+    texture = _low_freq_noise(rng, h, w, sample.texture_strength)
+    luma = luma + texture * ground_mask
+
+    # ---- lane markings ------------------------------------------------
+    boundary_cols = scene.boundary_cols_at_rows(rows)  # (L, H)
+    depth = scene.camera.depth_for_rows(rows)  # (H,)
+    finite_depth = np.where(np.isfinite(depth), depth, 1.0)
+    # perspective-correct marking width in pixels at each row
+    width_px = scene.camera.focal_px * sample.marking_width_m / finite_depth
+    width_px = np.clip(width_px, 0.6, 8.0)
+
+    marking_alpha = np.zeros((h, w))
+    for lane_idx in range(boundary_cols.shape[0]):
+        centers = boundary_cols[lane_idx]  # (H,)
+        valid = ~np.isnan(centers)
+        if not valid.any():
+            continue
+        centers_safe = np.where(valid, centers, -1e9)
+        dist = np.abs(col_grid - centers_safe[:, None])
+        half = (width_px / 2.0)[:, None]
+        alpha = np.clip(half + 0.5 - dist, 0.0, 1.0)  # antialiased edge
+        if sample.dash_period_m > 0.0:
+            phase = np.mod(finite_depth, sample.dash_period_m)
+            on = (phase < sample.dash_duty * sample.dash_period_m)[:, None]
+            alpha = alpha * on
+        alpha *= valid[:, None]
+        marking_alpha = np.maximum(marking_alpha, alpha)
+
+    visibility = (1.0 - sample.marking_wear) * sample.marking_brightness
+    luma = luma * (1.0 - marking_alpha) + visibility * marking_alpha
+
+    # ---- clutter: dark/bright boxes on or near the road ---------------
+    for _ in range(sample.clutter_count):
+        ch = int(rng.integers(max(2, h // 16), max(3, h // 6)))
+        cw = int(rng.integers(max(2, w // 20), max(3, w // 7)))
+        top = int(rng.integers(int(horizon), max(int(horizon) + 1, h - ch)))
+        left = int(rng.integers(0, max(1, w - cw)))
+        sign = -1.0 if rng.random() < 0.7 else 1.0  # mostly shadows/vehicles
+        luma[top : top + ch, left : left + cw] += sign * sample.clutter_strength
+
+    # ---- glare: bright blob near the horizon ---------------------------
+    if sample.glare_strength > 0.0:
+        gx = rng.uniform(0.2, 0.8) * w
+        gy = horizon + rng.uniform(-0.05, 0.1) * h
+        sigma = 0.18 * w
+        yy = rows[:, None] - gy
+        xx = cols[None, :] - gx
+        blob = np.exp(-(xx * xx + yy * yy) / (2 * sigma * sigma))
+        luma = luma + sample.glare_strength * blob
+
+    # ---- optics & sensor ------------------------------------------------
+    if sample.blur_radius > 0:
+        luma = _box_blur(luma, sample.blur_radius)
+
+    if sample.vignette > 0.0:
+        cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+        ry = (rows[:, None] - cy) / (h / 2.0)
+        rx = (cols[None, :] - cx) / (w / 2.0)
+        falloff = 1.0 - sample.vignette * np.clip(rx * rx + ry * ry, 0.0, 1.5) / 1.5
+        luma = luma * falloff
+
+    luma = np.clip(luma * sample.illumination, 0.0, 1.0)
+    luma = np.power(luma, sample.contrast_gamma)
+
+    # atmospheric haze: affine blend toward a bright veil.  This is a pure
+    # gain+offset transform of the image — the canonical first/second-
+    # moment shift that BN-statistics adaptation corrects exactly.
+    if sample.haze > 0.0:
+        luma = (1.0 - sample.haze) * luma + sample.haze * 0.85
+
+    image = luma[None, :, :] * np.asarray(sample.color_cast).reshape(3, 1, 1)
+    image = image + rng.normal(0.0, sample.noise_sigma, size=image.shape)
+    return np.clip(image, 0.0, 1.0).astype(np.float32)

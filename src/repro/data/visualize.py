@@ -1,0 +1,90 @@
+"""Terminal-friendly visualization of frames and lane predictions.
+
+Rendering lane detections as ASCII art makes the synthetic benchmark and
+the model's behaviour inspectable anywhere (CI logs, SSH sessions) with no
+imaging dependency.  Used by the examples and handy in tests when a
+failure needs eyeballing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..models.ufld import UFLDConfig, cells_to_pixels
+from .camera import row_anchor_rows
+
+# dark -> bright luminance ramp
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_frame(
+    image: np.ndarray,
+    width: int = 80,
+    height: Optional[int] = None,
+) -> str:
+    """Render a (3, H, W) [0,1] image as ASCII luminance art."""
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W) image, got {image.shape}")
+    luma = image.mean(axis=0)
+    h, w = luma.shape
+    out_h = height if height is not None else max(1, int(width * h / w * 0.5))
+    rows_idx = np.linspace(0, h - 1, out_h).astype(int)
+    cols_idx = np.linspace(0, w - 1, width).astype(int)
+    sampled = luma[np.ix_(rows_idx, cols_idx)]
+    levels = np.clip(sampled * (len(_RAMP) - 1), 0, len(_RAMP) - 1).astype(int)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in levels)
+
+
+def ascii_lanes(
+    config: UFLDConfig,
+    positions_cells: np.ndarray,
+    gt_cells: Optional[np.ndarray] = None,
+    width: int = 80,
+) -> str:
+    """Render predicted (and optionally ground-truth) lane points.
+
+    ``positions_cells`` is ``(anchors, lanes)`` in cell units with NaN for
+    absent (the output of :func:`repro.models.decode_predictions` for one
+    frame).  Predictions draw as digits (lane slot index); ground truth as
+    ``|``; overlapping prediction+truth as ``*`` — so a well-adapted model
+    shows mostly ``*``.
+    """
+    anchors, lanes = positions_cells.shape
+    img_h, img_w = config.input_hw
+    anchor_rows = row_anchor_rows(config.num_anchors, img_h)
+    grid = [[" "] * width for _ in range(anchors)]
+
+    def col_of(cell_pos: float) -> int:
+        px = cells_to_pixels(np.array([cell_pos]), config, img_w)[0]
+        return int(np.clip(px / img_w * (width - 1), 0, width - 1))
+
+    if gt_cells is not None:
+        for a in range(anchors):
+            for l in range(lanes):
+                if not np.isnan(gt_cells[a, l]):
+                    grid[a][col_of(gt_cells[a, l])] = "|"
+    for a in range(anchors):
+        for l in range(lanes):
+            if not np.isnan(positions_cells[a, l]):
+                c = col_of(positions_cells[a, l])
+                grid[a][c] = "*" if grid[a][c] == "|" else str(l % 10)
+    lines = [
+        f"y={anchor_rows[a]:5.1f} |" + "".join(grid[a]) + "|" for a in range(anchors)
+    ]
+    return "\n".join(lines)
+
+
+def frame_report(
+    image: np.ndarray,
+    config: UFLDConfig,
+    positions_cells: np.ndarray,
+    gt_cells: Optional[np.ndarray] = None,
+    width: int = 80,
+) -> str:
+    """Image + lane overlay, stacked — a one-call debugging view."""
+    parts = [ascii_frame(image, width=width)]
+    parts.append("-" * width)
+    parts.append(ascii_lanes(config, positions_cells, gt_cells, width=width - 9))
+    return "\n".join(parts)

@@ -1,0 +1,289 @@
+"""Ablation experiments (Sec. III/IV claims beyond the two figures).
+
+* :func:`run_param_census` — TXT2: BN parameters are a tiny fraction of
+  the model (the "~1 %" lightweightness claim), per backbone and relative
+  to both the full model and the backbone alone.
+* :func:`run_variant_comparison` — ABL1: BN-based adaptation vs the
+  conv/FC parameter-group variants the authors "also tested [and] found
+  the BN-based approach to be the most effective".
+* :func:`run_batch_size_ablation` — ABL2: accuracy and amortized latency
+  across adaptation batch sizes 1/2/4 (Fig. 2's bs sweep + the latency
+  side the paper mentions when discarding bs>1).
+* :func:`run_stats_mode_ablation` — design-choice ablation called out in
+  DESIGN.md: statistics "replace" (paper) vs EMA blending.
+* :func:`run_sota_cost` — TXT3: CARLANE-SOTA epoch time on the Orin
+  (> 1 h) vs one LD-BN-ADAPT step (tens of ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..adapt import (
+    ConvAdapt,
+    FCAdapt,
+    LDBNAdapt,
+    LDBNAdaptConfig,
+    VariantConfig,
+)
+from ..data.benchmarks import make_benchmark
+from ..hw.device import ORIN_POWER_MODES
+from ..hw.roofline import amortized_frame_latency, ld_bn_adapt_latency, sota_epoch_latency
+from ..metrics.lane_accuracy import evaluate_model
+from ..models.flops import parameter_census
+from ..models.registry import get_config
+from ..models.spec import resnet_backbone_spec
+from ..utils.rng import make_rng
+from .config import CARLANE_SPLIT_SIZES, RunScale, get_run_scale
+from .fig2_accuracy import train_source_model
+
+
+# ----------------------------------------------------------------------
+# TXT2: parameter census
+# ----------------------------------------------------------------------
+def run_param_census(
+    presets: Sequence[str] = ("paper-r18", "paper-r34"),
+) -> List[Dict[str, object]]:
+    """BN / conv / FC parameter fractions for the paper-size models."""
+    rows = []
+    for preset in presets:
+        config = get_config(preset)
+        spec = config.to_spec(preset)
+        census = parameter_census(spec)
+        backbone_layers, _, _ = resnet_backbone_spec(
+            config.depth, config.width_mult, config.input_hw
+        )
+        backbone_params = sum(l.params for l in backbone_layers)
+        rows.append(
+            {
+                "preset": preset,
+                "total_params": census.total,
+                "bn_params": census.batchnorm,
+                "bn_fraction_of_model": census.bn_fraction,
+                "bn_fraction_of_backbone": census.batchnorm / backbone_params,
+                "conv_fraction": census.conv_fraction,
+                "linear_fraction": census.linear_fraction,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# ABL1: parameter-group variants
+# ----------------------------------------------------------------------
+@dataclass
+class VariantResult:
+    method: str
+    accuracy_percent: float
+    trainable_params: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "accuracy_percent": self.accuracy_percent,
+            "trainable_params": self.trainable_params,
+        }
+
+
+def run_variant_comparison(
+    scale: Optional[RunScale] = None,
+    benchmark_name: str = "molane",
+    backbone: str = "r18",
+    variant_lr: float = 1e-4,
+    batch_size: int = 4,
+    passes: int = 4,
+) -> List[VariantResult]:
+    """BN vs conv vs FC adaptation on one benchmark (expected: BN wins).
+
+    ``batch_size`` defaults to 4 rather than the paper's 1: at the scaled
+    input resolution the deepest feature maps are ~1x3, so single-frame BN
+    statistics are too noisy — a documented scale artifact (the paper's
+    288x800 input gives 9x25 deep support).  All variants use the same
+    batch size so the comparison stays fair.
+
+    ``passes`` streams the unlabeled pool several times, capturing the
+    *stability* dimension of the comparison: entropy descent on the large
+    conv group peaks early and then drifts toward confident-but-wrong
+    predictions, while the 2-orders-smaller BN group keeps improving and
+    plateaus — this is why the paper finds "the BN-based approach to be
+    the most effective".
+    """
+    scale = scale if scale is not None else get_run_scale()
+    config = get_config(scale.preset(backbone))
+    benchmark = make_benchmark(
+        benchmark_name,
+        config,
+        source_frames=scale.source_frames,
+        target_train_frames=scale.target_train_frames,
+        target_test_frames=scale.target_test_frames,
+        seed=scale.seed,
+    )
+    model = train_source_model(benchmark, backbone, scale)
+    pristine = model.state_dict()
+    results = []
+
+    def run_with(adapter) -> float:
+        for _ in range(passes):
+            for i in range(len(benchmark.target_train)):
+                adapter.observe_frame(benchmark.target_train.images[i])
+        return evaluate_model(model, benchmark.target_test).accuracy_percent
+
+    # no adaptation reference
+    results.append(
+        VariantResult(
+            "no_adapt",
+            evaluate_model(model, benchmark.target_test).accuracy_percent,
+            0,
+        )
+    )
+
+    adapter = LDBNAdapt(
+        model,
+        LDBNAdaptConfig(
+            lr=scale.adapt_lr, batch_size=batch_size,
+            stats_mode="ema", ema_momentum=0.2,
+        ),
+    )
+    results.append(
+        VariantResult(
+            "ld_bn_adapt", run_with(adapter), adapter.trainable_parameter_count()
+        )
+    )
+
+    model.load_state_dict(pristine)
+    adapter = ConvAdapt(model, VariantConfig(lr=variant_lr, batch_size=batch_size))
+    results.append(
+        VariantResult(
+            "conv_adapt", run_with(adapter), adapter.trainable_parameter_count()
+        )
+    )
+
+    model.load_state_dict(pristine)
+    adapter = FCAdapt(model, VariantConfig(lr=variant_lr, batch_size=batch_size))
+    results.append(
+        VariantResult(
+            "fc_adapt", run_with(adapter), adapter.trainable_parameter_count()
+        )
+    )
+    return results
+
+
+# ----------------------------------------------------------------------
+# ABL2: batch-size sensitivity (accuracy + latency)
+# ----------------------------------------------------------------------
+def run_batch_size_ablation(
+    scale: Optional[RunScale] = None,
+    benchmark_name: str = "molane",
+    backbone: str = "r18",
+    batch_sizes: Sequence[int] = (1, 2, 4),
+    power_mode: str = "orin-60w",
+) -> List[Dict[str, object]]:
+    """Accuracy (executed) and amortized Orin latency (analytic) per bs."""
+    scale = scale if scale is not None else get_run_scale()
+    config = get_config(scale.preset(backbone))
+    benchmark = make_benchmark(
+        benchmark_name,
+        config,
+        source_frames=scale.source_frames,
+        target_train_frames=scale.target_train_frames,
+        target_test_frames=scale.target_test_frames,
+        seed=scale.seed,
+    )
+    model = train_source_model(benchmark, backbone, scale)
+    pristine = model.state_dict()
+    no_adapt_acc = evaluate_model(model, benchmark.target_test).accuracy_percent
+
+    paper_spec = get_config(f"paper-{backbone}").to_spec()
+    device = ORIN_POWER_MODES[power_mode]
+
+    rows = []
+    for bs in batch_sizes:
+        model.load_state_dict(pristine)
+        adapter = LDBNAdapt(
+            model,
+            LDBNAdaptConfig(
+                lr=scale.adapt_lr, batch_size=bs,
+                stats_mode="ema", ema_momentum=0.2,
+            ),
+        )
+        for i in range(len(benchmark.target_train)):
+            adapter.observe_frame(benchmark.target_train.images[i])
+        acc = evaluate_model(model, benchmark.target_test).accuracy_percent
+        per_step = ld_bn_adapt_latency(paper_spec, device, bs)
+        rows.append(
+            {
+                "batch_size": bs,
+                "accuracy_percent": acc,
+                "no_adapt_percent": no_adapt_acc,
+                "adapt_steps": adapter.steps_taken,
+                "step_latency_ms": per_step.total_ms,
+                "amortized_frame_ms": amortized_frame_latency(paper_spec, device, bs),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# stats-mode ablation (replace vs EMA)
+# ----------------------------------------------------------------------
+def run_stats_mode_ablation(
+    scale: Optional[RunScale] = None,
+    benchmark_name: str = "molane",
+    backbone: str = "r18",
+    ema_momenta: Sequence[float] = (0.1, 0.3),
+) -> List[Dict[str, object]]:
+    """Paper's statistics replacement vs EMA blending."""
+    scale = scale if scale is not None else get_run_scale()
+    config = get_config(scale.preset(backbone))
+    benchmark = make_benchmark(
+        benchmark_name,
+        config,
+        source_frames=scale.source_frames,
+        target_train_frames=scale.target_train_frames,
+        target_test_frames=scale.target_test_frames,
+        seed=scale.seed,
+    )
+    model = train_source_model(benchmark, backbone, scale)
+    pristine = model.state_dict()
+
+    configs = [("replace", None)] + [("ema", m) for m in ema_momenta]
+    rows = []
+    for mode, momentum in configs:
+        model.load_state_dict(pristine)
+        kwargs = {"lr": scale.adapt_lr, "batch_size": 1, "stats_mode": mode}
+        if momentum is not None:
+            kwargs["ema_momentum"] = momentum
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(**kwargs))
+        for i in range(len(benchmark.target_train)):
+            adapter.observe_frame(benchmark.target_train.images[i])
+        acc = evaluate_model(model, benchmark.target_test).accuracy_percent
+        label = mode if momentum is None else f"{mode}(m={momentum})"
+        rows.append({"stats_mode": label, "accuracy_percent": acc})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# TXT3: SOTA cost asymmetry
+# ----------------------------------------------------------------------
+def run_sota_cost(power_mode: str = "orin-60w") -> List[Dict[str, object]]:
+    """CARLANE-SOTA epoch time vs one LD-BN-ADAPT step, per benchmark."""
+    device = ORIN_POWER_MODES[power_mode]
+    spec = get_config("paper-r18").to_spec("ufld-r18")
+    step = ld_bn_adapt_latency(spec, device, 1)
+    rows = []
+    for bench, (n_src, n_tgt) in sorted(CARLANE_SPLIT_SIZES.items()):
+        epoch = sota_epoch_latency(spec, device, n_src, n_tgt)
+        rows.append(
+            {
+                "benchmark": bench,
+                "num_source": n_src,
+                "num_target": n_tgt,
+                "sota_epoch_hours": epoch["total_hours"],
+                "ldbn_step_ms": step.total_ms,
+                "epoch_vs_step_ratio": epoch["total_s"] * 1e3 / step.total_ms,
+            }
+        )
+    return rows

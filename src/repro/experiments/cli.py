@@ -1,0 +1,93 @@
+"""Command-line entry point: regenerate paper artifacts without pytest.
+
+    python -m repro.experiments fig3
+    python -m repro.experiments fig2 --scale tiny
+    python -m repro.experiments census
+    python -m repro.experiments sota-cost
+    python -m repro.experiments fig1
+    python -m repro.experiments all --scale tiny
+
+Prints the same tables the benchmark harness archives, for quick
+interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .ablations import run_param_census, run_sota_cost
+from .config import get_run_scale
+from .fig1_datasets import run_fig1
+from .fig2_accuracy import run_fig2
+from .fig3_latency import run_fig3
+from .reporting import format_table
+
+_ARTIFACTS = ("fig1", "fig2", "fig3", "census", "sota-cost", "all")
+
+
+def _print_fig1(scale) -> None:
+    result = run_fig1(scale=scale)
+    print("FIG1 — benchmark/domain statistics")
+    print(format_table(result.summary_rows(), floatfmt=".3f"))
+
+
+def _print_fig2(scale) -> None:
+    result = run_fig2(scale=scale)
+    print("FIG2 — lane-detection accuracy")
+    print(format_table(result.summary_rows()))
+    print()
+    print("TXT1 — best per benchmark vs paper")
+    print(format_table(result.paper_comparison_rows()))
+
+
+def _print_fig3(scale) -> None:
+    result = run_fig3()
+    print("FIG3 — Jetson Orin latency (paper-scale models)")
+    print(format_table(result.summary_rows()))
+    status = "MATCHES" if result.all_match_paper else "DIVERGES FROM"
+    print(f"feasibility pattern {status} the paper")
+
+
+def _print_census(scale) -> None:
+    print("TXT2 — parameter census")
+    print(format_table(run_param_census(), floatfmt=".5f"))
+
+
+def _print_sota_cost(scale) -> None:
+    print("TXT3 — CARLANE-SOTA epoch cost vs LD-BN-ADAPT step")
+    print(format_table(run_sota_cost(), floatfmt=".2f"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate paper artifacts (see DESIGN.md section 4).",
+    )
+    parser.add_argument("artifact", choices=_ARTIFACTS, help="which artifact to run")
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="run scale: tiny (default) or small; also honours REPRO_SCALE",
+    )
+    args = parser.parse_args(argv)
+    scale = get_run_scale(args.scale)
+
+    runners = {
+        "fig1": _print_fig1,
+        "fig2": _print_fig2,
+        "fig3": _print_fig3,
+        "census": _print_census,
+        "sota-cost": _print_sota_cost,
+    }
+    selected = list(runners) if args.artifact == "all" else [args.artifact]
+    for i, name in enumerate(selected):
+        if i:
+            print()
+        runners[name](scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""FIG2 — lane-detection accuracy grid (the paper's main result).
+
+Reproduces Fig. 2: for each CARLANE benchmark (MoLane/TuLane/MuLane) and
+backbone (ResNet-18/34), the accuracy of
+
+* the un-adapted source-trained UFLD model,
+* the CARLANE-SOTA offline adaptation, and
+* real-time LD-BN-ADAPT at batch sizes 1, 2 and 4,
+
+plus the Sec. IV "best per benchmark" summary (TXT1).  Expected shape
+(DESIGN.md section 4): no-adapt << LD-BN-ADAPT ≈ SOTA, with bs=1 the best
+LD-BN-ADAPT configuration.
+
+One call to :func:`run_fig2` executes the full grid at a chosen
+:class:`~repro.experiments.config.RunScale`; intermediate source models
+are trained once per (benchmark, backbone) and shared across methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..adapt import CarlaneSOTA, LDBNAdapt, LDBNAdaptConfig, SOTAConfig
+from ..data.benchmarks import Benchmark, make_benchmark
+from ..metrics.lane_accuracy import LaneMetrics, evaluate_model
+from ..models.registry import build_model, get_config
+from ..train.trainer import SourceTrainer, TrainConfig
+from ..utils.logging import Logger
+from ..utils.rng import make_rng
+from .config import (
+    ADAPT_BATCH_SIZES,
+    BACKBONES,
+    BENCHMARK_NAMES,
+    PAPER_BEST_LDBN,
+    PAPER_BEST_SOTA,
+    RunScale,
+    get_run_scale,
+)
+
+log = Logger("fig2")
+
+
+@dataclass(frozen=True)
+class Fig2Cell:
+    """One bar of Fig. 2."""
+
+    benchmark: str
+    backbone: str
+    method: str  # "no_adapt" | "ld_bn_adapt" | "carlane_sota"
+    batch_size: Optional[int]  # set for ld_bn_adapt only
+    accuracy_percent: float
+    fp_rate: float
+    fn_rate: float
+
+    @property
+    def label(self) -> str:
+        if self.method == "ld_bn_adapt":
+            return f"ld_bn_adapt(bs={self.batch_size})"
+        return self.method
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "backbone": self.backbone,
+            "method": self.label,
+            "accuracy_percent": self.accuracy_percent,
+            "fp_rate": self.fp_rate,
+            "fn_rate": self.fn_rate,
+        }
+
+
+@dataclass
+class Fig2Result:
+    """All cells plus derived summaries."""
+
+    cells: List[Fig2Cell] = field(default_factory=list)
+    scale_name: str = ""
+
+    def get(
+        self, benchmark: str, backbone: str, method: str, batch_size: Optional[int] = None
+    ) -> Fig2Cell:
+        for cell in self.cells:
+            if (
+                cell.benchmark == benchmark
+                and cell.backbone == backbone
+                and cell.method == method
+                and cell.batch_size == batch_size
+            ):
+                return cell
+        raise KeyError((benchmark, backbone, method, batch_size))
+
+    def best_per_benchmark(self, method: str) -> Dict[str, Fig2Cell]:
+        """Best backbone/batch-size configuration per benchmark (TXT1)."""
+        best: Dict[str, Fig2Cell] = {}
+        for cell in self.cells:
+            if cell.method != method:
+                continue
+            current = best.get(cell.benchmark)
+            if current is None or cell.accuracy_percent > current.accuracy_percent:
+                best[cell.benchmark] = cell
+        return best
+
+    def average_best(self, method: str) -> float:
+        """Average of best-per-benchmark accuracies (the paper's headline)."""
+        best = self.best_per_benchmark(method)
+        if not best:
+            return float("nan")
+        return float(np.mean([c.accuracy_percent for c in best.values()]))
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        rows = [c.as_dict() for c in self.cells]
+        return rows
+
+    def paper_comparison_rows(self) -> List[Dict[str, object]]:
+        """Side-by-side with the paper's Sec. IV best numbers."""
+        rows = []
+        for bench in BENCHMARK_NAMES:
+            sota_best = self.best_per_benchmark("carlane_sota").get(bench)
+            ldbn_best = self.best_per_benchmark("ld_bn_adapt").get(bench)
+            paper_sota, paper_sota_bb = PAPER_BEST_SOTA[bench]
+            paper_ldbn, paper_ldbn_bb = PAPER_BEST_LDBN[bench]
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "paper_sota": paper_sota,
+                    "ours_sota": sota_best.accuracy_percent if sota_best else None,
+                    "paper_ldbn": paper_ldbn,
+                    "ours_ldbn": ldbn_best.accuracy_percent if ldbn_best else None,
+                }
+            )
+        return rows
+
+
+def train_source_model(
+    benchmark: Benchmark,
+    backbone: str,
+    scale: RunScale,
+):
+    """Train (or retrain) the source UFLD model for one grid column."""
+    # zlib.crc32 is a stable digest; python's hash() is salted per process
+    # and would make training runs irreproducible
+    import zlib
+
+    digest = zlib.crc32(f"{benchmark.name}-{backbone}".encode("utf-8"))
+    rng = make_rng(scale.seed + digest % 10_000)
+    model = build_model(
+        scale.preset(backbone), num_lanes=benchmark.spec.num_lanes, rng=rng
+    )
+    trainer = SourceTrainer(
+        model,
+        TrainConfig(
+            epochs=scale.train_epochs,
+            lr=scale.train_lr,
+            batch_size=scale.train_batch_size,
+        ),
+    )
+    trainer.fit(benchmark.source_train, rng)
+    return model
+
+
+def _adapt_ld_bn(model, benchmark: Benchmark, batch_size: int, scale: RunScale):
+    # Offline protocol note: the paper adapts on a live 30 FPS stream and is
+    # evaluated on that same stream, so per-batch statistics replacement is
+    # always conditioned on the frames about to be scored.  Our Fig. 2
+    # protocol adapts over a target *pool* and then scores a held-out test
+    # split; "ema" accumulation is the faithful translation (the running
+    # statistics converge to the target-domain average instead of whatever
+    # the last pool frame happened to be).  The replace-vs-ema comparison is
+    # quantified by benchmarks/bench_ablation_stats.py.
+    adapter = LDBNAdapt(
+        model,
+        LDBNAdaptConfig(
+            lr=scale.adapt_lr,
+            batch_size=batch_size,
+            stats_mode="ema",
+            ema_momentum=0.2,
+        ),
+    )
+    for i in range(len(benchmark.target_train)):
+        adapter.observe_frame(benchmark.target_train.images[i])
+    return adapter.steps_taken
+
+
+def run_fig2(
+    scale: Optional[RunScale] = None,
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    backbones: Sequence[str] = BACKBONES,
+    batch_sizes: Sequence[int] = ADAPT_BATCH_SIZES,
+    include_sota: bool = True,
+) -> Fig2Result:
+    """Execute the Fig. 2 grid; returns all cells.
+
+    The target-test evaluation always happens in eval mode with whatever
+    BN statistics the adaptation left behind — exactly the "deploy the
+    updated model" protocol of the paper.
+    """
+    scale = scale if scale is not None else get_run_scale()
+    result = Fig2Result(scale_name=scale.name)
+
+    for bench_name in benchmarks:
+        config = get_config(scale.preset("r18"))
+        benchmark = make_benchmark(
+            bench_name,
+            config,
+            source_frames=scale.source_frames,
+            target_train_frames=scale.target_train_frames,
+            target_test_frames=scale.target_test_frames,
+            seed=scale.seed,
+        )
+        for backbone in backbones:
+            log.info("fig2: training %s source model on %s", backbone, bench_name)
+            model = train_source_model(benchmark, backbone, scale)
+            pristine = model.state_dict()
+
+            # (i) no adaptation
+            metrics = evaluate_model(model, benchmark.target_test)
+            result.cells.append(
+                Fig2Cell(
+                    benchmark=bench_name,
+                    backbone=backbone,
+                    method="no_adapt",
+                    batch_size=None,
+                    accuracy_percent=metrics.accuracy_percent,
+                    fp_rate=metrics.false_positive_rate,
+                    fn_rate=metrics.false_negative_rate,
+                )
+            )
+
+            # (ii) LD-BN-ADAPT at each batch size
+            for bs in batch_sizes:
+                model.load_state_dict(pristine)
+                _adapt_ld_bn(model, benchmark, bs, scale)
+                metrics = evaluate_model(model, benchmark.target_test)
+                result.cells.append(
+                    Fig2Cell(
+                        benchmark=bench_name,
+                        backbone=backbone,
+                        method="ld_bn_adapt",
+                        batch_size=bs,
+                        accuracy_percent=metrics.accuracy_percent,
+                        fp_rate=metrics.false_positive_rate,
+                        fn_rate=metrics.false_negative_rate,
+                    )
+                )
+
+            # (iii) CARLANE-SOTA offline baseline
+            if include_sota:
+                model.load_state_dict(pristine)
+                sota = CarlaneSOTA(model, SOTAConfig(epochs=scale.sota_epochs))
+                sota.adapt_offline(
+                    benchmark.source_train,
+                    benchmark.target_train,
+                    make_rng(scale.seed + 99),
+                )
+                metrics = evaluate_model(model, benchmark.target_test)
+                result.cells.append(
+                    Fig2Cell(
+                        benchmark=bench_name,
+                        backbone=backbone,
+                        method="carlane_sota",
+                        batch_size=None,
+                        accuracy_percent=metrics.accuracy_percent,
+                        fp_rate=metrics.false_positive_rate,
+                        fn_rate=metrics.false_negative_rate,
+                    )
+                )
+    return result

@@ -1,0 +1,122 @@
+"""FIG3 — per-frame latency on Jetson Orin power modes.
+
+Reproduces Fig. 3: the latency of *inference followed by LD-BN-ADAPT
+(batch size 1)* for UFLD with ResNet-18 and ResNet-34 backbones at full
+paper scale (288x800 input), across the Orin power modes 15/30/50/60 W,
+against the 33.3 ms (30 FPS) and 55.5 ms (18 FPS / Audi A8 L3) deadlines.
+
+This experiment is purely analytic (it consumes the roofline model in
+:mod:`repro.hw`), so it runs at paper scale in microseconds.  The
+feasibility *pattern* asserted in the test suite matches the paper's:
+
+* only R-18 @ 60 W meets 30 FPS;
+* exactly {R-18@60W, R-18@50W, R-34@60W} meet 18 FPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..hw.deadline import DEADLINE_18FPS_MS, DEADLINE_30FPS_MS
+from ..hw.device import ORIN_POWER_MODES, POWER_MODE_ORDER
+from ..hw.roofline import ld_bn_adapt_latency
+from ..models.registry import get_config
+
+PAPER_MODELS = {"r18": "paper-r18", "r34": "paper-r34"}
+
+# Fig. 3 ground truth: which (backbone, mode) pairs meet which deadline
+PAPER_FEASIBILITY: Dict[tuple, tuple] = {
+    ("r18", "orin-60w"): (True, True),
+    ("r18", "orin-50w"): (False, True),
+    ("r18", "orin-30w"): (False, False),
+    ("r18", "orin-15w"): (False, False),
+    ("r34", "orin-60w"): (False, True),
+    ("r34", "orin-50w"): (False, False),
+    ("r34", "orin-30w"): (False, False),
+    ("r34", "orin-15w"): (False, False),
+}
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One bar of Fig. 3 (a backbone at a power mode)."""
+
+    backbone: str
+    power_mode: str
+    power_w: float
+    inference_ms: float
+    adaptation_ms: float
+    total_ms: float
+    meets_30fps: bool
+    meets_18fps: bool
+    paper_meets_30fps: bool
+    paper_meets_18fps: bool
+
+    @property
+    def matches_paper(self) -> bool:
+        return (self.meets_30fps, self.meets_18fps) == (
+            self.paper_meets_30fps,
+            self.paper_meets_18fps,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backbone": self.backbone,
+            "power_mode": self.power_mode,
+            "power_w": self.power_w,
+            "inference_ms": self.inference_ms,
+            "adaptation_ms": self.adaptation_ms,
+            "total_ms": self.total_ms,
+            "meets_30fps": self.meets_30fps,
+            "meets_18fps": self.meets_18fps,
+            "matches_paper": self.matches_paper,
+        }
+
+
+@dataclass
+class Fig3Result:
+    rows: List[Fig3Row] = field(default_factory=list)
+
+    def get(self, backbone: str, power_mode: str) -> Fig3Row:
+        for row in self.rows:
+            if row.backbone == backbone and row.power_mode == power_mode:
+                return row
+        raise KeyError((backbone, power_mode))
+
+    @property
+    def all_match_paper(self) -> bool:
+        return all(row.matches_paper for row in self.rows)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+
+def run_fig3(
+    backbones: Sequence[str] = ("r18", "r34"),
+    power_modes: Sequence[str] = tuple(POWER_MODE_ORDER),
+    adapt_batch_size: int = 1,
+) -> Fig3Result:
+    """Evaluate the latency grid (analytic; paper-size models)."""
+    result = Fig3Result()
+    for backbone in backbones:
+        spec = get_config(PAPER_MODELS[backbone]).to_spec(f"ufld-{backbone}")
+        for mode in power_modes:
+            device = ORIN_POWER_MODES[mode]
+            breakdown = ld_bn_adapt_latency(spec, device, adapt_batch_size)
+            paper30, paper18 = PAPER_FEASIBILITY.get((backbone, mode), (False, False))
+            result.rows.append(
+                Fig3Row(
+                    backbone=backbone,
+                    power_mode=mode,
+                    power_w=device.power_w,
+                    inference_ms=breakdown.inference_ms,
+                    adaptation_ms=breakdown.adaptation_ms,
+                    total_ms=breakdown.total_ms,
+                    meets_30fps=breakdown.total_ms <= DEADLINE_30FPS_MS,
+                    meets_18fps=breakdown.total_ms <= DEADLINE_18FPS_MS,
+                    paper_meets_30fps=paper30,
+                    paper_meets_18fps=paper18,
+                )
+            )
+    return result

@@ -1,0 +1,59 @@
+"""``repro.hw`` — analytic Jetson Orin latency/energy model (Fig. 3 substrate)."""
+
+from .deadline import (
+    DEADLINE_18FPS_MS,
+    DEADLINE_30FPS_MS,
+    NAMED_DEADLINES,
+    FeasibilityEntry,
+    feasibility_table,
+    max_fps,
+    meets_deadline,
+)
+from .device import (
+    ORIN_POWER_MODES,
+    POWER_MODE_ORDER,
+    DeviceProfile,
+    get_power_mode,
+)
+from .energy import (
+    EnergyEstimate,
+    OperatingPoint,
+    design_space,
+    frame_energy,
+    select_operating_point,
+)
+from .roofline import (
+    LatencyBreakdown,
+    amortized_frame_latency,
+    backward_latency,
+    forward_latency,
+    ld_bn_adapt_latency,
+    sota_epoch_latency,
+    update_latency,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "ORIN_POWER_MODES",
+    "POWER_MODE_ORDER",
+    "get_power_mode",
+    "LatencyBreakdown",
+    "forward_latency",
+    "backward_latency",
+    "update_latency",
+    "ld_bn_adapt_latency",
+    "amortized_frame_latency",
+    "sota_epoch_latency",
+    "DEADLINE_30FPS_MS",
+    "DEADLINE_18FPS_MS",
+    "NAMED_DEADLINES",
+    "meets_deadline",
+    "max_fps",
+    "feasibility_table",
+    "FeasibilityEntry",
+    "EnergyEstimate",
+    "frame_energy",
+    "OperatingPoint",
+    "design_space",
+    "select_operating_point",
+]

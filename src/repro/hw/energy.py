@@ -1,0 +1,114 @@
+"""Energy estimates and power-constrained mode selection.
+
+Sec. IV's design-space discussion: "the best model can be selected based
+on the power constraints and the type of task... if there is a strict
+power constraint of 50 W then R-18 should be used; ... if a more robust
+model is required ... then R-34 should be selected."  These helpers turn
+the latency model into per-frame energy and into the (model, power mode)
+selection rule behind that paragraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..models.spec import ModelSpec
+from .deadline import meets_deadline
+from .device import DeviceProfile
+from .roofline import ld_bn_adapt_latency
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Per-frame energy at one (model, device) operating point."""
+
+    config: str
+    latency_ms: float
+    power_w: float
+
+    @property
+    def energy_mj(self) -> float:
+        """Per-frame energy in millijoules (power x latency)."""
+        return self.power_w * self.latency_ms
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "latency_ms": self.latency_ms,
+            "power_w": self.power_w,
+            "energy_mj": self.energy_mj,
+        }
+
+
+def frame_energy(
+    spec: ModelSpec, device: DeviceProfile, adapt_batch_size: int = 1
+) -> EnergyEstimate:
+    """Energy of one inference+adaptation frame at a device power mode."""
+    breakdown = ld_bn_adapt_latency(spec, device, adapt_batch_size)
+    return EnergyEstimate(
+        config=f"{spec.name}@{device.name}",
+        latency_ms=breakdown.total_ms,
+        power_w=device.power_w,
+    )
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One candidate in the multi-objective design space."""
+
+    model_name: str
+    device: DeviceProfile
+    latency_ms: float
+    energy_mj: float
+
+    @property
+    def config(self) -> str:
+        return f"{self.model_name}@{self.device.name}"
+
+
+def design_space(
+    specs: Dict[str, ModelSpec],
+    devices: Iterable[DeviceProfile],
+    adapt_batch_size: int = 1,
+) -> List[OperatingPoint]:
+    """Enumerate all (model, power mode) operating points."""
+    points = []
+    for model_name, spec in sorted(specs.items()):
+        for device in devices:
+            breakdown = ld_bn_adapt_latency(spec, device, adapt_batch_size)
+            points.append(
+                OperatingPoint(
+                    model_name=model_name,
+                    device=device,
+                    latency_ms=breakdown.total_ms,
+                    energy_mj=device.power_w * breakdown.total_ms,
+                )
+            )
+    return points
+
+
+def select_operating_point(
+    points: Iterable[OperatingPoint],
+    deadline_ms: float,
+    power_budget_w: Optional[float] = None,
+    prefer: str = "energy",
+) -> Optional[OperatingPoint]:
+    """Pick the best feasible operating point.
+
+    Filters to points meeting the deadline (and power budget when given),
+    then minimizes energy (``prefer="energy"``) or latency
+    (``prefer="latency"``).  Returns None when nothing is feasible —
+    callers must handle that (e.g. relax the deadline, Sec. IV).
+    """
+    if prefer not in ("energy", "latency"):
+        raise ValueError(f"unknown preference {prefer!r}")
+    feasible = [
+        p
+        for p in points
+        if meets_deadline(p.latency_ms, deadline_ms)
+        and (power_budget_w is None or p.device.power_w <= power_budget_w)
+    ]
+    if not feasible:
+        return None
+    key = (lambda p: p.energy_mj) if prefer == "energy" else (lambda p: p.latency_ms)
+    return min(feasible, key=key)

@@ -1,0 +1,22 @@
+"""``repro.metrics`` — TuSimple/CARLANE lane accuracy and entropy tracking."""
+
+from .entropy_stats import EntropyTracker, max_entropy, mean_entropy, shannon_entropy
+from .lane_accuracy import (
+    LANE_MATCH_RATIO,
+    TUSIMPLE_THRESHOLD_CELLS,
+    LaneMetrics,
+    evaluate_model,
+    point_accuracy,
+)
+
+__all__ = [
+    "LaneMetrics",
+    "point_accuracy",
+    "evaluate_model",
+    "TUSIMPLE_THRESHOLD_CELLS",
+    "LANE_MATCH_RATIO",
+    "shannon_entropy",
+    "mean_entropy",
+    "max_entropy",
+    "EntropyTracker",
+]

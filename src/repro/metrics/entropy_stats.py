@@ -1,0 +1,79 @@
+"""Prediction-entropy statistics.
+
+LD-BN-ADAPT minimizes Shannon entropy of the model's predictions; tracking
+entropy before/after adaptation is the natural diagnostic (and a useful
+regression test: adaptation must reduce it).  These helpers work on plain
+numpy logits (no autograd) — the differentiable loss lives in
+:mod:`repro.adapt.entropy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+def shannon_entropy(logits: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Per-prediction Shannon entropy H(y) = -sum_c p_c log p_c (nats).
+
+    ``logits`` is any array with the class dimension on ``axis``; entropy
+    is computed pointwise over the remaining dimensions.
+    """
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=axis, keepdims=True)
+    log_probs = shifted - np.log(exp.sum(axis=axis, keepdims=True))
+    return -(probs * log_probs).sum(axis=axis)
+
+
+def mean_entropy(logits: np.ndarray, axis: int = 1) -> float:
+    """Mean entropy over all predictions in the batch."""
+    return float(shannon_entropy(logits, axis=axis).mean())
+
+
+def max_entropy(num_classes: int) -> float:
+    """Upper bound log(C) — attained by the uniform distribution."""
+    return float(np.log(num_classes))
+
+
+@dataclass
+class EntropyTracker:
+    """Running entropy statistics across an adaptation run."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def update(self, logits: np.ndarray, axis: int = 1) -> float:
+        """Record one batch; returns the batch's mean entropy."""
+        value = mean_entropy(logits, axis=axis)
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        return value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.total_sq / self.count - self.mean**2
+        return float(np.sqrt(max(var, 0.0)))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "count": float(self.count),
+        }

@@ -1,0 +1,60 @@
+"""``repro.models`` — ResNet backbones, the UFLD lane detector, presets and
+symbolic cost models.
+
+The executable models (``UFLD``, ``ResNetBackbone``) and the symbolic specs
+(``ufld_spec`` via ``UFLDConfig.to_spec()``) describe the *same*
+architectures; a consistency test pins their parameter counts together.
+"""
+
+from .flops import (
+    ParameterCensus,
+    adaptation_bytes,
+    adaptation_flops,
+    backward_flops,
+    forward_bytes,
+    forward_flops,
+    parameter_census,
+)
+from .registry import build_model, get_config, preset_names
+from .resnet import BasicBlock, ResNetBackbone
+from .spec import (
+    ActivationSpec,
+    BatchNormSpec,
+    ConvSpec,
+    LayerSpec,
+    LinearSpec,
+    ModelSpec,
+    PoolSpec,
+    resnet_backbone_spec,
+    ufld_spec,
+)
+from .ufld import UFLD, UFLDConfig, cells_to_pixels, decode_predictions, ufld_loss
+
+__all__ = [
+    "ResNetBackbone",
+    "BasicBlock",
+    "UFLD",
+    "UFLDConfig",
+    "ufld_loss",
+    "decode_predictions",
+    "cells_to_pixels",
+    "build_model",
+    "get_config",
+    "preset_names",
+    "ModelSpec",
+    "LayerSpec",
+    "ConvSpec",
+    "BatchNormSpec",
+    "LinearSpec",
+    "PoolSpec",
+    "ActivationSpec",
+    "resnet_backbone_spec",
+    "ufld_spec",
+    "parameter_census",
+    "ParameterCensus",
+    "forward_flops",
+    "backward_flops",
+    "adaptation_flops",
+    "forward_bytes",
+    "adaptation_bytes",
+]

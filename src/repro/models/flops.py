@@ -1,0 +1,102 @@
+"""Parameter / FLOP census over symbolic model specs.
+
+Feeds two of the paper's claims:
+
+* Sec. III — "BN parameters typically only comprise ~1% of the total model
+  parameters, hence updating these parameters is lightweight"
+  (:func:`parameter_census`);
+* Fig. 3 — per-layer forward/backward FLOPs consumed by the Jetson Orin
+  roofline model in :mod:`repro.hw.roofline`
+  (:func:`forward_flops` / :func:`adaptation_flops`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .spec import BatchNormSpec, ConvSpec, LinearSpec, ModelSpec
+
+# Backward pass cost relative to forward, per layer family.  For GEMM-like
+# layers backward computes two products (grad wrt input and wrt weights),
+# hence ~2x the forward cost; elementwise layers are ~1x.
+BACKWARD_MULTIPLIER = 2.0
+
+
+@dataclass(frozen=True)
+class ParameterCensus:
+    """Breakdown of a model's parameters by adaptation-relevant groups."""
+
+    total: int
+    batchnorm: int
+    conv: int
+    linear: int
+
+    @property
+    def bn_fraction(self) -> float:
+        return self.batchnorm / self.total if self.total else 0.0
+
+    @property
+    def conv_fraction(self) -> float:
+        return self.conv / self.total if self.total else 0.0
+
+    @property
+    def linear_fraction(self) -> float:
+        return self.linear / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total": float(self.total),
+            "batchnorm": float(self.batchnorm),
+            "conv": float(self.conv),
+            "linear": float(self.linear),
+            "bn_fraction": self.bn_fraction,
+            "conv_fraction": self.conv_fraction,
+            "linear_fraction": self.linear_fraction,
+        }
+
+
+def parameter_census(spec: ModelSpec) -> ParameterCensus:
+    """Count parameters by layer family (TXT2 experiment)."""
+    bn = sum(l.params for l in spec.layers_of_type(BatchNormSpec))
+    conv = sum(l.params for l in spec.layers_of_type(ConvSpec))
+    linear = sum(l.params for l in spec.layers_of_type(LinearSpec))
+    return ParameterCensus(total=spec.params, batchnorm=bn, conv=conv, linear=linear)
+
+
+def forward_flops(spec: ModelSpec, batch_size: int = 1) -> float:
+    """Forward-pass FLOPs for a batch."""
+    return float(spec.flops) * batch_size
+
+
+def backward_flops(spec: ModelSpec, batch_size: int = 1) -> float:
+    """Full backward-pass FLOPs (all parameters), ~2x forward."""
+    return BACKWARD_MULTIPLIER * forward_flops(spec, batch_size)
+
+
+def adaptation_flops(spec: ModelSpec, batch_size: int = 1) -> float:
+    """FLOPs of one LD-BN-ADAPT step (excluding the inference already done).
+
+    The entropy loss needs a fresh forward in train mode (batch statistics)
+    plus one backward pass.  Although only gamma/beta are *updated*, their
+    gradients require propagating through every layer after the first BN,
+    so the backward sweep costs the same order as a full backward; the
+    saving is in optimizer state and weight-update work, which is tiny.
+    This matches the paper's observation that adaptation ~doubles frame
+    latency versus pure inference (Fig. 3).
+    """
+    return forward_flops(spec, batch_size) + backward_flops(spec, batch_size)
+
+
+def forward_bytes(spec: ModelSpec, batch_size: int = 1) -> float:
+    """Approximate DRAM traffic of one forward pass (bytes)."""
+    return float(spec.bytes_moved) * batch_size
+
+
+def adaptation_bytes(spec: ModelSpec, batch_size: int = 1) -> float:
+    """Approximate DRAM traffic of one adaptation step (bytes).
+
+    Forward (train mode) + backward; backward reads activations and
+    gradients, roughly doubling traffic relative to forward.
+    """
+    return (1.0 + BACKWARD_MULTIPLIER) * forward_bytes(spec, batch_size)

@@ -1,0 +1,87 @@
+"""Named model presets.
+
+Three scales of the same UFLD architecture (identical topology and BN
+placement; only tensor sizes differ):
+
+* ``paper``  — full size, used **symbolically** for FLOPs/latency models
+  (Fig. 3, param census). 288x800 input, 100 cells x 56 anchors, width 1.0.
+* ``small``  — quarter width, 64x160 input; trainable on CPU in minutes.
+  Used by the Fig. 2 accuracy experiments.
+* ``tiny``   — eighth width, 32x80 input; used by the test suite.
+
+Use :func:`get_config` / :func:`build_model`:
+
+>>> cfg = get_config("small-r18", num_lanes=2)
+>>> cfg.depth, cfg.num_lanes
+(18, 2)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .ufld import UFLD, UFLDConfig
+
+_PRESETS: Dict[str, UFLDConfig] = {
+    "paper-r18": UFLDConfig(
+        depth=18, width_mult=1.0, input_hw=(288, 800),
+        num_cells=100, num_anchors=56, num_lanes=4,
+        aux_channels=8, hidden_dim=2048,
+    ),
+    "paper-r34": UFLDConfig(
+        depth=34, width_mult=1.0, input_hw=(288, 800),
+        num_cells=100, num_anchors=56, num_lanes=4,
+        aux_channels=8, hidden_dim=2048,
+    ),
+    "small-r18": UFLDConfig(
+        depth=18, width_mult=0.25, input_hw=(64, 160),
+        num_cells=25, num_anchors=14, num_lanes=4,
+        aux_channels=4, hidden_dim=256,
+    ),
+    "small-r34": UFLDConfig(
+        depth=34, width_mult=0.25, input_hw=(64, 160),
+        num_cells=25, num_anchors=14, num_lanes=4,
+        aux_channels=4, hidden_dim=256,
+    ),
+    "tiny-r18": UFLDConfig(
+        depth=18, width_mult=0.125, input_hw=(32, 80),
+        num_cells=10, num_anchors=7, num_lanes=4,
+        aux_channels=2, hidden_dim=64,
+    ),
+    "tiny-r34": UFLDConfig(
+        depth=34, width_mult=0.125, input_hw=(32, 80),
+        num_cells=10, num_anchors=7, num_lanes=4,
+        aux_channels=2, hidden_dim=64,
+    ),
+}
+
+
+def preset_names() -> list:
+    """All registered preset names."""
+    return sorted(_PRESETS)
+
+
+def get_config(name: str, num_lanes: Optional[int] = None) -> UFLDConfig:
+    """Look up a preset, optionally overriding the lane-slot count."""
+    if name not in _PRESETS:
+        raise KeyError(f"unknown preset {name!r}; available: {preset_names()}")
+    config = _PRESETS[name]
+    if num_lanes is not None:
+        config = config.with_lanes(num_lanes)
+    return config
+
+
+def build_model(
+    name: str,
+    num_lanes: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> UFLD:
+    """Instantiate a UFLD model from a preset name.
+
+    ``paper-*`` presets are intended for symbolic analysis; instantiating
+    them allocates ~50M+ float32 parameters, which works but is slow to
+    run — prefer ``small-*``/``tiny-*`` for execution.
+    """
+    return UFLD(get_config(name, num_lanes=num_lanes), rng=rng)

@@ -1,0 +1,158 @@
+"""ResNet-18/34 backbones (runnable, numpy autograd).
+
+Faithful to the torchvision BasicBlock topology the UFLD paper builds on:
+7x7 stride-2 stem + 3x3 stride-2 max-pool, four stages of BasicBlocks with
+stride-2 transitions, BN after every convolution, identity or 1x1-conv
+downsample on the skip path.  A ``width_mult`` knob scales channel counts
+uniformly so the same code runs full-size (symbolically, for cost models)
+and quarter-size (executably, for the accuracy experiments) — the BN
+placement that LD-BN-ADAPT manipulates is identical at every scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .spec import RESNET_STAGES, scaled_channels
+
+
+def conv3x3(
+    in_planes: int,
+    out_planes: int,
+    stride: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> nn.Conv2d:
+    """3x3 convolution with padding, no bias (BN follows)."""
+    return nn.Conv2d(
+        in_planes, out_planes, kernel_size=3, stride=stride, padding=1,
+        bias=False, rng=rng,
+    )
+
+
+def conv1x1(
+    in_planes: int,
+    out_planes: int,
+    stride: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> nn.Conv2d:
+    """1x1 convolution, no bias (used on downsample paths)."""
+    return nn.Conv2d(
+        in_planes, out_planes, kernel_size=1, stride=stride, padding=0,
+        bias=False, rng=rng,
+    )
+
+
+class BasicBlock(nn.Module):
+    """Standard two-conv residual block (expansion 1)."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_planes: int,
+        planes: int,
+        stride: int = 1,
+        downsample: Optional[nn.Module] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.conv1 = conv3x3(in_planes, planes, stride, rng=rng)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.conv2 = conv3x3(planes, planes, rng=rng)
+        self.bn2 = nn.BatchNorm2d(planes)
+        self.downsample = downsample if downsample is not None else nn.Identity()
+        self.stride = stride
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        identity = self.downsample(x)
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return F.relu(out + identity)
+
+
+class ResNetBackbone(nn.Module):
+    """ResNet feature extractor ending at the stride-32 stage-4 output.
+
+    Parameters
+    ----------
+    depth:
+        18 or 34 (BasicBlock counts (2,2,2,2) / (3,4,6,3)).
+    width_mult:
+        Uniform channel scaling; 1.0 reproduces the torchvision layout.
+    in_channels:
+        Input image channels (3 for RGB).
+    rng:
+        Generator for weight initialization (reproducibility).
+    """
+
+    def __init__(
+        self,
+        depth: int = 18,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if depth not in RESNET_STAGES:
+            raise ValueError(f"unsupported ResNet depth {depth}; choose 18 or 34")
+        self.depth = depth
+        self.width_mult = width_mult
+        channels = scaled_channels(width_mult)
+        blocks_per_stage = RESNET_STAGES[depth]
+
+        self.conv1 = nn.Conv2d(
+            in_channels, channels[0], kernel_size=7, stride=2, padding=3,
+            bias=False, rng=rng,
+        )
+        self.bn1 = nn.BatchNorm2d(channels[0])
+        self.maxpool = nn.MaxPool2d(kernel_size=3, stride=2, padding=1)
+
+        self.in_planes = channels[0]
+        self.layer1 = self._make_stage(channels[0], blocks_per_stage[0], 1, rng)
+        self.layer2 = self._make_stage(channels[1], blocks_per_stage[1], 2, rng)
+        self.layer3 = self._make_stage(channels[2], blocks_per_stage[2], 2, rng)
+        self.layer4 = self._make_stage(channels[3], blocks_per_stage[3], 2, rng)
+        self.out_channels = channels[3]
+
+    def _make_stage(
+        self,
+        planes: int,
+        blocks: int,
+        stride: int,
+        rng: Optional[np.random.Generator],
+    ) -> nn.Sequential:
+        downsample = None
+        if stride != 1 or self.in_planes != planes:
+            downsample = nn.Sequential(
+                conv1x1(self.in_planes, planes, stride, rng=rng),
+                nn.BatchNorm2d(planes),
+            )
+        stage = [BasicBlock(self.in_planes, planes, stride, downsample, rng=rng)]
+        self.in_planes = planes
+        for _ in range(1, blocks):
+            stage.append(BasicBlock(planes, planes, rng=rng))
+        return nn.Sequential(*stage)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = F.relu(self.bn1(self.conv1(x)))
+        x = self.maxpool(x)
+        x = self.layer1(x)
+        x = self.layer2(x)
+        x = self.layer3(x)
+        x = self.layer4(x)
+        return x
+
+    def feature_hw(self, input_hw: Tuple[int, int]) -> Tuple[int, int]:
+        """Spatial size of the stage-4 output for a given input size."""
+        h, w = input_hw
+        for kernel, stride, padding in ((7, 2, 3), (3, 2, 1)):
+            h = (h + 2 * padding - kernel) // stride + 1
+            w = (w + 2 * padding - kernel) // stride + 1
+        for _ in range(3):  # stages 2-4 halve resolution
+            h = (h + 1) // 2
+            w = (w + 1) // 2
+        return h, w

@@ -1,0 +1,417 @@
+"""Symbolic layer specifications for cost analysis.
+
+The Jetson-Orin latency model (Fig. 3) and the parameter-census experiment
+(Sec. III's "BN is ~1% of parameters") need per-layer FLOPs, parameter and
+memory-traffic counts for the *full-size* UFLD models — which are far too
+large to instantiate and run in numpy.  This module describes architectures
+symbolically: each layer becomes a small dataclass knowing its own shapes,
+and builders reproduce the exact topology of the runnable models in
+:mod:`repro.models.resnet` / :mod:`repro.models.ufld`.
+
+A consistency test asserts that for the small presets the symbolic
+parameter count equals the instantiated model's ``num_parameters()``,
+so the symbolic path cannot drift from the executable one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+BYTES_PER_ELEMENT = 4  # fp32 activations/weights
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size (in={size}, k={kernel}, s={stride}, p={padding})"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class: every layer knows its parameter count, forward FLOPs and
+    approximate DRAM traffic in bytes (inputs + weights + outputs)."""
+
+    name: str
+
+    @property
+    def params(self) -> int:
+        return 0
+
+    @property
+    def flops(self) -> int:
+        """Forward FLOPs (multiply-accumulate counted as 2 FLOPs)."""
+        return 0
+
+    @property
+    def activation_elems(self) -> int:
+        """Number of output elements (for memory-traffic estimates)."""
+        return 0
+
+    @property
+    def bytes_moved(self) -> int:
+        return BYTES_PER_ELEMENT * (self.activation_elems + self.params)
+
+    @property
+    def is_batchnorm(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ConvSpec(LayerSpec):
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel: Tuple[int, int] = (1, 1)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+    in_hw: Tuple[int, int] = (1, 1)
+    bias: bool = False
+
+    @property
+    def out_hw(self) -> Tuple[int, int]:
+        return (
+            conv_out_size(self.in_hw[0], self.kernel[0], self.stride[0], self.padding[0]),
+            conv_out_size(self.in_hw[1], self.kernel[1], self.stride[1], self.padding[1]),
+        )
+
+    @property
+    def params(self) -> int:
+        count = self.out_channels * self.in_channels * self.kernel[0] * self.kernel[1]
+        if self.bias:
+            count += self.out_channels
+        return count
+
+    @property
+    def flops(self) -> int:
+        oh, ow = self.out_hw
+        macs = (
+            self.out_channels
+            * oh
+            * ow
+            * self.in_channels
+            * self.kernel[0]
+            * self.kernel[1]
+        )
+        return 2 * macs
+
+    @property
+    def activation_elems(self) -> int:
+        oh, ow = self.out_hw
+        return self.out_channels * oh * ow
+
+
+@dataclass(frozen=True)
+class BatchNormSpec(LayerSpec):
+    channels: int = 0
+    hw: Optional[Tuple[int, int]] = None  # None for BatchNorm1d
+
+    @property
+    def params(self) -> int:
+        return 2 * self.channels  # gamma + beta
+
+    @property
+    def flops(self) -> int:
+        # normalize + affine: ~4 FLOPs per element (sub, mul, mul, add)
+        return 4 * self.activation_elems
+
+    @property
+    def activation_elems(self) -> int:
+        if self.hw is None:
+            return self.channels
+        return self.channels * self.hw[0] * self.hw[1]
+
+    @property
+    def is_batchnorm(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class LinearSpec(LayerSpec):
+    in_features: int = 0
+    out_features: int = 0
+    bias: bool = True
+
+    @property
+    def params(self) -> int:
+        count = self.in_features * self.out_features
+        if self.bias:
+            count += self.out_features
+        return count
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.in_features * self.out_features
+
+    @property
+    def activation_elems(self) -> int:
+        return self.out_features
+
+
+@dataclass(frozen=True)
+class PoolSpec(LayerSpec):
+    kind: str = "max"  # "max" | "avg" | "global_avg"
+    kernel: Tuple[int, int] = (2, 2)
+    stride: Tuple[int, int] = (2, 2)
+    padding: Tuple[int, int] = (0, 0)
+    channels: int = 0
+    in_hw: Tuple[int, int] = (1, 1)
+
+    @property
+    def out_hw(self) -> Tuple[int, int]:
+        if self.kind == "global_avg":
+            return (1, 1)
+        return (
+            conv_out_size(self.in_hw[0], self.kernel[0], self.stride[0], self.padding[0]),
+            conv_out_size(self.in_hw[1], self.kernel[1], self.stride[1], self.padding[1]),
+        )
+
+    @property
+    def flops(self) -> int:
+        oh, ow = self.out_hw
+        window = (
+            self.in_hw[0] * self.in_hw[1]
+            if self.kind == "global_avg"
+            else self.kernel[0] * self.kernel[1]
+        )
+        return self.channels * oh * ow * window
+
+    @property
+    def activation_elems(self) -> int:
+        oh, ow = self.out_hw
+        return self.channels * oh * ow
+
+
+@dataclass(frozen=True)
+class ActivationSpec(LayerSpec):
+    kind: str = "relu"
+    numel: int = 0
+
+    @property
+    def flops(self) -> int:
+        return self.numel
+
+    @property
+    def activation_elems(self) -> int:
+        return self.numel
+
+
+@dataclass
+class ModelSpec:
+    """An ordered list of layer specs plus model-level metadata."""
+
+    name: str
+    layers: List[LayerSpec] = field(default_factory=list)
+    input_shape: Tuple[int, int, int] = (3, 1, 1)  # (C, H, W)
+    output_shape: Tuple[int, ...] = ()
+
+    @property
+    def params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def bn_params(self) -> int:
+        return sum(layer.params for layer in self.layers if layer.is_batchnorm)
+
+    @property
+    def bn_param_fraction(self) -> float:
+        total = self.params
+        return self.bn_params / total if total else 0.0
+
+    @property
+    def flops(self) -> int:
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def bytes_moved(self) -> int:
+        input_bytes = BYTES_PER_ELEMENT * int(
+            self.input_shape[0] * self.input_shape[1] * self.input_shape[2]
+        )
+        return input_bytes + sum(layer.bytes_moved for layer in self.layers)
+
+    def layers_of_type(self, cls) -> List[LayerSpec]:
+        return [layer for layer in self.layers if isinstance(layer, cls)]
+
+
+# ----------------------------------------------------------------------
+# architecture builders (must mirror repro.models.resnet / .ufld exactly)
+# ----------------------------------------------------------------------
+RESNET_STAGES = {18: (2, 2, 2, 2), 34: (3, 4, 6, 3)}
+BASE_CHANNELS = (64, 128, 256, 512)
+
+
+def scaled_channels(width_mult: float) -> Tuple[int, ...]:
+    """Stage channel counts under a width multiplier (min 4, multiple of 2)."""
+    scaled = []
+    for base in BASE_CHANNELS:
+        c = max(4, int(round(base * width_mult)))
+        scaled.append(c + (c % 2))
+    return tuple(scaled)
+
+
+def _basic_block_specs(
+    prefix: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    hw: Tuple[int, int],
+) -> Tuple[List[LayerSpec], Tuple[int, int]]:
+    """Specs for one BasicBlock; returns (layers, output hw)."""
+    layers: List[LayerSpec] = []
+    layers.append(
+        ConvSpec(
+            f"{prefix}.conv1",
+            in_channels=in_channels,
+            out_channels=out_channels,
+            kernel=(3, 3),
+            stride=(stride, stride),
+            padding=(1, 1),
+            in_hw=hw,
+        )
+    )
+    hw1 = layers[-1].out_hw
+    layers.append(BatchNormSpec(f"{prefix}.bn1", channels=out_channels, hw=hw1))
+    layers.append(
+        ActivationSpec(
+            f"{prefix}.relu1", kind="relu", numel=out_channels * hw1[0] * hw1[1]
+        )
+    )
+    layers.append(
+        ConvSpec(
+            f"{prefix}.conv2",
+            in_channels=out_channels,
+            out_channels=out_channels,
+            kernel=(3, 3),
+            stride=(1, 1),
+            padding=(1, 1),
+            in_hw=hw1,
+        )
+    )
+    layers.append(BatchNormSpec(f"{prefix}.bn2", channels=out_channels, hw=hw1))
+    if stride != 1 or in_channels != out_channels:
+        layers.append(
+            ConvSpec(
+                f"{prefix}.downsample.conv",
+                in_channels=in_channels,
+                out_channels=out_channels,
+                kernel=(1, 1),
+                stride=(stride, stride),
+                padding=(0, 0),
+                in_hw=hw,
+            )
+        )
+        layers.append(
+            BatchNormSpec(f"{prefix}.downsample.bn", channels=out_channels, hw=hw1)
+        )
+    layers.append(
+        ActivationSpec(
+            f"{prefix}.relu2", kind="relu", numel=out_channels * hw1[0] * hw1[1]
+        )
+    )
+    return layers, hw1
+
+
+def resnet_backbone_spec(
+    depth: int,
+    width_mult: float,
+    input_hw: Tuple[int, int],
+    in_channels: int = 3,
+) -> Tuple[List[LayerSpec], int, Tuple[int, int]]:
+    """Symbolic description of the ResNet-18/34 backbone (no avgpool/fc).
+
+    Returns ``(layers, out_channels, out_hw)`` — the feature map is the
+    stride-32 output of stage 4, which UFLD consumes.
+    """
+    if depth not in RESNET_STAGES:
+        raise ValueError(f"unsupported ResNet depth {depth}; choose from 18/34")
+    blocks_per_stage = RESNET_STAGES[depth]
+    channels = scaled_channels(width_mult)
+
+    layers: List[LayerSpec] = []
+    stem = ConvSpec(
+        "stem.conv",
+        in_channels=in_channels,
+        out_channels=channels[0],
+        kernel=(7, 7),
+        stride=(2, 2),
+        padding=(3, 3),
+        in_hw=input_hw,
+        bias=False,
+    )
+    layers.append(stem)
+    hw = stem.out_hw
+    layers.append(BatchNormSpec("stem.bn", channels=channels[0], hw=hw))
+    layers.append(
+        ActivationSpec("stem.relu", kind="relu", numel=channels[0] * hw[0] * hw[1])
+    )
+    pool = PoolSpec(
+        "stem.maxpool",
+        kind="max",
+        kernel=(3, 3),
+        stride=(2, 2),
+        padding=(1, 1),
+        channels=channels[0],
+        in_hw=hw,
+    )
+    layers.append(pool)
+    hw = pool.out_hw
+
+    current = channels[0]
+    for stage_idx, (blocks, out_ch) in enumerate(zip(blocks_per_stage, channels)):
+        for block_idx in range(blocks):
+            stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+            block_layers, hw = _basic_block_specs(
+                f"layer{stage_idx + 1}.{block_idx}", current, out_ch, stride, hw
+            )
+            layers.extend(block_layers)
+            current = out_ch
+    return layers, current, hw
+
+
+def ufld_spec(
+    depth: int,
+    width_mult: float,
+    input_hw: Tuple[int, int],
+    num_cells: int,
+    num_anchors: int,
+    num_lanes: int,
+    aux_channels: int,
+    hidden_dim: int,
+    name: Optional[str] = None,
+) -> ModelSpec:
+    """Symbolic description of the full UFLD model (backbone + head).
+
+    The head follows the released UFLD: a 1x1 conv squeezes the stride-32
+    feature map to ``aux_channels``, which is flattened and passed through
+    ``Linear -> ReLU -> Linear`` producing ``(num_cells + 1) * num_anchors
+    * num_lanes`` logits (the +1 class is "no lane in this cell row").
+    """
+    layers, out_ch, hw = resnet_backbone_spec(depth, width_mult, input_hw)
+    squeeze = ConvSpec(
+        "head.squeeze",
+        in_channels=out_ch,
+        out_channels=aux_channels,
+        kernel=(1, 1),
+        stride=(1, 1),
+        padding=(0, 0),
+        in_hw=hw,
+        bias=True,
+    )
+    layers = list(layers) + [squeeze]
+    feat = aux_channels * hw[0] * hw[1]
+    total_dim = (num_cells + 1) * num_anchors * num_lanes
+    layers.append(LinearSpec("head.fc1", in_features=feat, out_features=hidden_dim))
+    layers.append(ActivationSpec("head.relu", kind="relu", numel=hidden_dim))
+    layers.append(
+        LinearSpec("head.fc2", in_features=hidden_dim, out_features=total_dim)
+    )
+    model_name = name or f"ufld-r{depth}-w{width_mult:g}"
+    return ModelSpec(
+        name=model_name,
+        layers=layers,
+        input_shape=(3, input_hw[0], input_hw[1]),
+        output_shape=(num_cells + 1, num_anchors, num_lanes),
+    )

@@ -1,0 +1,659 @@
+"""Differentiable neural-network operations on top of :mod:`repro.nn.tensor`.
+
+Everything a UFLD/ResNet model needs, each with a hand-derived backward pass
+that is validated by finite differences in the test suite:
+
+* ``conv2d`` — im2col/col2im based 2-D convolution (stride, padding);
+* ``max_pool2d`` / ``avg_pool2d`` / ``adaptive_avg_pool2d``;
+* ``relu``, ``sigmoid``, ``tanh``, ``dropout``;
+* ``softmax`` / ``log_softmax`` (numerically stable) and
+  ``cross_entropy`` / ``nll_loss``;
+* ``batch_norm`` — the centrepiece for LD-BN-ADAPT, with the full
+  train-mode backward (gradients flow through the batch statistics,
+  matching PyTorch semantics) and an eval-mode path using running stats;
+* ``linear`` and ``flatten`` conveniences.
+
+All functions accept and return :class:`~repro.nn.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Context, Function, Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    """Normalize an int-or-pair argument to a 2-tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# ----------------------------------------------------------------------
+# im2col machinery (shared by conv and pooling)
+# ----------------------------------------------------------------------
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size {out} <= 0 "
+            f"(input={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def _im2col_indices(
+    channels: int,
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+):
+    """Build gather indices mapping a padded image to its column matrix.
+
+    Returns ``(k, i, j, out_h, out_w)`` where indexing a padded ``(N, C,
+    H+2p, W+2p)`` array with ``[:, k, i, j]`` yields columns of shape
+    ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = _conv_output_size(height, kh, sh, ph)
+    out_w = _conv_output_size(width, kw, sw, pw)
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+):
+    """Expand ``x`` (N,C,H,W) into columns (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+            mode="constant",
+        )
+    k, i, j, out_h, out_w = _im2col_indices(c, h, w, kernel, stride, padding)
+    cols = x[:, k, i, j]
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add columns back to image space (adjoint of :func:`_im2col`)."""
+    n, c, h, w = x_shape
+    ph, pw = padding
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    k, i, j, _, _ = _im2col_indices(c, h, w, kernel, stride, padding)
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if ph or pw:
+        return padded[:, :, ph : ph + h, pw : pw + w]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# convolution
+# ----------------------------------------------------------------------
+class _Conv2d(Function):
+    @staticmethod
+    def forward(ctx, x, weight, bias, stride, padding):
+        stride = _pair(stride)
+        padding = _pair(padding)
+        out_channels, in_channels, kh, kw = weight.shape
+        if x.shape[1] != in_channels:
+            raise ValueError(
+                f"conv2d: input has {x.shape[1]} channels, weight expects {in_channels}"
+            )
+        cols, out_h, out_w = _im2col(x, (kh, kw), stride, padding)
+        w_mat = weight.reshape(out_channels, -1)
+        out = np.einsum("fk,nkp->nfp", w_mat, cols, optimize=True)
+        if bias is not None:
+            out += bias.reshape(1, -1, 1)
+        out = out.reshape(x.shape[0], out_channels, out_h, out_w)
+        ctx.save_for_backward(cols, w_mat)
+        ctx.attrs.update(
+            x_shape=x.shape,
+            w_shape=weight.shape,
+            stride=stride,
+            padding=padding,
+            has_bias=bias is not None,
+        )
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        cols, w_mat = ctx.saved
+        x_shape = ctx.attrs["x_shape"]
+        w_shape = ctx.attrs["w_shape"]
+        out_channels = w_shape[0]
+        kh, kw = w_shape[2], w_shape[3]
+        n = g.shape[0]
+        g_mat = g.reshape(n, out_channels, -1)
+
+        grad_w = np.einsum("nfp,nkp->fk", g_mat, cols, optimize=True)
+        grad_w = grad_w.reshape(w_shape)
+        grad_b = g_mat.sum(axis=(0, 2)) if ctx.attrs["has_bias"] else None
+        grad_cols = np.einsum("fk,nfp->nkp", w_mat, g_mat, optimize=True)
+        grad_x = _col2im(
+            grad_cols, x_shape, (kh, kw), ctx.attrs["stride"], ctx.attrs["padding"]
+        )
+        if ctx.attrs["has_bias"]:
+            return grad_x, grad_w, grad_b
+        return grad_x, grad_w
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution over an (N, C, H, W) input.
+
+    Implemented with im2col so the inner loop is a single GEMM — the same
+    strategy cuDNN uses for small kernels, and fast enough in numpy for the
+    scaled-down experiment presets.
+    """
+    if bias is None:
+        return _Conv2d.apply(x, weight, None, stride, padding)
+    return _Conv2d.apply(x, weight, bias, stride, padding)
+
+
+# ----------------------------------------------------------------------
+# pooling
+# ----------------------------------------------------------------------
+class _MaxPool2d(Function):
+    @staticmethod
+    def forward(ctx, x, kernel, stride, padding):
+        kernel = _pair(kernel)
+        stride = _pair(stride if stride is not None else kernel)
+        padding = _pair(padding)
+        n, c, h, w = x.shape
+        # treat channels as batch so pooling windows never mix channels
+        x_flat = x.reshape(n * c, 1, h, w)
+        if padding[0] or padding[1]:
+            # pad with -inf so padded cells never win the max
+            x_flat = np.pad(
+                x_flat,
+                ((0, 0), (0, 0), (padding[0], padding[0]), (padding[1], padding[1])),
+                mode="constant",
+                constant_values=-np.inf,
+            )
+            pad_now = (0, 0)
+            h_eff, w_eff = x_flat.shape[2], x_flat.shape[3]
+        else:
+            pad_now = (0, 0)
+            h_eff, w_eff = h, w
+        cols, out_h, out_w = _im2col(x_flat, kernel, stride, pad_now)
+        # cols: (n*c, kh*kw, P)
+        arg = cols.argmax(axis=1)
+        out = cols.max(axis=1).reshape(n, c, out_h, out_w)
+        ctx.attrs.update(
+            x_shape=(n, c, h, w),
+            padded_shape=(n * c, 1, h_eff, w_eff),
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            arg=arg,
+            cols_shape=cols.shape,
+        )
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        n, c, h, w = ctx.attrs["x_shape"]
+        arg = ctx.attrs["arg"]
+        cols_shape = ctx.attrs["cols_shape"]
+        kernel = ctx.attrs["kernel"]
+        stride = ctx.attrs["stride"]
+        ph, pw = ctx.attrs["padding"]
+        g_flat = g.reshape(n * c, -1)
+        grad_cols = np.zeros(cols_shape, dtype=g.dtype)
+        rows = np.arange(cols_shape[0])[:, None]
+        pos = np.arange(cols_shape[2])[None, :]
+        grad_cols[rows, arg, pos] = g_flat
+        _, _, h_eff, w_eff = ctx.attrs["padded_shape"]
+        grad_padded = _col2im(
+            grad_cols, (n * c, 1, h_eff, w_eff), kernel, stride, (0, 0)
+        )
+        grad_padded = grad_padded.reshape(n, c, h_eff, w_eff)
+        if ph or pw:
+            grad_padded = grad_padded[:, :, ph : ph + h, pw : pw + w]
+        return (grad_padded,)
+
+
+def max_pool2d(
+    x: Tensor,
+    kernel_size: IntPair,
+    stride: Optional[IntPair] = None,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Max pooling with arbitrary kernel/stride/padding (N, C, H, W)."""
+    return _MaxPool2d.apply(x, kernel_size, stride, padding)
+
+
+class _AvgPool2d(Function):
+    @staticmethod
+    def forward(ctx, x, kernel, stride, padding):
+        kernel = _pair(kernel)
+        stride = _pair(stride if stride is not None else kernel)
+        padding = _pair(padding)
+        n, c, h, w = x.shape
+        x_flat = x.reshape(n * c, 1, h, w)
+        cols, out_h, out_w = _im2col(x_flat, kernel, stride, padding)
+        out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+        ctx.attrs.update(
+            x_shape=(n, c, h, w),
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            cols_shape=cols.shape,
+        )
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        n, c, h, w = ctx.attrs["x_shape"]
+        kernel = ctx.attrs["kernel"]
+        window = kernel[0] * kernel[1]
+        g_flat = g.reshape(n * c, 1, -1) / window
+        grad_cols = np.broadcast_to(
+            g_flat, ctx.attrs["cols_shape"]
+        ).astype(g.dtype, copy=True)
+        grad = _col2im(
+            grad_cols,
+            (n * c, 1, h, w),
+            kernel,
+            ctx.attrs["stride"],
+            ctx.attrs["padding"],
+        )
+        return (grad.reshape(n, c, h, w),)
+
+
+def avg_pool2d(
+    x: Tensor,
+    kernel_size: IntPair,
+    stride: Optional[IntPair] = None,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Average pooling (N, C, H, W)."""
+    return _AvgPool2d.apply(x, kernel_size, stride, padding)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: IntPair = 1) -> Tensor:
+    """Adaptive average pooling; only the global (1, 1) case is needed by
+    the ResNet classification stem, which reduces to a spatial mean."""
+    oh, ow = _pair(output_size)
+    if (oh, ow) != (1, 1):
+        raise NotImplementedError("only global adaptive average pooling is supported")
+    pooled = x.mean(axis=(2, 3), keepdims=True)
+    return pooled
+
+
+# ----------------------------------------------------------------------
+# activations
+# ----------------------------------------------------------------------
+class _ReLU(Function):
+    @staticmethod
+    def forward(ctx, x):
+        mask = x > 0
+        ctx.attrs["mask"] = mask
+        return np.where(mask, x, 0.0).astype(x.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, g):
+        return (g * ctx.attrs["mask"],)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit, elementwise max(x, 0)."""
+    return _ReLU.apply(x)
+
+
+class _Sigmoid(Function):
+    @staticmethod
+    def forward(ctx, x):
+        out = 1.0 / (1.0 + np.exp(-x))
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        (out,) = ctx.saved
+        return (g * out * (1.0 - out),)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return _Sigmoid.apply(x)
+
+
+class _Tanh(Function):
+    @staticmethod
+    def forward(ctx, x):
+        out = np.tanh(x)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        (out,) = ctx.saved
+        return (g * (1.0 - out * out),)
+
+
+def tanh(x: Tensor) -> Tensor:
+    return _Tanh.apply(x)
+
+
+class _Dropout(Function):
+    @staticmethod
+    def forward(ctx, x, p, rng):
+        keep = 1.0 - p
+        gen = rng if rng is not None else np.random.default_rng()
+        mask = (gen.random(x.shape) < keep).astype(x.dtype) / keep
+        ctx.attrs["mask"] = mask
+        return x * mask
+
+    @staticmethod
+    def backward(ctx, g):
+        return (g * ctx.attrs["mask"],)
+
+
+def dropout(
+    x: Tensor,
+    p: float = 0.5,
+    training: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout; identity in eval mode."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    return _Dropout.apply(x, p, rng)
+
+
+# ----------------------------------------------------------------------
+# softmax family
+# ----------------------------------------------------------------------
+class _LogSoftmax(Function):
+    @staticmethod
+    def forward(ctx, x, axis):
+        shifted = x - x.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_sum
+        ctx.attrs["axis"] = axis
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        (out,) = ctx.saved
+        axis = ctx.attrs["axis"]
+        softmax = np.exp(out)
+        return (g - softmax * g.sum(axis=axis, keepdims=True),)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    return _LogSoftmax.apply(x, axis)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (via exp(log_softmax) for stability)."""
+    return log_softmax(x, axis=axis).exp()
+
+
+class _NLLLoss(Function):
+    """Negative log-likelihood over pre-computed log-probabilities.
+
+    ``log_probs`` has shape (N, C) (or (N, C, ...) flattened by the
+    caller); ``targets`` are integer class ids of shape (N,).
+    """
+
+    @staticmethod
+    def forward(ctx, log_probs, targets, reduction):
+        n = log_probs.shape[0]
+        rows = np.arange(n)
+        picked = log_probs[rows, targets]
+        ctx.attrs.update(shape=log_probs.shape, targets=targets, reduction=reduction)
+        if reduction == "mean":
+            return np.asarray(-picked.mean(), dtype=log_probs.dtype)
+        if reduction == "sum":
+            return np.asarray(-picked.sum(), dtype=log_probs.dtype)
+        return -picked
+
+    @staticmethod
+    def backward(ctx, g):
+        shape = ctx.attrs["shape"]
+        targets = ctx.attrs["targets"]
+        reduction = ctx.attrs["reduction"]
+        n = shape[0]
+        grad = np.zeros(shape, dtype=g.dtype)
+        rows = np.arange(n)
+        if reduction == "mean":
+            grad[rows, targets] = -g / n
+        elif reduction == "sum":
+            grad[rows, targets] = -g
+        else:
+            grad[rows, targets] = -g
+        return (grad,)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log likelihood on (N, C) log-probabilities."""
+    if reduction not in ("mean", "sum", "none"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError("nll_loss expects 1-D integer targets")
+    return _NLLLoss.apply(log_probs, targets.astype(np.int64), reduction)
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, axis: int = 1, reduction: str = "mean"
+) -> Tensor:
+    """Cross entropy between raw logits and integer class targets.
+
+    Supports arbitrary trailing dimensions: logits of shape
+    ``(N, C, d1, d2, ...)`` with targets ``(N, d1, d2, ...)`` are flattened
+    to rows, matching PyTorch's convention — which is exactly the layout
+    the UFLD row-anchor classification loss uses.
+    """
+    if axis != 1 and logits.ndim > 1:
+        order = list(range(logits.ndim))
+        order.insert(1, order.pop(axis))
+        logits = logits.transpose(*order)
+    n_class = logits.shape[1]
+    targets = np.asarray(targets)
+    if logits.ndim > 2:
+        rest = int(np.prod(logits.shape[2:]))
+        flat = logits.transpose(0, *range(2, logits.ndim), 1).reshape(-1, n_class)
+        targets = targets.reshape(-1)
+        log_probs = log_softmax(flat, axis=-1)
+        return nll_loss(log_probs, targets, reduction=reduction)
+    log_probs = log_softmax(logits, axis=-1)
+    return nll_loss(log_probs, targets, reduction=reduction)
+
+
+# ----------------------------------------------------------------------
+# batch normalization — the operation LD-BN-ADAPT adapts
+# ----------------------------------------------------------------------
+class _BatchNorm(Function):
+    """Batch normalization with full train-mode backward.
+
+    Gradients flow through the batch statistics (mean and variance), the
+    same semantics PyTorch implements; this matters for the entropy-
+    minimization step, where a single backward pass updates gamma/beta
+    while x is normalized by the *current batch's* statistics.
+    """
+
+    @staticmethod
+    def forward(ctx, x, gamma, beta, mean, var, axes, eps):
+        inv_std = 1.0 / np.sqrt(var + eps)
+        x_hat = (x - mean) * inv_std
+        shape = gamma.shape  # broadcast shape, e.g. (1, C, 1, 1)
+        out = gamma * x_hat + beta
+        ctx.save_for_backward(x_hat, inv_std, gamma)
+        ctx.attrs.update(axes=axes, eps=eps)
+        return out.astype(x.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, g):
+        x_hat, inv_std, gamma = ctx.saved
+        axes = ctx.attrs["axes"]
+        m = float(np.prod([g.shape[a] for a in axes]))
+        grad_gamma = (g * x_hat).sum(axis=axes, keepdims=True)
+        grad_beta = g.sum(axis=axes, keepdims=True)
+        dx_hat = g * gamma
+        # classic fused BN backward (through batch mean and variance)
+        grad_x = (
+            inv_std
+            / m
+            * (
+                m * dx_hat
+                - dx_hat.sum(axis=axes, keepdims=True)
+                - x_hat * (dx_hat * x_hat).sum(axis=axes, keepdims=True)
+            )
+        )
+        # mean/var enter as plain arrays (non-parents): no gradient entries
+        return grad_x.astype(g.dtype, copy=False), grad_gamma, grad_beta
+
+
+class _BatchNormEval(Function):
+    """Eval-mode BN: running statistics are constants."""
+
+    @staticmethod
+    def forward(ctx, x, gamma, beta, mean, var, axes, eps):
+        inv_std = 1.0 / np.sqrt(var + eps)
+        x_hat = (x - mean) * inv_std
+        ctx.save_for_backward(x_hat, inv_std, gamma)
+        ctx.attrs.update(axes=axes)
+        return (gamma * x_hat + beta).astype(x.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, g):
+        x_hat, inv_std, gamma = ctx.saved
+        axes = ctx.attrs["axes"]
+        grad_gamma = (g * x_hat).sum(axis=axes, keepdims=True)
+        grad_beta = g.sum(axis=axes, keepdims=True)
+        grad_x = (g * gamma * inv_std).astype(g.dtype, copy=False)
+        return grad_x, grad_gamma, grad_beta
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Functional batch normalization for (N, C) or (N, C, H, W) inputs.
+
+    In training mode the batch statistics normalize ``x`` (with gradient
+    flowing through them) and the running statistics are updated in-place
+    with exponential momentum.  In eval mode the running statistics are
+    used as constants.
+
+    ``gamma``/``beta`` must already be shaped for broadcasting, e.g.
+    ``(1, C, 1, 1)`` for 4-D inputs — :class:`repro.nn.modules.BatchNorm2d`
+    handles that reshape.
+    """
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        stat_shape = (1, x.shape[1], 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        stat_shape = (1, x.shape[1])
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    if training:
+        batch_mean = x.data.mean(axis=axes, keepdims=True)
+        batch_var = x.data.var(axis=axes, keepdims=True)
+        # update running stats in place (buffers are flat C-vectors)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * batch_mean.reshape(-1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * batch_var.reshape(-1)
+        return _BatchNorm.apply(x, gamma, beta, batch_mean, batch_var, axes, eps)
+
+    mean = running_mean.reshape(stat_shape)
+    var = running_var.reshape(stat_shape)
+    return _BatchNormEval.apply(x, gamma, beta, mean, var, axes, eps)
+
+
+# ----------------------------------------------------------------------
+# linear / misc
+# ----------------------------------------------------------------------
+class _Linear(Function):
+    @staticmethod
+    def forward(ctx, x, weight, bias):
+        ctx.save_for_backward(x, weight)
+        ctx.attrs["has_bias"] = bias is not None
+        out = x @ weight.T
+        if bias is not None:
+            out += bias
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        x, weight = ctx.saved
+        grad_x = g @ weight
+        grad_w = g.T @ x
+        if ctx.attrs["has_bias"]:
+            return grad_x, grad_w, g.sum(axis=0)
+        return grad_x, grad_w
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for (N, in) inputs."""
+    if bias is None:
+        return _Linear.apply(x, weight, None)
+    return _Linear.apply(x, weight, bias)
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    """Flatten all dims from ``start_dim`` onward."""
+    return x.flatten(start_dim)
+
+
+def mse_loss(pred: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    diff = pred - target
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    return sq

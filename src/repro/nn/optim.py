@@ -1,0 +1,139 @@
+"""Optimizers for the numpy NN framework.
+
+``SGD`` (with momentum, weight decay, Nesterov) and ``Adam`` — the two the
+reproduction uses: SGD for source training (as in UFLD) and SGD/Adam for the
+single-step entropy-minimization update of LD-BN-ADAPT and the multi-epoch
+retraining of the CARLANE-SOTA baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .modules import Parameter
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list.
+
+    Only parameters with ``requires_grad=True`` *and* a non-None ``grad``
+    are updated by :meth:`step`; this is what lets the adaptation code
+    freeze everything but BN gamma/beta simply by flipping
+    ``requires_grad`` flags.
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr < 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        self.lr = lr
+        self.state: Dict[int, dict] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _updatable(self) -> Iterable[Tensor]:
+        for p in self.params:
+            if p.requires_grad and p.grad is not None:
+                yield p
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum / weight decay / Nesterov."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def step(self) -> None:
+        for p in self._updatable():
+            grad = p.grad.astype(np.float64)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = self.state.setdefault(id(p), {}).get("momentum")
+                if buf is None:
+                    buf = grad.copy()
+                else:
+                    buf = self.momentum * buf + grad
+                self.state[id(p)]["momentum"] = buf
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            p.data -= (self.lr * grad).astype(p.data.dtype)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"invalid betas {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        b1, b2 = self.betas
+        for p in self._updatable():
+            grad = p.grad.astype(np.float64)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            st = self.state.setdefault(id(p), {"step": 0})
+            st["step"] += 1
+            m = st.get("m")
+            v = st.get("v")
+            if m is None:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad * grad
+            st["m"], st["v"] = m, v
+            m_hat = m / (1 - b1 ** st["step"])
+            v_hat = v / (1 - b2 ** st["step"])
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.data -= update.astype(p.data.dtype)
+
+
+class LRScheduler:
+    """Minimal step-decay learning-rate scheduler."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.epoch = 0
+        self.base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self.epoch += 1
+        decay = self.gamma ** (self.epoch // self.step_size)
+        self.optimizer.lr = self.base_lr * decay

@@ -1,0 +1,62 @@
+"""Model checkpoint save/load for the numpy NN framework.
+
+Checkpoints are plain ``.npz`` archives mapping state-dict keys to arrays,
+plus an optional JSON metadata blob (model preset name, training config)
+stored under a reserved key.  This keeps checkpoints portable, diffable and
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .modules import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(
+    path: str,
+    module: Module,
+    metadata: Optional[dict] = None,
+) -> None:
+    """Serialize ``module.state_dict()`` (and optional metadata) to ``path``.
+
+    Parent directories are created as needed; a ``.npz`` suffix is added by
+    numpy if missing.
+    """
+    state = module.state_dict()
+    arrays: Dict[str, np.ndarray] = {k: np.asarray(v) for k, v in state.items()}
+    if metadata is not None:
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(
+    path: str,
+    module: Optional[Module] = None,
+    strict: bool = True,
+) -> Tuple[Dict[str, np.ndarray], Optional[dict]]:
+    """Load a checkpoint; optionally restore it into ``module``.
+
+    Returns ``(state_dict, metadata)``.  ``metadata`` is None when the
+    checkpoint was saved without it.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        state = {k: data[k] for k in data.files if k != _META_KEY}
+        metadata = None
+        if _META_KEY in data.files:
+            metadata = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+    if module is not None:
+        module.load_state_dict(state, strict=strict)
+    return state, metadata

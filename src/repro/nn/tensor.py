@@ -1,0 +1,651 @@
+"""A small, explicit numpy-backed tensor with reverse-mode autograd.
+
+This is the substrate that replaces PyTorch for the LD-BN-ADAPT
+reproduction.  It implements exactly the machinery the paper's method
+needs:
+
+* tensors with ``requires_grad`` / ``grad`` / ``backward()``;
+* a define-by-run graph of :class:`Function` nodes;
+* broadcasting-aware gradients for elementwise arithmetic;
+* reductions, matmul, reshapes and indexing (convolutions, pooling and
+  losses live in :mod:`repro.nn.functional`).
+
+The public surface intentionally mirrors a familiar PyTorch subset so the
+model/adaptation code reads naturally.  Everything is vectorized numpy —
+there are no Python-level loops over elements anywhere in the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import autograd
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+DEFAULT_DTYPE = np.float32
+
+
+class Context:
+    """Per-op storage connecting a result tensor to its inputs.
+
+    Holds the parent tensors (graph edges), arrays saved for backward, and
+    arbitrary keyword attributes stashed by ``forward``.
+    """
+
+    __slots__ = ("function", "parents", "saved", "attrs")
+
+    def __init__(self, function: type, parents: Tuple["Tensor", ...]):
+        self.function = function
+        self.parents = parents
+        self.saved: Tuple[np.ndarray, ...] = ()
+        self.attrs: dict = {}
+
+    def save_for_backward(self, *arrays: np.ndarray) -> None:
+        self.saved = arrays
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Context {self.function.__name__} parents={len(self.parents)}>"
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement two static methods::
+
+        forward(ctx, *arrays, **kwargs) -> np.ndarray
+        backward(ctx, grad_output)      -> tuple of np.ndarray or None
+
+    ``apply`` wires inputs into the autograd graph.  Non-Tensor arguments
+    are passed through to ``forward`` untouched and receive no gradient;
+    ``backward`` must return exactly one gradient per *Tensor* argument,
+    in the order the tensors appeared in the call.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, *args, **kwargs) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray):
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args, **kwargs) -> "Tensor":
+        tensor_args = tuple(a for a in args if isinstance(a, Tensor))
+        ctx = Context(cls, tensor_args)
+        raw = tuple(a.data if isinstance(a, Tensor) else a for a in args)
+        out_data = cls.forward(ctx, *raw, **kwargs)
+        requires = autograd.is_grad_enabled() and any(
+            t.requires_grad for t in tensor_args
+        )
+        out = Tensor(out_data, requires_grad=requires, _copy=False)
+        if requires:
+            out._ctx = ctx
+        return out
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape of a broadcast result) back to ``shape``.
+
+    Sums over the dimensions that numpy broadcasting expanded, so that
+    ``d(a+b)/da`` has ``a``'s shape even when ``a`` was broadcast.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum leading dims added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Floating inputs keep their dtype;
+        python scalars/lists become :data:`DEFAULT_DTYPE`.
+    requires_grad:
+        When True, operations involving this tensor are recorded so
+        :meth:`backward` can populate :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _copy: bool = True,
+    ):
+        arr = np.asarray(data)
+        from_numpy = isinstance(data, (np.ndarray, np.generic, Tensor))
+        if arr.dtype.kind not in "f" or not from_numpy:
+            # ints and python lists/scalars become the default float dtype;
+            # float ndarrays/scalars keep their precision (gradcheck: float64)
+            arr = arr.astype(DEFAULT_DTYPE)
+        elif _copy and isinstance(data, np.ndarray):
+            arr = arr.copy()
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._ctx: Optional[Context] = None
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(
+            self.data.item()
+        )
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        out = Tensor(self.data, requires_grad=False, _copy=False)
+        return out
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # autograd
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones (i.e. the tensor is treated as a sum of
+        its elements); scalar losses simply call ``loss.backward()``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"backward grad shape {grad.shape} != tensor shape {self.data.shape}"
+                )
+
+        grads: dict = {id(self): grad}
+        for node in autograd.topological_order(self):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._ctx is None:
+                if node.requires_grad:
+                    if node.grad is None:
+                        node.grad = node_grad.astype(node.data.dtype, copy=True)
+                    else:
+                        node.grad = node.grad + node_grad
+                continue
+            ctx = node._ctx
+            parent_grads = ctx.function.backward(ctx, node_grad)
+            if not isinstance(parent_grads, tuple):
+                parent_grads = (parent_grads,)
+            if len(parent_grads) != len(ctx.parents):
+                raise RuntimeError(
+                    f"{ctx.function.__name__}.backward returned "
+                    f"{len(parent_grads)} grads for {len(ctx.parents)} parents"
+                )
+            for parent, pgrad in zip(ctx.parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                existing = grads.get(id(parent))
+                grads[id(parent)] = pgrad if existing is None else existing + pgrad
+
+    # ------------------------------------------------------------------
+    # arithmetic (broadcasting-aware)
+    # ------------------------------------------------------------------
+    def _ensure(self, other: ArrayLike) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=self.data.dtype), _copy=False)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return Add.apply(self, self._ensure(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return Sub.apply(self, self._ensure(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Sub.apply(self._ensure(other), self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return Mul.apply(self, self._ensure(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return Div.apply(self, self._ensure(other))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Div.apply(self._ensure(other), self)
+
+    def __neg__(self) -> "Tensor":
+        return Neg.apply(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return PowScalar.apply(self, float(exponent))
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return MatMul.apply(self, self._ensure(other))
+
+    def __getitem__(self, index) -> "Tensor":
+        return GetItem.apply(self, index)
+
+    # comparisons produce plain boolean arrays (no grad)
+    def __gt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    # ------------------------------------------------------------------
+    # math / reductions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        return Exp.apply(self)
+
+    def abs(self) -> "Tensor":
+        return Abs.apply(self)
+
+    def log(self) -> "Tensor":
+        return Log.apply(self)
+
+    def sqrt(self) -> "Tensor":
+        return PowScalar.apply(self, 0.5)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased variance (divides by N, matching BN's batch statistics)."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        sq = centered * centered
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Reshape.apply(self, shape=shape)
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        return Transpose.apply(self, axes=axes)
+
+    def permute(self, *axes) -> "Tensor":
+        return self.transpose(*axes)
+
+    def argmax(self, axis=None) -> np.ndarray:
+        """Index of maxima (plain array, not differentiable)."""
+        return self.data.argmax(axis=axis)
+
+
+# ----------------------------------------------------------------------
+# Core Function implementations
+# ----------------------------------------------------------------------
+class Add(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.attrs["shapes"] = (a.shape, b.shape)
+        return a + b
+
+    @staticmethod
+    def backward(ctx, g):
+        sa, sb = ctx.attrs["shapes"]
+        return _unbroadcast(g, sa), _unbroadcast(g, sb)
+
+
+class Sub(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.attrs["shapes"] = (a.shape, b.shape)
+        return a - b
+
+    @staticmethod
+    def backward(ctx, g):
+        sa, sb = ctx.attrs["shapes"]
+        return _unbroadcast(g, sa), _unbroadcast(-g, sb)
+
+
+class Mul(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a * b
+
+    @staticmethod
+    def backward(ctx, g):
+        a, b = ctx.saved
+        return _unbroadcast(g * b, a.shape), _unbroadcast(g * a, b.shape)
+
+
+class Div(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a / b
+
+    @staticmethod
+    def backward(ctx, g):
+        a, b = ctx.saved
+        ga = _unbroadcast(g / b, a.shape)
+        gb = _unbroadcast(-g * a / (b * b), b.shape)
+        return ga, gb
+
+
+class Neg(Function):
+    @staticmethod
+    def forward(ctx, a):
+        return -a
+
+    @staticmethod
+    def backward(ctx, g):
+        return (-g,)
+
+
+class PowScalar(Function):
+    @staticmethod
+    def forward(ctx, a, exponent):
+        ctx.attrs["exp"] = exponent
+        ctx.save_for_backward(a)
+        return a ** exponent
+
+    @staticmethod
+    def backward(ctx, g):
+        (a,) = ctx.saved
+        p = ctx.attrs["exp"]
+        return (g * p * a ** (p - 1.0),)
+
+
+class Abs(Function):
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save_for_backward(a)
+        return np.abs(a)
+
+    @staticmethod
+    def backward(ctx, g):
+        (a,) = ctx.saved
+        return (g * np.sign(a),)
+
+
+class Exp(Function):
+    @staticmethod
+    def forward(ctx, a):
+        out = np.exp(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        (out,) = ctx.saved
+        return (g * out,)
+
+
+class Log(Function):
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save_for_backward(a)
+        return np.log(a)
+
+    @staticmethod
+    def backward(ctx, g):
+        (a,) = ctx.saved
+        return (g / a,)
+
+
+class MatMul(Function):
+    @staticmethod
+    def forward(ctx, a, b):
+        ctx.save_for_backward(a, b)
+        return a @ b
+
+    @staticmethod
+    def backward(ctx, g):
+        a, b = ctx.saved
+        if a.ndim == 2 and b.ndim == 2:
+            return g @ b.T, a.T @ g
+        # batched matmul: swap the last two axes
+        ga = g @ np.swapaxes(b, -1, -2)
+        gb = np.swapaxes(a, -1, -2) @ g
+        return _unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape)
+
+
+class Sum(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims=False):
+        ctx.attrs.update(shape=a.shape, axis=axis, keepdims=keepdims)
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx, g):
+        shape = ctx.attrs["shape"]
+        axis = ctx.attrs["axis"]
+        if axis is not None and not ctx.attrs["keepdims"]:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(a % len(shape) for a in axes)
+            g = np.expand_dims(g, tuple(sorted(axes)))
+        return (np.broadcast_to(g, shape).astype(g.dtype, copy=False).copy(),)
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims=False):
+        ctx.attrs.update(shape=a.shape, axis=axis, keepdims=keepdims)
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx, g):
+        shape = ctx.attrs["shape"]
+        axis = ctx.attrs["axis"]
+        if axis is None:
+            count = int(np.prod(shape))
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([shape[a % len(shape)] for a in axes]))
+            if not ctx.attrs["keepdims"]:
+                norm_axes = tuple(sorted(a % len(shape) for a in axes))
+                g = np.expand_dims(g, norm_axes)
+        scaled = g / count
+        return (np.broadcast_to(scaled, shape).astype(g.dtype, copy=False).copy(),)
+
+
+class Max(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims=False):
+        out = a.max(axis=axis, keepdims=keepdims)
+        ctx.attrs.update(shape=a.shape, axis=axis, keepdims=keepdims)
+        ctx.save_for_backward(a, np.asarray(out))
+        return out
+
+    @staticmethod
+    def backward(ctx, g):
+        a, out = ctx.saved
+        axis = ctx.attrs["axis"]
+        keepdims = ctx.attrs["keepdims"]
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(sorted(x % a.ndim for x in axes))
+            out = np.expand_dims(out, axes)
+            g = np.expand_dims(g, axes)
+        mask = (a == out).astype(g.dtype)
+        # distribute equally among ties (matches subgradient convention)
+        counts = mask.sum(
+            axis=axis if axis is not None else None,
+            keepdims=True,
+        )
+        return (mask * g / counts,)
+
+
+class Reshape(Function):
+    @staticmethod
+    def forward(ctx, a, shape):
+        ctx.attrs["shape"] = a.shape
+        return a.reshape(shape)
+
+    @staticmethod
+    def backward(ctx, g):
+        return (g.reshape(ctx.attrs["shape"]),)
+
+
+class Transpose(Function):
+    @staticmethod
+    def forward(ctx, a, axes):
+        ctx.attrs["axes"] = axes
+        return np.transpose(a, axes)
+
+    @staticmethod
+    def backward(ctx, g):
+        axes = ctx.attrs["axes"]
+        inverse = np.argsort(axes)
+        return (np.transpose(g, inverse),)
+
+
+class GetItem(Function):
+    @staticmethod
+    def forward(ctx, a, index):
+        ctx.attrs.update(shape=a.shape, index=index)
+        return a[index]
+
+    @staticmethod
+    def backward(ctx, g):
+        out = np.zeros(ctx.attrs["shape"], dtype=g.dtype)
+        np.add.at(out, ctx.attrs["index"], g)
+        return (out,)
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+def zeros(*shape, dtype=DEFAULT_DTYPE, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad, _copy=False)
+
+
+def ones(*shape, dtype=DEFAULT_DTYPE, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad, _copy=False)
+
+
+def randn(
+    *shape,
+    rng: Optional[np.random.Generator] = None,
+    dtype=DEFAULT_DTYPE,
+    requires_grad: bool = False,
+) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    gen = rng if rng is not None else np.random.default_rng()
+    return Tensor(
+        gen.standard_normal(shape).astype(dtype),
+        requires_grad=requires_grad,
+        _copy=False,
+    )
+
+
+def from_numpy(array: np.ndarray, requires_grad: bool = False) -> Tensor:
+    """Wrap an existing array without copying."""
+    return Tensor(array, requires_grad=requires_grad, _copy=False)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    return _Stack.apply(*tensors, axis=axis)
+
+
+class _Stack(Function):
+    @staticmethod
+    def forward(ctx, *arrays, axis=0):
+        ctx.attrs["axis"] = axis
+        ctx.attrs["count"] = len(arrays)
+        return np.stack(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx, g):
+        axis = ctx.attrs["axis"]
+        pieces = np.split(g, ctx.attrs["count"], axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis (differentiable)."""
+    return _Concat.apply(*tensors, axis=axis)
+
+
+class _Concat(Function):
+    @staticmethod
+    def forward(ctx, *arrays, axis=0):
+        ctx.attrs["axis"] = axis
+        ctx.attrs["sizes"] = [a.shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx, g):
+        axis = ctx.attrs["axis"]
+        sizes = ctx.attrs["sizes"]
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.split(g, splits, axis=axis))

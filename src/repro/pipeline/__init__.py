@@ -1,0 +1,18 @@
+"""``repro.pipeline`` — the online inference→adapt→next-frame loop."""
+
+from .monitor import (
+    DeadlineMonitor,
+    FrameRecord,
+    PipelineReport,
+    RollingAccuracy,
+)
+from .realtime import PipelineConfig, RealTimePipeline
+
+__all__ = [
+    "RealTimePipeline",
+    "PipelineConfig",
+    "PipelineReport",
+    "FrameRecord",
+    "DeadlineMonitor",
+    "RollingAccuracy",
+]

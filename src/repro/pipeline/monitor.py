@@ -1,0 +1,145 @@
+"""Deadline and accuracy monitoring for the online pipeline.
+
+Tracks, frame by frame, what the paper's Fig. 3 measures (per-frame
+latency against the 33.3 ms / 55.5 ms deadlines) and what Fig. 2 measures
+(lane accuracy), but *online*: rolling windows over the adaptation run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class FrameRecord:
+    """Everything observed about one processed frame."""
+
+    index: int
+    timestamp: float
+    domain: str
+    latency_ms: float
+    deadline_ms: float
+    deadline_met: bool
+    accuracy: float  # point accuracy of this frame's prediction
+    entropy: Optional[float] = None  # adaptation loss when a step ran
+    adapted: bool = False
+
+
+class DeadlineMonitor:
+    """Counts deadline hits/misses and latency statistics."""
+
+    def __init__(self, deadline_ms: float):
+        if deadline_ms <= 0:
+            raise ValueError("deadline must be positive")
+        self.deadline_ms = deadline_ms
+        self.latencies: List[float] = []
+        self.misses = 0
+
+    def record(self, latency_ms: float) -> bool:
+        """Record one frame; returns True when the deadline was met."""
+        self.latencies.append(latency_ms)
+        met = latency_ms <= self.deadline_ms
+        if not met:
+            self.misses += 1
+        return met
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.count if self.count else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def p99_latency_ms(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, 99))
+
+
+class RollingAccuracy:
+    """Windowed mean of per-frame accuracies (online learning curve)."""
+
+    def __init__(self, window: int = 30):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+        self._all: List[float] = []
+
+    def update(self, value: float) -> float:
+        self._values.append(value)
+        self._all.append(value)
+        return self.current
+
+    @property
+    def current(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    @property
+    def overall(self) -> float:
+        return float(np.mean(self._all)) if self._all else 0.0
+
+    def curve(self) -> List[float]:
+        """Full per-frame accuracy trajectory."""
+        return list(self._all)
+
+
+@dataclass
+class PipelineReport:
+    """Summary of one online-adaptation run."""
+
+    frames: List[FrameRecord] = field(default_factory=list)
+    deadline_ms: float = 0.0
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def mean_accuracy(self) -> float:
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.accuracy for f in self.frames]))
+
+    def accuracy_over(self, first: int = 0, last: Optional[int] = None) -> float:
+        """Mean accuracy over a frame range (e.g. after warm-up)."""
+        chunk = self.frames[first:last]
+        if not chunk:
+            return 0.0
+        return float(np.mean([f.accuracy for f in chunk]))
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.latency_ms for f in self.frames]))
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        if not self.frames:
+            return 0.0
+        return float(np.mean([not f.deadline_met for f in self.frames]))
+
+    @property
+    def adaptation_steps(self) -> int:
+        return sum(1 for f in self.frames if f.adapted)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "frames": float(self.num_frames),
+            "mean_accuracy": self.mean_accuracy,
+            "mean_latency_ms": self.mean_latency_ms,
+            "deadline_ms": self.deadline_ms,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "adaptation_steps": float(self.adaptation_steps),
+        }

@@ -1,0 +1,5 @@
+"""``repro.train`` — source-domain (pre-deployment) training of UFLD."""
+
+from .trainer import SourceTrainer, TrainConfig, TrainReport
+
+__all__ = ["SourceTrainer", "TrainConfig", "TrainReport"]

@@ -1,0 +1,112 @@
+"""Source-domain training of UFLD (the pre-deployment step).
+
+The paper's models "are initially trained using the UFLD algorithm" on
+labeled CARLA source data.  :class:`SourceTrainer` reproduces that phase:
+SGD with momentum over cross-entropy + structural similarity loss, with
+light photometric augmentation, and per-epoch evaluation hooks.
+
+The trained checkpoint is the common starting point for every adaptation
+method in the Fig. 2 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.augment import AugmentConfig, augment_batch
+from ..data.dataset import DataLoader, LaneDataset
+from ..models.ufld import UFLD, ufld_loss
+from ..utils.logging import Logger
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Source-training hyper-parameters."""
+
+    epochs: int = 10
+    lr: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    batch_size: int = 16
+    sim_weight: float = 0.1
+    lr_decay_epochs: int = 8
+    lr_decay: float = 0.1
+    augment: Optional[AugmentConfig] = AugmentConfig()
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+@dataclass
+class TrainReport:
+    """Loss trajectory of one training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    eval_history: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class SourceTrainer:
+    """Trains a UFLD model on a labeled source dataset."""
+
+    def __init__(self, model: UFLD, config: Optional[TrainConfig] = None):
+        self.model = model
+        self.config = config if config is not None else TrainConfig()
+        self.log = Logger("train")
+
+    def fit(
+        self,
+        dataset: LaneDataset,
+        rng: np.random.Generator,
+        eval_fn: Optional[Callable[[UFLD], Dict[str, float]]] = None,
+    ) -> TrainReport:
+        """Run the full training loop; returns the loss trajectory.
+
+        ``eval_fn`` (optional) is called after each epoch with the model in
+        eval mode; its dict is appended to ``report.eval_history``.
+        """
+        cfg = self.config
+        self.model.requires_grad_(True)
+        optimizer = nn.SGD(
+            self.model.parameters(),
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+        )
+        scheduler = nn.LRScheduler(optimizer, cfg.lr_decay_epochs, cfg.lr_decay)
+        loader = DataLoader(dataset, cfg.batch_size, shuffle=True, rng=rng)
+        report = TrainReport()
+
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            batch_losses = []
+            for images, labels in loader:
+                if cfg.augment is not None:
+                    images, labels = augment_batch(
+                        images, labels, self.model.config.num_cells, rng, cfg.augment
+                    )
+                optimizer.zero_grad()
+                logits = self.model(nn.Tensor(images, _copy=False))
+                loss = ufld_loss(logits, labels, sim_weight=cfg.sim_weight)
+                loss.backward()
+                optimizer.step()
+                batch_losses.append(float(loss.item()))
+            scheduler.step()
+            epoch_loss = float(np.mean(batch_losses))
+            report.epoch_losses.append(epoch_loss)
+            self.log.debug("epoch %d: loss=%.4f lr=%.4g", epoch, epoch_loss, optimizer.lr)
+
+            if eval_fn is not None:
+                self.model.eval()
+                report.eval_history.append(eval_fn(self.model))
+
+        self.model.eval()
+        return report

@@ -1,0 +1,53 @@
+"""Tiny structured logger used by training loops and experiment harnesses.
+
+Avoids the stdlib logging configuration dance; writes single-line records
+with a component tag and supports silencing for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+_VERBOSITY = 1  # 0 = silent, 1 = info, 2 = debug
+
+
+def set_verbosity(level: int) -> None:
+    """Set global log verbosity (0 silent, 1 info, 2 debug)."""
+    global _VERBOSITY
+    _VERBOSITY = int(level)
+
+
+def get_verbosity() -> int:
+    return _VERBOSITY
+
+
+class Logger:
+    """A named logger with info/debug levels.
+
+    >>> log = Logger("train")
+    >>> log.info("epoch %d done", 3)   # doctest: +SKIP
+    """
+
+    def __init__(self, name: str, stream: Optional[TextIO] = None):
+        self.name = name
+        self.stream = stream if stream is not None else sys.stderr
+        self._t0 = time.perf_counter()
+
+    def _emit(self, level: str, fmt: str, *args) -> None:
+        elapsed = time.perf_counter() - self._t0
+        message = fmt % args if args else fmt
+        self.stream.write(f"[{elapsed:8.2f}s {self.name}:{level}] {message}\n")
+
+    def info(self, fmt: str, *args) -> None:
+        if _VERBOSITY >= 1:
+            self._emit("info", fmt, *args)
+
+    def debug(self, fmt: str, *args) -> None:
+        if _VERBOSITY >= 2:
+            self._emit("debug", fmt, *args)
+
+    def warning(self, fmt: str, *args) -> None:
+        # warnings always print
+        self._emit("warn", fmt, *args)

@@ -1,0 +1,65 @@
+"""Wall-clock timing helpers for the real-time pipeline and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """Context-manager stopwatch accumulating named intervals.
+
+    >>> t = Timer()
+    >>> with t.measure("inference"):
+    ...     _ = sum(range(1000))
+    >>> t.total("inference") >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.records: Dict[str, List[float]] = {}
+
+    def measure(self, name: str) -> "_Interval":
+        return _Interval(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.records.setdefault(name, []).append(seconds)
+
+    def total(self, name: str) -> float:
+        return sum(self.records.get(name, []))
+
+    def mean(self, name: str) -> float:
+        values = self.records.get(name, [])
+        return sum(values) / len(values) if values else 0.0
+
+    def count(self, name: str) -> int:
+        return len(self.records.get(name, []))
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name {total, mean, count} summary."""
+        return {
+            name: {
+                "total": self.total(name),
+                "mean": self.mean(name),
+                "count": float(self.count(name)),
+            }
+            for name in self.records
+        }
+
+
+class _Interval:
+    def __init__(self, timer: Timer, name: str):
+        self.timer = timer
+        self.name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_Interval":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.timer.add(self.name, time.perf_counter() - self._start)

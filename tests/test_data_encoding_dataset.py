@@ -1,0 +1,280 @@
+"""Label encoding, datasets, loaders, streams, benchmarks, augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AugmentConfig,
+    DataLoader,
+    FrameStream,
+    LaneDataset,
+    augment_batch,
+    cell_units_to_cols,
+    cols_to_cell_units,
+    encode_labels,
+    flip_gt,
+    flip_labels,
+    generate_dataset,
+    get_benchmark_spec,
+    make_benchmark,
+    CARLA_SIM,
+)
+from repro.models import get_config
+
+
+class TestCellUnits:
+    def test_roundtrip(self):
+        cols = np.array([0.0, 40.0, 159.0])
+        cells = cols_to_cell_units(cols, image_w=160, num_cells=10)
+        np.testing.assert_allclose(cell_units_to_cols(cells, 160, 10), cols)
+
+    def test_cell_center_convention(self):
+        # centre of cell 0 at 160px/10cells = col 8
+        assert cols_to_cell_units(np.array([8.0]), 160, 10)[0] == pytest.approx(0.0)
+
+    def test_nan_passthrough(self):
+        out = cols_to_cell_units(np.array([np.nan]), 160, 10)
+        assert np.isnan(out).all()
+
+
+class TestEncodeLabels:
+    def test_basic_quantization(self):
+        cols = np.array([[8.0, 88.0, np.nan]])  # one boundary, 3 anchors
+        labels, gt = encode_labels(cols, image_w=160, num_cells=10, num_slots=1)
+        assert labels.shape == (3, 1)
+        assert labels[0, 0] == 0 and labels[1, 0] == 5
+        assert labels[2, 0] == 10  # absent class
+        assert np.isnan(gt[2, 0])
+
+    def test_slot_centering_for_fewer_boundaries(self):
+        cols = np.full((2, 4), 80.0)
+        labels, gt = encode_labels(cols, 160, 10, num_slots=4)
+        assert (labels[:, 0] == 10).all() and (labels[:, 3] == 10).all()
+        assert (labels[:, 1] < 10).all() and (labels[:, 2] < 10).all()
+
+    def test_too_many_boundaries_raises(self):
+        with pytest.raises(ValueError):
+            encode_labels(np.zeros((3, 4)), 160, 10, num_slots=2)
+
+    def test_out_of_range_becomes_absent(self):
+        cols = np.array([[-50.0, 300.0]])
+        labels, gt = encode_labels(cols, 160, 10, num_slots=1)
+        # clipping keeps these in-range only if inside [-.5, cells-.5] in
+        # cell units; far outside the image they must be absent
+        assert (labels == 10).all()
+        assert np.isnan(gt).all()
+
+    def test_gt_continuous_matches_cols(self):
+        cols = np.array([[40.0]])
+        _, gt = encode_labels(cols, 160, 10, num_slots=1)
+        assert gt[0, 0] == pytest.approx(40.0 / 16.0 - 0.5)
+
+
+class TestFlip:
+    def test_flip_labels_involution(self, rng):
+        labels = rng.integers(0, 11, (7, 4)).astype(np.int64)
+        flipped = flip_labels(flip_labels(labels, 10), 10)
+        np.testing.assert_array_equal(flipped, labels)
+
+    def test_flip_reverses_slots(self):
+        labels = np.array([[0, 10, 10, 9]])
+        flipped = flip_labels(labels, 10)
+        np.testing.assert_array_equal(flipped, [[0, 10, 10, 9]])  # 9->0, 0->9 mirrored
+
+    def test_flip_preserves_absent(self):
+        labels = np.full((3, 2), 10)
+        np.testing.assert_array_equal(flip_labels(labels, 10), labels)
+
+    def test_flip_gt_involution(self, rng):
+        gt = rng.random((5, 4)) * 10
+        gt[0, 0] = np.nan
+        twice = flip_gt(flip_gt(gt, 10), 10)
+        np.testing.assert_allclose(twice[~np.isnan(gt)], gt[~np.isnan(gt)])
+        assert np.isnan(twice[0, 0])
+
+
+class TestLaneDataset:
+    def test_generate_shapes(self, rng):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        ds = generate_dataset(CARLA_SIM, cfg, 6, rng)
+        assert len(ds) == 6
+        assert ds.images.shape == (6, 3, 32, 80)
+        assert ds.labels.shape == (6, cfg.num_anchors, 2)
+        assert ds.gt_cells.shape == ds.labels.shape
+
+    def test_labels_consistent_with_gt(self, rng):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        ds = generate_dataset(CARLA_SIM, cfg, 4, rng)
+        present = ds.labels < cfg.num_cells
+        # where labels present, gt must be finite and quantize to the label
+        assert np.isfinite(ds.gt_cells[present]).all()
+        np.testing.assert_array_equal(
+            np.clip(np.round(ds.gt_cells[present]), 0, cfg.num_cells - 1),
+            ds.labels[present],
+        )
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            LaneDataset([])
+
+    def test_subset(self, rng):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        ds = generate_dataset(CARLA_SIM, cfg, 5, rng)
+        sub = ds.subset([0, 2])
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.images[1], ds.images[2])
+
+
+class TestDataLoader:
+    def _dataset(self, rng, n=10):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        return generate_dataset(CARLA_SIM, cfg, n, rng)
+
+    def test_batch_count_and_sizes(self, rng):
+        loader = DataLoader(self._dataset(rng, 10), batch_size=4, shuffle=False)
+        batches = list(loader)
+        assert len(loader) == 3
+        assert [len(b[0]) for b in batches] == [4, 4, 2]
+
+    def test_covers_all_samples(self, rng):
+        ds = self._dataset(rng, 7)
+        loader = DataLoader(ds, batch_size=3, rng=np.random.default_rng(0))
+        seen = sum(len(images) for images, _ in loader)
+        assert seen == 7
+
+    def test_shuffle_changes_order(self, rng):
+        ds = self._dataset(rng, 8)
+        loader = DataLoader(ds, batch_size=8, shuffle=True, rng=np.random.default_rng(1))
+        first, _ = next(iter(loader))
+        noshuffle = DataLoader(ds, batch_size=8, shuffle=False)
+        base, _ = next(iter(noshuffle))
+        assert not np.array_equal(first, base)
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(rng, 2), batch_size=0)
+
+
+class TestFrameStream:
+    def test_timestamps_at_30fps(self, rng):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        stream = FrameStream([CARLA_SIM], cfg, rng, fps=30.0)
+        frames = [next(stream) for _ in range(4)]
+        stamps = [f.timestamp for f in frames]
+        np.testing.assert_allclose(np.diff(stamps), 1.0 / 30.0)
+
+    def test_domain_switching(self, rng):
+        from repro.data import MODEL_VEHICLE, TUSIMPLE_HIGHWAY
+
+        cfg = get_config("tiny-r18")
+        stream = FrameStream(
+            [MODEL_VEHICLE, TUSIMPLE_HIGHWAY],
+            cfg,
+            rng,
+            scene_lanes_per_domain=[2, 4],
+            switch_every=3,
+        )
+        domains = [next(stream).domain for _ in range(7)]
+        assert domains[:3] == ["model_vehicle"] * 3
+        assert domains[3:6] == ["tusimple_highway"] * 3
+        assert domains[6] == "model_vehicle"
+
+    def test_take(self, rng):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        stream = FrameStream([CARLA_SIM], cfg, rng)
+        ds = stream.take(5)
+        assert len(ds) == 5
+
+    def test_empty_domains_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FrameStream([], get_config("tiny-r18"), rng)
+
+
+class TestBenchmarks:
+    def test_specs(self):
+        assert get_benchmark_spec("molane").num_lanes == 2
+        assert get_benchmark_spec("tulane").num_lanes == 4
+        assert get_benchmark_spec("MULANE").is_multi_target
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark_spec("nolane")
+
+    def test_molane_structure(self):
+        bench = make_benchmark(
+            "molane", get_config("tiny-r18"),
+            source_frames=6, target_train_frames=4, target_test_frames=4, seed=0,
+        )
+        assert bench.config.num_lanes == 2
+        assert set(bench.source_train.domain_counts()) == {"carla_sim"}
+        assert set(bench.target_test.domain_counts()) == {"model_vehicle"}
+
+    def test_mulane_mixture_balanced(self):
+        bench = make_benchmark(
+            "mulane", get_config("tiny-r18"),
+            source_frames=4, target_train_frames=8, target_test_frames=8, seed=0,
+        )
+        counts = bench.target_test.domain_counts()
+        assert counts["model_vehicle"] == 4
+        assert counts["tusimple_highway"] == 4
+
+    def test_mulane_model_vehicle_uses_inner_slots(self):
+        bench = make_benchmark(
+            "mulane", get_config("tiny-r18"),
+            source_frames=4, target_train_frames=8, target_test_frames=8, seed=0,
+        )
+        cfg = bench.config
+        for sample in bench.target_test.samples:
+            if sample.domain == "model_vehicle":
+                assert (sample.label[:, 0] == cfg.num_cells).all()
+                assert (sample.label[:, 3] == cfg.num_cells).all()
+
+    def test_deterministic_given_seed(self):
+        a = make_benchmark("molane", get_config("tiny-r18"), 4, 2, 2, seed=9)
+        b = make_benchmark("molane", get_config("tiny-r18"), 4, 2, 2, seed=9)
+        np.testing.assert_array_equal(a.source_train.images, b.source_train.images)
+
+    def test_stream_factory(self):
+        bench = make_benchmark("molane", get_config("tiny-r18"), 4, 2, 2, seed=0)
+        stream = bench.target_stream(rng=np.random.default_rng(0))
+        frame = next(stream)
+        assert frame.domain == "model_vehicle"
+
+
+class TestAugment:
+    def _batch(self, rng, n=6):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        ds = generate_dataset(CARLA_SIM, cfg, n, rng)
+        return ds.images, ds.labels, cfg
+
+    def test_output_contract(self, rng):
+        images, labels, cfg = self._batch(rng)
+        out_images, out_labels = augment_batch(images, labels, cfg.num_cells, rng)
+        assert out_images.shape == images.shape
+        assert out_images.min() >= 0.0 and out_images.max() <= 1.0
+        assert out_labels.dtype == labels.dtype
+
+    def test_inputs_not_modified(self, rng):
+        images, labels, cfg = self._batch(rng)
+        images_copy = images.copy()
+        augment_batch(images, labels, cfg.num_cells, rng)
+        np.testing.assert_array_equal(images, images_copy)
+
+    def test_flip_consistency(self, rng):
+        """With forced flip, labels must mirror exactly."""
+        images, labels, cfg = self._batch(rng)
+        config = AugmentConfig(
+            brightness=0, contrast=0, noise_sigma=0, hflip_prob=1.0, channel_jitter=0
+        )
+        out_images, out_labels = augment_batch(images, labels, cfg.num_cells, rng, config)
+        np.testing.assert_array_equal(out_images, images[:, :, :, ::-1])
+        np.testing.assert_array_equal(out_labels, np.stack([flip_labels(l, cfg.num_cells) for l in labels]))
+
+    def test_noop_config(self, rng):
+        images, labels, cfg = self._batch(rng)
+        config = AugmentConfig(
+            brightness=0, contrast=0, noise_sigma=0, hflip_prob=0, channel_jitter=0
+        )
+        out_images, out_labels = augment_batch(images, labels, cfg.num_cells, rng, config)
+        np.testing.assert_allclose(out_images, images)
+        np.testing.assert_array_equal(out_labels, labels)

@@ -1,0 +1,161 @@
+"""Camera projection and lane-scene geometry tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CameraModel,
+    LaneBoundary,
+    LaneScene,
+    default_camera,
+    evolve_scene,
+    row_anchor_rows,
+    sample_scene,
+)
+
+
+class TestCameraModel:
+    def test_depth_monotone_decreasing_with_row(self):
+        cam = default_camera((64, 160))
+        rows = np.array([30.0, 40.0, 50.0, 63.0])
+        z = cam.depth_for_rows(rows)
+        assert (np.diff(z) < 0).all()  # lower rows = closer
+
+    def test_rows_above_horizon_are_inf(self):
+        cam = default_camera((64, 160))
+        z = cam.depth_for_rows(np.array([0.0, cam.horizon_px - 1.0]))
+        assert np.isinf(z).all()
+
+    def test_row_depth_roundtrip(self):
+        cam = default_camera((64, 160))
+        rows = np.array([40.0, 50.0, 60.0])
+        np.testing.assert_allclose(cam.row_for_depth(cam.depth_for_rows(rows)), rows)
+
+    def test_lateral_projection_roundtrip(self):
+        cam = default_camera((64, 160))
+        z = np.array([5.0, 10.0, 20.0])
+        x = np.array([-2.0, 0.0, 3.0])
+        cols = cam.lateral_to_col(x, z)
+        np.testing.assert_allclose(cam.col_to_lateral(cols, z), x)
+
+    def test_center_projects_to_cx(self):
+        cam = default_camera((64, 160))
+        assert cam.lateral_to_col(np.zeros(1), np.array([10.0]))[0] == cam.cx_px
+
+    def test_farther_objects_project_closer_to_center(self):
+        cam = default_camera((64, 160))
+        near = cam.lateral_to_col(np.array([2.0]), np.array([5.0]))[0]
+        far = cam.lateral_to_col(np.array([2.0]), np.array([50.0]))[0]
+        assert abs(far - cam.cx_px) < abs(near - cam.cx_px)
+
+
+class TestRowAnchors:
+    def test_count_and_range(self):
+        rows = row_anchor_rows(14, 64)
+        assert len(rows) == 14
+        assert rows[0] > 0.35 * 64
+        assert rows[-1] == pytest.approx(63.0)
+
+    def test_monotone(self):
+        rows = row_anchor_rows(10, 100)
+        assert (np.diff(rows) > 0).all()
+
+    def test_minimum_two(self):
+        with pytest.raises(ValueError):
+            row_anchor_rows(1, 64)
+
+
+class TestLaneBoundary:
+    def test_straight_lane(self):
+        b = LaneBoundary(offset_m=1.5, heading=0.0, curvature=0.0)
+        np.testing.assert_allclose(b.lateral_at(np.array([0.0, 10.0, 50.0])), 1.5)
+
+    def test_curved_lane(self):
+        b = LaneBoundary(offset_m=0.0, heading=0.0, curvature=0.01)
+        assert b.lateral_at(np.array([10.0]))[0] == pytest.approx(0.5)
+
+    def test_heading_term(self):
+        b = LaneBoundary(offset_m=0.0, heading=0.1, curvature=0.0)
+        assert b.lateral_at(np.array([10.0]))[0] == pytest.approx(1.0)
+
+
+class TestLaneScene:
+    def test_sample_scene_lane_count(self, rng):
+        for lanes in (2, 4, 6):
+            scene = sample_scene(rng, num_lanes=lanes, image_hw=(64, 160))
+            assert scene.num_lanes == lanes
+
+    def test_boundaries_ordered_left_to_right(self, rng):
+        scene = sample_scene(rng, num_lanes=4, image_hw=(64, 160))
+        offsets = [b.offset_m for b in scene.boundaries]
+        assert offsets == sorted(offsets)
+
+    def test_boundary_cols_shape_and_nan_above_horizon(self, rng):
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        rows = np.arange(64, dtype=np.float64)
+        cols = scene.boundary_cols_at_rows(rows)
+        assert cols.shape == (2, 64)
+        horizon = int(scene.camera.horizon_px)
+        assert np.isnan(cols[:, : horizon + 1]).all()
+
+    def test_visible_points_inside_image(self, rng):
+        scene = sample_scene(rng, num_lanes=4, image_hw=(64, 160))
+        cols = scene.boundary_cols_at_rows(np.arange(64, dtype=np.float64))
+        finite = cols[~np.isnan(cols)]
+        assert (finite >= -0.5).all() and (finite <= 159.5).all()
+
+    def test_ego_boundaries_straddle_center_at_bottom(self, rng):
+        """Near the vehicle the ego lane's boundaries bracket image center."""
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            scene = sample_scene(gen, num_lanes=2, image_hw=(64, 160), offset_jitter_m=0.1)
+            cols = scene.boundary_cols_at_rows(np.array([63.0]))
+            left, right = cols[0, 0], cols[1, 0]
+            if np.isnan(left) or np.isnan(right):
+                continue
+            assert left < 80.0 < right
+
+    def test_invisible_boundary_gives_nan(self, rng):
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        hidden = LaneScene(
+            boundaries=(
+                scene.boundaries[0],
+                LaneBoundary(2.0, 0.0, 0.0, visible=False),
+            ),
+            camera=scene.camera,
+        )
+        cols = hidden.boundary_cols_at_rows(np.arange(64, dtype=np.float64))
+        assert np.isnan(cols[1]).all()
+
+    def test_road_edges_bracket_boundaries(self, rng):
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        rows = np.array([55.0, 60.0, 63.0])
+        left, right = scene.road_edges_at_rows(rows)
+        cols = scene.boundary_cols_at_rows(rows)
+        for j in range(len(rows)):
+            if not np.isnan(cols[0, j]):
+                assert left[j] < cols[0, j]
+            if not np.isnan(cols[-1, j]):
+                assert right[j] > cols[-1, j]
+
+
+class TestEvolveScene:
+    def test_smoothness(self, rng):
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        rows = np.array([50.0, 60.0])
+        before = scene.boundary_cols_at_rows(rows)
+        after = evolve_scene(scene, rng).boundary_cols_at_rows(rows)
+        both = ~np.isnan(before) & ~np.isnan(after)
+        assert np.abs(before[both] - after[both]).max() < 12.0  # small per-frame shift
+
+    def test_curvature_clipped(self, rng):
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        for _ in range(300):
+            scene = evolve_scene(scene, rng)
+        assert abs(scene.boundaries[0].curvature) <= 0.008 + 1e-12
+
+    def test_parallelism_preserved(self, rng):
+        scene = sample_scene(rng, num_lanes=4, image_hw=(64, 160))
+        evolved = evolve_scene(scene, rng)
+        headings = {round(b.heading, 9) for b in evolved.boundaries}
+        assert len(headings) == 1  # all boundaries share one heading

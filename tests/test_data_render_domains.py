@@ -1,0 +1,134 @@
+"""Renderer and domain-configuration tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CARLA_SIM,
+    DOMAINS,
+    MODEL_VEHICLE,
+    TUSIMPLE_HIGHWAY,
+    DomainConfig,
+    get_domain,
+    render_scene,
+    sample_scene,
+)
+from repro.data.render import _box_blur, _low_freq_noise, _vertical_gradient
+
+
+class TestDomainConfigs:
+    def test_canonical_domains_registered(self):
+        assert set(DOMAINS) == {"carla_sim", "model_vehicle", "tusimple_highway"}
+
+    def test_get_domain_unknown(self):
+        with pytest.raises(KeyError):
+            get_domain("mars")
+
+    def test_sample_within_ranges(self, rng):
+        for domain in DOMAINS.values():
+            sample = domain.sample(rng)
+            assert domain.road_albedo[0] <= sample.road_albedo <= domain.road_albedo[1]
+            assert domain.noise_sigma[0] <= sample.noise_sigma <= domain.noise_sigma[1]
+            assert domain.blur_radius[0] <= sample.blur_radius <= domain.blur_radius[1]
+
+    def test_sample_deterministic_given_seed(self):
+        a = CARLA_SIM.sample(np.random.default_rng(5))
+        b = CARLA_SIM.sample(np.random.default_rng(5))
+        assert a == b
+
+    def test_invalid_range_raises(self, rng):
+        bad = DomainConfig(name="bad", road_albedo=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            bad.sample(rng)
+
+    def test_domain_shift_exists_in_configuration(self):
+        """The target domains must differ from the source along first/second-
+        moment axes — what LD-BN-ADAPT's statistics refresh corrects."""
+        src_lo, src_hi = CARLA_SIM.illumination
+        mv_lo, mv_hi = MODEL_VEHICLE.illumination
+        assert mv_hi < src_lo  # model track strictly darker
+        assert TUSIMPLE_HIGHWAY.haze[0] > CARLA_SIM.haze[1]  # highway hazier
+        assert TUSIMPLE_HIGHWAY.noise_sigma[0] > CARLA_SIM.noise_sigma[1]
+
+
+class TestRenderHelpers:
+    def test_vertical_gradient(self):
+        g = _vertical_gradient(4, 3, 0.0, 3.0)
+        np.testing.assert_allclose(g[:, 0], [0.0, 1.0, 2.0, 3.0])
+        assert g.shape == (4, 3)
+
+    def test_low_freq_noise_shape(self, rng):
+        noise = _low_freq_noise(rng, 17, 33, 0.1)
+        assert noise.shape == (17, 33)
+
+    def test_box_blur_preserves_mean(self, rng):
+        img = rng.random((16, 16))
+        blurred = _box_blur(img, 2)
+        assert abs(blurred.mean() - img.mean()) < 0.02
+        assert blurred.std() < img.std()
+
+    def test_box_blur_zero_radius_identity(self, rng):
+        img = rng.random((8, 8))
+        np.testing.assert_array_equal(_box_blur(img, 0), img)
+
+
+class TestRenderScene:
+    def _render(self, domain, seed=0):
+        rng = np.random.default_rng(seed)
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        return render_scene(scene, domain.sample(rng), rng)
+
+    def test_output_contract(self):
+        img = self._render(CARLA_SIM)
+        assert img.shape == (3, 64, 160)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = self._render(CARLA_SIM, seed=3)
+        b = self._render(CARLA_SIM, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_domains_produce_different_statistics(self):
+        means = {
+            name: float(self._render(domain, seed=1).mean())
+            for name, domain in DOMAINS.items()
+        }
+        assert means["model_vehicle"] < means["carla_sim"] < means["tusimple_highway"]
+
+    def test_markings_brighter_than_road(self):
+        """Lane markings must be locally detectable: pixels on the boundary
+        should be brighter than the road average below the horizon."""
+        rng = np.random.default_rng(2)
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        sample = CARLA_SIM.sample(rng)
+        img = render_scene(scene, sample, rng)
+        luma = img.mean(axis=0)
+        rows = np.arange(64, dtype=np.float64)
+        cols = scene.boundary_cols_at_rows(rows)
+        marking_vals, road_vals = [], []
+        for lane in range(2):
+            for r in range(40, 64):
+                c = cols[lane, r]
+                if np.isnan(c):
+                    continue
+                marking_vals.append(luma[r, int(round(c))])
+                road_vals.append(luma[r, 80])  # image-center road pixel
+        assert np.mean(marking_vals) > np.mean(road_vals) + 0.1
+
+    def test_clutter_renders(self):
+        rng = np.random.default_rng(4)
+        scene = sample_scene(rng, num_lanes=4, image_hw=(64, 160))
+        sample = TUSIMPLE_HIGHWAY.sample(rng)
+        img = render_scene(scene, sample, rng)
+        assert np.isfinite(img).all()
+
+    def test_vignette_darkens_corners(self):
+        rng = np.random.default_rng(5)
+        scene = sample_scene(rng, num_lanes=2, image_hw=(64, 160))
+        sample = MODEL_VEHICLE.sample(rng)
+        img = render_scene(scene, sample, rng).mean(axis=0)
+        corners = np.mean([img[0, 0], img[0, -1], img[-1, 0], img[-1, -1]])
+        center = img[28:36, 72:88].mean()
+        # corners should not be brighter than the centre under vignetting
+        assert corners <= center + 0.1

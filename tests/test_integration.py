@@ -1,0 +1,181 @@
+"""Integration tests: the full story of the paper, end to end.
+
+train on source → observe the domain gap → adapt online with LD-BN-ADAPT
+→ accuracy recovers, within the real-time loop, with checkpointing along
+the way.  These are the tests that would catch cross-module regressions
+no unit test sees.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.adapt import CarlaneSOTA, LDBNAdapt, LDBNAdaptConfig, SOTAConfig
+from repro.data import make_benchmark
+from repro.hw import ORIN_POWER_MODES
+from repro.metrics import evaluate_model
+from repro.models import build_model, get_config
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.pipeline import PipelineConfig, RealTimePipeline
+from repro.train import SourceTrainer, TrainConfig
+
+
+class TestDomainGapStory:
+    def test_source_training_reaches_high_accuracy(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        acc = evaluate_model(trained_tiny_model, tiny_benchmark.source_train).accuracy
+        assert acc > 0.9
+
+    def test_domain_gap_exists(self, trained_tiny_model, tiny_benchmark):
+        source = evaluate_model(trained_tiny_model, tiny_benchmark.source_train).accuracy
+        target = evaluate_model(trained_tiny_model, tiny_benchmark.target_test).accuracy
+        assert target < source - 0.03  # the un-adapted model degrades
+
+    def test_ld_bn_adapt_recovers_accuracy(self, trained_tiny_model, tiny_benchmark):
+        # pool-then-test protocol -> EMA statistics (see fig2_accuracy.py)
+        model = trained_tiny_model
+        before = evaluate_model(model, tiny_benchmark.target_test).accuracy
+        adapter = LDBNAdapt(
+            model,
+            LDBNAdaptConfig(lr=1e-3, batch_size=1, stats_mode="ema", ema_momentum=0.2),
+        )
+        for i in range(len(tiny_benchmark.target_train)):
+            adapter.observe_frame(tiny_benchmark.target_train.images[i])
+        after = evaluate_model(model, tiny_benchmark.target_test).accuracy
+        assert after > before + 0.02
+
+    def test_adaptation_does_not_destroy_source_accuracy(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """After adapting to the target, the model should not be ruined in
+        general — BN-only updates are conservative (unlike full fine-tune)."""
+        model = trained_tiny_model
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3))
+        for i in range(24):
+            adapter.observe_frame(tiny_benchmark.target_train.images[i])
+        # re-point BN statistics back at the source domain before scoring
+        adapter2 = LDBNAdapt(model, LDBNAdaptConfig(lr=0.0))
+        for i in range(16):
+            adapter2.observe_frame(tiny_benchmark.source_train.images[i])
+        source_acc = evaluate_model(model, tiny_benchmark.source_train).accuracy
+        assert source_acc > 0.7
+
+    def test_sota_also_recovers(self, trained_tiny_model, tiny_benchmark, rng):
+        model = trained_tiny_model
+        before = evaluate_model(model, tiny_benchmark.target_test).accuracy
+        sota = CarlaneSOTA(model, SOTAConfig(epochs=1, num_prototypes=4))
+        sota.adapt_offline(
+            tiny_benchmark.source_train, tiny_benchmark.target_train, rng
+        )
+        after = evaluate_model(model, tiny_benchmark.target_test).accuracy
+        assert after > before
+
+
+class TestCheckpointMidPipeline:
+    def test_adapted_model_roundtrips(
+        self, trained_tiny_model, tiny_benchmark, tmp_path
+    ):
+        model = trained_tiny_model
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3))
+        for i in range(8):
+            adapter.observe_frame(tiny_benchmark.target_train.images[i])
+        acc_before = evaluate_model(model, tiny_benchmark.target_test).accuracy
+
+        path = str(tmp_path / "adapted.npz")
+        save_checkpoint(path, model, metadata={"steps": adapter.steps_taken})
+
+        fresh = build_model("tiny-r18", num_lanes=2, rng=np.random.default_rng(9))
+        _, meta = load_checkpoint(path, fresh)
+        assert meta["steps"] == 8
+        acc_after = evaluate_model(fresh, tiny_benchmark.target_test).accuracy
+        assert acc_after == pytest.approx(acc_before, abs=1e-6)
+
+
+class TestRealTimeLoopIntegration:
+    def test_stream_adaptation_with_orin_budget(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        model = trained_tiny_model
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3))
+        pipeline = RealTimePipeline(
+            model,
+            adapter,
+            PipelineConfig(latency_model="orin"),
+            device=ORIN_POWER_MODES["orin-60w"],
+            spec=get_config("paper-r18").to_spec(),
+        )
+        stream = tiny_benchmark.target_stream(rng=np.random.default_rng(5))
+        report = pipeline.run(stream, 30)
+        assert report.num_frames == 30
+        assert report.deadline_miss_rate == 0.0  # r18@60W fits 30 FPS
+        assert report.mean_accuracy > 0.5
+
+    def test_multi_target_stream_switches_domains(self, tiny_benchmark):
+        """MuLane-style stream: pipeline keeps running across the switch."""
+        bench = make_benchmark(
+            "mulane",
+            get_config("tiny-r18"),
+            source_frames=48,
+            target_train_frames=8,
+            target_test_frames=8,
+            seed=3,
+        )
+        rng = np.random.default_rng(0)
+        model = build_model("tiny-r18", num_lanes=4, rng=rng)
+        SourceTrainer(model, TrainConfig(epochs=3, lr=0.02)).fit(
+            bench.source_train, rng
+        )
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3))
+        pipeline = RealTimePipeline(
+            model,
+            adapter,
+            PipelineConfig(latency_model="orin"),
+            device=ORIN_POWER_MODES["orin-60w"],
+            spec=get_config("paper-r18").to_spec(),
+        )
+        stream = bench.target_stream(rng=np.random.default_rng(1), switch_every=5)
+        report = pipeline.run(stream, 12)
+        domains = {f.domain for f in report.frames}
+        assert domains == {"model_vehicle", "tusimple_highway"}
+
+
+class TestFailureInjection:
+    def test_all_background_frames_do_not_crash_adaptation(
+        self, trained_tiny_model
+    ):
+        """Frames with no lanes at all (e.g. total occlusion) must not
+        produce NaNs in the adapted parameters."""
+        model = trained_tiny_model
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3))
+        blank = np.full((4, 3, 32, 80), 0.5, dtype=np.float32)
+        adapter.adapt(blank)
+        for p in model.bn_parameters():
+            assert np.isfinite(p.data).all()
+
+    def test_extreme_illumination_remains_finite(self, trained_tiny_model):
+        model = trained_tiny_model
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3))
+        dark = np.zeros((2, 3, 32, 80), dtype=np.float32)
+        bright = np.ones((2, 3, 32, 80), dtype=np.float32)
+        adapter.adapt(dark)
+        adapter.adapt(bright)
+        x = nn.Tensor(bright)
+        model.eval()
+        with nn.no_grad():
+            out = model(x).numpy()
+        assert np.isfinite(out).all()
+
+    def test_many_steps_remain_stable(self, trained_tiny_model, tiny_benchmark):
+        """Long adaptation runs must not diverge (entropy minimization is
+        contained by the tiny BN parameterization)."""
+        model = trained_tiny_model
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(lr=5e-3))
+        images = tiny_benchmark.target_train.images
+        for epoch in range(4):
+            for i in range(len(images)):
+                adapter.observe_frame(images[i])
+        acc = evaluate_model(model, tiny_benchmark.target_test).accuracy
+        assert acc > 0.5
+        for p in model.parameters():
+            assert np.isfinite(p.data).all()

@@ -1,0 +1,166 @@
+"""Lane-accuracy metric and entropy-statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    EntropyTracker,
+    LaneMetrics,
+    TUSIMPLE_THRESHOLD_CELLS,
+    evaluate_model,
+    max_entropy,
+    mean_entropy,
+    point_accuracy,
+    shannon_entropy,
+)
+
+
+def grid(values):
+    """Build an (1, anchors, lanes) array from a nested list."""
+    return np.asarray(values, dtype=np.float64)[None]
+
+
+class TestPointAccuracy:
+    def test_perfect_match(self):
+        gt = grid([[1.0, 5.0], [2.0, 6.0]])
+        metrics = point_accuracy(gt.copy(), gt)
+        assert metrics.accuracy == 1.0
+        assert metrics.num_gt_points == 4
+
+    def test_threshold_boundary(self):
+        gt = grid([[5.0]])
+        just_inside = gt + TUSIMPLE_THRESHOLD_CELLS - 1e-9
+        just_outside = gt + TUSIMPLE_THRESHOLD_CELLS + 1e-6
+        assert point_accuracy(just_inside, gt).accuracy == 1.0
+        assert point_accuracy(just_outside, gt).accuracy == 0.0
+
+    def test_custom_threshold(self):
+        gt = grid([[5.0]])
+        pred = grid([[7.0]])
+        assert point_accuracy(pred, gt, threshold_cells=3.0).accuracy == 1.0
+        assert point_accuracy(pred, gt, threshold_cells=1.0).accuracy == 0.0
+
+    def test_missing_prediction_counts_wrong(self):
+        gt = grid([[5.0, 3.0]])
+        pred = grid([[5.0, np.nan]])
+        metrics = point_accuracy(pred, gt)
+        assert metrics.accuracy == 0.5
+
+    def test_gt_absent_not_in_denominator(self):
+        gt = grid([[5.0, np.nan]])
+        pred = grid([[5.0, 4.0]])  # spurious prediction on absent gt
+        metrics = point_accuracy(pred, gt)
+        assert metrics.accuracy == 1.0
+        assert metrics.num_gt_points == 1
+
+    def test_all_absent_gt_gives_perfect(self):
+        gt = grid([[np.nan, np.nan]])
+        pred = grid([[np.nan, np.nan]])
+        assert point_accuracy(pred, gt).accuracy == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            point_accuracy(np.zeros((1, 2, 2)), np.zeros((1, 3, 2)))
+
+    def test_2d_inputs_promoted(self):
+        gt = np.array([[1.0], [2.0]])
+        metrics = point_accuracy(gt.copy(), gt)
+        assert metrics.num_gt_points == 2
+
+    def test_multi_image_aggregation(self):
+        gt = np.stack([np.full((4, 2), 5.0), np.full((4, 2), 3.0)])
+        pred = gt.copy()
+        pred[1] += 100.0  # second image entirely wrong
+        metrics = point_accuracy(pred, gt)
+        assert metrics.accuracy == 0.5
+
+
+class TestLaneLevelFPFN:
+    def test_detected_lane_no_fp_fn(self):
+        gt = grid([[1.0], [2.0], [3.0], [4.0]])  # one lane, 4 anchors
+        metrics = point_accuracy(gt.copy(), gt)
+        assert metrics.false_negative_rate == 0.0
+        assert metrics.false_positive_rate == 0.0
+
+    def test_missed_lane_is_fn(self):
+        gt = grid([[1.0], [2.0], [3.0], [4.0]])
+        pred = np.full_like(gt, np.nan)
+        metrics = point_accuracy(pred, gt)
+        assert metrics.false_negative_rate == 1.0
+
+    def test_partial_match_below_85pct_is_fn_and_fp(self):
+        gt = grid([[1.0], [2.0], [3.0], [4.0]])
+        pred = gt.copy()
+        pred[0, :2, 0] += 50.0  # 50% of points wrong < 85% rule
+        metrics = point_accuracy(pred, gt)
+        assert metrics.false_negative_rate == 1.0
+        assert metrics.false_positive_rate == 1.0
+
+    def test_spurious_lane_is_fp(self):
+        gt = grid([[1.0, np.nan], [2.0, np.nan]])
+        pred = grid([[1.0, 7.0], [2.0, 7.0]])  # hallucinated second lane
+        metrics = point_accuracy(pred, gt)
+        assert metrics.num_pred_lanes == 2
+        assert metrics.false_positive_rate == 0.5
+
+    def test_as_dict(self):
+        gt = grid([[1.0]])
+        d = point_accuracy(gt.copy(), gt).as_dict()
+        assert d["accuracy_percent"] == 100.0
+
+
+class TestEvaluateModel:
+    def test_runs_and_bounds(self, trained_tiny_model, tiny_benchmark):
+        metrics = evaluate_model(trained_tiny_model, tiny_benchmark.source_train)
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert metrics.num_gt_points > 0
+
+    def test_trained_model_good_on_source(self, trained_tiny_model, tiny_benchmark):
+        metrics = evaluate_model(trained_tiny_model, tiny_benchmark.source_train)
+        assert metrics.accuracy > 0.8
+
+    def test_decode_method_argmax(self, trained_tiny_model, tiny_benchmark):
+        metrics = evaluate_model(
+            trained_tiny_model, tiny_benchmark.source_train, decode_method="argmax"
+        )
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+
+class TestEntropyStats:
+    def test_entropy_nonnegative_bounded(self, rng):
+        logits = rng.standard_normal((4, 6, 3, 2)) * 3
+        h = shannon_entropy(logits, axis=1)
+        assert (h >= 0).all()
+        assert (h <= max_entropy(6) + 1e-9).all()
+
+    def test_uniform_attains_max(self):
+        h = shannon_entropy(np.zeros((1, 10)), axis=1)
+        assert h[0] == pytest.approx(max_entropy(10))
+
+    def test_onehot_near_zero(self):
+        logits = np.full((1, 4), -40.0)
+        logits[0, 2] = 40.0
+        assert shannon_entropy(logits, axis=1)[0] < 1e-9
+
+    def test_mean_entropy_scalar(self, rng):
+        logits = rng.standard_normal((2, 5, 3))
+        assert isinstance(mean_entropy(logits), float)
+
+    def test_tracker_statistics(self, rng):
+        tracker = EntropyTracker()
+        values = []
+        for _ in range(5):
+            logits = rng.standard_normal((2, 4))
+            values.append(tracker.update(logits, axis=1))
+        assert tracker.count == 5
+        assert tracker.mean == pytest.approx(np.mean(values))
+        assert tracker.minimum == pytest.approx(min(values))
+        assert tracker.maximum == pytest.approx(max(values))
+        assert tracker.std >= 0.0
+
+    def test_tracker_empty(self):
+        tracker = EntropyTracker()
+        assert tracker.mean == 0.0
+        assert tracker.std == 0.0
+        d = tracker.as_dict()
+        assert d["count"] == 0.0

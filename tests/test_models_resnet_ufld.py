@@ -1,0 +1,247 @@
+"""ResNet backbone and UFLD model tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    UFLD,
+    UFLDConfig,
+    build_model,
+    cells_to_pixels,
+    decode_predictions,
+    get_config,
+    preset_names,
+    ufld_loss,
+)
+from repro.models.resnet import BasicBlock, ResNetBackbone
+from repro.nn.tensor import Tensor
+
+
+class TestResNetBackbone:
+    @pytest.mark.parametrize("depth,blocks", [(18, 8), (34, 16)])
+    def test_block_counts(self, depth, blocks):
+        net = ResNetBackbone(depth=depth, width_mult=0.125)
+        count = sum(1 for m in net.modules() if isinstance(m, BasicBlock))
+        assert count == blocks
+
+    def test_unsupported_depth(self):
+        with pytest.raises(ValueError):
+            ResNetBackbone(depth=50)
+
+    def test_forward_shape_and_stride32(self, rng):
+        net = ResNetBackbone(depth=18, width_mult=0.125, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 64, 96)).astype(np.float32))
+        out = net(x)
+        assert out.shape == (2, net.out_channels, 2, 3)  # 64/32, 96/32
+
+    def test_feature_hw_matches_forward(self, rng):
+        net = ResNetBackbone(depth=18, width_mult=0.125, rng=rng)
+        for hw in [(32, 80), (64, 160), (64, 96)]:
+            x = Tensor(rng.standard_normal((1, 3) + hw).astype(np.float32))
+            out = net(x)
+            assert net.feature_hw(hw) == tuple(out.shape[2:])
+
+    def test_width_scaling_changes_channels(self):
+        narrow = ResNetBackbone(depth=18, width_mult=0.125)
+        wide = ResNetBackbone(depth=18, width_mult=0.25)
+        assert wide.out_channels == 2 * narrow.out_channels
+
+    def test_downsample_present_on_stage_transitions(self):
+        net = ResNetBackbone(depth=18, width_mult=0.125)
+        first_block_stage2 = net.layer2[0]
+        assert not isinstance(first_block_stage2.downsample, nn.Identity)
+        second_block = net.layer1[1]
+        assert isinstance(second_block.downsample, nn.Identity)
+
+    def test_gradients_flow_to_stem(self, rng):
+        # batch 2 and 64x96 input keep layer4's feature map >1x1, so BN
+        # train-mode statistics are non-degenerate and gradients flow
+        net = ResNetBackbone(depth=18, width_mult=0.125, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 64, 96)).astype(np.float32))
+        net(x).sum().backward()
+        assert net.conv1.weight.grad is not None
+        assert np.abs(net.conv1.weight.grad).sum() > 0
+
+    def test_batch1_spatial1x1_bn_collapses_to_zero(self, rng):
+        """Documented degenerate case: with batch 1 AND a 1x1 layer-4 map,
+        train-mode BN has a single statistics sample per channel, so x_hat
+        is exactly 0 and the (ReLU'd, beta=0) output collapses to zero.
+        The paper's bs=1 setting is safe because real inputs keep HxW >= 9."""
+        net = ResNetBackbone(depth=18, width_mult=0.125, rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 32, 32)).astype(np.float32))
+        out = net(x)
+        assert np.abs(out.numpy()).sum() == 0.0
+
+
+class TestUFLDConfig:
+    def test_presets_exist(self):
+        names = preset_names()
+        for expected in ("paper-r18", "paper-r34", "small-r18", "tiny-r18"):
+            assert expected in names
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_config("bogus")
+
+    def test_with_lanes(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        assert cfg.num_lanes == 2
+        assert get_config("tiny-r18").num_lanes == 4
+
+    def test_derived_dims(self):
+        cfg = UFLDConfig(num_cells=100, num_anchors=56, num_lanes=4)
+        assert cfg.num_classes == 101
+        assert cfg.absent_class == 100
+        assert cfg.total_dim == 101 * 56 * 4
+
+    def test_spec_matches_model_params(self):
+        for preset in ("tiny-r18", "tiny-r34"):
+            for lanes in (2, 4):
+                cfg = get_config(preset, num_lanes=lanes)
+                model = UFLD(cfg, rng=np.random.default_rng(0))
+                assert cfg.to_spec().params == model.num_parameters()
+
+
+class TestUFLDModel:
+    def test_output_shape(self, untrained_tiny_model, rng):
+        cfg = untrained_tiny_model.config
+        x = Tensor(rng.standard_normal((3, 3) + cfg.input_hw).astype(np.float32))
+        out = untrained_tiny_model(x)
+        assert out.shape == (3, cfg.num_classes, cfg.num_anchors, cfg.num_lanes)
+
+    def test_input_validation(self, untrained_tiny_model, rng):
+        with pytest.raises(ValueError):
+            untrained_tiny_model(Tensor(rng.standard_normal((1, 1, 32, 80)).astype(np.float32)))
+        with pytest.raises(ValueError):
+            untrained_tiny_model(Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32)))
+
+    def test_forward_with_features(self, untrained_tiny_model, rng):
+        cfg = untrained_tiny_model.config
+        x = Tensor(rng.standard_normal((2, 3) + cfg.input_hw).astype(np.float32))
+        logits, hidden = untrained_tiny_model.forward_with_features(x)
+        assert hidden.shape == (2, cfg.hidden_dim)
+        assert (hidden.numpy() >= 0).all()  # post-ReLU
+
+    def test_parameter_groups_disjoint_cover(self, untrained_tiny_model):
+        model = untrained_tiny_model
+        bn = {id(p) for p in model.bn_parameters()}
+        conv = {id(p) for p in model.conv_parameters()}
+        fc = {id(p) for p in model.fc_parameters()}
+        assert not (bn & conv) and not (bn & fc) and not (conv & fc)
+        all_ids = {id(p) for p in model.parameters()}
+        assert bn | conv | fc == all_ids
+
+    def test_bn_modules_nonempty(self, untrained_tiny_model):
+        assert len(untrained_tiny_model.bn_modules()) > 10
+
+    def test_bn_param_fraction_small(self, untrained_tiny_model):
+        model = untrained_tiny_model
+        bn_count = sum(p.size for p in model.bn_parameters())
+        assert bn_count / model.num_parameters() < 0.02
+
+
+class TestUFLDLoss:
+    def test_loss_positive_and_finite(self, untrained_tiny_model, rng):
+        cfg = untrained_tiny_model.config
+        x = Tensor(rng.standard_normal((2, 3) + cfg.input_hw).astype(np.float32))
+        logits = untrained_tiny_model(x)
+        targets = rng.integers(0, cfg.num_classes, (2, cfg.num_anchors, cfg.num_lanes))
+        loss = ufld_loss(logits, targets)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+
+    def test_sim_weight_adds_structure_term(self, rng):
+        logits = Tensor(rng.standard_normal((1, 5, 4, 2)).astype(np.float64), requires_grad=True)
+        targets = rng.integers(0, 5, (1, 4, 2))
+        plain = ufld_loss(logits, targets, sim_weight=0.0).item()
+        with_sim = ufld_loss(logits, targets, sim_weight=1.0).item()
+        assert with_sim > plain
+
+    def test_loss_decreases_with_training_steps(self, untrained_tiny_model, rng):
+        model = untrained_tiny_model
+        cfg = model.config
+        x = Tensor(rng.standard_normal((4, 3) + cfg.input_hw).astype(np.float32))
+        targets = rng.integers(0, cfg.num_classes, (4, cfg.num_anchors, cfg.num_lanes))
+        opt = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        model.train()
+        first = None
+        for step in range(8):
+            opt.zero_grad()
+            loss = ufld_loss(model(x), targets)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first
+
+
+class TestDecoding:
+    def _one_hot_logits(self, cfg, positions):
+        """Build logits that argmax to the given integer cells."""
+        logits = np.full(
+            (1, cfg.num_classes, cfg.num_anchors, cfg.num_lanes), -10.0, dtype=np.float64
+        )
+        for a in range(cfg.num_anchors):
+            for l in range(cfg.num_lanes):
+                logits[0, positions[a, l], a, l] = 10.0
+        return logits
+
+    def test_argmax_decode_roundtrip(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        rng = np.random.default_rng(0)
+        cells = rng.integers(0, cfg.num_cells, (cfg.num_anchors, cfg.num_lanes))
+        logits = self._one_hot_logits(cfg, cells)
+        decoded = decode_predictions(logits, cfg, method="argmax")
+        np.testing.assert_array_equal(decoded[0], cells)
+
+    def test_absent_class_becomes_nan(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        cells = np.full((cfg.num_anchors, cfg.num_lanes), cfg.absent_class)
+        logits = self._one_hot_logits(cfg, cells)
+        decoded = decode_predictions(logits, cfg)
+        assert np.isnan(decoded).all()
+
+    def test_expectation_decode_subcell(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        logits = np.full((1, cfg.num_classes, cfg.num_anchors, cfg.num_lanes), -10.0)
+        # equal mass on cells 3 and 4 -> expectation 3.5
+        logits[0, 3] = 5.0
+        logits[0, 4] = 5.0
+        decoded = decode_predictions(logits, cfg, method="expectation")
+        np.testing.assert_allclose(decoded, 3.5, atol=1e-3)
+
+    def test_3d_input_promoted(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        logits = np.zeros((cfg.num_classes, cfg.num_anchors, cfg.num_lanes))
+        out = decode_predictions(logits, cfg, method="argmax")
+        assert out.shape == (1, cfg.num_anchors, cfg.num_lanes)
+
+    def test_wrong_class_count_raises(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        with pytest.raises(ValueError):
+            decode_predictions(np.zeros((1, 5, cfg.num_anchors, 2)), cfg)
+
+    def test_unknown_method_raises(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        logits = np.zeros((1, cfg.num_classes, cfg.num_anchors, 2))
+        with pytest.raises(ValueError):
+            decode_predictions(logits, cfg, method="bogus")
+
+    def test_cells_to_pixels(self):
+        cfg = get_config("tiny-r18", num_lanes=2)  # 10 cells
+        pos = np.array([0.0, 9.0])
+        px = cells_to_pixels(pos, cfg, image_width=80)
+        np.testing.assert_allclose(px, [4.0, 76.0])  # cell centers
+
+
+class TestBuildModel:
+    def test_build_model_lanes_override(self):
+        model = build_model("tiny-r18", num_lanes=2, rng=np.random.default_rng(0))
+        assert model.config.num_lanes == 2
+
+    def test_deterministic_with_seed(self, rng):
+        a = build_model("tiny-r18", rng=np.random.default_rng(42))
+        b = build_model("tiny-r18", rng=np.random.default_rng(42))
+        x = Tensor(rng.standard_normal((1, 3, 32, 80)).astype(np.float32))
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())

@@ -1,0 +1,172 @@
+"""Symbolic spec / FLOPs census tests — including spec↔model parity."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BatchNormSpec,
+    ConvSpec,
+    LinearSpec,
+    ModelSpec,
+    PoolSpec,
+    adaptation_flops,
+    backward_flops,
+    forward_flops,
+    get_config,
+    parameter_census,
+    resnet_backbone_spec,
+    ufld_spec,
+)
+from repro.models.spec import ActivationSpec, conv_out_size, scaled_channels
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert conv_out_size(8, 3, 1, 1) == 8
+        assert conv_out_size(8, 3, 2, 1) == 4
+        assert conv_out_size(7, 7, 2, 3) == 4
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestLayerSpecs:
+    def test_conv_params_flops(self):
+        spec = ConvSpec(
+            "c", in_channels=3, out_channels=8, kernel=(3, 3),
+            stride=(1, 1), padding=(1, 1), in_hw=(4, 4), bias=True,
+        )
+        assert spec.params == 8 * 3 * 9 + 8
+        assert spec.out_hw == (4, 4)
+        assert spec.flops == 2 * 8 * 16 * 3 * 9
+        assert spec.activation_elems == 8 * 16
+
+    def test_bn_params(self):
+        spec = BatchNormSpec("b", channels=16, hw=(4, 4))
+        assert spec.params == 32
+        assert spec.is_batchnorm
+        assert spec.activation_elems == 16 * 16
+
+    def test_bn_1d(self):
+        spec = BatchNormSpec("b", channels=10, hw=None)
+        assert spec.activation_elems == 10
+
+    def test_linear(self):
+        spec = LinearSpec("l", in_features=4, out_features=3, bias=True)
+        assert spec.params == 15
+        assert spec.flops == 24
+
+    def test_pool_global(self):
+        spec = PoolSpec("p", kind="global_avg", channels=8, in_hw=(6, 6))
+        assert spec.out_hw == (1, 1)
+        assert spec.params == 0
+
+    def test_activation(self):
+        spec = ActivationSpec("a", kind="relu", numel=100)
+        assert spec.flops == 100
+
+
+class TestScaledChannels:
+    def test_full_width(self):
+        assert scaled_channels(1.0) == (64, 128, 256, 512)
+
+    def test_quarter_width(self):
+        channels = scaled_channels(0.25)
+        assert channels == (16, 32, 64, 128)
+
+    def test_minimum_floor(self):
+        channels = scaled_channels(0.01)
+        assert all(c >= 4 for c in channels)
+
+    def test_even(self):
+        assert all(c % 2 == 0 for c in scaled_channels(0.3))
+
+
+class TestSpecModelParity:
+    """The symbolic spec must agree with the instantiated model exactly."""
+
+    @pytest.mark.parametrize("preset", ["tiny-r18", "tiny-r34"])
+    @pytest.mark.parametrize("lanes", [2, 4])
+    def test_param_parity(self, preset, lanes):
+        from repro.models import UFLD
+
+        cfg = get_config(preset, num_lanes=lanes)
+        model = UFLD(cfg, rng=np.random.default_rng(0))
+        assert cfg.to_spec().params == model.num_parameters()
+
+    def test_bn_param_parity(self):
+        from repro.models import UFLD
+
+        cfg = get_config("tiny-r18", num_lanes=2)
+        model = UFLD(cfg, rng=np.random.default_rng(0))
+        model_bn = sum(p.size for p in model.bn_parameters())
+        assert cfg.to_spec().bn_params == model_bn
+
+
+class TestBackboneSpec:
+    def test_depth_scaling(self):
+        l18, _, _ = resnet_backbone_spec(18, 1.0, (224, 224))
+        l34, _, _ = resnet_backbone_spec(34, 1.0, (224, 224))
+        p18 = sum(l.params for l in l18)
+        p34 = sum(l.params for l in l34)
+        # torchvision: resnet18 ~11.2M, resnet34 ~21.3M (backbone only,
+        # minus fc (512k) and including no avgpool): check ballpark
+        assert 10e6 < p18 < 12e6
+        assert 20e6 < p34 < 22e6
+
+    def test_output_stride_32(self):
+        _, _, hw = resnet_backbone_spec(18, 1.0, (288, 800))
+        assert hw == (9, 25)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            resnet_backbone_spec(50, 1.0, (64, 64))
+
+
+class TestUFLDSpec:
+    def test_paper_size_total(self):
+        spec = get_config("paper-r18").to_spec()
+        # UFLD-R18 at TuSimple settings is ~60M params (head FCs dominate)
+        assert 55e6 < spec.params < 70e6
+
+    def test_flops_positive_and_ordered(self):
+        r18 = get_config("paper-r18").to_spec()
+        r34 = get_config("paper-r34").to_spec()
+        assert 0 < r18.flops < r34.flops
+
+    def test_output_shape_recorded(self):
+        spec = get_config("paper-r18").to_spec()
+        assert spec.output_shape == (101, 56, 4)
+
+
+class TestCensus:
+    def test_fractions_sum_below_one(self):
+        census = parameter_census(get_config("paper-r18").to_spec())
+        assert census.bn_fraction + census.conv_fraction + census.linear_fraction == pytest.approx(1.0, abs=1e-9)
+
+    def test_bn_fraction_tiny(self):
+        census = parameter_census(get_config("paper-r18").to_spec())
+        assert census.bn_fraction < 0.01  # "lightweight" claim (Sec. III)
+        assert census.batchnorm == 9600
+
+    def test_as_dict_keys(self):
+        census = parameter_census(get_config("paper-r18").to_spec())
+        d = census.as_dict()
+        assert {"total", "batchnorm", "bn_fraction"} <= set(d)
+
+
+class TestFlopHelpers:
+    def test_backward_is_double_forward(self):
+        spec = get_config("paper-r18").to_spec()
+        assert backward_flops(spec) == pytest.approx(2.0 * forward_flops(spec))
+
+    def test_adaptation_is_forward_plus_backward(self):
+        spec = get_config("paper-r18").to_spec()
+        assert adaptation_flops(spec) == pytest.approx(
+            forward_flops(spec) + backward_flops(spec)
+        )
+
+    def test_batch_scaling_linear(self):
+        spec = get_config("paper-r18").to_spec()
+        assert forward_flops(spec, 4) == pytest.approx(4 * forward_flops(spec, 1))

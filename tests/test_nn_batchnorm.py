@@ -1,0 +1,169 @@
+"""Batch normalization: the op LD-BN-ADAPT is built on.
+
+Covers training/eval semantics, running-statistics updates (replace/EMA),
+the statistics-refresh entry point, gradients in both modes, and the
+degenerate batch-size-1 cases the paper's bs=1 configuration relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import gradcheck
+from repro.nn.tensor import Tensor
+
+
+class TestFunctionalBatchNorm:
+    def test_train_mode_normalizes_batch(self, rng):
+        x = Tensor(rng.standard_normal((8, 3, 4, 4)).astype(np.float64) * 5 + 2)
+        gamma = Tensor(np.ones((1, 3, 1, 1)))
+        beta = Tensor(np.zeros((1, 3, 1, 1)))
+        rm, rv = np.zeros(3), np.ones(3)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-4)
+
+    def test_train_mode_updates_running_stats(self, rng):
+        x = Tensor(rng.standard_normal((8, 2, 4, 4)).astype(np.float64) + 3.0)
+        gamma = Tensor(np.ones((1, 2, 1, 1)))
+        beta = Tensor(np.zeros((1, 2, 1, 1)))
+        rm, rv = np.zeros(2), np.ones(2)
+        F.batch_norm(x, gamma, beta, rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, x.numpy().mean(axis=(0, 2, 3)), rtol=1e-6)
+        np.testing.assert_allclose(rv, x.numpy().var(axis=(0, 2, 3)), rtol=1e-6)
+
+    def test_momentum_blending(self, rng):
+        x = Tensor(np.full((4, 1, 2, 2), 10.0))
+        gamma = Tensor(np.ones((1, 1, 1, 1)))
+        beta = Tensor(np.zeros((1, 1, 1, 1)))
+        rm, rv = np.zeros(1), np.ones(1)
+        F.batch_norm(x, gamma, beta, rm, rv, training=True, momentum=0.1)
+        assert rm[0] == pytest.approx(1.0)  # 0.9*0 + 0.1*10
+
+    def test_eval_uses_running_stats(self):
+        x = Tensor(np.full((2, 1, 2, 2), 4.0))
+        gamma = Tensor(np.ones((1, 1, 1, 1)))
+        beta = Tensor(np.zeros((1, 1, 1, 1)))
+        rm, rv = np.array([2.0]), np.array([4.0])
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=False).numpy()
+        np.testing.assert_allclose(out, (4.0 - 2.0) / np.sqrt(4.0 + 1e-5), rtol=1e-5)
+
+    def test_eval_does_not_touch_running_stats(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 3, 3)))
+        gamma = Tensor(np.ones((1, 2, 1, 1)))
+        beta = Tensor(np.zeros((1, 2, 1, 1)))
+        rm, rv = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        F.batch_norm(x, gamma, beta, rm, rv, training=False)
+        np.testing.assert_array_equal(rm, [1.0, 2.0])
+        np.testing.assert_array_equal(rv, [3.0, 4.0])
+
+    def test_gradcheck_train_4d(self, rng):
+        x = Tensor(rng.standard_normal((4, 3, 3, 3)).astype(np.float64), requires_grad=True)
+        g = Tensor(rng.standard_normal((1, 3, 1, 1)).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.standard_normal((1, 3, 1, 1)).astype(np.float64), requires_grad=True)
+        rm, rv = np.zeros(3), np.ones(3)
+        gradcheck(lambda x, g, b: F.batch_norm(x, g, b, rm, rv, training=True), [x, g, b])
+
+    def test_gradcheck_train_2d(self, rng):
+        x = Tensor(rng.standard_normal((6, 4)).astype(np.float64), requires_grad=True)
+        g = Tensor(rng.standard_normal((1, 4)).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.standard_normal((1, 4)).astype(np.float64), requires_grad=True)
+        rm, rv = np.zeros(4), np.ones(4)
+        gradcheck(lambda x, g, b: F.batch_norm(x, g, b, rm, rv, training=True), [x, g, b])
+
+    def test_gradcheck_eval(self, rng):
+        x = Tensor(rng.standard_normal((3, 2, 2, 2)).astype(np.float64), requires_grad=True)
+        g = Tensor(rng.standard_normal((1, 2, 1, 1)).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.standard_normal((1, 2, 1, 1)).astype(np.float64), requires_grad=True)
+        rm, rv = np.array([0.5, -0.5]), np.array([2.0, 0.5])
+        gradcheck(lambda x, g, b: F.batch_norm(x, g, b, rm, rv, training=False), [x, g, b])
+
+    def test_3d_input_rejected(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)))
+        with pytest.raises(ValueError):
+            F.batch_norm(x, Tensor(np.ones((1, 3))), Tensor(np.zeros((1, 3))),
+                         np.zeros(3), np.ones(3), training=True)
+
+
+class TestBatchNormModules:
+    def test_bn2d_parameters_and_buffers(self):
+        bn = nn.BatchNorm2d(8)
+        names = dict(bn.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        buffers = dict(bn.named_buffers())
+        assert set(buffers) == {"running_mean", "running_var", "num_batches_tracked"}
+
+    def test_bn2d_forward_shapes(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((2, 4, 5, 5)).astype(np.float32))
+        assert bn(x).shape == (2, 4, 5, 5)
+
+    def test_bn1d_forward(self, rng):
+        bn = nn.BatchNorm1d(6)
+        x = Tensor(rng.standard_normal((8, 6)).astype(np.float32))
+        assert bn(x).shape == (8, 6)
+
+    def test_channel_mismatch(self, rng):
+        bn = nn.BatchNorm2d(4)
+        with pytest.raises(ValueError):
+            bn(Tensor(rng.standard_normal((1, 3, 2, 2))))
+
+    def test_wrong_ndim(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(rng.standard_normal((2, 3))))
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(rng.standard_normal((2, 3, 1, 1))))
+
+    def test_num_batches_tracked_increments(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((2, 2, 3, 3)).astype(np.float32))
+        bn(x)
+        bn(x)
+        assert bn.num_batches_tracked[0] == 2
+        bn.eval()
+        bn(x)
+        assert bn.num_batches_tracked[0] == 2
+
+    def test_batch_size_one_conv_bn_finite(self, rng):
+        """bs=1 conv BN still has HxW samples per channel (the paper's case)."""
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+        out = bn(x).numpy()
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+
+    def test_refresh_statistics_matches_batch(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.standard_normal((4, 3, 5, 5)).astype(np.float32) * 2 + 1)
+        bn.refresh_statistics(x)
+        np.testing.assert_allclose(
+            bn.running_mean, x.numpy().mean(axis=(0, 2, 3)), rtol=1e-5
+        )
+        np.testing.assert_allclose(
+            bn.running_var, x.numpy().var(axis=(0, 2, 3)), rtol=1e-4
+        )
+
+    def test_refresh_statistics_keeps_buffer_identity(self, rng):
+        """Buffers must be updated in place so state_dict stays wired."""
+        bn = nn.BatchNorm2d(2)
+        before = bn.running_mean
+        bn.refresh_statistics(Tensor(rng.standard_normal((2, 2, 3, 3)).astype(np.float32)))
+        assert bn.running_mean is before
+
+    def test_eval_after_train_uses_learned_stats(self, rng):
+        bn = nn.BatchNorm2d(1, momentum=1.0)
+        data = rng.standard_normal((16, 1, 4, 4)).astype(np.float32) * 3 + 7
+        bn(Tensor(data))
+        bn.eval()
+        out = bn(Tensor(data)).numpy()
+        np.testing.assert_allclose(out.mean(), 0.0, atol=1e-2)
+
+    def test_gamma_beta_affect_output(self, rng):
+        bn = nn.BatchNorm2d(2)
+        bn.weight.data[...] = 2.0
+        bn.bias.data[...] = 1.0
+        x = Tensor(rng.standard_normal((8, 2, 3, 3)).astype(np.float32))
+        out = bn(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 1.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 2.0, atol=1e-3)

@@ -1,0 +1,239 @@
+"""Unit + gradient tests for conv/pool/activation/softmax/loss ops."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import gradcheck
+from repro.nn.functional import _col2im, _im2col, _pair
+from repro.nn.tensor import Tensor
+
+
+def t64(shape, rng, offset=0.0):
+    return Tensor(rng.standard_normal(shape).astype(np.float64) + offset, requires_grad=True)
+
+
+class TestPairHelper:
+    def test_int(self):
+        assert _pair(3) == (3, 3)
+
+    def test_tuple(self):
+        assert _pair((1, 2)) == (1, 2)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            _pair((1, 2, 3))
+
+
+class TestIm2Col:
+    def test_adjointness(self, rng):
+        """col2im is the exact adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((2, 3, 6, 7))
+        kernel, stride, padding = (3, 2), (2, 1), (1, 1)
+        cols, oh, ow = _im2col(x, kernel, stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        x_back = _col2im(y, x.shape, kernel, stride, padding)
+        rhs = float((x * x_back).sum())
+        assert abs(lhs - rhs) < 1e-8 * max(abs(lhs), 1.0)
+
+    def test_output_size(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8))
+        cols, oh, ow = _im2col(x, (3, 3), (2, 2), (1, 1))
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (1, 2 * 9, 16)
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self, rng):
+        """Cross-check im2col conv against a naive loop implementation."""
+        x = rng.standard_normal((1, 2, 5, 6)).astype(np.float64)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float64)
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1).numpy()
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros_like(out)
+        for f in range(3):
+            for i in range(5):
+                for j in range(6):
+                    expected[0, f, i, j] = (xp[0, :, i : i + 3, j : j + 3] * w[f]).sum()
+        np.testing.assert_allclose(out, expected, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), ((2, 1), (0, 1))])
+    def test_gradcheck(self, rng, stride, padding):
+        x = t64((2, 3, 6, 7), rng)
+        w = t64((4, 3, 3, 3), rng)
+        b = t64((4,), rng)
+        gradcheck(lambda x, w, b: F.conv2d(x, w, b, stride, padding), [x, w, b])
+
+    def test_no_bias(self, rng):
+        x = t64((1, 2, 4, 4), rng)
+        w = t64((3, 2, 1, 1), rng)
+        gradcheck(lambda x, w: F.conv2d(x, w), [x, w])
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        w = Tensor(rng.standard_normal((2, 5, 3, 3)))
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(x, w)
+
+    def test_too_small_input_raises(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 2, 2)))
+        w = Tensor(rng.standard_normal((1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_default_stride_equals_kernel(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)))
+        assert F.max_pool2d(x, 3).shape == (1, 2, 2, 2)
+
+    @pytest.mark.parametrize("kernel,stride,padding", [(2, 2, 0), (3, 2, 1), (3, 1, 1)])
+    def test_maxpool_gradcheck(self, rng, kernel, stride, padding):
+        x = t64((2, 2, 6, 7), rng)
+        gradcheck(lambda x: F.max_pool2d(x, kernel, stride, padding), [x])
+
+    def test_maxpool_padding_uses_neg_inf(self):
+        x = Tensor(-np.ones((1, 1, 2, 2), dtype=np.float32))
+        out = F.max_pool2d(x, 3, 1, 1).numpy()
+        # padded zeros must not win over the -1 values
+        assert (out == -1.0).all()
+
+    def test_avgpool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_gradcheck(self, rng):
+        x = t64((2, 3, 6, 6), rng)
+        gradcheck(lambda x: F.avg_pool2d(x, 2), [x])
+
+    def test_adaptive_global_equals_mean(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 5, 7)).astype(np.float64), requires_grad=True)
+        out = F.adaptive_avg_pool2d(x)
+        np.testing.assert_allclose(
+            out.numpy().squeeze(), x.numpy().mean(axis=(2, 3)), rtol=1e-12
+        )
+
+    def test_adaptive_non_global_unsupported(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)))
+        with pytest.raises(NotImplementedError):
+            F.adaptive_avg_pool2d(x, (2, 2))
+
+
+class TestActivations:
+    def test_relu_values_and_grad(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0], dtype=np.float64), requires_grad=True)
+        y = F.relu(x)
+        np.testing.assert_allclose(y.data, [0.0, 0.0, 2.0])
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_sigmoid_tanh_gradcheck(self, rng):
+        x = t64((3, 4), rng)
+        gradcheck(F.sigmoid, [x])
+        gradcheck(F.tanh, [x])
+
+    def test_sigmoid_range(self, rng):
+        y = F.sigmoid(Tensor(rng.standard_normal(100) * 10)).numpy()
+        assert (y > 0).all() and (y < 1).all()
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        y = F.dropout(x, p=0.5, training=False)
+        np.testing.assert_array_equal(x.numpy(), y.numpy())
+
+    def test_dropout_scales_kept_values(self):
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        y = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(0)).numpy()
+        kept = y[y > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.35 < (y > 0).mean() < 0.65
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), p=1.0, training=True)
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax_normalizes(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)))
+        probs = np.exp(F.log_softmax(x, axis=1).numpy())
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_log_softmax_stability(self):
+        x = Tensor(np.array([[1000.0, 1000.0]], dtype=np.float64))
+        out = F.log_softmax(x, axis=1).numpy()
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_gradcheck(self, rng):
+        x = t64((3, 5), rng)
+        gradcheck(lambda x: F.log_softmax(x, axis=1), [x])
+
+    def test_softmax_matches_scipy(self, rng):
+        from scipy.special import softmax as scipy_softmax
+
+        data = rng.standard_normal((2, 6))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(data), axis=1).numpy(),
+            scipy_softmax(data, axis=1),
+            rtol=1e-5,
+        )
+
+    def test_nll_reductions(self):
+        log_probs = Tensor(np.log(np.full((2, 2), 0.5)), requires_grad=True)
+        targets = np.array([0, 1])
+        mean = F.nll_loss(log_probs, targets, "mean").item()
+        total = F.nll_loss(log_probs, targets, "sum").item()
+        none = F.nll_loss(log_probs, targets, "none").numpy()
+        assert mean == pytest.approx(np.log(2.0))
+        assert total == pytest.approx(2 * np.log(2.0))
+        assert none.shape == (2,)
+
+    def test_nll_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(np.zeros((1, 2))), np.array([0]), "bogus")
+
+    def test_nll_requires_1d_targets(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(np.zeros((1, 2))), np.array([[0]]))
+
+    def test_cross_entropy_2d_gradcheck(self, rng):
+        x = t64((4, 6), rng)
+        targets = rng.integers(0, 6, 4)
+        gradcheck(lambda x: F.cross_entropy(x, targets), [x])
+
+    def test_cross_entropy_4d_matches_flat(self, rng):
+        """(N, C, A, L) layout must equal manual flattening."""
+        logits = rng.standard_normal((2, 5, 3, 4))
+        targets = rng.integers(0, 5, (2, 3, 4))
+        structured = F.cross_entropy(Tensor(logits), targets).item()
+        flat_logits = logits.transpose(0, 2, 3, 1).reshape(-1, 5)
+        flat = F.cross_entropy(Tensor(flat_logits), targets.reshape(-1)).item()
+        assert structured == pytest.approx(flat, rel=1e-6)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = np.full((1, 3), -20.0)
+        logits[0, 1] = 20.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1])).item()
+        assert loss < 1e-6
+
+    def test_mse_loss(self, rng):
+        a = t64((3, 3), rng)
+        b = t64((3, 3), rng)
+        gradcheck(lambda a, b: F.mse_loss(a, b), [a, b])
+        zero = F.mse_loss(a, Tensor(a.numpy().copy())).item()
+        assert zero == pytest.approx(0.0, abs=1e-12)
+
+    def test_linear_gradcheck(self, rng):
+        x = t64((4, 5), rng)
+        w = t64((3, 5), rng)
+        b = t64((3,), rng)
+        gradcheck(lambda x, w, b: F.linear(x, w, b), [x, w, b])
+        gradcheck(lambda x, w: F.linear(x, w), [x, w])

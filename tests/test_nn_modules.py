@@ -1,0 +1,197 @@
+"""Module container semantics: registration, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def make_net(rng=None):
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=rng),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(8 * 4 * 4, 10, rng=rng),
+    )
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self):
+        net = make_net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "5.bias" in names
+        assert "1.weight" in names  # BN gamma
+
+    def test_parameters_count(self):
+        net = make_net()
+        total = sum(p.size for p in net.parameters())
+        assert total == net.num_parameters()
+
+    def test_named_buffers(self):
+        net = make_net()
+        buffer_names = [n for n, _ in net.named_buffers()]
+        assert "1.running_mean" in buffer_names
+
+    def test_named_modules_includes_self(self):
+        net = make_net()
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "0" in names
+
+    def test_children(self):
+        net = make_net()
+        assert len(list(net.children())) == 6
+
+    def test_apply_visits_all(self):
+        net = make_net()
+        visited = []
+        net.apply(lambda m: visited.append(type(m).__name__))
+        assert "Conv2d" in visited and "Sequential" in visited
+
+    def test_repr_nested(self):
+        text = repr(make_net())
+        assert "Conv2d" in text and "Linear" in text
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        net = make_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_requires_grad_toggle(self):
+        net = make_net()
+        net.requires_grad_(False)
+        assert all(not p.requires_grad for p in net.parameters())
+        net.requires_grad_(True)
+        assert all(p.requires_grad for p in net.parameters())
+
+    def test_zero_grad(self, rng):
+        net = make_net()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        out = net(x)
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_num_parameters_trainable_only(self):
+        net = make_net()
+        full = net.num_parameters()
+        net.requires_grad_(False)
+        assert net.num_parameters(trainable_only=True) == 0
+        assert net.num_parameters() == full
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = make_net(rng=np.random.default_rng(0))
+        b = make_net(rng=np.random.default_rng(1))
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        a.eval(), b.eval()
+        assert not np.allclose(a(x).numpy(), b(x).numpy())
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy(), rtol=1e-6)
+
+    def test_state_dict_is_a_copy(self):
+        net = make_net()
+        state = net.state_dict()
+        state["0.weight"][...] = 99.0
+        assert not np.allclose(net._modules["0"].weight.data, 99.0)
+
+    def test_missing_key_strict_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        del state["5.bias"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_strict_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_non_strict_allows_partial(self):
+        net = make_net()
+        state = net.state_dict()
+        del state["5.bias"]
+        state["extra"] = np.zeros(2)
+        net.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        state["5.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_buffers_restored(self, rng):
+        net = make_net()
+        x = Tensor(rng.standard_normal((4, 3, 8, 8)).astype(np.float32))
+        net(x)  # updates BN running stats
+        saved = net.state_dict()
+        fresh = make_net()
+        fresh.load_state_dict(saved)
+        np.testing.assert_allclose(
+            fresh._modules["1"].running_mean, net._modules["1"].running_mean
+        )
+
+
+class TestLayers:
+    def test_sequential_forward_shape(self, rng):
+        net = make_net()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        assert net(x).shape == (2, 10)
+
+    def test_sequential_indexing(self):
+        net = make_net()
+        assert isinstance(net[0], nn.Conv2d)
+        assert len(net) == 6
+
+    def test_identity(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)))
+        out = nn.Identity()(x)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())
+
+    def test_conv_layer_shapes(self, rng):
+        conv = nn.Conv2d(2, 5, (3, 1), stride=(2, 1), padding=(1, 0), rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32))
+        assert conv(x).shape == (1, 5, 3, 6)
+
+    def test_conv_no_bias(self):
+        conv = nn.Conv2d(1, 1, 1, bias=False)
+        assert conv.bias is None
+        assert len(list(conv.parameters())) == 1
+
+    def test_linear_shapes(self, rng):
+        lin = nn.Linear(7, 3, rng=rng)
+        x = Tensor(rng.standard_normal((5, 7)).astype(np.float32))
+        assert lin(x).shape == (5, 3)
+
+    def test_dropout_respects_mode(self, rng):
+        drop = nn.Dropout(p=0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).numpy(), x.numpy())
+        drop.train()
+        assert (drop(x).numpy() == 0).any()
+
+    def test_flatten_start_dim(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)))
+        assert nn.Flatten(1)(x).shape == (2, 12)
+
+    def test_avgpool_module(self, rng):
+        pool = nn.AvgPool2d(2)
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        assert pool(x).shape == (1, 1, 2, 2)
+
+    def test_adaptive_avgpool_module(self, rng):
+        pool = nn.AdaptiveAvgPool2d(1)
+        x = Tensor(rng.standard_normal((2, 3, 5, 5)).astype(np.float32))
+        assert pool(x).shape == (2, 3, 1, 1)

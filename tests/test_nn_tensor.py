@@ -1,0 +1,288 @@
+"""Unit tests for the Tensor core: arithmetic, broadcasting, autograd."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import gradcheck, no_grad, topological_order
+from repro.nn.tensor import Tensor, _unbroadcast
+
+
+def t64(array, requires_grad=True):
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+
+
+class TestConstruction:
+    def test_from_list_uses_default_dtype(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_int_input_becomes_float(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype == np.float32
+
+    def test_copy_semantics(self):
+        arr = np.ones(3, dtype=np.float32)
+        t = Tensor(arr)
+        arr[0] = 5.0
+        assert t.data[0] == 1.0  # constructor copies by default
+
+    def test_from_numpy_shares_memory(self):
+        arr = np.ones(3, dtype=np.float32)
+        t = nn.from_numpy(arr)
+        arr[0] = 5.0
+        assert t.data[0] == 5.0
+
+    def test_shape_properties(self):
+        t = nn.zeros(2, 3, 4)
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+    def test_repr_mentions_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad" in repr(t)
+
+    def test_constructors(self):
+        assert nn.ones(2, 2).data.sum() == 4.0
+        assert nn.zeros((3,)).shape == (3,)
+        r = nn.randn(5, rng=np.random.default_rng(0))
+        assert r.shape == (5,)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = t64([1.0, 2.0]) + t64([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_scalar_add(self):
+        out = t64([1.0]) + 2.0
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_radd(self):
+        out = 2.0 + t64([1.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_sub_and_rsub(self):
+        a = t64([5.0])
+        np.testing.assert_allclose((a - 2.0).data, [3.0])
+        np.testing.assert_allclose((10.0 - a).data, [5.0])
+
+    def test_mul_div(self):
+        a = t64([6.0])
+        np.testing.assert_allclose((a * 2.0).data, [12.0])
+        np.testing.assert_allclose((a / 3.0).data, [2.0])
+        np.testing.assert_allclose((12.0 / a).data, [2.0])
+
+    def test_neg_pow(self):
+        a = t64([2.0])
+        np.testing.assert_allclose((-a).data, [-2.0])
+        np.testing.assert_allclose((a ** 3).data, [8.0])
+
+    def test_matmul(self):
+        a = t64(np.eye(2))
+        b = t64([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_abs(self):
+        a = t64([-1.0, 2.0])
+        np.testing.assert_allclose(a.abs().data, [1.0, 2.0])
+
+    def test_comparison_returns_ndarray(self):
+        a = t64([1.0, 3.0])
+        mask = a > 2.0
+        assert isinstance(mask, np.ndarray)
+        assert mask.tolist() == [False, True]
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = t64([2.0])
+        y = x * x + 3.0 * x  # dy/dx = 2x + 3 = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = t64([1.0])
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_diamond_graph_accumulation(self):
+        x = t64([3.0])
+        a = x * 2.0
+        b = x * 5.0
+        (a + b).backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_backward_requires_grad_error(self):
+        x = Tensor([1.0], requires_grad=False)
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_shape_mismatch_error(self):
+        x = t64([1.0, 2.0])
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(3))
+
+    def test_explicit_grad_seed(self):
+        x = t64([1.0, 1.0])
+        y = x * 4.0
+        y.backward(np.array([1.0, 0.5]))
+        np.testing.assert_allclose(x.grad, [4.0, 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = t64([2.0])
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+        z = y * 2.0
+        assert not z.requires_grad
+
+    def test_no_grad_context(self):
+        x = t64([1.0])
+        with no_grad():
+            y = x * 2.0
+        assert y._ctx is None and not y.requires_grad
+
+    def test_deep_graph_no_recursion_error(self):
+        x = t64([1.0])
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_topological_order_root_last(self):
+        x = t64([1.0])
+        y = x * 2.0
+        order = list(topological_order(y))
+        assert order[-1] is y or order[0] is y  # reverse topo: root first
+        # root must come before its parent in iteration order
+        assert order.index(y) < order.index(x)
+
+
+class TestBroadcastingGradients:
+    def test_unbroadcast_identity(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_unbroadcast_leading_dim(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out, 4 * np.ones((2, 3)))
+
+    def test_unbroadcast_size_one_axes(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, [[3.0], [3.0]])
+
+    @pytest.mark.parametrize(
+        "shape_a,shape_b",
+        [((2, 3), (3,)), ((2, 3), (1, 3)), ((4, 1, 5), (1, 3, 5)), ((2, 2), ())],
+    )
+    def test_add_mul_gradcheck_broadcast(self, shape_a, shape_b, rng):
+        a = Tensor(rng.standard_normal(shape_a), requires_grad=True)
+        b = Tensor(rng.standard_normal(shape_b), requires_grad=True)
+        a = a.astype(np.float64)
+        b = b.astype(np.float64)
+        a.requires_grad = b.requires_grad = True
+        gradcheck(lambda a, b: a * b + a, [a, b])
+
+    def test_div_gradcheck(self, rng):
+        a = Tensor(rng.standard_normal((3, 2)).astype(np.float64) + 3.0, requires_grad=True)
+        b = Tensor(rng.standard_normal((2,)).astype(np.float64) + 3.0, requires_grad=True)
+        gradcheck(lambda a, b: a / b, [a, b])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = t64(np.arange(6, dtype=np.float64).reshape(2, 3))
+        assert x.sum().item() == 15.0
+        assert x.sum(axis=0).shape == (3,)
+        assert x.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_sum_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float64), requires_grad=True)
+        gradcheck(lambda x: x.sum(axis=1), [x])
+        gradcheck(lambda x: x.sum(axis=(0, 1), keepdims=True), [x])
+
+    def test_mean_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float64), requires_grad=True)
+        gradcheck(lambda x: x.mean(axis=(1, 2)), [x])
+        gradcheck(lambda x: x.mean(), [x])
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.standard_normal((4, 5))
+        x = Tensor(data)
+        np.testing.assert_allclose(
+            x.var(axis=0).data, data.var(axis=0), rtol=1e-5, atol=1e-6
+        )
+
+    def test_max_gradcheck_unique(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]], dtype=np.float64), requires_grad=True)
+        gradcheck(lambda x: x.max(axis=1), [x])
+
+    def test_max_ties_split_gradient(self):
+        x = t64([[2.0, 2.0]])
+        y = x.max(axis=1)
+        y.backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5]])
+
+    def test_reshape_flatten(self):
+        x = t64(np.arange(12, dtype=np.float64).reshape(3, 4))
+        assert x.reshape(4, 3).shape == (4, 3)
+        assert x.reshape((2, 6)).shape == (2, 6)
+        assert x.flatten(0).shape == (12,)
+
+    def test_reshape_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float64), requires_grad=True)
+        gradcheck(lambda x: x.reshape(3, 4) * 2.0, [x])
+
+    def test_transpose_roundtrip(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float64), requires_grad=True)
+        gradcheck(lambda x: x.transpose(2, 0, 1), [x])
+        assert x.transpose().shape == (4, 3, 2)
+
+    def test_getitem_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((4, 5)).astype(np.float64), requires_grad=True)
+        gradcheck(lambda x: x[1:3, ::2], [x])
+
+    def test_getitem_scatter_grad(self):
+        x = t64(np.zeros(4))
+        y = x[np.array([0, 0, 1])]  # repeated index accumulates
+        y.backward(np.array([1.0, 2.0, 5.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 5.0, 0.0, 0.0])
+
+    def test_stack_and_concat(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)).astype(np.float64), requires_grad=True)
+        gradcheck(lambda a, b: nn.stack([a, b], axis=1), [a, b])
+        gradcheck(lambda a, b: nn.concatenate([a, b], axis=0), [a, b])
+
+    def test_exp_log_sqrt_gradcheck(self, rng):
+        x = Tensor(
+            np.abs(rng.standard_normal((3, 3))).astype(np.float64) + 0.5,
+            requires_grad=True,
+        )
+        gradcheck(lambda x: x.exp(), [x])
+        gradcheck(lambda x: x.log(), [x])
+        gradcheck(lambda x: x.sqrt(), [x])
+
+    def test_batched_matmul_gradcheck(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)).astype(np.float64), requires_grad=True)
+        gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_argmax_not_differentiable_output(self):
+        x = t64([[1.0, 3.0]])
+        idx = x.argmax(axis=1)
+        assert isinstance(idx, np.ndarray)
+        assert idx[0] == 1

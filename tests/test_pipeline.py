@@ -1,0 +1,167 @@
+"""Real-time pipeline and monitor tests."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import LDBNAdapt, LDBNAdaptConfig, NoAdapt
+from repro.hw import ORIN_POWER_MODES
+from repro.models import get_config
+from repro.pipeline import (
+    DeadlineMonitor,
+    PipelineConfig,
+    PipelineReport,
+    RealTimePipeline,
+    RollingAccuracy,
+)
+from repro.pipeline.monitor import FrameRecord
+
+
+class TestDeadlineMonitor:
+    def test_counts_misses(self):
+        monitor = DeadlineMonitor(deadline_ms=10.0)
+        assert monitor.record(5.0)
+        assert not monitor.record(15.0)
+        assert monitor.misses == 1
+        assert monitor.miss_rate == 0.5
+        assert monitor.mean_latency_ms == 10.0
+
+    def test_p99(self):
+        monitor = DeadlineMonitor(10.0)
+        for v in range(100):
+            monitor.record(float(v))
+        assert monitor.p99_latency_ms >= 98.0
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            DeadlineMonitor(0.0)
+
+    def test_empty_stats(self):
+        monitor = DeadlineMonitor(10.0)
+        assert monitor.miss_rate == 0.0
+        assert monitor.mean_latency_ms == 0.0
+
+
+class TestRollingAccuracy:
+    def test_window_mean(self):
+        roll = RollingAccuracy(window=2)
+        roll.update(0.0)
+        roll.update(1.0)
+        assert roll.current == 0.5
+        roll.update(1.0)
+        assert roll.current == 1.0  # window dropped the 0.0
+        assert roll.overall == pytest.approx(2.0 / 3.0)
+
+    def test_curve(self):
+        roll = RollingAccuracy(window=3)
+        for v in (0.1, 0.2, 0.3):
+            roll.update(v)
+        assert roll.curve() == [0.1, 0.2, 0.3]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RollingAccuracy(window=0)
+
+
+class TestPipelineReport:
+    def _record(self, i, acc, latency=10.0, adapted=True):
+        return FrameRecord(
+            index=i, timestamp=i / 30.0, domain="d", latency_ms=latency,
+            deadline_ms=33.3, deadline_met=latency <= 33.3, accuracy=acc,
+            adapted=adapted,
+        )
+
+    def test_summary(self):
+        report = PipelineReport(
+            frames=[self._record(0, 0.5), self._record(1, 1.0, latency=50.0)],
+            deadline_ms=33.3,
+        )
+        assert report.mean_accuracy == 0.75
+        assert report.deadline_miss_rate == 0.5
+        assert report.adaptation_steps == 2
+        summary = report.summary()
+        assert summary["frames"] == 2.0
+
+    def test_accuracy_over_range(self):
+        report = PipelineReport(
+            frames=[self._record(i, float(i)) for i in range(4)]
+        )
+        assert report.accuracy_over(2) == 2.5
+
+    def test_empty(self):
+        report = PipelineReport()
+        assert report.mean_accuracy == 0.0
+        assert report.deadline_miss_rate == 0.0
+
+
+class TestPipelineConfig:
+    def test_invalid_latency_model(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(latency_model="gpu")
+
+
+class TestRealTimePipeline:
+    def test_orin_mode_requires_spec(self, trained_tiny_model):
+        adapter = NoAdapt(trained_tiny_model)
+        with pytest.raises(ValueError):
+            RealTimePipeline(trained_tiny_model, adapter)
+
+    def _run(self, model, adapter, benchmark, frames=6, **cfg_kwargs):
+        config = PipelineConfig(latency_model="orin", **cfg_kwargs)
+        pipeline = RealTimePipeline(
+            model,
+            adapter,
+            config,
+            device=ORIN_POWER_MODES["orin-60w"],
+            spec=get_config("paper-r18").to_spec(),
+        )
+        stream = benchmark.target_stream(rng=np.random.default_rng(0))
+        return pipeline.run(stream, frames)
+
+    def test_runs_and_records(self, trained_tiny_model, tiny_benchmark):
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3))
+        report = self._run(trained_tiny_model, adapter, tiny_benchmark, frames=6)
+        assert report.num_frames == 6
+        assert all(0.0 <= f.accuracy <= 1.0 for f in report.frames)
+        assert report.adaptation_steps == 6  # bs=1 adapts every frame
+
+    def test_batch2_adapts_every_other_frame(self, trained_tiny_model, tiny_benchmark):
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3, batch_size=2))
+        report = self._run(trained_tiny_model, adapter, tiny_benchmark, frames=6)
+        assert report.adaptation_steps == 3
+        adapted_flags = [f.adapted for f in report.frames]
+        assert adapted_flags == [False, True] * 3
+
+    def test_orin_latency_attached(self, trained_tiny_model, tiny_benchmark):
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3))
+        report = self._run(trained_tiny_model, adapter, tiny_benchmark, frames=3)
+        # R18@60W inference+adapt fits 30 FPS in the hardware model
+        assert all(f.deadline_met for f in report.frames)
+        assert all(25.0 < f.latency_ms < 33.4 for f in report.frames)
+
+    def test_non_adapted_frames_cost_inference_only(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3, batch_size=2))
+        report = self._run(trained_tiny_model, adapter, tiny_benchmark, frames=4)
+        slow = [f.latency_ms for f in report.frames if f.adapted]
+        fast = [f.latency_ms for f in report.frames if not f.adapted]
+        assert min(slow) > max(fast)
+
+    def test_wallclock_mode(self, trained_tiny_model, tiny_benchmark):
+        adapter = NoAdapt(trained_tiny_model)
+        config = PipelineConfig(latency_model="wallclock", deadline_ms=1e9)
+        pipeline = RealTimePipeline(trained_tiny_model, adapter, config)
+        stream = tiny_benchmark.target_stream(rng=np.random.default_rng(1))
+        report = pipeline.run(stream, 3)
+        assert all(f.latency_ms > 0 for f in report.frames)
+
+    def test_online_adaptation_improves_over_stream(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """The paper's deployment story: accuracy later in the stream should
+        be at least as good as at the start (model adapts online)."""
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3))
+        report = self._run(trained_tiny_model, adapter, tiny_benchmark, frames=40)
+        early = report.accuracy_over(0, 10)
+        late = report.accuracy_over(30, 40)
+        assert late >= early - 0.05  # no degradation; typically improves

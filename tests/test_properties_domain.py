@@ -1,0 +1,149 @@
+"""Property-based tests for encoding, k-means, metrics and the hw model."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.adapt import kmeans
+from repro.adapt.kmeans import _pairwise_sq_dists
+from repro.data import cols_to_cell_units, cell_units_to_cols, encode_labels, flip_labels
+from repro.hw import ld_bn_adapt_latency, meets_deadline
+from repro.hw.device import DeviceProfile
+from repro.metrics import point_accuracy
+from repro.models import get_config
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestEncodingProperties:
+    @given(
+        cols=st.lists(st.floats(0.0, 159.0), min_size=3, max_size=3),
+    )
+    @settings(**SETTINGS)
+    def test_quantization_error_bounded(self, cols):
+        """Encoded labels decode back within half a cell of the input."""
+        arr = np.asarray(cols)[None, :]  # one boundary, 3 anchors
+        labels, gt = encode_labels(arr, image_w=160, num_cells=10, num_slots=1)
+        present = labels < 10
+        decoded_cols = cell_units_to_cols(labels[present].astype(float), 160, 10)
+        original = arr.T[present]
+        assert (np.abs(decoded_cols - original) <= 160 / 10 / 2 + 1e-9).all()
+
+    @given(
+        labels=st.lists(st.integers(0, 10), min_size=8, max_size=8),
+    )
+    @settings(**SETTINGS)
+    def test_flip_involution(self, labels):
+        arr = np.asarray(labels, dtype=np.int64).reshape(2, 4)
+        np.testing.assert_array_equal(flip_labels(flip_labels(arr, 10), 10), arr)
+
+    @given(cols=st.lists(st.floats(1.0, 159.0), min_size=2, max_size=6))
+    @settings(**SETTINGS)
+    def test_cell_unit_roundtrip(self, cols):
+        arr = np.asarray(cols)
+        out = cell_units_to_cols(cols_to_cell_units(arr, 160, 25), 160, 25)
+        np.testing.assert_allclose(out, arr, rtol=1e-12)
+
+
+class TestKMeansProperties:
+    @given(
+        n=st.integers(6, 30),
+        d=st.integers(1, 4),
+        k=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(**SETTINGS)
+    def test_invariants(self, n, d, k, seed):
+        assume(k <= n)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, d))
+        result = kmeans(x, k, rng=rng)
+        # labels valid
+        assert result.labels.min() >= 0 and result.labels.max() < k
+        # assignment optimality
+        dists = _pairwise_sq_dists(x, result.centroids)
+        np.testing.assert_array_equal(result.labels, dists.argmin(axis=1))
+        # inertia consistent and non-negative
+        assert result.inertia >= 0
+        # inertia history monotone non-increasing (Lloyd guarantee)
+        hist = result.inertia_history
+        assert all(hist[i] >= hist[i + 1] - 1e-9 for i in range(len(hist) - 1))
+
+    @given(k=st.integers(1, 5), seed=st.integers(0, 50))
+    @settings(**SETTINGS)
+    def test_more_clusters_never_increase_inertia(self, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((30, 3))
+        few = kmeans(x, k, rng=np.random.default_rng(seed))
+        many = kmeans(x, min(k + 3, 30), rng=np.random.default_rng(seed))
+        # k-means++ is not globally optimal, so allow slack — but adding
+        # clusters should not substantially worsen the fit
+        assert many.inertia <= few.inertia * 1.1 + 1e-9
+
+
+class TestMetricProperties:
+    @given(
+        n=st.integers(1, 4),
+        anchors=st.integers(1, 6),
+        lanes=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(**SETTINGS)
+    def test_accuracy_bounds(self, n, anchors, lanes, seed):
+        rng = np.random.default_rng(seed)
+        gt = rng.uniform(0, 25, (n, anchors, lanes))
+        gt[rng.random(gt.shape) < 0.3] = np.nan
+        pred = gt + rng.normal(0, 2.0, gt.shape)
+        pred[rng.random(gt.shape) < 0.2] = np.nan
+        m = point_accuracy(pred, gt)
+        assert 0.0 <= m.accuracy <= 1.0
+        assert 0.0 <= m.false_positive_rate <= 1.0
+        assert 0.0 <= m.false_negative_rate <= 1.0
+
+    @given(seed=st.integers(0, 100))
+    @settings(**SETTINGS)
+    def test_perfect_prediction_is_perfect(self, seed):
+        rng = np.random.default_rng(seed)
+        gt = rng.uniform(0, 25, (2, 5, 3))
+        m = point_accuracy(gt.copy(), gt)
+        assert m.accuracy == 1.0
+        assert m.false_negative_rate == 0.0
+
+    @given(shift=st.floats(0.0, 10.0), seed=st.integers(0, 30))
+    @settings(**SETTINGS)
+    def test_accuracy_monotone_in_error(self, shift, seed):
+        """Shifting predictions further from GT can only lower accuracy."""
+        rng = np.random.default_rng(seed)
+        gt = rng.uniform(5, 20, (2, 6, 2))
+        near = point_accuracy(gt + shift, gt).accuracy
+        far = point_accuracy(gt + shift + 5.0, gt).accuracy
+        assert far <= near + 1e-12
+
+
+class TestRooflineProperties:
+    SPEC = get_config("paper-r18").to_spec()
+
+    @given(clock=st.floats(0.1, 1.0), seed=st.integers(0, 5))
+    @settings(**SETTINGS)
+    def test_latency_monotone_in_clock(self, clock, seed):
+        base = DeviceProfile("base", 60.0, 5e12, 2e11)
+        throttled = base.scaled(clock, 1.0, "throttled", 30.0)
+        fast = ld_bn_adapt_latency(self.SPEC, base, 1).total_ms
+        slow = ld_bn_adapt_latency(self.SPEC, throttled, 1).total_ms
+        assert slow >= fast - 1e-9
+
+    @given(batch=st.integers(1, 8))
+    @settings(**SETTINGS)
+    def test_step_latency_monotone_in_batch(self, batch):
+        base = DeviceProfile("base", 60.0, 5e12, 2e11)
+        t_b = ld_bn_adapt_latency(self.SPEC, base, batch).adaptation_ms
+        t_b1 = ld_bn_adapt_latency(self.SPEC, base, batch + 1).adaptation_ms
+        assert t_b1 > t_b
+
+    @given(
+        latency=st.floats(0.1, 100.0),
+        deadline=st.floats(0.1, 100.0),
+    )
+    @settings(**SETTINGS)
+    def test_meets_deadline_definition(self, latency, deadline):
+        assert meets_deadline(latency, deadline) == (latency <= deadline)

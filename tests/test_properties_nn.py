@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for the autograd core and BN.
+
+These probe the algebraic invariants the rest of the system leans on:
+gradient correctness on random shapes, BN's normalization contract, the
+entropy bounds the adaptation loss relies on, and softmax normalization.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import gradcheck
+from repro.nn.tensor import Tensor
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def arrays(draw, shape, lo=-3.0, hi=3.0):
+    elems = st.floats(lo, hi, allow_nan=False, allow_infinity=False, width=64)
+    flat = draw(st.lists(elems, min_size=int(np.prod(shape)), max_size=int(np.prod(shape))))
+    return np.asarray(flat, dtype=np.float64).reshape(shape)
+
+
+small_shapes = st.sampled_from([(2, 3), (1, 4), (3, 1), (2, 2, 2), (5,)])
+
+
+class TestArithmeticProperties:
+    @given(shape=small_shapes, data=st.data())
+    @settings(**SETTINGS)
+    def test_add_commutes(self, shape, data):
+        a = arrays(data.draw, shape)
+        b = arrays(data.draw, shape)
+        lhs = (Tensor(a) + Tensor(b)).numpy()
+        rhs = (Tensor(b) + Tensor(a)).numpy()
+        np.testing.assert_allclose(lhs, rhs)
+
+    @given(shape=small_shapes, data=st.data())
+    @settings(**SETTINGS)
+    def test_mul_grad_is_other_operand(self, shape, data):
+        a = Tensor(arrays(data.draw, shape), requires_grad=True)
+        b_val = arrays(data.draw, shape)
+        out = a * Tensor(b_val)
+        out.backward(np.ones(shape))
+        np.testing.assert_allclose(a.grad, b_val, rtol=1e-10)
+
+    @given(shape=small_shapes, data=st.data())
+    @settings(**SETTINGS)
+    def test_sum_grad_is_ones(self, shape, data):
+        a = Tensor(arrays(data.draw, shape), requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(shape))
+
+    @given(shape=small_shapes, data=st.data())
+    @settings(**SETTINGS)
+    def test_chain_rule_linear_combination(self, shape, data):
+        a = Tensor(arrays(data.draw, shape), requires_grad=True)
+        alpha = data.draw(st.floats(-2.0, 2.0, allow_nan=False))
+        (alpha * a + a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, alpha + 2 * a.data, rtol=1e-8, atol=1e-8)
+
+
+class TestSoftmaxProperties:
+    @given(
+        n=st.integers(1, 6), c=st.integers(2, 12), data=st.data()
+    )
+    @settings(**SETTINGS)
+    def test_softmax_is_distribution(self, n, c, data):
+        logits = arrays(data.draw, (n, c), -20, 20)
+        probs = F.softmax(Tensor(logits), axis=1).numpy()
+        assert (probs >= 0).all()
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+
+    @given(n=st.integers(1, 4), c=st.integers(2, 8), data=st.data())
+    @settings(**SETTINGS)
+    def test_softmax_shift_invariance(self, n, c, data):
+        logits = arrays(data.draw, (n, c), -5, 5)
+        shift = data.draw(st.floats(-100, 100, allow_nan=False))
+        a = F.softmax(Tensor(logits), axis=1).numpy()
+        b = F.softmax(Tensor(logits + shift), axis=1).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-6, atol=1e-9)
+
+    @given(n=st.integers(1, 4), c=st.integers(2, 8), data=st.data())
+    @settings(**SETTINGS)
+    def test_cross_entropy_lower_bounded_by_entropy_zero(self, n, c, data):
+        logits = arrays(data.draw, (n, c), -10, 10)
+        targets = np.asarray(
+            [data.draw(st.integers(0, c - 1)) for _ in range(n)], dtype=np.int64
+        )
+        loss = F.cross_entropy(Tensor(logits), targets).item()
+        assert loss >= -1e-9
+
+
+class TestEntropyProperties:
+    @given(
+        c=st.integers(2, 20),
+        n=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(**SETTINGS)
+    def test_entropy_bounds(self, c, n, data):
+        """0 <= H <= log C for any logits (the adaptation loss range)."""
+        from repro.adapt import entropy_loss
+
+        logits = arrays(data.draw, (n, c, 2, 2), -15, 15)
+        h = entropy_loss(Tensor(logits)).item()
+        assert -1e-9 <= h <= np.log(c) + 1e-6
+
+    @given(c=st.integers(2, 10), data=st.data())
+    @settings(**SETTINGS)
+    def test_entropy_matches_plain_numpy(self, c, data):
+        from repro.adapt import entropy_loss
+        from repro.metrics import mean_entropy
+
+        logits = arrays(data.draw, (2, c, 3, 1), -8, 8)
+        assert entropy_loss(Tensor(logits)).item() == pytest.approx(
+            mean_entropy(logits), rel=1e-5, abs=1e-7
+        )
+
+
+class TestBatchNormProperties:
+    @given(
+        n=st.integers(2, 6),
+        c=st.integers(1, 4),
+        hw=st.integers(2, 5),
+        data=st.data(),
+    )
+    @settings(**SETTINGS)
+    def test_train_mode_output_standardized(self, n, c, hw, data):
+        """With gamma=1, beta=0 the train-mode output is ~N(0,1) per channel."""
+        x = arrays(data.draw, (n, c, hw, hw), -10, 10)
+        # degenerate all-equal channels have zero variance; skip those
+        x += np.random.default_rng(0).normal(0, 1e-3, x.shape)
+        out = F.batch_norm(
+            Tensor(x),
+            Tensor(np.ones((1, c, 1, 1))),
+            Tensor(np.zeros((1, c, 1, 1))),
+            np.zeros(c),
+            np.ones(c),
+            training=True,
+        ).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        var = out.var(axis=(0, 2, 3))
+        assert (var < 1.0 + 1e-3).all()
+
+    @given(
+        n=st.integers(2, 5), c=st.integers(1, 3), data=st.data()
+    )
+    @settings(**SETTINGS)
+    def test_refresh_statistics_idempotent(self, n, c, data):
+        x = Tensor(arrays(data.draw, (n, c, 3, 3)).astype(np.float32))
+        bn = nn.BatchNorm2d(c)
+        bn.refresh_statistics(x)
+        mean1 = bn.running_mean.copy()
+        bn.refresh_statistics(x)
+        np.testing.assert_array_equal(bn.running_mean, mean1)
+
+    @given(scale=st.floats(0.5, 4.0), data=st.data())
+    @settings(**SETTINGS)
+    def test_train_output_invariant_to_channel_scaling(self, scale, data):
+        """BN(a*x) == BN(x) for a > 0 — why BN-stat refresh neutralizes
+        global illumination/contrast shift, the core of the paper's method."""
+        x = arrays(data.draw, (4, 2, 3, 3), -5, 5)
+        gamma = Tensor(np.ones((1, 2, 1, 1)))
+        beta = Tensor(np.zeros((1, 2, 1, 1)))
+        out1 = F.batch_norm(
+            Tensor(x), gamma, beta, np.zeros(2), np.ones(2), training=True
+        ).numpy()
+        out2 = F.batch_norm(
+            Tensor(scale * x), gamma, beta, np.zeros(2), np.ones(2), training=True
+        ).numpy()
+        np.testing.assert_allclose(out1, out2, rtol=1e-4, atol=1e-5)
+
+
+class TestConvShapeProperties:
+    @given(
+        h=st.integers(4, 12),
+        w=st.integers(4, 12),
+        k=st.integers(1, 3),
+        s=st.integers(1, 2),
+        p=st.integers(0, 2),
+    )
+    @settings(**SETTINGS)
+    def test_conv_shape_formula(self, h, w, k, s, p):
+        from repro.models.spec import conv_out_size
+
+        x = Tensor(np.zeros((1, 1, h, w), dtype=np.float32))
+        weight = Tensor(np.zeros((1, 1, k, k), dtype=np.float32))
+        out = F.conv2d(x, weight, stride=s, padding=p)
+        assert out.shape[2] == conv_out_size(h, k, s, p)
+        assert out.shape[3] == conv_out_size(w, k, s, p)
+
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 3),
+        f=st.integers(1, 4),
+    )
+    @settings(**SETTINGS)
+    def test_conv1x1_equals_channel_matmul(self, n, c, f):
+        rng = np.random.default_rng(n * 100 + c * 10 + f)
+        x = rng.standard_normal((n, c, 4, 5))
+        w = rng.standard_normal((f, c, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w)).numpy()
+        expected = np.einsum("fc,nchw->nfhw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out, expected, rtol=1e-6, atol=1e-8)

@@ -1,0 +1,224 @@
+"""Coverage for utils (rng/logging/profiling), the trainer, visualization
+and the experiments CLI."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.visualize import ascii_frame, ascii_lanes, frame_report
+from repro.experiments.cli import main as cli_main
+from repro.models import decode_predictions, get_config
+from repro.train import SourceTrainer, TrainConfig, TrainReport
+from repro.utils import Logger, Timer, make_rng, rng_stream, set_verbosity, split_rng
+
+
+class TestRngUtils:
+    def test_make_rng_deterministic(self):
+        a = make_rng(42).random(3)
+        b = make_rng(42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_split_rng_independent_and_stable(self):
+        parent1 = make_rng(0)
+        parent2 = make_rng(0)
+        kids1 = split_rng(parent1, 3)
+        kids2 = split_rng(parent2, 3)
+        for k1, k2 in zip(kids1, kids2):
+            np.testing.assert_array_equal(k1.random(4), k2.random(4))
+        # siblings differ
+        assert not np.allclose(kids1[0].random(4), kids1[1].random(4))
+
+    def test_split_rng_negative_count(self):
+        with pytest.raises(ValueError):
+            split_rng(make_rng(0), -1)
+
+    def test_rng_stream_yields_fresh_generators(self):
+        stream = rng_stream(make_rng(7))
+        g1, g2 = next(stream), next(stream)
+        assert not np.allclose(g1.random(4), g2.random(4))
+
+
+class TestLogger:
+    def test_info_respects_verbosity(self):
+        buf = io.StringIO()
+        log = Logger("test", stream=buf)
+        set_verbosity(0)
+        try:
+            log.info("hidden")
+            assert buf.getvalue() == ""
+            set_verbosity(1)
+            log.info("shown %d", 42)
+            assert "shown 42" in buf.getvalue()
+        finally:
+            set_verbosity(1)
+
+    def test_debug_needs_level_2(self):
+        buf = io.StringIO()
+        log = Logger("t", stream=buf)
+        set_verbosity(1)
+        log.debug("quiet")
+        assert buf.getvalue() == ""
+        set_verbosity(2)
+        try:
+            log.debug("loud")
+            assert "loud" in buf.getvalue()
+        finally:
+            set_verbosity(1)
+
+    def test_warning_always_prints(self):
+        buf = io.StringIO()
+        log = Logger("t", stream=buf)
+        set_verbosity(0)
+        try:
+            log.warning("danger")
+            assert "danger" in buf.getvalue()
+        finally:
+            set_verbosity(1)
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        t = Timer()
+        with t.measure("a"):
+            pass
+        with t.measure("a"):
+            pass
+        assert t.count("a") == 2
+        assert t.total("a") >= 0.0
+        assert t.mean("a") == pytest.approx(t.total("a") / 2)
+
+    def test_summary_and_reset(self):
+        t = Timer()
+        t.add("x", 1.0)
+        t.add("x", 3.0)
+        summary = t.summary()
+        assert summary["x"]["total"] == 4.0
+        assert summary["x"]["mean"] == 2.0
+        t.reset()
+        assert t.count("x") == 0
+
+    def test_unknown_name_is_zero(self):
+        t = Timer()
+        assert t.total("nope") == 0.0
+        assert t.mean("nope") == 0.0
+
+
+class TestTrainer:
+    def test_report_shape(self, tiny_benchmark):
+        from repro.models import build_model
+
+        model = build_model("tiny-r18", num_lanes=2, rng=np.random.default_rng(0))
+        trainer = SourceTrainer(model, TrainConfig(epochs=2, lr=0.02))
+        calls = []
+
+        def hook(m):
+            calls.append(1)
+            return {"metric": 1.0}
+
+        report = trainer.fit(
+            tiny_benchmark.source_train.subset(range(32)),
+            np.random.default_rng(0),
+            eval_fn=hook,
+        )
+        assert len(report.epoch_losses) == 2
+        assert len(report.eval_history) == 2
+        assert len(calls) == 2
+        assert report.final_loss == report.epoch_losses[-1]
+
+    def test_loss_decreases_across_epochs(self, tiny_benchmark):
+        from repro.models import build_model
+
+        model = build_model("tiny-r18", num_lanes=2, rng=np.random.default_rng(1))
+        trainer = SourceTrainer(model, TrainConfig(epochs=4, lr=0.02))
+        report = trainer.fit(
+            tiny_benchmark.source_train.subset(range(64)), np.random.default_rng(0)
+        )
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_model_left_in_eval(self, tiny_benchmark):
+        from repro.models import build_model
+
+        model = build_model("tiny-r18", num_lanes=2, rng=np.random.default_rng(2))
+        SourceTrainer(model, TrainConfig(epochs=1)).fit(
+            tiny_benchmark.source_train.subset(range(16)), np.random.default_rng(0)
+        )
+        assert all(not m.training for m in model.modules())
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+
+    def test_empty_report_final_loss_nan(self):
+        assert np.isnan(TrainReport().final_loss)
+
+
+class TestVisualize:
+    def test_ascii_frame_dimensions(self, tiny_benchmark):
+        image = tiny_benchmark.source_train.images[0]
+        art = ascii_frame(image, width=40)
+        lines = art.splitlines()
+        assert all(len(line) == 40 for line in lines)
+        assert len(lines) >= 4
+
+    def test_ascii_frame_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ascii_frame(np.zeros((32, 80)))
+
+    def test_ascii_frame_brightness_mapping(self):
+        dark = np.zeros((3, 8, 16), dtype=np.float32)
+        bright = np.ones((3, 8, 16), dtype=np.float32)
+        assert set(ascii_frame(dark, width=16).replace("\n", "")) == {" "}
+        assert set(ascii_frame(bright, width=16).replace("\n", "")) == {"@"}
+
+    def test_ascii_lanes_marks_matches(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        gt = np.full((cfg.num_anchors, 2), np.nan)
+        gt[:, 0] = 3.0
+        art = ascii_lanes(cfg, gt.copy(), gt_cells=gt, width=40)
+        assert "*" in art  # prediction == truth renders as overlap
+        assert art.count("\n") == cfg.num_anchors - 1
+
+    def test_ascii_lanes_prediction_only(self):
+        cfg = get_config("tiny-r18", num_lanes=2)
+        pred = np.full((cfg.num_anchors, 2), np.nan)
+        pred[:, 1] = 7.0
+        art = ascii_lanes(cfg, pred, width=40)
+        assert "1" in art and "*" not in art
+
+    def test_frame_report_combines(self, trained_tiny_model, tiny_benchmark):
+        from repro import nn
+
+        sample = tiny_benchmark.target_test[0]
+        with nn.no_grad():
+            logits = trained_tiny_model(nn.Tensor(sample.image[None]))
+        pred = decode_predictions(logits.numpy(), trained_tiny_model.config)[0]
+        report = frame_report(
+            sample.image, trained_tiny_model.config, pred, sample.gt_cells
+        )
+        assert "-" * 10 in report
+        assert len(report.splitlines()) > 10
+
+
+class TestCLI:
+    def test_fig3(self, capsys):
+        assert cli_main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG3" in out and "MATCHES" in out
+
+    def test_census(self, capsys):
+        assert cli_main(["census"]) == 0
+        assert "paper-r18" in capsys.readouterr().out
+
+    def test_sota_cost(self, capsys):
+        assert cli_main(["sota-cost"]) == 0
+        assert "mulane" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert cli_main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "model_vehicle" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig9"])
