@@ -13,6 +13,8 @@ Package layout:
 * :mod:`repro.metrics` — TuSimple-style accuracy, entropy tracking;
 * :mod:`repro.hw` — Jetson Orin power-mode latency/energy model;
 * :mod:`repro.pipeline` — the 30 FPS inference→adapt→next-frame loop;
+* :mod:`repro.serve` — fleet serving: deadline-aware batched inference
+  for N concurrent streams with per-stream adaptation state;
 * :mod:`repro.experiments` — harnesses regenerating every paper artifact.
 
 Quickstart::
@@ -28,7 +30,19 @@ See ``examples/quickstart.py`` for the end-to-end walkthrough.
 
 __version__ = "1.0.0"
 
-from . import adapt, data, experiments, hw, metrics, models, nn, pipeline, train, utils
+from . import (
+    adapt,
+    data,
+    experiments,
+    hw,
+    metrics,
+    models,
+    nn,
+    pipeline,
+    serve,
+    train,
+    utils,
+)
 
 __all__ = [
     "nn",
@@ -39,6 +53,7 @@ __all__ = [
     "metrics",
     "hw",
     "pipeline",
+    "serve",
     "experiments",
     "utils",
     "__version__",

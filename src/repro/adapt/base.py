@@ -112,7 +112,12 @@ def set_bn_training(model: nn.Module, mode: bool) -> None:
 
 
 class ParameterSnapshot:
-    """Save/restore a subset of parameters (used by failure-recovery tests)."""
+    """Save/restore a subset of parameters.
+
+    Used by the failure-recovery tests and, through :meth:`capture` /
+    :meth:`restore` round-trips, by the fleet-serving stream sessions to
+    swap per-stream BN gamma/beta in and out of a shared model.
+    """
 
     def __init__(self, params: Iterable[nn.Parameter]):
         self.params = list(params)
@@ -121,6 +126,11 @@ class ParameterSnapshot:
     def restore(self) -> None:
         for p, data in zip(self.params, self.saved):
             p.data[...] = data
+
+    def capture(self) -> None:
+        """Re-save the parameters' *current* values into the snapshot."""
+        for p, data in zip(self.params, self.saved):
+            data[...] = p.data
 
     def max_change(self) -> float:
         """Largest absolute parameter change since the snapshot."""

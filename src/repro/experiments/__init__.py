@@ -29,6 +29,7 @@ from .config import (
 from .fig1_datasets import DomainStats, Fig1Result, export_gallery, run_fig1
 from .fig2_accuracy import Fig2Cell, Fig2Result, run_fig2, train_source_model
 from .fig3_latency import PAPER_FEASIBILITY, Fig3Result, Fig3Row, run_fig3
+from .fleet_serving import FleetRunResult, roofline_comparison_rows, run_fleet
 from .reporting import format_markdown_table, format_table, load_json, save_json
 
 __all__ = [
@@ -56,6 +57,9 @@ __all__ = [
     "Fig3Result",
     "Fig3Row",
     "PAPER_FEASIBILITY",
+    "run_fleet",
+    "FleetRunResult",
+    "roofline_comparison_rows",
     "run_param_census",
     "run_variant_comparison",
     "run_batch_size_ablation",

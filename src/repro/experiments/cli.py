@@ -5,10 +5,12 @@
     python -m repro.experiments census
     python -m repro.experiments sota-cost
     python -m repro.experiments fig1
+    python -m repro.experiments fleet --streams 3 --frames 45
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
-interactive use.
+interactive use.  ``fleet`` is the multi-vehicle serving demo (not a
+paper artifact, so ``all`` does not include it).
 """
 
 from __future__ import annotations
@@ -22,9 +24,10 @@ from .config import get_run_scale
 from .fig1_datasets import run_fig1
 from .fig2_accuracy import run_fig2
 from .fig3_latency import run_fig3
+from .fleet_serving import roofline_comparison_rows, run_fleet
 from .reporting import format_table
 
-_ARTIFACTS = ("fig1", "fig2", "fig3", "census", "sota-cost", "all")
+_ARTIFACTS = ("fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "all")
 
 
 def _print_fig1(scale) -> None:
@@ -60,6 +63,32 @@ def _print_sota_cost(scale) -> None:
     print(format_table(run_sota_cost(), floatfmt=".2f"))
 
 
+def _print_fleet(scale, streams: int, frames: int, adapt_stride: int) -> None:
+    result = run_fleet(
+        scale=scale,
+        num_streams=streams,
+        num_frames=frames,
+        adapt_stride=adapt_stride,
+    )
+    print(f"FLEET — {streams} heterogeneous streams, one shared model")
+    print(format_table(result.per_stream_rows(), floatfmt=".3f"))
+    print()
+    print("fleet dashboard")
+    print(format_table(result.summary_rows(), floatfmt=".3f"))
+    print()
+    print("roofline: batched vs serial inference at this fleet size")
+    print(
+        format_table(
+            roofline_comparison_rows(
+                streams,
+                power_mode=result.power_mode,
+                adapt_stride=adapt_stride,
+            ),
+            floatfmt=".2f",
+        )
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -71,8 +100,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="run scale: tiny (default) or small; also honours REPRO_SCALE",
     )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=3,
+        help="fleet only: number of concurrent camera streams",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=45,
+        help="fleet only: camera periods (frames per stream) to serve",
+    )
+    parser.add_argument(
+        "--adapt-stride",
+        type=int,
+        default=1,
+        help="fleet only: each stream adapts on every k-th of its frames",
+    )
     args = parser.parse_args(argv)
     scale = get_run_scale(args.scale)
+
+    if args.artifact == "fleet":
+        _print_fleet(scale, args.streams, args.frames, args.adapt_stride)
+        return 0
 
     runners = {
         "fig1": _print_fig1,

@@ -1,0 +1,171 @@
+"""FLEET — multi-stream fleet serving with heterogeneous domain shift.
+
+The scenario the single-vehicle pipeline cannot express: N vehicles share
+one model (and one device), each driving its own domain schedule — e.g.
+one on the MoLane model-vehicle track, one on the TuSimple highway, one
+mid-transition between the two.  Each stream keeps private LD-BN-ADAPT
+state; inference is batched across streams by the deadline-aware
+scheduler.
+
+:func:`run_fleet` trains one source model at the chosen run scale, builds
+a heterogeneous stream per vehicle, serves ``num_frames`` fleet ticks on
+the simulated Jetson Orin, and reports per-stream accuracy plus the fleet
+latency/deadline dashboard, alongside the roofline comparison of batched
+vs. N-serial per-frame cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..adapt import LDBNAdaptConfig
+from ..data.benchmarks import make_benchmark
+from ..data.dataset import FrameStream
+from ..data.domains import MODEL_VEHICLE, TUSIMPLE_HIGHWAY
+from ..hw.device import get_power_mode
+from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
+from ..models.registry import get_config
+from ..serve import FleetConfig, FleetReport, FleetServer
+from ..utils.logging import Logger
+from .config import RunScale, get_run_scale
+from .fig2_accuracy import train_source_model
+
+log = Logger("fleet")
+
+#: the three canonical vehicle profiles, cycled over the fleet
+_DOMAIN_SCHEDULES = (
+    ("model_vehicle", (MODEL_VEHICLE,), (2,)),
+    ("tusimple_highway", (TUSIMPLE_HIGHWAY,), (4,)),
+    # mid-shift: the stream flips between both targets every few seconds
+    ("mid_shift", (MODEL_VEHICLE, TUSIMPLE_HIGHWAY), (2, 4)),
+)
+
+
+@dataclass
+class FleetRunResult:
+    """Fleet report plus table-ready rows."""
+
+    report: FleetReport
+    scale_name: str
+    power_mode: str
+    adapt_stride: int
+    domain_schedules: Dict[str, str] = field(default_factory=dict)
+
+    def per_stream_rows(self) -> List[Dict[str, object]]:
+        rows = self.report.per_stream_rows()
+        for row in rows:
+            row["domains"] = self.domain_schedules.get(str(row["stream"]), "?")
+        return rows
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        summary = self.report.summary()
+        summary["power_mode"] = self.power_mode
+        summary["adapt_stride"] = float(self.adapt_stride)
+        return [summary]
+
+
+def roofline_comparison_rows(
+    num_streams: int,
+    power_mode: str = "orin-60w",
+    backbone_preset: str = "paper-r18",
+    adapt_stride: int = 1,
+) -> List[Dict[str, object]]:
+    """Modeled per-tick cost: batched fleet vs. N time-sliced serial loops.
+
+    Both alternatives share ONE device; the difference is whether the N
+    inference passes of a camera period run as one batch or serially.
+    Adaptation steps are serial per-stream work in both cases.
+    """
+    spec = get_config(backbone_preset).to_spec()
+    device = get_power_mode(power_mode)
+    adapt_ms = ld_bn_adapt_latency(spec, device, 1).adaptation_ms / adapt_stride
+    serial_infer = num_streams * batched_inference_latency_ms(spec, device, 1)
+    batched_infer = batched_inference_latency_ms(spec, device, num_streams)
+    rows = []
+    for label, infer_ms in (("serial", serial_infer), ("batched", batched_infer)):
+        tick_ms = infer_ms + num_streams * adapt_ms
+        rows.append(
+            {
+                "mode": label,
+                "streams": num_streams,
+                "inference_ms_per_tick": infer_ms,
+                "adaptation_ms_per_tick": num_streams * adapt_ms,
+                "tick_ms": tick_ms,
+                "frames_per_second": 1e3 * num_streams / tick_ms,
+            }
+        )
+    return rows
+
+
+def run_fleet(
+    scale: Optional[RunScale] = None,
+    num_streams: int = 3,
+    num_frames: int = 45,
+    power_mode: str = "orin-60w",
+    adapt_stride: int = 1,
+    max_batch_size: int = 8,
+) -> FleetRunResult:
+    """Train a source model and serve a heterogeneous fleet from it."""
+    if num_streams < 1:
+        raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+    scale = scale if scale is not None else get_run_scale()
+
+    # one 4-slot source model serves every vehicle (2-lane scenes live in
+    # the inner slots, exactly like MuLane's label space)
+    benchmark = make_benchmark(
+        "mulane",
+        get_config(scale.preset("r18")),
+        source_frames=scale.source_frames,
+        target_train_frames=2,  # unused by the fleet; keep the build cheap
+        target_test_frames=2,
+        seed=scale.seed,
+    )
+    log.info("fleet: training shared source model (%s)", scale.name)
+    model = train_source_model(benchmark, "r18", scale)
+
+    device = get_power_mode(power_mode)
+    spec = get_config("paper-r18").to_spec()
+    server = FleetServer(
+        model,
+        FleetConfig(
+            latency_model="orin",
+            adapt_stride=adapt_stride,
+            max_batch_size=max_batch_size,
+        ),
+        device=device,
+        spec=spec,
+    )
+
+    schedules: Dict[str, str] = {}
+    for i in range(num_streams):
+        name, domains, scene_lanes = _DOMAIN_SCHEDULES[i % len(_DOMAIN_SCHEDULES)]
+        stream_id = f"vehicle-{i}-{name}"
+        stream = FrameStream(
+            domains=domains,
+            config=benchmark.config,
+            rng=np.random.default_rng(scale.seed + 1000 + i),
+            scene_lanes_per_domain=scene_lanes,
+            switch_every=max(num_frames // 3, 1),
+        )
+        server.add_stream(
+            stream_id, stream, adapter_config=LDBNAdaptConfig(lr=scale.adapt_lr)
+        )
+        schedules[stream_id] = "+".join(d.name for d in domains)
+
+    log.info(
+        "fleet: serving %d streams for %d ticks on %s",
+        num_streams,
+        num_frames,
+        power_mode,
+    )
+    report = server.run(num_frames)
+    return FleetRunResult(
+        report=report,
+        scale_name=scale.name,
+        power_mode=power_mode,
+        adapt_stride=adapt_stride,
+        domain_schedules=schedules,
+    )

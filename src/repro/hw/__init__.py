@@ -26,6 +26,8 @@ from .roofline import (
     LatencyBreakdown,
     amortized_frame_latency,
     backward_latency,
+    batched_inference_latency_ms,
+    batching_speedup,
     forward_latency,
     ld_bn_adapt_latency,
     sota_epoch_latency,
@@ -43,6 +45,8 @@ __all__ = [
     "update_latency",
     "ld_bn_adapt_latency",
     "amortized_frame_latency",
+    "batched_inference_latency_ms",
+    "batching_speedup",
     "sota_epoch_latency",
     "DEADLINE_30FPS_MS",
     "DEADLINE_18FPS_MS",

@@ -123,6 +123,34 @@ def ld_bn_adapt_latency(
     )
 
 
+def batched_inference_latency_ms(
+    spec: ModelSpec, device: DeviceProfile, batch_size: int
+) -> float:
+    """Latency (ms) of one eval-mode forward over a ``batch_size`` batch.
+
+    This is the quantity the fleet-serving scheduler plans with: FLOP and
+    DRAM terms scale linearly with the batch, but the per-layer kernel
+    launch overhead is paid once per batch, so the *per-frame* cost
+    ``batched_inference_latency_ms(b) / b`` strictly decreases with ``b``
+    — the roofline-level case for cross-stream batching.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return 1e3 * forward_latency(spec, device, batch_size, training=False)
+
+
+def batching_speedup(
+    spec: ModelSpec, device: DeviceProfile, batch_size: int
+) -> float:
+    """Per-frame inference speedup of a ``batch_size`` batch vs. batch 1.
+
+    ``b * latency(1) / latency(b)`` — how much faster one shared batched
+    pass serves ``b`` concurrent streams than ``b`` serial passes.
+    """
+    serial = batch_size * batched_inference_latency_ms(spec, device, 1)
+    return serial / batched_inference_latency_ms(spec, device, batch_size)
+
+
 def amortized_frame_latency(
     spec: ModelSpec, device: DeviceProfile, adapt_batch_size: int
 ) -> float:

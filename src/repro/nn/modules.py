@@ -326,6 +326,12 @@ class _BatchNormBase(Module):
         self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float64))
         self.register_buffer("running_var", np.ones(num_features, dtype=np.float64))
         self.register_buffer("num_batches_tracked", np.zeros(1, dtype=np.int64))
+        # Optional (scale, shift) pair of (N, C) arrays: when set, eval-mode
+        # forward normalizes each *sample* with its own statistics instead of
+        # this module's running buffers.  The fleet-serving subsystem uses
+        # this to batch frames from many streams (each with its own adapted
+        # BN state) through one shared forward pass — see repro.serve.streams.
+        self.per_sample_stats: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _param_shape(self, ndim: int) -> Tuple[int, ...]:
         if ndim == 4:
@@ -334,6 +340,8 @@ class _BatchNormBase(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         self._check_input(x)
+        if self.per_sample_stats is not None and not self.training:
+            return self._per_sample_forward(x)
         shape = self._param_shape(x.ndim)
         gamma = self.weight.reshape(*shape)
         beta = self.bias.reshape(*shape)
@@ -352,6 +360,26 @@ class _BatchNormBase(Module):
 
     def _check_input(self, x: Tensor) -> None:
         raise NotImplementedError
+
+    def _per_sample_forward(self, x: Tensor) -> Tensor:
+        """Eval-mode normalization with per-sample precomputed affines.
+
+        Eval-mode batch norm is an affine map per channel; with per-sample
+        ``scale``/``shift`` arrays of shape ``(N, C)`` the same holds per
+        sample, which lets one batched forward serve inputs whose BN state
+        differs (multi-stream serving).  Inference-only: gradients through
+        the folded constants are not meaningful, so run under ``no_grad``.
+        """
+        scale, shift = self.per_sample_stats
+        if scale.shape != (x.shape[0], self.num_features):
+            raise ValueError(
+                f"per_sample_stats shaped {scale.shape}, expected "
+                f"({x.shape[0]}, {self.num_features})"
+            )
+        shape = (x.shape[0], self.num_features) + (1,) * (x.ndim - 2)
+        return x * Tensor(scale.reshape(shape), _copy=False) + Tensor(
+            shift.reshape(shape), _copy=False
+        )
 
     def refresh_statistics(self, x: Tensor) -> None:
         """Replace running statistics with the statistics of batch ``x``.

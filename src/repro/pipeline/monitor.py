@@ -9,9 +9,23 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
+
+
+def latency_percentile(latencies: Sequence[float], q: float) -> float:
+    """Percentile ``q`` in [0, 100] of a latency series; 0.0 when empty.
+
+    The one shared implementation behind :class:`DeadlineMonitor`,
+    :class:`PipelineReport` and the fleet-level
+    :class:`repro.serve.report.FleetReport`.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not latencies:
+        return 0.0
+    return float(np.percentile(latencies, q))
 
 
 @dataclass
@@ -59,11 +73,21 @@ class DeadlineMonitor:
     def mean_latency_ms(self) -> float:
         return float(np.mean(self.latencies)) if self.latencies else 0.0
 
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100]; 0.0 when nothing recorded."""
+        return latency_percentile(self.latencies, q)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency_percentile(95)
+
     @property
     def p99_latency_ms(self) -> float:
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(self.latencies, 99))
+        return self.latency_percentile(99)
 
 
 class RollingAccuracy:
@@ -96,10 +120,15 @@ class RollingAccuracy:
 
 @dataclass
 class PipelineReport:
-    """Summary of one online-adaptation run."""
+    """Summary of one online-adaptation run.
+
+    ``truncated`` is set when the source stream ended before the requested
+    number of frames — the report then covers only the frames that ran.
+    """
 
     frames: List[FrameRecord] = field(default_factory=list)
     deadline_ms: float = 0.0
+    truncated: bool = False
 
     @property
     def num_frames(self) -> int:
@@ -134,6 +163,10 @@ class PipelineReport:
     def adaptation_steps(self) -> int:
         return sum(1 for f in self.frames if f.adapted)
 
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] over all frames."""
+        return latency_percentile([f.latency_ms for f in self.frames], q)
+
     def summary(self) -> Dict[str, float]:
         return {
             "frames": float(self.num_frames),
@@ -142,4 +175,5 @@ class PipelineReport:
             "deadline_ms": self.deadline_ms,
             "deadline_miss_rate": self.deadline_miss_rate,
             "adaptation_steps": float(self.adaptation_steps),
+            "truncated": float(self.truncated),
         }

@@ -47,6 +47,17 @@ class PipelineConfig:
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
             raise ValueError(f"unknown latency model {self.latency_model!r}")
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.decode_method not in ("argmax", "expectation"):
+            raise ValueError(f"unknown decode method {self.decode_method!r}")
+        if self.accuracy_threshold_cells <= 0:
+            raise ValueError(
+                f"accuracy_threshold_cells must be positive, "
+                f"got {self.accuracy_threshold_cells}"
+            )
+        if self.rolling_window < 1:
+            raise ValueError(f"rolling_window must be >= 1, got {self.rolling_window}")
 
 
 class RealTimePipeline:
@@ -94,6 +105,10 @@ class RealTimePipeline:
 
         Ground-truth labels attached to the stream are used **only** for
         the online accuracy diagnostics — the adapter sees raw images.
+
+        If the stream ends before ``num_frames`` frames were produced, the
+        partial report is returned with ``report.truncated`` set instead of
+        leaking the stream's ``StopIteration``.
         """
         report = PipelineReport(deadline_ms=self.config.deadline_ms)
         monitor = DeadlineMonitor(self.config.deadline_ms)
@@ -101,7 +116,11 @@ class RealTimePipeline:
         iterator = iter(stream)
 
         for index in range(num_frames):
-            frame = next(iterator)
+            try:
+                frame = next(iterator)
+            except StopIteration:
+                report.truncated = True
+                break
 
             with self.timer.measure("inference"):
                 pred = self._predict(frame)

@@ -1,0 +1,70 @@
+"""``repro.serve`` — fleet serving: N adapting vehicles, one shared model.
+
+The paper deploys one vehicle adapting online at 30 FPS
+(:class:`repro.pipeline.RealTimePipeline`).  This package scales that
+deployment story to a *fleet*: many concurrent camera streams, each with
+its own domain-shift schedule and its own LD-BN-ADAPT state, multiplexed
+through a single model on a single device.
+
+Architecture
+------------
+::
+
+    cameras ──► StreamRegistry ──► DeadlineAwareScheduler ──► FleetServer
+                (streams.py)          (scheduler.py)           (server.py)
+                 per-stream           deadline-aware            batched fwd +
+                 BN state +           dynamic batching          per-stream
+                 adapter              w/ priority aging         decode/adapt
+                                                                   │
+                                                              FleetReport
+                                                              (report.py)
+
+* **streams.py** — per-stream isolation.  Everything LD-BN-ADAPT touches
+  (BN running statistics, gamma/beta, optimizer momentum) lives in a
+  :class:`StreamSession`; ``ParameterSnapshot``-based ``swap_in`` /
+  ``swap_out`` materializes a stream's state on the shared model around
+  its adaptation steps.  For inference no swapping is needed at all:
+  eval-mode BN folds to a per-channel affine, so
+  :func:`per_stream_inference` stacks each stream's folded
+  ``(scale, shift)`` into per-sample arrays and ONE batched forward pass
+  serves frames from many differently-adapted streams simultaneously.
+* **scheduler.py** — deadline-aware dynamic batching.  Batches amortize
+  per-layer launch overhead but must finish inside the 33.3 ms camera
+  deadline; the scheduler plans batch sizes with the
+  :mod:`repro.hw.roofline` latency model, orders requests by aged
+  urgency (EDF plus a queue-age credit so no stream starves), and flips
+  to max-throughput batching once a deadline is already unmeetable.
+* **server.py** — the fleet loop: ingest one frame per stream per tick →
+  batch → shared forward → per-stream decode, accuracy and adaptation,
+  with per-frame deadline accounting on either the simulated Jetson Orin
+  clock or measured wallclock.
+* **report.py** — fleet dashboard: p50/p95/p99 latency, per-stream
+  accuracy, deadline-miss rate and sustained frames/sec.
+
+Entry points: ``python -m repro.experiments fleet`` (heterogeneous-domain
+demo harness), ``examples/fleet_serving.py``, and
+``benchmarks/bench_serve_throughput.py`` (batched vs. N serial pipelines).
+"""
+
+from .report import FleetReport
+from .scheduler import BatchPlan, DeadlineAwareScheduler, FrameRequest
+from .server import FleetConfig, FleetServer
+from .streams import (
+    BNStateSnapshot,
+    StreamRegistry,
+    StreamSession,
+    per_stream_inference,
+)
+
+__all__ = [
+    "FleetServer",
+    "FleetConfig",
+    "FleetReport",
+    "DeadlineAwareScheduler",
+    "BatchPlan",
+    "FrameRequest",
+    "StreamRegistry",
+    "StreamSession",
+    "BNStateSnapshot",
+    "per_stream_inference",
+]

@@ -1,0 +1,153 @@
+"""Fleet-level aggregation of per-stream serving reports.
+
+A fleet run produces one :class:`~repro.pipeline.monitor.PipelineReport`
+per stream (the same record type the single-vehicle pipeline emits, so
+per-stream numbers are directly comparable to serial
+:class:`~repro.pipeline.RealTimePipeline` baselines).  This module rolls
+them up into what a serving operator watches: tail latency (p50/p95/p99)
+across the whole fleet, per-stream accuracy, deadline-miss rate, and
+sustained throughput against the serial alternative.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..pipeline.monitor import PipelineReport, latency_percentile
+
+
+@dataclass
+class FleetReport:
+    """Aggregated outcome of one fleet serving run.
+
+    ``elapsed_ms`` is the makespan on the run's latency clock: simulated
+    device time in ``"orin"`` mode, measured host time in ``"wallclock"``
+    mode.  Throughput derives from it, so batched-vs-serial comparisons
+    stay within one clock.
+    """
+
+    deadline_ms: float
+    latency_model: str = "orin"
+    elapsed_ms: float = 0.0
+    batch_sizes: List[int] = field(default_factory=list)
+    stream_reports: "OrderedDict[str, PipelineReport]" = field(
+        default_factory=OrderedDict
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_streams(self) -> int:
+        return len(self.stream_reports)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(r.num_frames for r in self.stream_reports.values())
+
+    def _all_latencies(self) -> List[float]:
+        return [
+            f.latency_ms
+            for report in self.stream_reports.values()
+            for f in report.frames
+        ]
+
+    def latency_percentile(self, q: float) -> float:
+        """Fleet-wide per-frame latency percentile, ``q`` in [0, 100]."""
+        return latency_percentile(self._all_latencies(), q)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        latencies = self._all_latencies()
+        return float(np.mean(latencies)) if latencies else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of all served frames that missed their deadline."""
+        frames = [
+            f for r in self.stream_reports.values() for f in r.frames
+        ]
+        if not frames:
+            return 0.0
+        return float(np.mean([not f.deadline_met for f in frames]))
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Frame-weighted mean accuracy across the fleet."""
+        frames = [
+            f.accuracy for r in self.stream_reports.values() for f in r.frames
+        ]
+        return float(np.mean(frames)) if frames else 0.0
+
+    @property
+    def frames_per_second(self) -> float:
+        """Sustained fleet throughput over the run's makespan."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return 1e3 * self.total_frames / self.elapsed_ms
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    @property
+    def per_stream_accuracy(self) -> Dict[str, float]:
+        return {
+            sid: report.mean_accuracy
+            for sid, report in self.stream_reports.items()
+        }
+
+    @property
+    def truncated_streams(self) -> List[str]:
+        return [
+            sid for sid, report in self.stream_reports.items() if report.truncated
+        ]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """The fleet dashboard row."""
+        return {
+            "streams": float(self.num_streams),
+            "frames": float(self.total_frames),
+            "frames_per_second": self.frames_per_second,
+            "mean_batch_size": self.mean_batch_size,
+            "mean_accuracy": self.mean_accuracy,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "deadline_ms": self.deadline_ms,
+            "deadline_miss_rate": self.deadline_miss_rate,
+        }
+
+    def per_stream_rows(self) -> List[Dict[str, object]]:
+        """One table row per stream (accuracy / latency / misses)."""
+        rows: List[Dict[str, object]] = []
+        for sid, report in self.stream_reports.items():
+            rows.append(
+                {
+                    "stream": sid,
+                    "frames": report.num_frames,
+                    "accuracy": report.mean_accuracy,
+                    "mean_latency_ms": report.mean_latency_ms,
+                    "p95_latency_ms": report.latency_percentile(95),
+                    "miss_rate": report.deadline_miss_rate,
+                    "adapt_steps": report.adaptation_steps,
+                    "truncated": report.truncated,
+                }
+            )
+        return rows

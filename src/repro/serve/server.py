@@ -1,0 +1,272 @@
+"""The fleet serving loop: ingest → batch → shared forward → per-stream
+decode + adaptation.
+
+Each tick of the fleet clock, every registered stream contributes one
+frame (30 FPS cameras are synchronous to within a frame period).  The
+scheduler folds pending frames into deadline-feasible batches; each batch
+runs ONE shared eval-mode forward pass with per-sample BN statistics
+(:func:`~repro.serve.streams.per_stream_inference`), then every frame is
+decoded and — on its stream's adaptation cadence — fed to that stream's
+adapter with the stream's BN state swapped onto the model.
+
+Latency accounting mirrors :class:`repro.pipeline.RealTimePipeline`:
+
+* ``latency_model="orin"`` — a discrete-event simulation of the paper's
+  Jetson Orin: arrivals advance with the camera period, service times
+  come from the roofline model, and a frame's recorded latency is
+  completion minus arrival (so queueing delay from sharing one device
+  across the fleet is visible, and the deadline-miss-rate-vs-fleet-size
+  curve means something);
+* ``latency_model="wallclock"`` — measured host time of the numpy
+  implementation itself (a frame is charged its share of the batched
+  forward plus its own adaptation step), used by the throughput
+  benchmark to show batched serving beating N serial pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .. import nn
+from ..adapt.base import Adapter
+from ..adapt.bn_adapt import LDBNAdapt, LDBNAdaptConfig
+from ..data.dataset import LaneSample
+from ..hw.deadline import DEADLINE_30FPS_MS
+from ..hw.device import DeviceProfile
+from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
+from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS, point_accuracy
+from ..models.spec import ModelSpec
+from ..models.ufld import decode_predictions
+from ..utils.profiling import Timer
+from .report import FleetReport
+from .scheduler import BatchPlan, DeadlineAwareScheduler, FrameRequest
+from .streams import StreamRegistry, StreamSession, per_stream_inference
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet serving loop configuration."""
+
+    deadline_ms: float = DEADLINE_30FPS_MS
+    frame_period_ms: Optional[float] = None  # None → deadline_ms (30 FPS)
+    latency_model: str = "orin"  # "orin" | "wallclock"
+    decode_method: str = "expectation"
+    accuracy_threshold_cells: float = TUSIMPLE_THRESHOLD_CELLS
+    rolling_window: int = 30
+    max_batch_size: int = 8
+    aging_rate: float = 0.1
+    adapt_stride: int = 1  # each stream adapts on every k-th of its frames
+
+    def __post_init__(self):
+        if self.latency_model not in ("orin", "wallclock"):
+            raise ValueError(f"unknown latency model {self.latency_model!r}")
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.frame_period_ms is not None and self.frame_period_ms <= 0:
+            raise ValueError(
+                f"frame_period_ms must be positive, got {self.frame_period_ms}"
+            )
+        if self.decode_method not in ("argmax", "expectation"):
+            raise ValueError(f"unknown decode method {self.decode_method!r}")
+        if self.rolling_window < 1:
+            raise ValueError(f"rolling_window must be >= 1, got {self.rolling_window}")
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.adapt_stride < 1:
+            raise ValueError(f"adapt_stride must be >= 1, got {self.adapt_stride}")
+
+    @property
+    def period_ms(self) -> float:
+        return self.frame_period_ms if self.frame_period_ms is not None else self.deadline_ms
+
+
+class FleetServer:
+    """Serves N adapting camera streams through one shared model."""
+
+    def __init__(
+        self,
+        model,
+        config: Optional[FleetConfig] = None,
+        device: Optional[DeviceProfile] = None,
+        spec: Optional[ModelSpec] = None,
+    ):
+        self.model = model
+        self.config = config if config is not None else FleetConfig()
+        self.device = device
+        self.spec = spec
+        if self.config.latency_model == "orin":
+            if device is None or spec is None:
+                raise ValueError(
+                    "latency_model='orin' requires a DeviceProfile and a "
+                    "paper-size ModelSpec (the platform under study)"
+                )
+            latency_fn = lambda b: batched_inference_latency_ms(spec, device, b)  # noqa: E731
+        else:
+            # wallclock mode measures instead of planning; batch greedily
+            latency_fn = None
+        self.registry = StreamRegistry(model)
+        self.scheduler = DeadlineAwareScheduler(
+            latency_fn=latency_fn,
+            max_batch_size=self.config.max_batch_size,
+            aging_rate=self.config.aging_rate,
+        )
+        self.timer = Timer()
+        self._batch_sizes = []
+
+    # ------------------------------------------------------------------
+    def add_stream(
+        self,
+        stream_id: str,
+        stream: Iterator[LaneSample],
+        adapter: Optional[Adapter] = None,
+        adapter_config: Optional[LDBNAdaptConfig] = None,
+    ) -> StreamSession:
+        """Register one camera stream.
+
+        The session snapshots the model's *current* BN state, so register
+        streams while the model holds the pristine source-trained weights
+        each vehicle should start from.  Without an explicit ``adapter``
+        a per-stream :class:`LDBNAdapt` is created (optionally from
+        ``adapter_config``); every session owns its adapter and therefore
+        its optimizer momentum.
+
+        When ``adapt_stride > 1`` each stream's adaptation phase is
+        auto-staggered by registration order, spreading the fleet's
+        adaptation load across camera periods instead of spiking every
+        stream's step onto the same tick.
+        """
+        if adapter is not None and adapter_config is not None:
+            raise ValueError("pass either adapter or adapter_config, not both")
+        if adapter is None:
+            adapter = LDBNAdapt(
+                self.model,
+                adapter_config if adapter_config is not None else LDBNAdaptConfig(),
+            )
+        adapt_ms = 0.0
+        if self.config.latency_model == "orin":
+            batch = getattr(getattr(adapter, "config", None), "batch_size", 1)
+            adapt_ms = ld_bn_adapt_latency(self.spec, self.device, batch).adaptation_ms
+        return self.registry.register(
+            stream_id,
+            stream,
+            adapter,
+            deadline_ms=self.config.deadline_ms,
+            rolling_window=self.config.rolling_window,
+            adapt_stride=self.config.adapt_stride,
+            adapt_phase=len(self.registry) % self.config.adapt_stride,
+            adapt_latency_ms=adapt_ms,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, num_ticks: int) -> FleetReport:
+        """Serve ``num_ticks`` camera periods; returns the fleet report.
+
+        Each tick ingests one frame per live stream and drains the queue.
+        Streams that end early are marked truncated and simply stop
+        contributing (the fleet keeps serving the others).
+        """
+        if len(self.registry) == 0:
+            raise ValueError("no streams registered")
+        period = self.config.period_ms
+        device_free_ms = 0.0
+        for tick in range(num_ticks):
+            if self.registry.all_exhausted:
+                break
+            arrival_ms = tick * period
+            for session in self.registry:
+                frame = session.next_frame()
+                if frame is None:
+                    continue
+                self.scheduler.submit(
+                    FrameRequest(
+                        stream_id=session.stream_id,
+                        frame_index=session.frames_ingested - 1,
+                        arrival_ms=arrival_ms,
+                        deadline_ms=arrival_ms + self.config.deadline_ms,
+                        payload=(session, frame),
+                    )
+                )
+            while self.scheduler.pending_count:
+                start_ms = max(device_free_ms, arrival_ms)
+                plan = self.scheduler.next_batch(start_ms)
+                if plan is None:  # pragma: no cover - pending implies a plan
+                    break
+                device_free_ms = self._serve_batch(plan, start_ms)
+        return self._build_report(device_free_ms)
+
+    # ------------------------------------------------------------------
+    def _serve_batch(self, plan: BatchPlan, start_ms: float) -> float:
+        """Run one shared forward + per-stream postprocessing.
+
+        Returns the fleet-clock time at which the device is free again.
+        """
+        config = self.config
+        sessions = [req.payload[0] for req in plan.requests]
+        frames = [req.payload[1] for req in plan.requests]
+        self._batch_sizes.append(plan.batch_size)
+
+        images = np.stack([f.image for f in frames]).astype(np.float32)
+        self.model.eval()
+        with self.timer.measure("inference"):
+            with per_stream_inference(sessions):
+                with nn.no_grad():
+                    logits = self.model(nn.Tensor(images, _copy=False))
+            # decode is part of serving a frame, so wallclock inference cost
+            # includes it — same accounting as RealTimePipeline._predict
+            preds = decode_predictions(
+                logits.numpy(), self.model.config, method=config.decode_method
+            )
+
+        if config.latency_model == "orin":
+            infer_ms = plan.planned_latency_ms
+        else:
+            infer_ms = 1e3 * self.timer.records["inference"][-1]
+
+        # inference completes for the whole batch at once; adaptation steps
+        # then run serially on the shared device in batch order
+        clock_ms = start_ms + infer_ms
+        for req, session, frame, pred in zip(plan.requests, sessions, frames, preds):
+            metrics = point_accuracy(
+                pred[None], frame.gt_cells[None], config.accuracy_threshold_cells
+            )
+            result = None
+            adapt_wall_ms = 0.0
+            if session.due_for_adaptation():
+                session.swap_in()
+                with self.timer.measure("adaptation"):
+                    result = session.adapter.observe_frame(frame.image) if hasattr(
+                        session.adapter, "observe_frame"
+                    ) else session.adapter.adapt(frame.image[None])
+                session.swap_out()
+                adapt_wall_ms = 1e3 * self.timer.records["adaptation"][-1]
+                if result is not None:
+                    clock_ms += (
+                        session.adapt_latency_ms
+                        if config.latency_model == "orin"
+                        else adapt_wall_ms
+                    )
+            if config.latency_model == "orin":
+                latency_ms = clock_ms - req.arrival_ms
+            else:
+                # processing cost only (no simulated queueing): this frame's
+                # share of the batched forward plus its own adaptation step
+                latency_ms = infer_ms / plan.batch_size + adapt_wall_ms
+            session.record(frame, latency_ms, metrics.accuracy, result)
+        return clock_ms
+
+    # ------------------------------------------------------------------
+    def _build_report(self, elapsed_ms: float) -> FleetReport:
+        report = FleetReport(
+            deadline_ms=self.config.deadline_ms,
+            latency_model=self.config.latency_model,
+            elapsed_ms=elapsed_ms
+            if self.config.latency_model == "orin"
+            else 1e3 * (self.timer.total("inference") + self.timer.total("adaptation")),
+            batch_sizes=list(self._batch_sizes),
+        )
+        for session in self.registry:
+            report.stream_reports[session.stream_id] = session.report
+        return report

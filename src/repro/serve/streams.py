@@ -1,0 +1,277 @@
+"""Per-stream adaptation state over one shared model.
+
+A fleet server runs ONE model for N concurrent camera streams, but
+LD-BN-ADAPT state is inherently per-vehicle: each stream drifts through
+its own domain schedule and accumulates its own BN statistics, gamma/beta
+values and optimizer momentum.  This module keeps those states separate:
+
+* :class:`BNStateSnapshot` — a copy of everything BN-related on the model
+  (gamma/beta via :class:`~repro.adapt.base.ParameterSnapshot`, plus the
+  running-statistics buffers).  ``swap_in`` writes the copy into the
+  model, ``swap_out`` captures the model back into the copy.
+* :class:`StreamSession` — one registered stream: its frame source, its
+  adapter (owning the per-stream optimizer state), its BN snapshot and
+  its online monitors.
+* :class:`StreamRegistry` — the session table, all bound to one model.
+* :func:`per_stream_inference` — context manager enabling the *batched*
+  shared forward pass: eval-mode BN is an affine per channel, so each
+  session's state folds into per-sample ``(scale, shift)`` vectors that
+  :class:`repro.nn.modules._BatchNormBase` applies sample-wise.  Frames
+  from many differently-adapted streams thus share one forward pass with
+  bitwise-independent normalization.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..adapt.base import Adapter, ParameterSnapshot
+from ..data.dataset import LaneSample
+from ..nn.modules import _BatchNormBase
+from ..pipeline.monitor import (
+    DeadlineMonitor,
+    FrameRecord,
+    PipelineReport,
+    RollingAccuracy,
+)
+
+_BN_BUFFER_NAMES = ("running_mean", "running_var", "num_batches_tracked")
+
+
+class BNStateSnapshot:
+    """Copy of a model's BN parameters + buffers, swappable in and out."""
+
+    def __init__(self, model):
+        self.modules: List[_BatchNormBase] = [
+            m for m in model.modules() if isinstance(m, _BatchNormBase)
+        ]
+        if not self.modules:
+            raise ValueError("model has no BatchNorm layers to snapshot")
+        self.params = ParameterSnapshot(
+            [p for m in self.modules for p in (m.weight, m.bias)]
+        )
+        self.buffers = [
+            {name: np.array(getattr(m, name)) for name in _BN_BUFFER_NAMES}
+            for m in self.modules
+        ]
+
+    def swap_in(self) -> None:
+        """Write this snapshot's state into the shared model."""
+        self.params.restore()
+        for module, bufs in zip(self.modules, self.buffers):
+            for name, arr in bufs.items():
+                module._set_buffer(name, arr)
+
+    def swap_out(self) -> None:
+        """Capture the shared model's current state into this snapshot."""
+        self.params.capture()
+        for module, bufs in zip(self.modules, self.buffers):
+            for name, arr in bufs.items():
+                arr[...] = getattr(module, name)
+
+    def scale_shift(self, layer_index: int):
+        """Fold layer ``layer_index``'s eval-mode BN into ``(scale, shift)``.
+
+        ``y = (x - mean) / sqrt(var + eps) * gamma + beta`` rewritten as
+        ``y = x * scale + shift`` with per-channel vectors — the form the
+        batched multi-stream forward consumes.
+        """
+        module = self.modules[layer_index]
+        # params are stored interleaved: (weight, bias) per module
+        gamma = self.params.saved[2 * layer_index]
+        beta = self.params.saved[2 * layer_index + 1]
+        bufs = self.buffers[layer_index]
+        inv_std = 1.0 / np.sqrt(bufs["running_var"] + module.eps)
+        scale = gamma * inv_std
+        shift = beta - bufs["running_mean"] * scale
+        return scale, shift
+
+
+class StreamSession:
+    """One camera stream's complete serving state.
+
+    The session owns everything that must NOT leak between vehicles: the
+    frame iterator, the adapter (and through it the optimizer's momentum),
+    the BN state snapshot, and the online monitors.  The model itself is
+    shared — sessions take turns materializing their state on it via
+    ``swap_in``/``swap_out`` around adaptation steps, and contribute
+    folded per-sample stats to batched inference in between.
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        model,
+        stream: Iterator[LaneSample],
+        adapter: Adapter,
+        deadline_ms: float,
+        rolling_window: int = 30,
+        adapt_stride: int = 1,
+        adapt_phase: int = 0,
+        adapt_latency_ms: float = 0.0,
+    ):
+        if adapt_stride < 1:
+            raise ValueError(f"adapt_stride must be >= 1, got {adapt_stride}")
+        self.stream_id = stream_id
+        self.stream = iter(stream)
+        self.adapter = adapter
+        self.adapt_stride = adapt_stride
+        self.adapt_phase = adapt_phase
+        self.adapt_latency_ms = adapt_latency_ms
+        self.bn_state = BNStateSnapshot(model)
+        self.monitor = DeadlineMonitor(deadline_ms)
+        self.rolling = RollingAccuracy(rolling_window)
+        self.report = PipelineReport(deadline_ms=deadline_ms)
+        self.frames_seen = 0  # frames fully served (decoded + recorded)
+        self.frames_ingested = 0  # frames pulled off the camera stream
+        self.exhausted = False
+
+    def next_frame(self) -> Optional[LaneSample]:
+        """Pull the next frame; marks the session exhausted at stream end."""
+        if self.exhausted:
+            return None
+        try:
+            frame = next(self.stream)
+        except StopIteration:
+            self.exhausted = True
+            self.report.truncated = True
+            return None
+        self.frames_ingested += 1
+        return frame
+
+    def due_for_adaptation(self) -> bool:
+        """Whether the frame being served should feed the adapter.
+
+        With ``adapt_stride`` k, every k-th frame adapts; ``adapt_phase``
+        offsets which frames those are, so a fleet can stagger its
+        adaptation load across streams instead of spiking every stream's
+        step onto the same camera period.
+        """
+        return (self.frames_seen - self.adapt_phase) % self.adapt_stride == 0
+
+    def swap_in(self) -> None:
+        self.bn_state.swap_in()
+
+    def swap_out(self) -> None:
+        self.bn_state.swap_out()
+
+    def record(
+        self,
+        frame: LaneSample,
+        latency_ms: float,
+        accuracy: float,
+        adapt_result,
+    ) -> FrameRecord:
+        """Append one served frame to this stream's report."""
+        met = self.monitor.record(latency_ms)
+        self.rolling.update(accuracy)
+        record = FrameRecord(
+            index=self.frames_seen,
+            timestamp=frame.timestamp,
+            domain=frame.domain,
+            latency_ms=latency_ms,
+            deadline_ms=self.monitor.deadline_ms,
+            deadline_met=met,
+            accuracy=accuracy,
+            entropy=adapt_result.loss if adapt_result else None,
+            adapted=adapt_result is not None,
+        )
+        self.report.frames.append(record)
+        self.frames_seen += 1
+        return record
+
+
+class StreamRegistry:
+    """The fleet's session table, all sessions bound to one shared model."""
+
+    def __init__(self, model):
+        self.model = model
+        self._sessions: "OrderedDict[str, StreamSession]" = OrderedDict()
+
+    def register(
+        self,
+        stream_id: str,
+        stream: Iterator[LaneSample],
+        adapter: Adapter,
+        deadline_ms: float,
+        rolling_window: int = 30,
+        adapt_stride: int = 1,
+        adapt_phase: int = 0,
+        adapt_latency_ms: float = 0.0,
+    ) -> StreamSession:
+        """Add a stream; its BN snapshot is the model's *current* state."""
+        if stream_id in self._sessions:
+            raise ValueError(f"stream id {stream_id!r} already registered")
+        if adapter.model is not self.model:
+            raise ValueError(
+                f"adapter for {stream_id!r} is bound to a different model"
+            )
+        session = StreamSession(
+            stream_id,
+            self.model,
+            stream,
+            adapter,
+            deadline_ms=deadline_ms,
+            rolling_window=rolling_window,
+            adapt_stride=adapt_stride,
+            adapt_phase=adapt_phase,
+            adapt_latency_ms=adapt_latency_ms,
+        )
+        self._sessions[stream_id] = session
+        return session
+
+    def get(self, stream_id: str) -> StreamSession:
+        if stream_id not in self._sessions:
+            raise KeyError(
+                f"unknown stream {stream_id!r}; registered: {list(self._sessions)}"
+            )
+        return self._sessions[stream_id]
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[StreamSession]:
+        return iter(self._sessions.values())
+
+    @property
+    def stream_ids(self) -> List[str]:
+        return list(self._sessions)
+
+    @property
+    def all_exhausted(self) -> bool:
+        return all(s.exhausted for s in self._sessions.values())
+
+
+@contextmanager
+def per_stream_inference(sessions: Sequence[StreamSession]):
+    """Enable the batched multi-stream eval forward on the shared model.
+
+    For every BN layer, stacks each session's folded ``(scale, shift)``
+    into ``(B, C)`` arrays — row ``i`` belonging to ``sessions[i]`` — and
+    installs them as the layer's per-sample stats.  Inside the context,
+    ``model(batch)`` with ``batch[i]`` being session ``i``'s frame
+    normalizes every sample with its own stream's adapted BN state.  The
+    overrides are removed on exit, so plain single-stream forwards (and
+    all training-mode adaptation passes) are unaffected.
+    """
+    sessions = list(sessions)
+    if not sessions:
+        raise ValueError("per_stream_inference needs at least one session")
+    modules = sessions[0].bn_state.modules
+    for session in sessions[1:]:
+        if session.bn_state.modules != modules:
+            raise ValueError("sessions must share one model's BN modules")
+    try:
+        for layer_index, module in enumerate(modules):
+            pairs = [s.bn_state.scale_shift(layer_index) for s in sessions]
+            scale = np.stack([p[0] for p in pairs])
+            shift = np.stack([p[1] for p in pairs])
+            module.per_sample_stats = (scale, shift)
+        yield
+    finally:
+        for module in modules:
+            module.per_sample_stats = None

@@ -150,6 +150,7 @@ class TestCarlaneSOTA:
         with pytest.raises(ValueError):
             SOTAConfig(pseudo_confidence=1.5)
 
+    @pytest.mark.slow
     def test_adapt_offline_updates_all_param_groups(
         self, trained_tiny_model, tiny_benchmark, rng
     ):
@@ -175,6 +176,7 @@ class TestCarlaneSOTA:
         assert len(report.kmeans_inertia) == 1
         assert 0.0 <= report.pseudo_label_fraction[0] <= 1.0
 
+    @pytest.mark.slow
     def test_reset_restores(self, trained_tiny_model, tiny_benchmark, rng):
         model = trained_tiny_model
         initial = model.state_dict()
@@ -188,6 +190,7 @@ class TestCarlaneSOTA:
         for key, value in model.state_dict().items():
             np.testing.assert_array_equal(value, initial[key])
 
+    @pytest.mark.slow
     def test_report_as_dict(self, trained_tiny_model, tiny_benchmark, rng):
         sota = CarlaneSOTA(trained_tiny_model, SOTAConfig(epochs=1, num_prototypes=2))
         report = sota.adapt_offline(
@@ -199,6 +202,7 @@ class TestCarlaneSOTA:
         assert d["epochs"] == 1
         assert "pseudo_label_fraction" in d
 
+    @pytest.mark.slow
     def test_model_left_in_eval(self, trained_tiny_model, tiny_benchmark, rng):
         sota = CarlaneSOTA(trained_tiny_model, SOTAConfig(epochs=1, num_prototypes=2))
         sota.adapt_offline(

@@ -194,6 +194,7 @@ class TestFig2HarnessSlice:
     """A reduced live run of the Fig. 2 grid (single benchmark/backbone,
     no SOTA, micro data sizes) validating the orchestration."""
 
+    @pytest.mark.slow
     def test_slice_runs_and_orders(self):
         from repro.experiments import run_fig2
 

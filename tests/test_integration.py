@@ -61,6 +61,7 @@ class TestDomainGapStory:
         source_acc = evaluate_model(model, tiny_benchmark.source_train).accuracy
         assert source_acc > 0.7
 
+    @pytest.mark.slow
     def test_sota_also_recovers(self, trained_tiny_model, tiny_benchmark, rng):
         model = trained_tiny_model
         before = evaluate_model(model, tiny_benchmark.target_test).accuracy

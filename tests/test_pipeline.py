@@ -39,9 +39,35 @@ class TestDeadlineMonitor:
         monitor = DeadlineMonitor(10.0)
         assert monitor.miss_rate == 0.0
         assert monitor.mean_latency_ms == 0.0
+        assert monitor.p50_latency_ms == 0.0
+        assert monitor.p95_latency_ms == 0.0
+        assert monitor.p99_latency_ms == 0.0
+
+    def test_percentiles(self):
+        monitor = DeadlineMonitor(10.0)
+        for v in range(1, 101):
+            monitor.record(float(v))
+        assert monitor.p50_latency_ms == pytest.approx(50.5)
+        assert monitor.p95_latency_ms >= 95.0
+        assert monitor.latency_percentile(0) == 1.0
+        assert monitor.latency_percentile(100) == 100.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineMonitor(10.0).latency_percentile(-1)
 
 
 class TestRollingAccuracy:
+    def test_window_of_one_tracks_last_value(self):
+        roll = RollingAccuracy(window=1)
+        assert roll.current == 0.0  # empty window
+        roll.update(0.2)
+        assert roll.current == pytest.approx(0.2)
+        roll.update(0.9)
+        assert roll.current == pytest.approx(0.9)  # only the latest survives
+        assert roll.overall == pytest.approx(0.55)
+        assert roll.curve() == [0.2, 0.9]
+
     def test_window_mean(self):
         roll = RollingAccuracy(window=2)
         roll.update(0.0)
@@ -92,11 +118,44 @@ class TestPipelineReport:
         assert report.mean_accuracy == 0.0
         assert report.deadline_miss_rate == 0.0
 
+    def test_empty_summary_is_all_zeros(self):
+        summary = PipelineReport().summary()
+        assert summary["frames"] == 0.0
+        assert summary["mean_accuracy"] == 0.0
+        assert summary["mean_latency_ms"] == 0.0
+        assert summary["deadline_miss_rate"] == 0.0
+        assert summary["adaptation_steps"] == 0.0
+        assert summary["truncated"] == 0.0
+        assert PipelineReport().latency_percentile(99) == 0.0
+        assert PipelineReport().accuracy_over(0, 10) == 0.0
+
 
 class TestPipelineConfig:
     def test_invalid_latency_model(self):
         with pytest.raises(ValueError):
             PipelineConfig(latency_model="gpu")
+
+    def test_invalid_deadline_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(deadline_ms=0.0)
+        with pytest.raises(ValueError):
+            PipelineConfig(deadline_ms=-5.0)
+
+    def test_invalid_decode_method_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(decode_method="nms")
+
+    def test_invalid_rolling_window_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(rolling_window=0)
+
+    def test_invalid_threshold_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(accuracy_threshold_cells=0.0)
+
+    def test_valid_alternatives_accepted(self):
+        assert PipelineConfig(decode_method="argmax").decode_method == "argmax"
+        assert PipelineConfig(rolling_window=1).rolling_window == 1
 
 
 class TestRealTimePipeline:
@@ -154,6 +213,53 @@ class TestRealTimePipeline:
         stream = tiny_benchmark.target_stream(rng=np.random.default_rng(1))
         report = pipeline.run(stream, 3)
         assert all(f.latency_ms > 0 for f in report.frames)
+
+    def test_wallclock_mode_with_adaptation(self, trained_tiny_model, tiny_benchmark):
+        """Wallclock accounting must also cover real adaptation steps."""
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3))
+        config = PipelineConfig(latency_model="wallclock", deadline_ms=1e9)
+        pipeline = RealTimePipeline(trained_tiny_model, adapter, config)
+        stream = tiny_benchmark.target_stream(rng=np.random.default_rng(2))
+        report = pipeline.run(stream, 4)
+        assert report.adaptation_steps == 4
+        assert all(f.latency_ms > 0 for f in report.frames)
+        assert all(f.deadline_met for f in report.frames)
+        assert not report.truncated
+
+    def test_short_stream_returns_truncated_report(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """A stream shorter than num_frames yields a partial report, not a
+        bare StopIteration escaping the run loop."""
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3))
+        config = PipelineConfig(latency_model="orin")
+        pipeline = RealTimePipeline(
+            trained_tiny_model,
+            adapter,
+            config,
+            device=ORIN_POWER_MODES["orin-60w"],
+            spec=get_config("paper-r18").to_spec(),
+        )
+        frames = tiny_benchmark.target_stream(
+            rng=np.random.default_rng(3)
+        ).take(4).samples
+        report = pipeline.run(iter(frames), num_frames=10)
+        assert report.truncated
+        assert report.num_frames == 4
+        assert report.summary()["truncated"] == 1.0
+
+    def test_exact_length_stream_not_truncated(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        adapter = NoAdapt(trained_tiny_model)
+        config = PipelineConfig(latency_model="wallclock", deadline_ms=1e9)
+        pipeline = RealTimePipeline(trained_tiny_model, adapter, config)
+        frames = tiny_benchmark.target_stream(
+            rng=np.random.default_rng(4)
+        ).take(3).samples
+        report = pipeline.run(iter(frames), num_frames=3)
+        assert not report.truncated
+        assert report.num_frames == 3
 
     def test_online_adaptation_improves_over_stream(
         self, trained_tiny_model, tiny_benchmark

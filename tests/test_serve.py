@@ -1,0 +1,383 @@
+"""Fleet serving subsystem tests: scheduler, stream isolation, server."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.adapt import LDBNAdapt, LDBNAdaptConfig, NoAdapt
+from repro.hw import ORIN_POWER_MODES, batched_inference_latency_ms, batching_speedup
+from repro.models import get_config
+from repro.pipeline import PipelineConfig, RealTimePipeline
+from repro.serve import (
+    DeadlineAwareScheduler,
+    FleetConfig,
+    FleetReport,
+    FleetServer,
+    FrameRequest,
+    StreamRegistry,
+    per_stream_inference,
+)
+from repro.serve.streams import BNStateSnapshot
+
+
+def _request(sid, arrival, deadline, index=0):
+    return FrameRequest(
+        stream_id=sid, frame_index=index, arrival_ms=arrival, deadline_ms=deadline
+    )
+
+
+class TestScheduler:
+    def test_empty_queue_returns_none(self):
+        sched = DeadlineAwareScheduler()
+        assert sched.next_batch(0.0) is None
+
+    def test_greedy_when_latency_free(self):
+        sched = DeadlineAwareScheduler(latency_fn=None, max_batch_size=8)
+        for i in range(5):
+            sched.submit(_request(f"s{i}", 0.0, 33.3))
+        plan = sched.next_batch(0.0)
+        assert plan.batch_size == 5
+        assert sched.pending_count == 0
+
+    def test_respects_max_batch_size(self):
+        sched = DeadlineAwareScheduler(latency_fn=None, max_batch_size=3)
+        for i in range(5):
+            sched.submit(_request(f"s{i}", 0.0, 33.3))
+        assert sched.next_batch(0.0).batch_size == 3
+        assert sched.next_batch(0.0).batch_size == 2
+
+    def test_deadline_bounds_batch_growth(self):
+        # batch latency grows 10 ms per member; seed has 25 ms slack, so
+        # only batch sizes 1 (10ms) and 2 (20ms) fit
+        sched = DeadlineAwareScheduler(latency_fn=lambda b: 10.0 * b, max_batch_size=8)
+        for i in range(4):
+            sched.submit(_request(f"s{i}", 0.0, 25.0))
+        plan = sched.next_batch(0.0)
+        assert plan.batch_size == 2
+        assert plan.planned_latency_ms == 20.0
+
+    def test_doomed_head_flips_to_throughput_mode(self):
+        # even a singleton misses the deadline -> batch fills to the max
+        sched = DeadlineAwareScheduler(latency_fn=lambda b: 50.0 + b, max_batch_size=4)
+        for i in range(6):
+            sched.submit(_request(f"s{i}", 0.0, 33.3))
+        assert sched.next_batch(0.0).batch_size == 4
+
+    def test_most_urgent_serves_first(self):
+        sched = DeadlineAwareScheduler(latency_fn=lambda b: 100.0, max_batch_size=1)
+        sched.submit(_request("late", 0.0, 500.0))
+        sched.submit(_request("urgent", 0.0, 40.0))
+        assert sched.next_batch(0.0).requests[0].stream_id == "urgent"
+
+    def test_priority_aging_prevents_starvation(self):
+        # an old frame with a distant deadline eventually outranks a fresh
+        # urgent one thanks to the queue-age credit
+        sched = DeadlineAwareScheduler(
+            latency_fn=lambda b: 100.0, max_batch_size=1, aging_rate=1.0
+        )
+        sched.submit(_request("old", arrival=0.0, deadline=10_000.0))
+        sched.submit(_request("fresh", arrival=5000.0, deadline=5040.0))
+        assert sched.next_batch(5000.0).requests[0].stream_id == "old"
+
+    def test_request_slack_and_wait(self):
+        req = _request("s", arrival=10.0, deadline=43.3)
+        assert req.slack_ms(20.0) == pytest.approx(23.3)
+        assert req.wait_ms(20.0) == pytest.approx(10.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DeadlineAwareScheduler(max_batch_size=0)
+        with pytest.raises(ValueError):
+            DeadlineAwareScheduler(aging_rate=-1.0)
+
+
+class TestRooflineBatching:
+    SPEC = get_config("paper-r18").to_spec()
+    DEVICE = ORIN_POWER_MODES["orin-60w"]
+
+    def test_per_frame_cost_decreases_with_batch(self):
+        per_frame = [
+            batched_inference_latency_ms(self.SPEC, self.DEVICE, b) / b
+            for b in (1, 2, 4, 8)
+        ]
+        assert per_frame == sorted(per_frame, reverse=True)
+        assert per_frame[0] > per_frame[-1]
+
+    def test_speedup_exceeds_one(self):
+        assert batching_speedup(self.SPEC, self.DEVICE, 4) > 1.0
+        assert batching_speedup(self.SPEC, self.DEVICE, 1) == pytest.approx(1.0)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            batched_inference_latency_ms(self.SPEC, self.DEVICE, 0)
+
+
+class TestStreamIsolation:
+    def _two_sessions(self, model):
+        registry = StreamRegistry(model)
+        a = registry.register(
+            "a", iter([]), LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3)), deadline_ms=33.3
+        )
+        b = registry.register(
+            "b", iter([]), LDBNAdapt(model, LDBNAdaptConfig(lr=1e-3)), deadline_ms=33.3
+        )
+        return registry, a, b
+
+    def test_duplicate_id_rejected(self, trained_tiny_model):
+        registry, _, _ = self._two_sessions(trained_tiny_model)
+        with pytest.raises(ValueError):
+            registry.register(
+                "a",
+                iter([]),
+                NoAdapt(trained_tiny_model),
+                deadline_ms=33.3,
+            )
+
+    def test_adaptation_stays_private(self, trained_tiny_model, rng):
+        """Stream A adapting must not leak into stream B's snapshot."""
+        _, a, b = self._two_sessions(trained_tiny_model)
+        h, w = trained_tiny_model.config.input_hw
+        baseline = [dict(bufs) for bufs in b.bn_state.buffers]
+
+        a.swap_in()
+        for _ in range(3):
+            frame = rng.normal(0.7, 0.3, size=(3, h, w)).astype(np.float32)
+            a.adapter.observe_frame(frame)
+        a.swap_out()
+
+        for before, after in zip(baseline, b.bn_state.buffers):
+            np.testing.assert_array_equal(before["running_mean"], after["running_mean"])
+        # but A's own snapshot moved
+        moved = any(
+            np.abs(bufs["running_mean"] - base["running_mean"]).max() > 1e-6
+            for bufs, base in zip(a.bn_state.buffers, baseline)
+        )
+        assert moved
+
+    def test_swap_roundtrip_restores_model(self, trained_tiny_model, rng):
+        snapshot = BNStateSnapshot(trained_tiny_model)
+        reference = trained_tiny_model.state_dict()
+        # dirty the model's BN state
+        adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-2))
+        h, w = trained_tiny_model.config.input_hw
+        adapter.observe_frame(rng.normal(0.5, 0.3, size=(3, h, w)).astype(np.float32))
+        # swapping the pristine snapshot back restores every BN tensor
+        snapshot.swap_in()
+        restored = trained_tiny_model.state_dict()
+        for key, value in reference.items():
+            np.testing.assert_array_equal(value, restored[key], err_msg=key)
+
+    def test_batched_forward_matches_serial(self, trained_tiny_model, rng):
+        """The per-sample BN fold must reproduce per-stream eval forwards."""
+        _, a, b = self._two_sessions(trained_tiny_model)
+        h, w = trained_tiny_model.config.input_hw
+        # diverge stream A
+        a.swap_in()
+        a.adapter.observe_frame(rng.normal(0.8, 0.4, size=(3, h, w)).astype(np.float32))
+        a.swap_out()
+
+        frames = rng.normal(0.5, 0.2, size=(2, 3, h, w)).astype(np.float32)
+        serial = []
+        for session, frame in zip((a, b), frames):
+            session.swap_in()
+            with nn.no_grad():
+                serial.append(trained_tiny_model(nn.Tensor(frame[None])).numpy()[0])
+            session.swap_out()
+        with per_stream_inference([a, b]):
+            with nn.no_grad():
+                batched = trained_tiny_model(nn.Tensor(frames)).numpy()
+        np.testing.assert_allclose(batched, np.stack(serial), atol=1e-10)
+        # the two streams genuinely differ, so the match is non-trivial
+        assert np.abs(serial[0] - serial[1]).max() > 1e-6
+
+    def test_per_stream_inference_cleans_up(self, trained_tiny_model):
+        _, a, b = self._two_sessions(trained_tiny_model)
+        with per_stream_inference([a, b]):
+            assert all(
+                m.per_sample_stats is not None for m in a.bn_state.modules
+            )
+        assert all(m.per_sample_stats is None for m in a.bn_state.modules)
+
+
+class TestFleetConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_model": "gpu"},
+            {"deadline_ms": 0.0},
+            {"frame_period_ms": -1.0},
+            {"decode_method": "nms"},
+            {"rolling_window": 0},
+            {"max_batch_size": 0},
+            {"adapt_stride": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetConfig(**kwargs)
+
+    def test_period_defaults_to_deadline(self):
+        assert FleetConfig().period_ms == pytest.approx(FleetConfig().deadline_ms)
+        assert FleetConfig(frame_period_ms=10.0).period_ms == 10.0
+
+
+class TestFleetServer:
+    DEVICE = ORIN_POWER_MODES["orin-60w"]
+    SPEC = get_config("paper-r18").to_spec()
+
+    def _frame_lists(self, benchmark, count, frames):
+        return [
+            benchmark.target_stream(rng=np.random.default_rng(200 + i))
+            .take(frames)
+            .samples
+            for i in range(count)
+        ]
+
+    def _server(self, model, **config_kwargs):
+        return FleetServer(
+            model,
+            FleetConfig(latency_model="orin", **config_kwargs),
+            device=self.DEVICE,
+            spec=self.SPEC,
+        )
+
+    def test_orin_mode_requires_spec(self, trained_tiny_model):
+        with pytest.raises(ValueError):
+            FleetServer(trained_tiny_model, FleetConfig(latency_model="orin"))
+
+    def test_run_without_streams_rejected(self, trained_tiny_model):
+        with pytest.raises(ValueError):
+            self._server(trained_tiny_model).run(1)
+
+    def test_accuracy_matches_serial_pipelines(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Acceptance: per-stream accuracy within noise of the serial twin."""
+        frames = 8
+        frame_lists = self._frame_lists(tiny_benchmark, 3, frames)
+        pristine = trained_tiny_model.state_dict()
+
+        serial = []
+        for frame_list in frame_lists:
+            trained_tiny_model.load_state_dict(pristine)
+            adapter = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(lr=1e-3))
+            pipeline = RealTimePipeline(
+                trained_tiny_model,
+                adapter,
+                PipelineConfig(latency_model="orin"),
+                device=self.DEVICE,
+                spec=self.SPEC,
+            )
+            serial.append(pipeline.run(iter(frame_list), frames).mean_accuracy)
+
+        trained_tiny_model.load_state_dict(pristine)
+        server = self._server(trained_tiny_model)
+        for i, frame_list in enumerate(frame_lists):
+            server.add_stream(
+                f"s{i}", iter(frame_list), adapter_config=LDBNAdaptConfig(lr=1e-3)
+            )
+        report = server.run(frames)
+
+        fleet = list(report.per_stream_accuracy.values())
+        assert fleet == pytest.approx(serial, abs=0.02)
+        assert report.total_frames == 3 * frames
+
+    def test_streams_adapt_independently(self, trained_tiny_model, tiny_benchmark):
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 4)
+        server = self._server(trained_tiny_model)
+        a = server.add_stream("a", iter(frame_lists[0]))
+        b = server.add_stream("b", iter(frame_lists[1]))
+        server.run(4)
+        assert a.adapter.steps_taken == 4
+        assert b.adapter.steps_taken == 4
+        gap = max(
+            np.abs(x["running_mean"] - y["running_mean"]).max()
+            for x, y in zip(a.bn_state.buffers, b.bn_state.buffers)
+        )
+        assert gap > 1e-6  # different streams, different adapted stats
+
+    def test_short_stream_truncates_gracefully(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 6)
+        server = self._server(trained_tiny_model)
+        server.add_stream("short", iter(frame_lists[0][:2]))
+        server.add_stream("long", iter(frame_lists[1]))
+        report = server.run(6)
+        assert report.stream_reports["short"].num_frames == 2
+        assert report.stream_reports["short"].truncated
+        assert report.stream_reports["long"].num_frames == 6
+        assert not report.stream_reports["long"].truncated
+        assert report.truncated_streams == ["short"]
+
+    def test_adapt_stride_staggers_phases(self, trained_tiny_model, tiny_benchmark):
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 6)
+        server = self._server(trained_tiny_model, adapt_stride=2)
+        a = server.add_stream("a", iter(frame_lists[0]))
+        b = server.add_stream("b", iter(frame_lists[1]))
+        assert (a.adapt_phase, b.adapt_phase) == (0, 1)
+        report = server.run(6)
+        adapted_a = [f.adapted for f in report.stream_reports["a"].frames]
+        adapted_b = [f.adapted for f in report.stream_reports["b"].frames]
+        assert adapted_a == [True, False] * 3
+        assert adapted_b == [False, True] * 3
+
+    def test_queueing_latency_visible_under_load(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Paper-scale adaptation for 3 streams overloads one Orin: recorded
+        latencies must reflect the queueing, not just service time."""
+        frame_lists = self._frame_lists(tiny_benchmark, 3, 6)
+        server = self._server(trained_tiny_model)
+        for i, frame_list in enumerate(frame_lists):
+            server.add_stream(f"s{i}", iter(frame_list))
+        report = server.run(6)
+        assert report.deadline_miss_rate > 0.5
+        assert report.p99_latency_ms > report.p50_latency_ms
+        assert report.elapsed_ms > 6 * FleetConfig().deadline_ms
+
+    def test_no_adapt_baseline_stream_served(self, trained_tiny_model, tiny_benchmark):
+        """Adapters without observe_frame (NoAdapt) fall back to adapt(),
+        exactly like RealTimePipeline — the un-adapted baseline vehicle."""
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 3)
+        server = self._server(trained_tiny_model)
+        server.add_stream("frozen", iter(frame_lists[0]), adapter=NoAdapt(trained_tiny_model))
+        server.add_stream("adapting", iter(frame_lists[1]))
+        report = server.run(3)
+        assert report.stream_reports["frozen"].num_frames == 3
+        assert report.stream_reports["frozen"].adaptation_steps == 3  # no-op steps
+        assert report.stream_reports["adapting"].adaptation_steps == 3
+
+    def test_wallclock_mode_needs_no_spec(self, trained_tiny_model, tiny_benchmark):
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 3)
+        server = FleetServer(
+            trained_tiny_model,
+            FleetConfig(latency_model="wallclock", deadline_ms=1e9),
+        )
+        for i, frame_list in enumerate(frame_lists):
+            server.add_stream(f"s{i}", iter(frame_list))
+        report = server.run(3)
+        assert report.total_frames == 6
+        assert all(
+            f.latency_ms > 0
+            for stream_report in report.stream_reports.values()
+            for f in stream_report.frames
+        )
+        assert report.elapsed_ms > 0
+        assert report.frames_per_second > 0
+
+
+class TestFleetReport:
+    def test_empty_report(self):
+        report = FleetReport(deadline_ms=33.3)
+        assert report.num_streams == 0
+        assert report.total_frames == 0
+        assert report.p50_latency_ms == 0.0
+        assert report.deadline_miss_rate == 0.0
+        assert report.mean_accuracy == 0.0
+        assert report.frames_per_second == 0.0
+        assert report.summary()["streams"] == 0.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            FleetReport(deadline_ms=33.3).latency_percentile(101)
