@@ -1,0 +1,60 @@
+"""ENGINE — eager vs compiled inference latency on the serving hot path.
+
+Measures, in host wallclock, the eval-mode forward of both backbones at
+the configured run scale, two ways over identical inputs:
+
+* **eager** — the autograd define-by-run path (``model(Tensor(x))`` under
+  ``no_grad``);
+* **compiled** — the traced static plan from :mod:`repro.engine` (fused
+  conv-BN-ReLU GEMM epilogues, arena buffer reuse, cached im2col
+  workspaces).
+
+Asserted: the compiled path is >= 1.5x faster at batch sizes 1 and 8 on
+the r18 preset (and strictly faster on r34), and its outputs are
+bit-exact (``np.array_equal``) against eager both on the pristine model
+and after LD-BN-ADAPT steps have rewritten the BN state.
+"""
+
+from conftest import results_path
+
+from repro.experiments import format_table, get_run_scale, save_json
+from repro.experiments.bench_infer import run_bench_infer
+
+MIN_SPEEDUP_R18 = 1.5
+BATCH_SIZES = (1, 8)
+REPS = 30
+
+COLUMNS = [
+    "backbone", "batch", "eager_p50_ms", "eager_p95_ms",
+    "compiled_p50_ms", "compiled_p95_ms", "speedup_p50",
+    "bit_exact", "bit_exact_adapted",
+]
+
+
+def test_infer_engine_speedup(benchmark):
+    scale = get_run_scale()
+    rows = benchmark.pedantic(
+        run_bench_infer,
+        kwargs=dict(scale=scale, batch_sizes=BATCH_SIZES, reps=REPS),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nENGINE — eager vs compiled inference latency (ms)")
+    print(format_table(rows, columns=COLUMNS, floatfmt=".3f"))
+    save_json(results_path("infer_engine.json"), rows)
+
+    for row in rows:
+        assert row["bit_exact"], f"compiled output diverged from eager: {row}"
+        assert row["bit_exact_adapted"], (
+            f"compiled output diverged after BN adaptation: {row}"
+        )
+        if row["backbone"] == "r18":
+            assert row["speedup_p50"] >= MIN_SPEEDUP_R18, (
+                f"compiled path should be >= {MIN_SPEEDUP_R18}x faster "
+                f"than eager at batch {row['batch']}: {row}"
+            )
+        else:
+            assert row["speedup_p50"] > 1.0, (
+                f"compiled path should beat eager on r34: {row}"
+            )

@@ -1,0 +1,62 @@
+"""CI gate: fail when a benchmark's p95 latency regressed vs the last run.
+
+Thin CLI over :mod:`repro.experiments.regression`.  Compares every
+``benchmarks/results/*.json`` p95 metric against the snapshot of the
+previous run in ``benchmarks/results/baseline/`` and exits non-zero on a
+>10 % slowdown (threshold configurable).  The baseline refreshes on a
+passing run; ``--update-baseline`` forces a refresh after a failure (use
+when a slowdown is accepted as the new normal).
+
+    python benchmarks/check_regression.py
+    python benchmarks/check_regression.py --threshold 0.05
+    python benchmarks/check_regression.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments import format_table
+from repro.experiments.regression import DEFAULT_THRESHOLD, check_regressions
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff benchmarks/results/*.json p95 latencies against "
+        "the previous run."
+    )
+    parser.add_argument("--results-dir", default=RESULTS_DIR)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional p95 slowdown (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="refresh the baseline even when the check fails",
+    )
+    args = parser.parse_args(argv)
+
+    report = check_regressions(
+        args.results_dir, threshold=args.threshold, update=args.update_baseline
+    )
+    print(report.summary())
+    if report.regressions:
+        print(
+            format_table(
+                [r.as_row() for r in report.regressions], floatfmt=".3f"
+            )
+        )
+        return 0 if args.update_baseline else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

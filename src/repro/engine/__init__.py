@@ -1,0 +1,46 @@
+"""``repro.engine`` — compiled inference: trace once, replay many.
+
+The serving hot path (one eval-mode forward per camera frame, fleet
+batches of them per tick) previously paid full eager-mode overhead on
+every call: an autograd ``Context`` and output ``Tensor`` per op, im2col
+gather indices rebuilt per conv, fresh padded/column/output arrays per
+layer, and four elementwise temporaries per BatchNorm.  This package
+removes all of it while staying **bit-exact** with the eager path.
+
+Architecture (three layers):
+
+* :mod:`~repro.engine.tracer` — run the model once on a representative
+  input with a hook on ``Function.apply``; every op becomes a node in a
+  flat static plan.  BatchNorm layers are captured as opaque nodes
+  referencing the live module, so gamma/beta, running statistics and the
+  per-sample ``(scale, shift)`` fleet override remain *plan inputs*
+  resolved at replay time — LD-BN-ADAPT can keep rewriting BN state
+  between frames without ever retracing.
+* :mod:`~repro.engine.plan` — lower the trace to closures: conv→BN→ReLU
+  chains fuse into a single im2col GEMM (``np.matmul(..., out=)``) with
+  the folded BN affine and ReLU applied in place as the GEMM epilogue;
+  liveness analysis recycles op outputs through a byte-arena pool; and
+  im2col workspaces (gather indices, padded images, column matrices) are
+  cached per layer so steady-state replays allocate nothing.
+* :mod:`~repro.engine.compile` — :func:`compile_model` /
+  :class:`CompiledInference`: a shape-keyed plan cache, retracing
+  transparently when the input shape changes (fleet batch sizes).
+
+:class:`repro.pipeline.RealTimePipeline` and
+:class:`repro.serve.FleetServer` use this path for inference by default;
+``repro.nn.inference_mode(False)`` is the escape hatch back to eager.
+Adaptation steps always run the eager autograd path.
+"""
+
+from .compile import CompiledInference, compile_model
+from .plan import ExecutionPlan, PlanStats
+from .tracer import TraceGraph, trace
+
+__all__ = [
+    "CompiledInference",
+    "compile_model",
+    "ExecutionPlan",
+    "PlanStats",
+    "TraceGraph",
+    "trace",
+]

@@ -1,0 +1,76 @@
+"""Model-level entry point: shape-keyed plan cache over trace + compile.
+
+:func:`compile_model` wraps a model in a :class:`CompiledInference`
+callable.  The first call at a given input shape traces one eval-mode
+forward (:mod:`repro.engine.tracer`) and lowers it to an
+:class:`~repro.engine.plan.ExecutionPlan`; subsequent calls replay the
+plan with zero autograd bookkeeping and no steady-state allocation.  A
+new input shape (e.g. a different fleet batch size) transparently
+retraces — plans are cached per ``(shape, dtype)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .plan import ExecutionPlan
+from .tracer import trace
+
+
+class CompiledInference:
+    """Compiled eval-mode forward for one model.
+
+    Bit-exact with the eager path: same kernels, same operand order, same
+    dtypes — only dispatch, graph bookkeeping and allocation are removed.
+    Parameters and BN state (including the per-sample fleet override) are
+    read live at every replay, so adaptation steps between frames need no
+    recompilation.
+
+    The returned tensor views plan-owned storage that the next call with
+    the same input shape overwrites; copy it if it must outlive a frame.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self._plans: Dict[Tuple, ExecutionPlan] = {}
+
+    def _plan(self, arr: np.ndarray) -> ExecutionPlan:
+        if self.model.training:
+            raise RuntimeError(
+                "CompiledInference requires eval mode; call model.eval() "
+                "(training/adaptation forwards use the eager path)"
+            )
+        key = (arr.shape, arr.dtype.str)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = ExecutionPlan(trace(self.model, arr))
+            self._plans[key] = plan
+        return plan
+
+    def warm(self, x) -> None:
+        """Trace + compile the plan for ``x``'s signature without replaying.
+
+        Serving loops call this outside their timed regions so the
+        one-time trace cost never pollutes per-frame latency statistics.
+        """
+        self._plan(x.data if isinstance(x, Tensor) else np.asarray(x))
+
+    def __call__(self, x) -> Tensor:
+        arr = x.data if isinstance(x, Tensor) else np.asarray(x)
+        return Tensor(self._plan(arr).run(arr), _copy=False)
+
+    @property
+    def num_plans(self) -> int:
+        return len(self._plans)
+
+    def plan_for(self, shape, dtype=np.float32) -> ExecutionPlan:
+        """The cached plan for an input signature (KeyError if untraced)."""
+        return self._plans[(tuple(shape), np.dtype(dtype).str)]
+
+
+def compile_model(model) -> CompiledInference:
+    """Return a compiled, replayable inference callable for ``model``."""
+    return CompiledInference(model)

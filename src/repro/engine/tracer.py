@@ -1,0 +1,179 @@
+"""Trace one eval-mode forward pass into a flat list of op nodes.
+
+The tracer runs the model once on a representative input with two hooks
+installed:
+
+* :data:`repro.nn.tensor._TRACE_HOOK` records every ``Function.apply``
+  call (op class, argument references, kwargs, output tensor);
+* ``_BatchNormBase.forward`` is temporarily wrapped so each BatchNorm
+  layer becomes ONE opaque node referencing the *module object* instead
+  of a burst of reshape/sub/mul/add ops.  That keeps the layer's live
+  state (gamma/beta, running stats, the per-sample ``(scale, shift)``
+  override installed by :func:`repro.serve.streams.per_stream_inference`)
+  a *plan input* resolved at replay time, so one traced plan serves both
+  single-stream inference and batched multi-stream serving, and picks up
+  every LD-BN-ADAPT update without retracing.
+
+Tensor arguments that were not produced by a traced op (model parameters,
+constants) are recorded as :class:`ConstRef` holding the Tensor object;
+replay fetches ``.data`` through the reference each call, so in-place
+parameter updates (optimizer steps, ``load_state_dict``, BN snapshot
+swaps) are always visible to the compiled plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import autograd
+from ..nn import tensor as tensor_mod
+from ..nn.modules import _BatchNormBase
+from ..nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """Reference to the output of an earlier node (or the graph input)."""
+
+    vid: int
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    """Reference to a leaf tensor (parameter/constant) fetched at replay."""
+
+    tensor: Tensor
+
+    def fetch(self) -> np.ndarray:
+        return self.tensor.data
+
+
+@dataclass
+class OpNode:
+    """One traced operation.
+
+    ``function`` is the :class:`~repro.nn.tensor.Function` subclass for
+    generic ops, or None for the opaque ``bn`` nodes (which carry the
+    live module in ``module`` instead).
+    """
+
+    function: Optional[type]
+    inputs: List[Any]  # ValueRef | ConstRef | raw python value, in call order
+    kwargs: Dict[str, Any]
+    out_vid: int
+    out_shape: Tuple[int, ...]
+    out_dtype: np.dtype
+    module: Optional[_BatchNormBase] = None
+
+    @property
+    def kind(self) -> str:
+        if self.module is not None:
+            return "bn"
+        return self.function.__name__.lstrip("_").lower()
+
+
+@dataclass
+class TraceGraph:
+    """Flat static plan source: nodes in execution order plus graph I/O."""
+
+    nodes: List[OpNode]
+    input_vid: int
+    output_vid: int
+    input_shape: Tuple[int, ...]
+    input_dtype: np.dtype
+    # traced tensors kept alive so id()-based vids stay unambiguous
+    _keepalive: List[Tensor] = field(default_factory=list, repr=False)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.nodes)
+
+
+def trace(model, example: np.ndarray) -> TraceGraph:
+    """Run ``model`` once on ``example`` and record the op stream.
+
+    The model must be in eval mode (compiled plans encode inference
+    semantics only; training-mode BN depends on batch statistics and
+    mutates running buffers, which a static replay must not do).
+    """
+    if model.training:
+        raise RuntimeError(
+            "trace() requires eval mode; call model.eval() first "
+            "(adaptation steps keep using the eager autograd path)"
+        )
+    example = np.asarray(example)
+
+    nodes: List[OpNode] = []
+    vids: Dict[int, int] = {}
+    keepalive: List[Tensor] = []
+    x_t = Tensor(example, _copy=False)
+    vids[id(x_t)] = 0
+    keepalive.append(x_t)
+    counter = [1]
+
+    def _ref(arg):
+        if isinstance(arg, Tensor):
+            vid = vids.get(id(arg))
+            if vid is not None:
+                return ValueRef(vid)
+            return ConstRef(arg)
+        return arg
+
+    def _record(function, args, kwargs, out, module=None):
+        vid = counter[0]
+        counter[0] += 1
+        vids[id(out)] = vid
+        keepalive.append(out)
+        nodes.append(
+            OpNode(
+                function=function,
+                inputs=[_ref(a) for a in args],
+                kwargs=dict(kwargs),
+                out_vid=vid,
+                out_shape=tuple(out.shape),
+                out_dtype=out.data.dtype,
+                module=module,
+            )
+        )
+
+    def hook(cls, args, kwargs, out):
+        _record(cls, args, kwargs, out)
+
+    bn_orig = _BatchNormBase.forward
+
+    def bn_forward(self, x):
+        # run the real layer with generic recording suspended, then emit
+        # one opaque node holding the module (state resolved per replay)
+        tensor_mod._TRACE_HOOK = None
+        try:
+            out = bn_orig(self, x)
+        finally:
+            tensor_mod._TRACE_HOOK = hook
+        _record(None, (x,), {}, out, module=self)
+        return out
+
+    tensor_mod._TRACE_HOOK = hook
+    _BatchNormBase.forward = bn_forward
+    try:
+        with autograd.no_grad():
+            out = model(x_t)
+    finally:
+        tensor_mod._TRACE_HOOK = None
+        _BatchNormBase.forward = bn_orig
+
+    out_vid = vids.get(id(out))
+    if out_vid is None:
+        raise RuntimeError(
+            "model output was not produced by a traced op; cannot compile"
+        )
+    return TraceGraph(
+        nodes=nodes,
+        input_vid=0,
+        output_vid=out_vid,
+        input_shape=tuple(example.shape),
+        input_dtype=example.dtype,
+        _keepalive=keepalive,
+    )

@@ -12,6 +12,7 @@ from .ablations import (
     run_stats_mode_ablation,
     run_variant_comparison,
 )
+from .bench_infer import run_bench_infer
 from .config import (
     ADAPT_BATCH_SIZES,
     BACKBONES,
@@ -30,6 +31,7 @@ from .fig1_datasets import DomainStats, Fig1Result, export_gallery, run_fig1
 from .fig2_accuracy import Fig2Cell, Fig2Result, run_fig2, train_source_model
 from .fig3_latency import PAPER_FEASIBILITY, Fig3Result, Fig3Row, run_fig3
 from .fleet_serving import FleetRunResult, roofline_comparison_rows, run_fleet
+from .regression import RegressionReport, check_regressions
 from .reporting import format_markdown_table, format_table, load_json, save_json
 
 __all__ = [
@@ -65,6 +67,9 @@ __all__ = [
     "run_batch_size_ablation",
     "run_stats_mode_ablation",
     "run_sota_cost",
+    "run_bench_infer",
+    "check_regressions",
+    "RegressionReport",
     "VariantResult",
     "format_table",
     "format_markdown_table",

@@ -1,0 +1,108 @@
+"""Eager-vs-compiled inference latency measurement.
+
+Shared by ``benchmarks/bench_infer_engine.py`` (the archived pytest
+harness) and the ``python -m repro.experiments bench-infer`` CLI
+subcommand (the quick regression-gate run).  For each backbone and batch
+size it measures the model's eval forward both ways — the eager autograd
+path and the compiled engine (:mod:`repro.engine`) — reports p50/p95
+wall-clock latency through the shared percentile helper, and verifies the
+engine's hard parity requirement: outputs **bit-exact**
+(``np.array_equal``) against eager, both on the pristine source model and
+after LD-BN-ADAPT has rewritten the BN state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..adapt.bn_adapt import LDBNAdapt, LDBNAdaptConfig
+from ..engine import compile_model
+from ..models import build_model, get_config
+from ..pipeline.monitor import latency_percentile
+from .config import BACKBONES, RunScale, get_run_scale
+
+DEFAULT_BATCH_SIZES = (1, 8)
+
+
+def _time_ms(fn, reps: int) -> List[float]:
+    samples = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        samples.append(1e3 * (time.perf_counter() - start))
+    return samples
+
+
+def run_bench_infer(
+    scale: Optional[RunScale] = None,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    reps: int = 30,
+    adapt_steps: int = 2,
+    backbones: Sequence[str] = BACKBONES,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Measure eager vs compiled inference; returns one row per
+    (backbone, batch size) with p50/p95 latencies, speedups and the two
+    bit-exactness verdicts."""
+    scale = scale if scale is not None else get_run_scale()
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, object]] = []
+    for backbone in backbones:
+        preset = scale.preset(backbone)
+        config = get_config(preset)
+        model = build_model(preset, rng=rng)
+        model.eval()
+        engine = compile_model(model)
+        h, w = config.input_hw
+
+        def frames(batch):
+            return rng.standard_normal((batch, 3, h, w)).astype(np.float32)
+
+        for batch in batch_sizes:
+            x = frames(batch)
+
+            def eager():
+                with nn.no_grad():
+                    return model(nn.Tensor(x, _copy=False)).numpy()
+
+            engine(x)  # trace + compile outside the timed region
+            eager_ref = eager().copy()
+            bit_exact = bool(np.array_equal(eager_ref, engine(x).numpy()))
+
+            eager_ms = _time_ms(eager, reps)
+            compiled_ms = _time_ms(lambda: engine(x), reps)
+
+            # parity must survive online adaptation rewriting the BN state
+            adapter = LDBNAdapt(model, LDBNAdaptConfig(batch_size=1))
+            for _ in range(adapt_steps):
+                adapter.adapt(frames(1))
+            model.eval()
+            adapted_ref = eager().copy()
+            bit_exact_adapted = bool(
+                np.array_equal(adapted_ref, engine(x).numpy())
+            )
+            adapter.reset()
+            model.eval()
+
+            eager_p50 = latency_percentile(eager_ms, 50)
+            compiled_p50 = latency_percentile(compiled_ms, 50)
+            rows.append(
+                {
+                    "backbone": backbone,
+                    "preset": preset,
+                    "batch": batch,
+                    "reps": reps,
+                    "eager_p50_ms": eager_p50,
+                    "eager_p95_ms": latency_percentile(eager_ms, 95),
+                    "compiled_p50_ms": compiled_p50,
+                    "compiled_p95_ms": latency_percentile(compiled_ms, 95),
+                    "speedup_p50": eager_p50 / compiled_p50,
+                    "bit_exact": bit_exact,
+                    "bit_exact_adapted": bit_exact_adapted,
+                }
+            )
+    return rows

@@ -6,28 +6,37 @@
     python -m repro.experiments sota-cost
     python -m repro.experiments fig1
     python -m repro.experiments fleet --streams 3 --frames 45
+    python -m repro.experiments bench-infer --quick
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
-interactive use.  ``fleet`` is the multi-vehicle serving demo (not a
-paper artifact, so ``all`` does not include it).
+interactive use.  ``fleet`` is the multi-vehicle serving demo and
+``bench-infer`` the eager-vs-compiled engine benchmark plus p95
+regression gate (neither is a paper artifact, so ``all`` includes
+neither).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .ablations import run_param_census, run_sota_cost
+from .bench_infer import run_bench_infer
 from .config import get_run_scale
 from .fig1_datasets import run_fig1
 from .fig2_accuracy import run_fig2
 from .fig3_latency import run_fig3
 from .fleet_serving import roofline_comparison_rows, run_fleet
-from .reporting import format_table
+from .regression import check_regressions
+from .reporting import format_table, save_json
 
-_ARTIFACTS = ("fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "all")
+_ARTIFACTS = (
+    "fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "bench-infer",
+    "all",
+)
 
 
 def _print_fig1(scale) -> None:
@@ -89,6 +98,60 @@ def _print_fleet(scale, streams: int, frames: int, adapt_stride: int) -> None:
     )
 
 
+def _default_results_dir() -> str:
+    """The source tree's ``benchmarks/results``, CWD-independent.
+
+    Anchors to the repo root via this package's location (the same
+    directory ``benchmarks/check_regression.py`` gates), falling back to
+    a CWD-relative path for installed-without-sources environments.
+    """
+    repo_root = os.path.dirname(
+        os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+    )
+    benchmarks = os.path.join(repo_root, "benchmarks")
+    if os.path.isdir(benchmarks):
+        return os.path.join(benchmarks, "results")
+    return os.path.join("benchmarks", "results")
+
+
+def _run_bench_infer(scale, quick: bool, results_dir: str) -> int:
+    """Measure eager vs compiled inference, archive it, gate on p95."""
+    rows = run_bench_infer(
+        scale=scale,
+        batch_sizes=(1, 8),
+        reps=5 if quick else 30,
+        adapt_steps=1 if quick else 2,
+    )
+    print("BENCH-INFER — eager vs compiled inference latency (ms)")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "backbone", "batch", "eager_p50_ms", "compiled_p50_ms",
+                "compiled_p95_ms", "speedup_p50", "bit_exact",
+                "bit_exact_adapted",
+            ],
+            floatfmt=".3f",
+        )
+    )
+    if not all(r["bit_exact"] and r["bit_exact_adapted"] for r in rows):
+        print("PARITY FAILURE: compiled output diverged from eager")
+        return 1
+    save_json(os.path.join(results_dir, "infer_engine.json"), rows)
+    report = check_regressions(results_dir)
+    print(f"regression check: {report.summary()}")
+    if report.regressions:
+        print(
+            format_table(
+                [r.as_row() for r in report.regressions], floatfmt=".3f"
+            )
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -118,12 +181,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1,
         help="fleet only: each stream adapts on every k-th of its frames",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench-infer only: fewer repetitions (fast CI smoke run)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="bench-infer only: where to archive and gate results "
+        "(default: the source tree's benchmarks/results, matching "
+        "benchmarks/check_regression.py)",
+    )
     args = parser.parse_args(argv)
+    if args.results_dir is None:
+        args.results_dir = _default_results_dir()
     scale = get_run_scale(args.scale)
 
     if args.artifact == "fleet":
         _print_fleet(scale, args.streams, args.frames, args.adapt_stride)
         return 0
+    if args.artifact == "bench-infer":
+        return _run_bench_infer(scale, args.quick, args.results_dir)
 
     runners = {
         "fig1": _print_fig1,

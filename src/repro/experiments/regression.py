@@ -1,0 +1,161 @@
+"""Benchmark regression gate: diff latest results against the previous run.
+
+Walks ``benchmarks/results/*.json``, extracts every p95 latency metric
+(numeric leaves whose key contains ``"p95"``; the reference
+``eager_*`` timings are excluded — the gate guards the serving path, not
+the eager baseline it is measured against), and compares each against the
+snapshot of the previous run stored in ``<results>/baseline/``.  A metric
+more than ``threshold`` (default 10 %) slower fails the check.
+
+On a passing run the baseline is refreshed to the current results, so the
+next invocation diffs against *this* run; on failure the baseline is kept
+(re-running won't hide the regression) unless ``update=True`` forces a
+refresh.  ``benchmarks/check_regression.py`` is the CLI wrapper and
+``python -m repro.experiments bench-infer`` exercises the whole loop.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .reporting import load_json
+
+DEFAULT_THRESHOLD = 0.10
+BASELINE_DIRNAME = "baseline"
+
+
+def collect_p95_metrics(payload: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten a JSON payload to ``{path: value}`` for p95 latency keys."""
+    metrics: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                metrics.update(collect_p95_metrics(value, path))
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                lowered = str(key).lower()
+                if "p95" in lowered and "eager" not in lowered:
+                    metrics[path] = float(value)
+    elif isinstance(payload, list):
+        for idx, item in enumerate(payload):
+            metrics.update(collect_p95_metrics(item, f"{prefix}[{idx}]"))
+    return metrics
+
+
+@dataclass
+class Regression:
+    """One metric that got slower than the allowed threshold."""
+
+    file: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "metric": self.metric,
+            "baseline_ms": self.baseline,
+            "current_ms": self.current,
+            "slowdown": self.ratio,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of one regression check over a results directory."""
+
+    results_dir: str
+    threshold: float
+    checked_files: List[str] = field(default_factory=list)
+    new_files: List[str] = field(default_factory=list)  # no baseline yet
+    metrics_compared: int = 0
+    regressions: List[Regression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        if not self.checked_files and not self.new_files:
+            return f"no result files with p95 metrics under {self.results_dir}"
+        parts = [
+            f"{self.metrics_compared} p95 metric(s) across "
+            f"{len(self.checked_files)} file(s) vs previous run"
+        ]
+        if self.new_files:
+            parts.append(f"{len(self.new_files)} new file(s) baselined")
+        if self.regressions:
+            parts.append(
+                f"{len(self.regressions)} regression(s) > "
+                f"{self.threshold:.0%}"
+            )
+        else:
+            parts.append("no regressions")
+        return "; ".join(parts)
+
+
+def check_regressions(
+    results_dir: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    baseline_dir: Optional[str] = None,
+    update: bool = False,
+) -> RegressionReport:
+    """Compare ``results_dir/*.json`` p95 metrics to the stored baseline.
+
+    Returns a :class:`RegressionReport`; refreshes the baseline snapshot
+    when the check passes (or when ``update`` forces it).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    baseline_dir = baseline_dir or os.path.join(results_dir, BASELINE_DIRNAME)
+    report = RegressionReport(results_dir=results_dir, threshold=threshold)
+    if not os.path.isdir(results_dir):
+        return report
+
+    names = sorted(
+        name
+        for name in os.listdir(results_dir)
+        if name.endswith(".json")
+        and os.path.isfile(os.path.join(results_dir, name))
+    )
+    refresh: List[str] = []
+    for name in names:
+        current = collect_p95_metrics(load_json(os.path.join(results_dir, name)))
+        if not current:
+            continue  # no latency percentiles in this artifact
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.isfile(baseline_path):
+            report.new_files.append(name)
+            refresh.append(name)
+            continue
+        baseline = collect_p95_metrics(load_json(baseline_path))
+        report.checked_files.append(name)
+        refresh.append(name)
+        for metric, value in sorted(current.items()):
+            base = baseline.get(metric)
+            if base is None:
+                continue  # metric appeared; nothing to diff against
+            report.metrics_compared += 1
+            if base > 0 and value > base * (1.0 + threshold):
+                report.regressions.append(
+                    Regression(
+                        file=name, metric=metric, baseline=base, current=value
+                    )
+                )
+
+    if refresh and (report.ok or update):
+        os.makedirs(baseline_dir, exist_ok=True)
+        for name in refresh:
+            shutil.copyfile(
+                os.path.join(results_dir, name),
+                os.path.join(baseline_dir, name),
+            )
+    return report

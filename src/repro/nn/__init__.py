@@ -17,7 +17,15 @@ Typical usage::
 
 from . import functional
 from . import init
-from .autograd import enable_grad, gradcheck, is_grad_enabled, no_grad, set_grad_enabled
+from .autograd import (
+    compiled_inference_enabled,
+    enable_grad,
+    gradcheck,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
 from .modules import (
     AdaptiveAvgPool2d,
     AvgPool2d,
@@ -56,6 +64,8 @@ __all__ = [
     "concatenate",
     "no_grad",
     "enable_grad",
+    "inference_mode",
+    "compiled_inference_enabled",
     "is_grad_enabled",
     "set_grad_enabled",
     "gradcheck",

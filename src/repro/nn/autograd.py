@@ -65,6 +65,41 @@ def enable_grad():
         set_grad_enabled(previous)
 
 
+# ----------------------------------------------------------------------
+# compiled-inference mode
+# ----------------------------------------------------------------------
+# When True (default), eval-mode serving loops (RealTimePipeline,
+# FleetServer) run forwards through the compiled engine in repro.engine:
+# traced static plans with fused conv-BN-ReLU stages and arena buffer
+# reuse, bit-exact against the eager path.  The flag lives here, next to
+# the grad mode, so repro.nn can expose it without importing the engine.
+_INFERENCE_MODE = True
+
+
+def compiled_inference_enabled() -> bool:
+    """Return True when serving loops should use the compiled engine."""
+    return _INFERENCE_MODE
+
+
+@contextlib.contextmanager
+def inference_mode(mode: bool = True):
+    """Escape hatch for the compiled inference engine.
+
+    ``with inference_mode(False):`` forces the eager autograd forward in
+    every serving loop (useful for debugging a suspected engine/parity
+    issue or for profiling the eager path); ``inference_mode(True)`` is
+    the default state.  Outputs are bit-exact either way — this toggles
+    *how* the forward runs, never what it computes.
+    """
+    global _INFERENCE_MODE
+    previous = _INFERENCE_MODE
+    _INFERENCE_MODE = bool(mode)
+    try:
+        yield
+    finally:
+        _INFERENCE_MODE = previous
+
+
 def _central_difference(
     func: Callable[[], "np.ndarray"],
     array: np.ndarray,

@@ -133,7 +133,10 @@ class _Conv2d(Function):
             )
         cols, out_h, out_w = _im2col(x, (kh, kw), stride, padding)
         w_mat = weight.reshape(out_channels, -1)
-        out = np.einsum("fk,nkp->nfp", w_mat, cols, optimize=True)
+        # (F, K) @ (N, K, P) -> (N, F, P).  The compiled inference engine
+        # (repro.engine) replays this exact matmul kernel with out=, so the
+        # two paths stay bit-identical.
+        out = np.matmul(w_mat, cols)
         if bias is not None:
             out += bias.reshape(1, -1, 1)
         out = out.reshape(x.shape[0], out_channels, out_h, out_w)
@@ -190,6 +193,30 @@ def conv2d(
 # ----------------------------------------------------------------------
 # pooling
 # ----------------------------------------------------------------------
+_POOL_GRAD_SCRATCH: dict = {}
+_POOL_GRAD_SCRATCH_MAX = 8  # the serving loop only ever sees a few shapes
+
+
+def _pool_grad_buffer(shape: Tuple[int, int, int], dtype) -> np.ndarray:
+    """Reused zero-filled scratch for max-pool column gradients.
+
+    The real-time loop calls max-pool backward once per adaptation step
+    with a handful of distinct shapes; reusing one buffer per (shape,
+    dtype) avoids a fresh dense allocation every call.  The cache is
+    bounded (FIFO eviction) so shape sweeps don't pin memory forever.
+    """
+    key = (shape, np.dtype(dtype).str)
+    buf = _POOL_GRAD_SCRATCH.get(key)
+    if buf is None:
+        if len(_POOL_GRAD_SCRATCH) >= _POOL_GRAD_SCRATCH_MAX:
+            _POOL_GRAD_SCRATCH.pop(next(iter(_POOL_GRAD_SCRATCH)))
+        buf = np.zeros(shape, dtype=dtype)
+        _POOL_GRAD_SCRATCH[key] = buf
+    else:
+        buf.fill(0.0)
+    return buf
+
+
 class _MaxPool2d(Function):
     @staticmethod
     def forward(ctx, x, kernel, stride, padding):
@@ -223,23 +250,20 @@ class _MaxPool2d(Function):
             stride=stride,
             padding=padding,
             arg=arg,
-            cols_shape=cols.shape,
         )
         return out
 
     @staticmethod
     def backward(ctx, g):
         n, c, h, w = ctx.attrs["x_shape"]
-        arg = ctx.attrs["arg"]
-        cols_shape = ctx.attrs["cols_shape"]
+        arg = ctx.attrs["arg"]  # (n*c, P) winning window offsets
         kernel = ctx.attrs["kernel"]
         stride = ctx.attrs["stride"]
         ph, pw = ctx.attrs["padding"]
         g_flat = g.reshape(n * c, -1)
-        grad_cols = np.zeros(cols_shape, dtype=g.dtype)
-        rows = np.arange(cols_shape[0])[:, None]
-        pos = np.arange(cols_shape[2])[None, :]
-        grad_cols[rows, arg, pos] = g_flat
+        cols_shape = (arg.shape[0], kernel[0] * kernel[1], arg.shape[1])
+        grad_cols = _pool_grad_buffer(cols_shape, g.dtype)
+        np.put_along_axis(grad_cols, arg[:, None, :], g_flat[:, None, :], axis=1)
         _, _, h_eff, w_eff = ctx.attrs["padded_shape"]
         grad_padded = _col2im(
             grad_cols, (n * c, 1, h_eff, w_eff), kernel, stride, (0, 0)

@@ -106,9 +106,12 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
         for p in self.parameters():
-            p.grad = None
+            if set_to_none:
+                p.grad = None
+            elif p.grad is not None:
+                p.grad.fill(0.0)
 
     def requires_grad_(self, flag: bool = True) -> "Module":
         for p in self.parameters():

@@ -34,9 +34,18 @@ class Optimizer:
         self.lr = lr
         self.state: Dict[int, dict] = {}
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients before the next backward pass.
+
+        With ``set_to_none=True`` (default) gradient arrays are released
+        so eager adaptation steps free them between frames; pass False to
+        keep the allocations and zero-fill them in place instead.
+        """
         for p in self.params:
-            p.grad = None
+            if set_to_none:
+                p.grad = None
+            elif p.grad is not None:
+                p.grad.fill(0.0)
 
     def step(self) -> None:
         raise NotImplementedError

@@ -27,6 +27,11 @@ ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 DEFAULT_DTYPE = np.float32
 
+# Set by repro.engine.tracer while tracing a forward pass: a callable
+# ``hook(function_cls, args, kwargs, out_tensor)`` invoked after every
+# Function.apply.  None (the default) costs one global read per op.
+_TRACE_HOOK = None
+
 
 class Context:
     """Per-op storage connecting a result tensor to its inputs.
@@ -84,6 +89,8 @@ class Function:
         out = Tensor(out_data, requires_grad=requires, _copy=False)
         if requires:
             out._ctx = ctx
+        if _TRACE_HOOK is not None:
+            _TRACE_HOOK(cls, args, kwargs, out)
         return out
 
 

@@ -12,6 +12,12 @@ Latency accounting is pluggable:
   statistics reflect the paper's platform rather than the host CPU;
 * ``latency_model="wallclock"`` — measured host time (useful for
   profiling the numpy implementation itself).
+
+Inference runs through the compiled engine (:mod:`repro.engine`) by
+default — a traced static plan with fused conv-BN-ReLU stages and arena
+buffer reuse, bit-exact against eager — while adaptation steps keep the
+eager autograd path.  ``repro.nn.inference_mode(False)`` forces eager
+inference (the escape hatch).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from .. import nn
 from ..adapt.base import Adapter
+from ..engine import compile_model
 from ..data.dataset import FrameStream, LaneSample
 from ..hw.deadline import DEADLINE_30FPS_MS
 from ..hw.device import DeviceProfile
@@ -90,12 +97,27 @@ class RealTimePipeline:
             self._infer_ms = None
             self._adapt_ms = None
         self.timer = Timer()
+        self._compiled = None  # built lazily on the first compiled forward
 
     # ------------------------------------------------------------------
+    def _warm_engine(self, frame: LaneSample) -> None:
+        """Trace/compile outside the timed region (one-time, per shape)."""
+        if nn.compiled_inference_enabled():
+            if self._compiled is None:
+                self._compiled = compile_model(self.model)
+            self.model.eval()
+            self._compiled.warm(frame.image[None])
+
     def _predict(self, frame: LaneSample) -> np.ndarray:
         self.model.eval()
-        with nn.no_grad():
-            logits = self.model(nn.Tensor(frame.image[None], _copy=False))
+        batch = frame.image[None]
+        if nn.compiled_inference_enabled():
+            if self._compiled is None:
+                self._compiled = compile_model(self.model)
+            logits = self._compiled(batch)
+        else:
+            with nn.no_grad():
+                logits = self.model(nn.Tensor(batch, _copy=False))
         return decode_predictions(
             logits.numpy(), self.model.config, method=self.config.decode_method
         )[0]
@@ -122,6 +144,7 @@ class RealTimePipeline:
                 report.truncated = True
                 break
 
+            self._warm_engine(frame)
             with self.timer.measure("inference"):
                 pred = self._predict(frame)
             with self.timer.measure("adaptation"):

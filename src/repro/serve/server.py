@@ -21,6 +21,13 @@ Latency accounting mirrors :class:`repro.pipeline.RealTimePipeline`:
   implementation itself (a frame is charged its share of the batched
   forward plus its own adaptation step), used by the throughput
   benchmark to show batched serving beating N serial pipelines.
+
+The shared forward runs through the compiled engine (:mod:`repro.engine`)
+by default: one traced plan per batch size, with each stream's folded BN
+``(scale, shift)`` entering the plan as a per-sample input, so
+differently-adapted streams share one batched replay bit-exactly.
+``repro.nn.inference_mode(False)`` forces the eager forward; per-stream
+adaptation steps always use the eager autograd path.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from .. import nn
 from ..adapt.base import Adapter
 from ..adapt.bn_adapt import LDBNAdapt, LDBNAdaptConfig
 from ..data.dataset import LaneSample
+from ..engine import compile_model
 from ..hw.deadline import DEADLINE_30FPS_MS
 from ..hw.device import DeviceProfile
 from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
@@ -115,6 +123,7 @@ class FleetServer:
         )
         self.timer = Timer()
         self._batch_sizes = []
+        self._compiled = None  # built lazily; plans cached per batch size
 
     # ------------------------------------------------------------------
     def add_stream(
@@ -210,10 +219,20 @@ class FleetServer:
 
         images = np.stack([f.image for f in frames]).astype(np.float32)
         self.model.eval()
+        if nn.compiled_inference_enabled():
+            if self._compiled is None:
+                self._compiled = compile_model(self.model)
+            # one-time trace per batch size, outside the timed region
+            self._compiled.warm(images)
         with self.timer.measure("inference"):
             with per_stream_inference(sessions):
-                with nn.no_grad():
-                    logits = self.model(nn.Tensor(images, _copy=False))
+                if nn.compiled_inference_enabled():
+                    if self._compiled is None:
+                        self._compiled = compile_model(self.model)
+                    logits = self._compiled(images)
+                else:
+                    with nn.no_grad():
+                        logits = self.model(nn.Tensor(images, _copy=False))
             # decode is part of serving a frame, so wallclock inference cost
             # includes it — same accounting as RealTimePipeline._predict
             preds = decode_predictions(

@@ -1,0 +1,298 @@
+"""Compiled inference engine: parity, retrace, arena and wiring tests.
+
+The engine's contract is *bit-exactness*: a compiled replay must produce
+``np.array_equal`` outputs against the eager autograd path in every
+serving configuration — pristine and adapted BN state, both backbones,
+single-stream and batched multi-stream per-sample BN overrides — while
+allocating nothing in steady state.  These tests pin that contract (a
+``slow``-marked sweep covers the larger ``small-*`` presets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.adapt import LDBNAdapt, LDBNAdaptConfig, NoAdapt
+from repro.data.dataset import LaneSample
+from repro.engine import CompiledInference, compile_model, trace
+from repro.engine.plan import ExecutionPlan
+from repro.models import build_model, get_config
+from repro.nn.modules import _BatchNormBase
+from repro.pipeline import PipelineConfig, RealTimePipeline
+from repro.serve import FleetConfig, FleetServer
+from repro.serve.streams import StreamRegistry, per_stream_inference
+
+
+def _frames(rng, config, batch):
+    h, w = config.input_hw
+    return rng.standard_normal((batch, 3, h, w)).astype(np.float32)
+
+
+def _eager(model, x):
+    model.eval()
+    with nn.no_grad():
+        return model(nn.Tensor(x, _copy=False)).numpy().copy()
+
+
+class TestParity:
+    @pytest.mark.parametrize("preset", ["tiny-r18", "tiny-r34"])
+    def test_pristine_model_bit_exact(self, preset, rng):
+        model = build_model(preset, rng=rng)
+        model.eval()
+        x = _frames(rng, model.config, 2)
+        engine = compile_model(model)
+        assert np.array_equal(_eager(model, x), engine(x).numpy())
+
+    @pytest.mark.parametrize("preset", ["tiny-r18", "tiny-r34"])
+    def test_adapted_bn_state_bit_exact(self, preset, rng):
+        """Parity must survive LD-BN-ADAPT rewriting stats and gamma/beta."""
+        model = build_model(preset, rng=rng)
+        model.eval()
+        x = _frames(rng, model.config, 2)
+        engine = compile_model(model)
+        engine(x)  # plan traced against the pristine state
+        adapter = LDBNAdapt(model, LDBNAdaptConfig(batch_size=2))
+        for _ in range(3):
+            adapter.adapt(_frames(rng, model.config, 2))
+        model.eval()
+        assert np.array_equal(_eager(model, x), engine(x).numpy())
+
+    def test_trained_model_and_real_frames(self, trained_tiny_model, tiny_benchmark):
+        stream = tiny_benchmark.target_stream(rng=np.random.default_rng(7))
+        images = np.stack([s.image for s in stream.take(3).samples])
+        engine = compile_model(trained_tiny_model)
+        assert np.array_equal(
+            _eager(trained_tiny_model, images), engine(images).numpy()
+        )
+
+    def test_replay_reuses_output_storage(self, rng):
+        """Outputs view plan-owned buffers overwritten by the next replay."""
+        model = build_model("tiny-r18", rng=rng)
+        model.eval()
+        engine = compile_model(model)
+        x1, x2 = _frames(rng, model.config, 1), _frames(rng, model.config, 1)
+        first = engine(x1).numpy()
+        kept = first.copy()
+        second = engine(x2).numpy()
+        assert second is first or np.shares_memory(second, first)
+        assert not np.array_equal(kept, second)  # buffer was overwritten
+        assert np.array_equal(second, _eager(model, x2))
+
+
+class TestPerSampleOverride:
+    def test_multi_stream_batched_forward_bit_exact(self, trained_tiny_model):
+        """Differently-adapted sessions share one compiled batched replay."""
+        rng = np.random.default_rng(11)
+        model = trained_tiny_model
+        config = model.config
+        registry = StreamRegistry(model)
+        sessions = []
+        for idx in range(3):
+            adapter = LDBNAdapt(model, LDBNAdaptConfig(batch_size=1))
+            session = registry.register(
+                f"s{idx}", iter(()), adapter, deadline_ms=33.3
+            )
+            # drift each stream's BN state its own way, then swap it out
+            session.swap_in()
+            adapter.adapt(_frames(rng, config, 1))
+            model.eval()
+            session.swap_out()
+            sessions.append(session)
+        batch = _frames(rng, config, 3)
+        engine = compile_model(model)
+        with per_stream_inference(sessions):
+            eager = _eager(model, batch)
+            compiled = engine(batch).numpy().copy()
+        assert np.array_equal(eager, compiled)
+        # and the override is gone outside the context
+        assert np.array_equal(_eager(model, batch), engine(batch).numpy())
+
+    def test_per_sample_batch_mismatch_raises(self, rng):
+        model = build_model("tiny-r18", rng=rng)
+        model.eval()
+        engine = compile_model(model)
+        x = _frames(rng, model.config, 2)
+        engine(x)
+        for module in model.modules():
+            if isinstance(module, _BatchNormBase):
+                module.per_sample_stats = (
+                    np.ones((4, module.num_features)),
+                    np.zeros((4, module.num_features)),
+                )
+        try:
+            with pytest.raises(ValueError, match="per_sample_stats"):
+                engine(x)
+        finally:
+            for module in model.modules():
+                if isinstance(module, _BatchNormBase):
+                    module.per_sample_stats = None
+
+
+class TestRetraceAndGuards:
+    def test_shape_change_retraces(self, rng):
+        model = build_model("tiny-r18", rng=rng)
+        model.eval()
+        engine = compile_model(model)
+        for batch in (1, 3, 1):
+            x = _frames(rng, model.config, batch)
+            assert np.array_equal(_eager(model, x), engine(x).numpy())
+        assert engine.num_plans == 2  # batch 1 plan was reused, not retraced
+
+    def test_training_mode_rejected(self, rng):
+        model = build_model("tiny-r18", rng=rng)
+        engine = compile_model(model)
+        model.train()
+        with pytest.raises(RuntimeError, match="eval mode"):
+            engine(_frames(rng, model.config, 1))
+
+    def test_trace_requires_eval(self, rng):
+        model = build_model("tiny-r18", rng=rng)
+        with pytest.raises(RuntimeError, match="eval mode"):
+            trace(model, _frames(rng, model.config, 1))
+
+    def test_wrong_shape_replay_rejected(self, rng):
+        model = build_model("tiny-r18", rng=rng)
+        model.eval()
+        x = _frames(rng, model.config, 2)
+        plan = ExecutionPlan(trace(model, x))
+        with pytest.raises(ValueError, match="compiled for input"):
+            plan.run(_frames(rng, model.config, 1))
+
+
+class TestPlanStructure:
+    def test_fusion_and_arena_reuse(self, rng):
+        model = build_model("tiny-r18", rng=rng)
+        model.eval()
+        x = _frames(rng, model.config, 2)
+        plan = ExecutionPlan(trace(model, x))
+        stats = plan.stats
+        # conv-BN(-ReLU) chains collapse: fewer stages than traced ops
+        assert stats.fused_stages > 0
+        assert stats.num_stages < stats.num_ops
+        # liveness recycles buffers: the arena holds less than the ops asked
+        assert 0 < stats.arena_bytes < stats.requested_bytes
+        assert stats.arena_blocks < stats.num_stages
+
+    def test_noncontiguous_view_not_frozen(self, rng):
+        """reshape-of-transpose copies; the plan must recompute it per
+        replay instead of freezing the compile-time copy."""
+
+        class PermuteHead(nn.Module):
+            def __init__(self, gen):
+                super().__init__()
+                self.conv = nn.Conv2d(3, 4, 3, padding=1, rng=gen)
+                self.fc = nn.Linear(4 * 6 * 8, 5, rng=gen)
+
+            def forward(self, x):
+                feat = self.conv(x)  # (N, 4, 6, 8)
+                moved = feat.transpose(0, 2, 3, 1)  # non-contiguous view
+                return self.fc(moved.reshape(x.shape[0], -1))
+
+        model = PermuteHead(rng)
+        model.eval()
+        engine = compile_model(model)
+        for _ in range(3):  # fresh data every replay must flow through
+            x = rng.standard_normal((2, 3, 6, 8)).astype(np.float32)
+            assert np.array_equal(_eager(model, x), engine(x).numpy())
+
+    def test_no_autograd_graph_on_replay(self, rng):
+        model = build_model("tiny-r18", rng=rng)
+        model.eval()
+        engine = compile_model(model)
+        out = engine(_frames(rng, model.config, 1))
+        assert out._ctx is None and not out.requires_grad
+
+
+class TestServingWiring:
+    def _stream(self, config, rng, count):
+        h, w = config.input_hw
+        label_shape = (config.num_anchors, config.num_lanes)
+        return [
+            LaneSample(
+                image=rng.standard_normal((3, h, w)).astype(np.float32),
+                label=np.zeros(label_shape, dtype=np.int64),
+                gt_cells=np.zeros(label_shape, dtype=np.float64),
+                domain="target",
+                timestamp=i / 30.0,
+            )
+            for i in range(count)
+        ]
+
+    def test_pipeline_uses_engine_by_default(self, trained_tiny_model, rng):
+        config = trained_tiny_model.config
+        pipeline = RealTimePipeline(
+            trained_tiny_model,
+            NoAdapt(trained_tiny_model),
+            PipelineConfig(latency_model="wallclock"),
+        )
+        report = pipeline.run(self._stream(config, rng, 3), 3)
+        assert report.num_frames == 3
+        assert isinstance(pipeline._compiled, CompiledInference)
+
+    def test_inference_mode_escape_hatch(self, trained_tiny_model, rng):
+        config = trained_tiny_model.config
+        pipeline = RealTimePipeline(
+            trained_tiny_model,
+            NoAdapt(trained_tiny_model),
+            PipelineConfig(latency_model="wallclock"),
+        )
+        with nn.inference_mode(False):
+            report = pipeline.run(self._stream(config, rng, 3), 3)
+        assert report.num_frames == 3
+        assert pipeline._compiled is None  # eager path: engine never built
+        assert nn.compiled_inference_enabled()  # restored on exit
+
+    def test_fleet_server_engine_matches_eager(self, trained_tiny_model):
+        """The full fleet loop must be frame-for-frame identical both ways."""
+        config = trained_tiny_model.config
+        pristine = trained_tiny_model.state_dict()
+
+        def serve():
+            trained_tiny_model.load_state_dict(pristine)
+            server = FleetServer(
+                trained_tiny_model,
+                FleetConfig(latency_model="wallclock", deadline_ms=1e9),
+            )
+            for idx in range(2):
+                server.add_stream(
+                    f"s{idx}",
+                    iter(
+                        self._stream(
+                            config, np.random.default_rng(100 + idx), 4
+                        )
+                    ),
+                    adapter_config=LDBNAdaptConfig(batch_size=2),
+                )
+            return server.run(4)
+
+        compiled_report = serve()
+        with nn.inference_mode(False):
+            eager_report = serve()
+        for sid, stream_report in compiled_report.stream_reports.items():
+            twin = eager_report.stream_reports[sid]
+            assert [f.accuracy for f in stream_report.frames] == [
+                f.accuracy for f in twin.frames
+            ]
+            assert [f.entropy for f in stream_report.frames] == [
+                f.entropy for f in twin.frames
+            ]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("preset", ["small-r18", "small-r34"])
+@pytest.mark.parametrize("batch", [1, 4])
+def test_engine_parity_sweep_small_presets(preset, batch):
+    """Larger sweep: bit-exactness on the small presets, pristine + adapted."""
+    rng = np.random.default_rng(99)
+    model = build_model(preset, rng=rng)
+    model.eval()
+    config = get_config(preset)
+    x = _frames(rng, config, batch)
+    engine = compile_model(model)
+    assert np.array_equal(_eager(model, x), engine(x).numpy())
+    adapter = LDBNAdapt(model, LDBNAdaptConfig(batch_size=1))
+    adapter.adapt(_frames(rng, config, 1))
+    model.eval()
+    assert np.array_equal(_eager(model, x), engine(x).numpy())

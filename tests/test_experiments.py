@@ -222,3 +222,66 @@ class TestFig2HarnessSlice:
         adapted = result.get("molane", "r18", "ld_bn_adapt", 1)
         assert adapted.accuracy_percent > no_adapt.accuracy_percent
         assert 0 <= no_adapt.fp_rate <= 1
+
+
+class TestRegressionGate:
+    """benchmarks/check_regression.py core: p95 diffs vs the previous run."""
+
+    def _write(self, path, rows):
+        save_json(str(path), rows)
+
+    def test_first_run_records_baseline(self, tmp_path):
+        from repro.experiments import check_regressions
+
+        self._write(tmp_path / "infer_engine.json", [{"compiled_p95_ms": 1.0}])
+        report = check_regressions(str(tmp_path))
+        assert report.ok
+        assert report.new_files == ["infer_engine.json"]
+        assert (tmp_path / "baseline" / "infer_engine.json").exists()
+
+    def test_regression_detected_and_baseline_kept(self, tmp_path):
+        from repro.experiments import check_regressions
+
+        self._write(tmp_path / "infer_engine.json", [{"compiled_p95_ms": 1.0}])
+        check_regressions(str(tmp_path))
+        self._write(tmp_path / "infer_engine.json", [{"compiled_p95_ms": 1.2}])
+        report = check_regressions(str(tmp_path))
+        assert not report.ok
+        assert report.regressions[0].ratio == pytest.approx(1.2)
+        # failed run must NOT refresh the baseline (rerun can't hide it)
+        baseline = load_json(str(tmp_path / "baseline" / "infer_engine.json"))
+        assert baseline[0]["compiled_p95_ms"] == 1.0
+        # ... unless explicitly accepted as the new normal
+        accepted = check_regressions(str(tmp_path), update=True)
+        assert not accepted.ok
+        baseline = load_json(str(tmp_path / "baseline" / "infer_engine.json"))
+        assert baseline[0]["compiled_p95_ms"] == 1.2
+
+    def test_within_threshold_passes_and_refreshes(self, tmp_path):
+        from repro.experiments import check_regressions
+
+        self._write(tmp_path / "x.json", [{"inference_p95_ms": 1.0}])
+        check_regressions(str(tmp_path))
+        self._write(tmp_path / "x.json", [{"inference_p95_ms": 1.05}])
+        report = check_regressions(str(tmp_path))
+        assert report.ok and report.metrics_compared == 1
+        baseline = load_json(str(tmp_path / "baseline" / "x.json"))
+        assert baseline[0]["inference_p95_ms"] == 1.05
+
+    def test_eager_and_non_p95_keys_ignored(self, tmp_path):
+        from repro.experiments import check_regressions
+
+        rows = [{"eager_p95_ms": 1.0, "mean_ms": 2.0, "speedup": 3.0}]
+        self._write(tmp_path / "x.json", rows)
+        check_regressions(str(tmp_path))
+        rows = [{"eager_p95_ms": 9.0, "mean_ms": 9.0, "speedup": 0.1}]
+        self._write(tmp_path / "x.json", rows)
+        report = check_regressions(str(tmp_path))
+        assert report.ok and report.metrics_compared == 0
+
+    def test_nested_rows_are_walked(self, tmp_path):
+        from repro.experiments.regression import collect_p95_metrics
+
+        payload = {"rows": [{"compiled_p95_ms": 2.0}], "meta": {"p95_ms": 1.0}}
+        metrics = collect_p95_metrics(payload)
+        assert metrics == {"rows[0].compiled_p95_ms": 2.0, "meta.p95_ms": 1.0}

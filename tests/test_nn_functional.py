@@ -99,6 +99,19 @@ class TestPooling:
         x = t64((2, 2, 6, 7), rng)
         gradcheck(lambda x: F.max_pool2d(x, kernel, stride, padding), [x])
 
+    def test_maxpool_backward_scratch_reuse(self, rng):
+        """Repeated same-shape backwards reuse one zeroed scratch buffer."""
+        data = rng.standard_normal((2, 2, 6, 6))
+        grads = []
+        for _ in range(2):
+            x = Tensor(data.copy(), requires_grad=True)
+            F.max_pool2d(x, 2).sum().backward()
+            grads.append(x.grad.copy())
+        # identical inputs must give identical grads despite buffer reuse
+        np.testing.assert_array_equal(grads[0], grads[1])
+        # each window routes its gradient to exactly one winner
+        assert grads[0].sum() == pytest.approx(9.0 * 2 * 2)
+
     def test_maxpool_padding_uses_neg_inf(self):
         x = Tensor(-np.ones((1, 1, 2, 2), dtype=np.float32))
         out = F.max_pool2d(x, 3, 1, 1).numpy()

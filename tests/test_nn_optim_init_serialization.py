@@ -76,6 +76,21 @@ class TestSGD:
         opt.zero_grad()
         assert p.grad is None
 
+    def test_zero_grad_set_to_none_default_frees(self):
+        """Default releases gradient arrays (adaptation frees per frame)."""
+        p = param([1.0])
+        p.grad = np.array([1.0])
+        nn.SGD([p], lr=0.1).zero_grad(set_to_none=True)
+        assert p.grad is None
+
+    def test_zero_grad_keep_allocation(self):
+        p = param([1.0])
+        grad = np.array([3.0])
+        p.grad = grad
+        nn.SGD([p], lr=0.1).zero_grad(set_to_none=False)
+        assert p.grad is grad  # same array, zero-filled in place
+        np.testing.assert_array_equal(grad, [0.0])
+
 
 class TestAdam:
     def test_first_step_equals_lr(self):

@@ -2,6 +2,7 @@
 and the experiments CLI."""
 
 import io
+import json
 
 import numpy as np
 import pytest
@@ -222,3 +223,21 @@ class TestCLI:
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["fig9"])
+
+    def test_bench_infer_quick(self, capsys, tmp_path):
+        """Quick engine benchmark + p95 regression gate round-trips."""
+        results = str(tmp_path / "results")
+        assert cli_main(["bench-infer", "--quick", "--results-dir", results]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH-INFER" in out
+        assert "regression check" in out
+        assert (tmp_path / "results" / "infer_engine.json").exists()
+        baseline = tmp_path / "results" / "baseline" / "infer_engine.json"
+        assert baseline.exists()  # first run recorded the baseline
+        # make the baseline 10x slower so the second run's comparison
+        # passes deterministically regardless of host timing noise
+        rows = json.loads(baseline.read_text())
+        for row in rows:
+            row["compiled_p95_ms"] *= 10.0
+        baseline.write_text(json.dumps(rows))
+        assert cli_main(["bench-infer", "--quick", "--results-dir", results]) == 0
