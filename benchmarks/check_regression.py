@@ -1,9 +1,14 @@
-"""CI gate: fail when a benchmark's p95 latency regressed vs the last run.
+"""CI gate: fail when a benchmark's p95 latency or throughput regressed.
 
 Thin CLI over :mod:`repro.experiments.regression`.  Compares every
-``benchmarks/results/*.json`` p95 metric against the snapshot of the
-previous run in ``benchmarks/results/baseline/`` and exits non-zero on a
->10 % slowdown (threshold configurable).  The baseline refreshes on a
+``benchmarks/results/*.json`` gated metric — p95 latencies (the
+inference engine's ``infer_engine.json``, the compiled/fused adaptation
+step's ``adapt_step.json``, fleet dashboard percentiles) and
+frames-per-second throughputs (``serve_throughput.json``) — against the
+snapshot of the previous run in ``benchmarks/results/baseline/`` and
+exits non-zero on a >10 % degradation (threshold configurable; latency
+gates upward moves, throughput gates downward; ``eager_*``/``serial_*``
+reference measurements are never gated).  The baseline refreshes on a
 passing run; ``--update-baseline`` forces a refresh after a failure (use
 when a slowdown is accepted as the new normal).
 

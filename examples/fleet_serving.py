@@ -88,11 +88,19 @@ def main() -> None:
         f"(deadline {report.deadline_ms:.1f} ms, "
         f"miss rate {100 * summary['deadline_miss_rate']:.1f}%)"
     )
+    if report.adapt_batch_sizes:
+        print(
+            f"  adaptation: fleet p50/p95 {summary['adapt_p50_ms']:.1f} / "
+            f"{summary['adapt_p95_ms']:.1f} ms per step, "
+            f"{len(report.adapt_batch_sizes)} fused steps of "
+            f"{summary['mean_adapt_batch_size']:.1f} streams on average"
+        )
     for row in report.per_stream_rows():
         print(
             f"  {row['stream']:<22s} accuracy {100 * row['accuracy']:5.1f}%  "
             f"mean latency {row['mean_latency_ms']:6.1f} ms  "
-            f"{row['adapt_steps']} adapt steps"
+            f"{row['adapt_steps']} adapt steps "
+            f"(p50/p95 {row['adapt_p50_ms']:.1f}/{row['adapt_p95_ms']:.1f} ms)"
         )
 
 

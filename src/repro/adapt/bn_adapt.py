@@ -25,6 +25,13 @@ Implementation notes
 * With batch size 1 the per-channel statistics still average over H x W
   spatial positions, so conv BN layers remain well-conditioned — this is
   why bs=1 works (and wins, Fig. 2) for a dense prediction task.
+* The entropy step runs through the compiled adaptation plan
+  (:class:`repro.engine.CompiledAdaptStep`) by default: a traced static
+  forward+backward that skips the frozen conv/linear weight gradients
+  and replays without autograd bookkeeping, numerically matched against
+  the eager step.  ``repro.nn.adaptation_mode(False)`` forces the eager
+  path (the correctness oracle); models whose graphs the plan cannot
+  lower fall back to it automatically.
 """
 
 from __future__ import annotations
@@ -102,44 +109,114 @@ class LDBNAdapt(Adapter):
         else:
             self.optimizer = nn.Adam(self._params, lr=self.config.lr)
         self._buffer: list = []
+        self._compiled = None  # CompiledAdaptStep, built on first use
+        self._compiled_unsupported = False  # graph can't be lowered: stay eager
 
     # ------------------------------------------------------------------
+    @property
+    def effective_momentum(self) -> float:
+        """Momentum persisted into the running buffers by one step."""
+        return (
+            1.0 if self.config.stats_mode == "replace" else self.config.ema_momentum
+        )
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames buffered by :meth:`observe_frame` toward the next step."""
+        return len(self._buffer)
+
+    def warm(self, image: np.ndarray) -> None:
+        """Trace + compile the adaptation plan for this adapter's batch size.
+
+        Serving loops call this outside their timed regions (mirroring
+        ``CompiledInference.warm``) so the one-time trace cost never
+        pollutes per-frame latency statistics.  No-op when the compiled
+        path is disabled or unsupported.
+        """
+        if not nn.compiled_adaptation_enabled() or self._compiled_unsupported:
+            return
+        batch = np.zeros(
+            (self.config.batch_size,) + tuple(np.shape(image)), dtype=np.float32
+        )
+        self._compiled_plan(batch)
+
+    def _compiled_plan(self, images: np.ndarray):
+        """The adaptation plan for ``images``, or None to use eager."""
+        from ..engine import CompiledAdaptStep, UnsupportedAdaptGraph
+
+        if self._compiled is None:
+            self._compiled = CompiledAdaptStep(self.model)
+        try:
+            return self._compiled.plan_for(images)
+        except UnsupportedAdaptGraph:
+            self._compiled_unsupported = True
+            return None
+
+    def _adapt_compiled(self, images: np.ndarray, momentum: float):
+        """One compiled entropy step; returns the loss or None (fallback).
+
+        Replays the traced plan, persists the batch statistics into the
+        running buffers with the same in-place kernel sequence the eager
+        train forward uses, installs the gamma/beta gradients and runs
+        the (fused, in-place) optimizer step.
+        """
+        plan = self._compiled_plan(images)
+        if plan is None:
+            return None
+        losses = plan.run(images)
+        for tap in plan.bn_taps:
+            module = tap.module
+            module.num_batches_tracked += 1
+            module.running_mean *= 1.0 - momentum
+            module.running_mean += momentum * tap.batch_mean.reshape(-1)
+            module.running_var *= 1.0 - momentum
+            module.running_var += momentum * tap.batch_var.reshape(-1)
+            module.weight.grad = tap.grad_gamma.reshape(-1)
+            module.bias.grad = tap.grad_beta.reshape(-1)
+        self.optimizer.step()
+        return float(losses[0])
+
     def adapt(self, images: np.ndarray) -> AdaptResult:
         """One adaptation step on a batch of unlabeled target frames.
 
         ``images`` is ``(N, 3, H, W)``; N is typically ``config.batch_size``
         (the pipeline buffers frames accordingly, see
-        :meth:`observe_frame`).
+        :meth:`observe_frame`).  Runs the compiled plan by default; the
+        eager autograd step under ``repro.nn.adaptation_mode(False)``.
         """
         images = np.asarray(images, dtype=np.float32)
         if images.ndim != 4:
             raise ValueError(f"expected (N, 3, H, W) batch, got {images.shape}")
 
-        momentum = (
-            1.0 if self.config.stats_mode == "replace" else self.config.ema_momentum
-        )
-        original_momenta = [m.momentum for m in self._bn_modules]
-        for module in self._bn_modules:
-            module.momentum = momentum
+        momentum = self.effective_momentum
+        loss_value = None
+        if nn.compiled_adaptation_enabled() and not self._compiled_unsupported:
+            loss_value = self._adapt_compiled(images, momentum)
 
-        set_bn_training(self.model, True)
-        try:
-            logits = self.model(nn.Tensor(images, _copy=False))
-            loss = entropy_loss(logits, axis=1)
-            self.model.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-        finally:
-            set_bn_training(self.model, False)
-            for module, m in zip(self._bn_modules, original_momenta):
-                module.momentum = m
+        if loss_value is None:
+            original_momenta = [m.momentum for m in self._bn_modules]
+            for module in self._bn_modules:
+                module.momentum = momentum
+
+            set_bn_training(self.model, True)
+            try:
+                logits = self.model(nn.Tensor(images, _copy=False))
+                loss = entropy_loss(logits, axis=1)
+                self.model.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+            finally:
+                set_bn_training(self.model, False)
+                for module, m in zip(self._bn_modules, original_momenta):
+                    module.momentum = m
+            loss_value = float(loss.item())
 
         self._step += 1
         return AdaptResult(
-            loss=float(loss.item()),
+            loss=loss_value,
             num_frames=len(images),
             step_index=self._step,
-            extras={"entropy": float(loss.item())},
+            extras={"entropy": loss_value},
         )
 
     def observe_frame(self, image: np.ndarray) -> Optional[AdaptResult]:

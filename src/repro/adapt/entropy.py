@@ -18,8 +18,10 @@ from .. import nn
 from ..nn import functional as F
 
 
-def entropy_loss(logits: nn.Tensor, axis: int = 1) -> nn.Tensor:
-    """Mean Shannon entropy of the prediction distributions (differentiable).
+def entropy_loss(
+    logits: nn.Tensor, axis: int = 1, reduction: str = "mean"
+) -> nn.Tensor:
+    """Shannon entropy of the prediction distributions (differentiable).
 
     Parameters
     ----------
@@ -28,14 +30,24 @@ def entropy_loss(logits: nn.Tensor, axis: int = 1) -> nn.Tensor:
         ``axis`` names the class dimension).
     axis:
         Class dimension (UFLD layout: 1).
+    reduction:
+        ``"mean"`` (default) — scalar mean entropy over every prediction,
+        the adaptation objective; ``"per_sample"`` — one mean entropy per
+        batch element, shape ``(N,)``.  The per-sample form is the eager
+        oracle for the fleet's grouped adaptation step, whose compiled
+        replay returns one loss per fused stream.
 
     Returns
     -------
     Tensor
-        Scalar mean entropy in nats; backward() yields gradients for the
-        adaptation step.
+        Entropy in nats; backward() yields gradients for the adaptation
+        step.
     """
+    if reduction not in ("mean", "per_sample"):
+        raise ValueError(f"unknown reduction {reduction!r}")
     log_probs = F.log_softmax(logits, axis=axis)
     probs = log_probs.exp()
     point_entropy = -(probs * log_probs).sum(axis=axis)
+    if reduction == "per_sample":
+        return point_entropy.reshape(point_entropy.shape[0], -1).mean(axis=1)
     return point_entropy.mean()

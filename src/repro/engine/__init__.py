@@ -29,18 +29,45 @@ Architecture (three layers):
 :class:`repro.pipeline.RealTimePipeline` and
 :class:`repro.serve.FleetServer` use this path for inference by default;
 ``repro.nn.inference_mode(False)`` is the escape hatch back to eager.
-Adaptation steps always run the eager autograd path.
+
+The same machinery covers the *adaptation* hot path:
+:func:`~repro.engine.tracer.trace_entropy_step` traces one LD-BN-ADAPT
+entropy step (train-mode BN forward + entropy loss), and
+:mod:`~repro.engine.adapt_plan` lowers it to a second static plan — the
+forward replays the eager train kernels, the backward program is pruned
+to the gradient paths that reach BN gamma/beta (conv/linear weight
+gradients are never computed), and activations/saved-buffers/gradients
+share the engine's arena with liveness computed over the combined
+forward+backward program.  :class:`~repro.engine.compile.CompiledAdaptStep`
+caches those plans per ``(shape, dtype, groups)``; ``groups > 1`` is the
+fleet's batched same-phase adaptation: per-group batch statistics and
+per-group gamma/beta slots make one replay equal G serial steps.
+:class:`repro.adapt.LDBNAdapt` uses this path by default;
+``repro.nn.adaptation_mode(False)`` falls back to the eager autograd
+step (the correctness oracle).
 """
 
-from .compile import CompiledInference, compile_model
+from .adapt_plan import (
+    AdaptationPlan,
+    AdaptPlanStats,
+    BNLayerTap,
+    UnsupportedAdaptGraph,
+)
+from .compile import CompiledAdaptStep, CompiledInference, compile_model
 from .plan import ExecutionPlan, PlanStats
-from .tracer import TraceGraph, trace
+from .tracer import TraceGraph, trace, trace_entropy_step
 
 __all__ = [
+    "AdaptationPlan",
+    "AdaptPlanStats",
+    "BNLayerTap",
+    "CompiledAdaptStep",
     "CompiledInference",
+    "UnsupportedAdaptGraph",
     "compile_model",
     "ExecutionPlan",
     "PlanStats",
     "TraceGraph",
     "trace",
+    "trace_entropy_step",
 ]

@@ -1,0 +1,977 @@
+"""Compile the LD-BN-ADAPT entropy step into a replayable static plan.
+
+The adaptation hot path — one train-mode forward (BatchNorm normalizing
+with live batch statistics), the Shannon-entropy loss, and a backward
+pass restricted to BN gamma/beta — previously ran through eager autograd:
+a ``Context`` and output ``Tensor`` per op, conv/linear *weight* gradients
+computed and discarded (everything but BN affine is frozen), and fresh
+temporaries per layer.  This module lowers the traced step
+(:func:`repro.engine.tracer.trace_entropy_step`) to closures the same way
+:mod:`repro.engine.plan` lowers inference:
+
+* every kernel replays the eager op sequence on the same values in the
+  same order, so gradients match the autograd oracle;
+* the backward program is pruned to the gradient paths that actually
+  reach a BN gamma/beta — conv/linear weight gradients and the gradient
+  into the stem conv are never computed;
+* activations, saved-for-backward buffers (``x_hat``, pool argmax, ReLU
+  masks) and gradient buffers live in the engine's arena
+  (:class:`repro.engine.plan._Arena`) with liveness computed over the
+  combined forward+backward program, and im2col workspaces are cached per
+  layer exactly like the inference plan;
+* no autograd ``Context`` or ``Tensor`` is allocated anywhere on the
+  replay path.
+
+**Grouped replay** is the fleet-batching mechanism: with ``groups=G`` the
+batch axis is split into G contiguous groups of equal size, every
+BatchNorm normalizes each group with that group's own batch statistics
+and per-group gamma/beta (read from plan-input *slots*), and the loss is
+one mean entropy per group.  A single grouped replay therefore equals G
+independent serial adaptation steps — one per stream — sharing every
+GEMM.  With ``groups=1`` gamma/beta are read live from the model's BN
+modules and the plan is the single-stream compiled step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import tensor as T
+from ..nn.functional import _conv_output_size, _im2col_indices, _pair
+from ..nn.modules import _BatchNormBase
+from .plan import _Arena
+from .tracer import ConstRef, OpNode, TraceGraph, ValueRef
+
+
+class UnsupportedAdaptGraph(RuntimeError):
+    """The traced step contains an op the adaptation plan cannot lower.
+
+    Callers fall back to the eager autograd step (which handles every
+    op); the compiled path only ever covers graphs it can replay exactly.
+    """
+
+
+@dataclass
+class BNLayerTap:
+    """Plan inputs/outputs of one BatchNorm layer, in execution order.
+
+    ``gamma_slot``/``beta_slot`` are ``(G, C)`` parameter inputs read at
+    every replay — the fleet batcher fills row ``g`` with stream ``g``'s
+    adapted gamma/beta.  With ``groups == 1`` they are None and the plan
+    reads the live module parameters instead (so single-stream LD-BN-ADAPT
+    updates are visible without refilling anything).  After ``run``:
+
+    * ``grad_gamma``/``grad_beta`` hold the entropy gradients, ``(G, C)``;
+    * ``batch_mean``/``batch_var`` hold the per-group batch statistics the
+      forward normalized with — exactly what the statistics-refresh step
+      persists into the running buffers.
+    """
+
+    module: _BatchNormBase
+    gamma_slot: Optional[np.ndarray]
+    beta_slot: Optional[np.ndarray]
+    grad_gamma: np.ndarray
+    grad_beta: np.ndarray
+    batch_mean: np.ndarray
+    batch_var: np.ndarray
+
+
+@dataclass(frozen=True)
+class AdaptPlanStats:
+    """Introspection summary of a compiled adaptation plan."""
+
+    num_ops: int  # traced nodes (forward incl. loss)
+    backward_stages: int  # emitted backward closures (pruned program)
+    skipped_backward: int  # traced nodes with no surviving gradient path
+    arena_blocks: int
+    arena_bytes: int
+    requested_bytes: int
+    workspace_bytes: int  # dedicated im2col/pool workspaces
+
+
+class AdaptationPlan:
+    """Executable entropy step at one (input shape, group count).
+
+    ``run(x)`` replays the compiled forward, computes the loss, replays
+    the pruned backward, and returns the per-group losses ``(G,)``.
+    Gradients and batch statistics are left in the :class:`BNLayerTap`
+    buffers (overwritten by the next ``run``).
+    """
+
+    def __init__(self, graph: TraceGraph, groups: int = 1):
+        batch = graph.input_shape[0]
+        if groups < 1 or batch % groups:
+            raise ValueError(
+                f"groups={groups} must divide the traced batch size {batch}"
+            )
+        self.groups = groups
+        self.group_size = batch // groups
+        self._input_shape = graph.input_shape
+        self._fwd: List[Callable[[], None]] = []
+        self._bwd: List[Callable[[], None]] = []
+        self._fixed: Dict[int, np.ndarray] = {}
+        self._grads: Dict[int, np.ndarray] = {}
+        self._input_cell: List[Optional[np.ndarray]] = [None]
+        self.bn_taps: List[BNLayerTap] = []
+        self._compile(graph)
+
+    # ------------------------------------------------------------------
+    # value access
+    # ------------------------------------------------------------------
+    def _getter(self, ref) -> Callable[[], object]:
+        if isinstance(ref, ValueRef):
+            vid = ref.vid
+            if vid == self._input_vid:
+                cell = self._input_cell
+                return lambda: cell[0]
+            fixed = self._fixed[vid]
+            return lambda: fixed
+        if isinstance(ref, ConstRef):
+            tensor = ref.tensor
+            return lambda: tensor.data
+        value = ref
+        return lambda: value
+
+    def _ref_shape_dtype(self, ref):
+        if isinstance(ref, ValueRef):
+            return self._shapes[ref.vid], self._dtypes[ref.vid]
+        if isinstance(ref, ConstRef):
+            return tuple(ref.tensor.shape), ref.tensor.data.dtype
+        return None, None
+
+    @staticmethod
+    def _kind(node: OpNode) -> str:
+        if node.module is not None:
+            return "bn"
+        fn = node.function
+        if fn is F._Conv2d:
+            return "conv"
+        if fn is F._Linear:
+            return "linear"
+        if fn is F._MaxPool2d:
+            return "maxpool"
+        if fn is F._ReLU:
+            return "relu"
+        if fn is F._LogSoftmax:
+            return "logsoftmax"
+        if fn is T.Add:
+            return "add"
+        if fn is T.Mul:
+            return "mul"
+        if fn is T.Exp:
+            return "exp"
+        if fn is T.Neg:
+            return "neg"
+        if fn is T.Sum:
+            return "sum"
+        if fn is T.Mean:
+            return "mean"
+        if fn is T.Reshape:
+            return "reshape"
+        return "unsupported"
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _compile(self, graph: TraceGraph) -> None:
+        nodes = graph.nodes
+        num = len(nodes)
+        self._input_vid = graph.input_vid
+        self._loss_vid = graph.output_vid
+        shapes: Dict[int, Tuple[int, ...]] = {graph.input_vid: graph.input_shape}
+        dtypes: Dict[int, np.dtype] = {graph.input_vid: graph.input_dtype}
+        producer: Dict[int, int] = {}
+        kinds: List[str] = []
+        for index, node in enumerate(nodes):
+            kind = self._kind(node)
+            if kind == "unsupported":
+                raise UnsupportedAdaptGraph(
+                    f"op {node.function.__name__} has no adaptation-plan "
+                    f"lowering; use the eager step"
+                )
+            kinds.append(kind)
+            shapes[node.out_vid] = node.out_shape
+            dtypes[node.out_vid] = node.out_dtype
+            producer[node.out_vid] = index
+        self._shapes, self._dtypes = shapes, dtypes
+        loss_node = nodes[-1]
+        if (
+            loss_node.out_vid != self._loss_vid
+            or kinds[-1] != "mean"
+            or loss_node.kwargs.get("axis") is not None
+        ):
+            raise UnsupportedAdaptGraph(
+                "adaptation plan requires the trace to end in a global "
+                "mean loss (entropy_loss does)"
+            )
+
+        # -- gradient-path analysis ------------------------------------
+        # carries: the value's producing subgraph contains a train-mode BN,
+        # i.e. a gradient flowing into it can still reach some gamma/beta.
+        carries: set = set()
+        for node in nodes:
+            if node.train_bn:
+                carries.add(node.out_vid)
+            elif any(
+                isinstance(r, ValueRef) and r.vid in carries
+                for r in node.inputs
+            ):
+                carries.add(node.out_vid)
+        # reaches: the value feeds the loss (live branch of the trace)
+        reaches = {self._loss_vid}
+        for node in reversed(nodes):
+            if node.out_vid in reaches:
+                for r in node.inputs:
+                    if isinstance(r, ValueRef):
+                        reaches.add(r.vid)
+        grad_vids = {v for v in carries if v in reaches}
+        # a node emits a backward stage when its output gradient exists
+        # (the loss node seeds instead of consuming a gradient)
+        has_bwd = [
+            nodes[i].out_vid in grad_vids or nodes[i].out_vid == self._loss_vid
+            for i in range(num)
+        ]
+        # which inputs of node i receive gradient contributions
+        def grad_inputs(i: int) -> List[int]:
+            if not has_bwd[i]:
+                return []
+            return [
+                r.vid
+                for r in nodes[i].inputs
+                if isinstance(r, ValueRef) and r.vid in grad_vids
+            ]
+
+        # -- liveness over the combined forward+backward program --------
+        def bwd_pos(i: int) -> int:
+            return 2 * num - 1 - i
+
+        # reshape outputs are views: uses of the view keep the source's
+        # arena block alive
+        alias: Dict[int, int] = {
+            node.out_vid: node.inputs[0].vid
+            for index, node in enumerate(nodes)
+            if kinds[index] == "reshape" and isinstance(node.inputs[0], ValueRef)
+        }
+
+        def root(vid: int) -> int:
+            while vid in alias:
+                vid = alias[vid]
+            return vid
+
+        last_use: Dict[object, int] = {}
+
+        def use(key, pos):
+            last_use[key] = max(last_use.get(key, -1), pos)
+
+        for index, node in enumerate(nodes):
+            use(("a", root(node.out_vid)), index)  # dead outputs die at birth
+            for r in node.inputs:
+                if isinstance(r, ValueRef):
+                    use(("a", root(r.vid)), index)
+            kind = kinds[index]
+            pos = bwd_pos(index) if has_bwd[index] else index
+            if has_bwd[index]:
+                if kind in ("relu", "logsoftmax", "exp"):
+                    use(("a", root(node.out_vid)), pos)
+                elif kind == "mul":
+                    for r in node.inputs:
+                        if isinstance(r, ValueRef):
+                            use(("a", root(r.vid)), pos)
+            # internal saved-for-backward / scratch buffers
+            if kind == "bn":
+                use(("xh", index), pos)
+            elif kind == "logsoftmax":
+                use(("ls", index), pos)
+            elif kind == "maxpool":
+                use(("arg", index), pos)
+                if has_bwd[index]:
+                    use(("gcols", index), pos)
+                    use(("gpad", index), pos)
+            elif kind == "conv" and has_bwd[index]:
+                use(("gcols", index), pos)
+                use(("gpad", index), pos)
+            elif kind == "relu" and has_bwd[index]:
+                use(("mask", index), pos)
+        use(("a", root(self._loss_vid)), 2 * num)  # returned to caller: pinned
+        # gradient buffers: born at the backward stage of their latest
+        # consumer, die at the backward stage of their producer
+        for vid in grad_vids:
+            use(("g", vid), bwd_pos(producer[vid]))
+
+        dying: Dict[int, List[object]] = {}
+        for key, pos in last_use.items():
+            if pos <= 2 * num - 1:
+                dying.setdefault(pos, []).append(key)
+
+        arena = _Arena()
+        self._arena = arena
+        blocks: Dict[object, object] = {}
+        workspace_bytes = [0]
+
+        def alloc(key, shape, dtype) -> np.ndarray:
+            block, view = arena.alloc(shape, dtype)
+            block.alive.add(key)
+            blocks[key] = block
+            return view
+
+        def register(vid: int, array: np.ndarray) -> None:
+            self._fixed[vid] = array
+
+        def advance(pos: int) -> None:
+            for key in dying.get(pos, ()):
+                block = blocks.pop(key, None)
+                if block is not None:
+                    block.alive.discard(key)
+                    if not block.alive:
+                        arena.release(block)
+
+        def grad_buffer(vid: int) -> np.ndarray:
+            buf = self._grads.get(vid)
+            if buf is None:
+                buf = alloc(("g", vid), shapes[vid], dtypes[vid])
+                self._grads[vid] = buf
+            return buf
+
+        written: Dict[int, bool] = {}
+
+        def sink(vid: int):
+            """(buffer, fresh) for one gradient contribution into ``vid``."""
+            buf = grad_buffer(vid)
+            fresh = not written.get(vid, False)
+            written[vid] = True
+            return buf, fresh
+
+        # per-node compile-time state shared between fwd and bwd closures
+        cells: List[dict] = [dict() for _ in range(num)]
+
+        # -- forward ----------------------------------------------------
+        for index, node in enumerate(nodes):
+            kind = kinds[index]
+            builder = getattr(self, f"_fwd_{kind}")
+            builder(node, index, cells[index], alloc, register, workspace_bytes)
+            advance(index)
+
+        # -- backward (pruned) ------------------------------------------
+        emitted = 0
+        for index in range(num - 1, -1, -1):
+            pos = bwd_pos(index)
+            if has_bwd[index]:
+                node = nodes[index]
+                kind = kinds[index]
+                builder = getattr(self, f"_bwd_{kind}")
+                builder(node, index, cells[index], alloc, sink, grad_inputs(index))
+                emitted += 1
+            advance(pos)
+
+        loss_buf = self._fixed[self._loss_vid]
+        self._loss_out = loss_buf
+        self.stats = AdaptPlanStats(
+            num_ops=num,
+            backward_stages=emitted,
+            skipped_backward=num - emitted,
+            arena_blocks=len(arena.blocks),
+            arena_bytes=arena.total_bytes,
+            requested_bytes=arena.requested_bytes,
+            workspace_bytes=workspace_bytes[0],
+        )
+
+    # ------------------------------------------------------------------
+    # forward stage builders
+    # ------------------------------------------------------------------
+    def _fwd_conv(self, node, index, cell, alloc, register, workspace_bytes):
+        x_ref = node.inputs[0]
+        x_shape, x_dtype = self._ref_shape_dtype(x_ref)
+        weight = node.inputs[1].tensor
+        bias_ref = node.inputs[2]
+        bias = bias_ref.tensor if isinstance(bias_ref, ConstRef) else None
+        stride = _pair(node.inputs[3])
+        padding = _pair(node.inputs[4])
+
+        n, c, h, w = x_shape
+        f_out, _, kh, kw = weight.shape
+        out_h = _conv_output_size(h, kh, stride[0], padding[0])
+        out_w = _conv_output_size(w, kw, stride[1], padding[1])
+        p_total = out_h * out_w
+        k_total = c * kh * kw
+        compute_dtype = node.out_dtype
+
+        identity_cols = (
+            kh == 1 and kw == 1 and stride == (1, 1) and padding == (0, 0)
+        )
+        padded = core = cols = flat = None
+        if not identity_cols:
+            k, i, j, _, _ = _im2col_indices(c, h, w, (kh, kw), stride, padding)
+            hp, wp = h + 2 * padding[0], w + 2 * padding[1]
+            flat = ((k * hp + i) * wp + j).astype(np.intp)
+            if padding != (0, 0):
+                padded = np.zeros((n, c, hp, wp), dtype=compute_dtype)
+                core = padded[:, :, padding[0]:padding[0] + h,
+                              padding[1]:padding[1] + w]
+                cols = np.empty((n, k_total, p_total), dtype=compute_dtype)
+                workspace_bytes[0] += padded.nbytes + cols.nbytes
+            else:
+                cols = np.empty((n, k_total, p_total), dtype=x_dtype)
+                workspace_bytes[0] += cols.nbytes
+        cell.update(
+            x_shape=x_shape, stride=stride, padding=padding,
+            identity_cols=identity_cols, k_total=k_total, p_total=p_total,
+            f_out=f_out,
+        )
+
+        out3 = alloc(("a", node.out_vid), (n, f_out, p_total), compute_dtype)
+        out4 = out3.reshape(n, f_out, out_h, out_w)
+        register(node.out_vid, out4)
+        get_x = self._getter(x_ref)
+
+        def run():
+            x = get_x()
+            if padded is not None:
+                core[...] = x
+                np.take(padded.reshape(n, -1), flat, axis=1, out=cols,
+                        mode="clip")
+                cc = cols
+            elif identity_cols:
+                cc = x.reshape(n, c, p_total)
+            else:
+                np.take(x.reshape(n, -1), flat, axis=1, out=cols, mode="clip")
+                cc = cols
+            np.matmul(weight.data.reshape(f_out, k_total), cc, out=out3)
+            if bias is not None:
+                np.add(out3, bias.data.reshape(1, -1, 1), out=out3)
+
+        self._fwd.append(run)
+
+    def _fwd_linear(self, node, index, cell, alloc, register, workspace_bytes):
+        x_ref = node.inputs[0]
+        x_shape, _ = self._ref_shape_dtype(x_ref)
+        weight = node.inputs[1].tensor
+        bias_ref = node.inputs[2]
+        bias = bias_ref.tensor if isinstance(bias_ref, ConstRef) else None
+        out2 = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out2)
+        get_x = self._getter(x_ref)
+
+        def run():
+            np.matmul(get_x(), weight.data.T, out=out2)
+            if bias is not None:
+                np.add(out2, bias.data, out=out2)
+
+        self._fwd.append(run)
+
+    def _fwd_relu(self, node, index, cell, alloc, register, workspace_bytes):
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out)
+        get_x = self._getter(node.inputs[0])
+        self._fwd.append(lambda: np.maximum(get_x(), 0.0, out=out))
+
+    def _fwd_add(self, node, index, cell, alloc, register, workspace_bytes):
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out)
+        get_a = self._getter(node.inputs[0])
+        get_b = self._getter(node.inputs[1])
+        self._fwd.append(lambda: np.add(get_a(), get_b(), out=out))
+
+    def _fwd_mul(self, node, index, cell, alloc, register, workspace_bytes):
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out)
+        get_a = self._getter(node.inputs[0])
+        get_b = self._getter(node.inputs[1])
+        self._fwd.append(lambda: np.multiply(get_a(), get_b(), out=out))
+
+    def _fwd_exp(self, node, index, cell, alloc, register, workspace_bytes):
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out)
+        get_x = self._getter(node.inputs[0])
+        self._fwd.append(lambda: np.exp(get_x(), out=out))
+
+    def _fwd_neg(self, node, index, cell, alloc, register, workspace_bytes):
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out)
+        get_x = self._getter(node.inputs[0])
+        self._fwd.append(lambda: np.negative(get_x(), out=out))
+
+    def _fwd_reshape(self, node, index, cell, alloc, register, workspace_bytes):
+        src = node.inputs[0]
+        shape = node.kwargs["shape"]
+        if not isinstance(src, ValueRef) or src.vid == self._input_vid:
+            raise UnsupportedAdaptGraph("reshape of a non-activation input")
+        base = self._fixed[src.vid]
+        view = base.reshape(shape)
+        if not np.shares_memory(view, base):  # pragma: no cover - arena bufs
+            raise UnsupportedAdaptGraph("non-view reshape in adaptation trace")
+        register(node.out_vid, view)
+        # pure view: zero replay cost, no stage emitted — but keep the
+        # source alive as long as the view (same arena block)
+
+    def _fwd_sum(self, node, index, cell, alloc, register, workspace_bytes):
+        axis = node.kwargs.get("axis")
+        keepdims = node.kwargs.get("keepdims", False)
+        if not isinstance(axis, int):
+            raise UnsupportedAdaptGraph("sum lowering supports a single axis")
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out)
+        get_x = self._getter(node.inputs[0])
+        cell.update(axis=axis, keepdims=keepdims)
+        self._fwd.append(
+            lambda: np.sum(get_x(), axis=axis, keepdims=keepdims, out=out)
+        )
+
+    def _fwd_mean(self, node, index, cell, alloc, register, workspace_bytes):
+        # only emitted for the final global-mean loss (validated upfront):
+        # lowered as one mean per group so a grouped replay returns each
+        # stream's own loss
+        in_shape, _ = self._ref_shape_dtype(node.inputs[0])
+        groups = self.groups
+        per_group = int(np.prod(in_shape)) // groups
+        out = np.empty((groups,), dtype=node.out_dtype)
+        register(node.out_vid, out)
+        get_x = self._getter(node.inputs[0])
+        cell.update(per_group=per_group, in_shape=in_shape)
+        self._fwd.append(
+            lambda: np.mean(get_x().reshape(groups, per_group), axis=1, out=out)
+        )
+
+    def _fwd_logsoftmax(self, node, index, cell, alloc, register,
+                        workspace_bytes):
+        axis = node.inputs[1]
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        register(node.out_vid, out)
+        scratch = alloc(("ls", index), node.out_shape, node.out_dtype)
+        get_x = self._getter(node.inputs[0])
+        cell.update(axis=axis, scratch=scratch)
+
+        def run():
+            x = get_x()
+            mx = x.max(axis=axis, keepdims=True)
+            np.subtract(x, mx, out=out)  # shifted
+            np.exp(out, out=scratch)
+            s = scratch.sum(axis=axis, keepdims=True)
+            np.log(s, out=s)
+            np.subtract(out, s, out=out)
+
+        self._fwd.append(run)
+
+    def _fwd_maxpool(self, node, index, cell, alloc, register, workspace_bytes):
+        x_ref = node.inputs[0]
+        x_shape, x_dtype = self._ref_shape_dtype(x_ref)
+        kernel = _pair(node.inputs[1])
+        stride = _pair(node.inputs[2] if node.inputs[2] is not None else kernel)
+        padding = _pair(node.inputs[3])
+        n, c, h, w = x_shape
+        _, _, out_h, out_w = node.out_shape
+        p_total = out_h * out_w
+
+        padded = core = None
+        if padding != (0, 0):
+            h_eff, w_eff = h + 2 * padding[0], w + 2 * padding[1]
+            padded = np.full((n * c, h_eff, w_eff), -np.inf, dtype=x_dtype)
+            core = padded[:, padding[0]:padding[0] + h,
+                          padding[1]:padding[1] + w]
+        else:
+            h_eff, w_eff = h, w
+        k, i, j, _, _ = _im2col_indices(1, h_eff, w_eff, kernel, stride, (0, 0))
+        flat = (i * w_eff + j).astype(np.intp)
+        cols = np.empty((n * c, kernel[0] * kernel[1], p_total), dtype=x_dtype)
+        workspace_bytes[0] += cols.nbytes + (
+            padded.nbytes if padded is not None else 0
+        )
+        arg = alloc(("arg", index), (n * c, p_total), np.intp)
+
+        out4 = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        out2 = out4.reshape(n * c, p_total)
+        register(node.out_vid, out4)
+        get_x = self._getter(x_ref)
+        cell.update(
+            x_shape=x_shape, kernel=kernel, stride=stride, padding=padding,
+            h_eff=h_eff, w_eff=w_eff, arg=arg, scatter=(k, i, j),
+            p_total=p_total,
+        )
+
+        def run():
+            x = get_x()
+            if padded is not None:
+                core[...] = x.reshape(n * c, h, w)
+                np.take(padded.reshape(n * c, -1), flat, axis=1, out=cols,
+                        mode="clip")
+            else:
+                np.take(x.reshape(n * c, -1), flat, axis=1, out=cols,
+                        mode="clip")
+            np.argmax(cols, axis=1, out=arg)
+            np.max(cols, axis=1, out=out2)
+
+        self._fwd.append(run)
+
+    def _fwd_bn(self, node, index, cell, alloc, register, workspace_bytes):
+        if not node.train_bn:
+            raise UnsupportedAdaptGraph(
+                "eval-mode BN inside an adaptation trace"
+            )
+        module = node.module
+        x_ref = node.inputs[0]
+        x_shape, _ = self._ref_shape_dtype(x_ref)
+        groups, group_size = self.groups, self.group_size
+        c = module.num_features
+        if x_shape[0] != groups * group_size:
+            raise UnsupportedAdaptGraph("BN input batch does not match groups")
+        if len(x_shape) == 4:
+            gshape = (groups, group_size, c, x_shape[2], x_shape[3])
+            axes = (1, 3, 4)
+            pshape = (groups, 1, c, 1, 1)
+        elif len(x_shape) == 2:
+            gshape = (groups, group_size, c)
+            axes = (1,)
+            pshape = (groups, 1, c)
+        else:  # pragma: no cover - BN accepts 2-D/4-D only
+            raise UnsupportedAdaptGraph(f"BN on {len(x_shape)}-D input")
+        m = float(group_size * int(np.prod(x_shape[2:], dtype=np.int64)))
+        eps = module.eps
+
+        out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
+        xhat = alloc(("xh", index), node.out_shape, node.out_dtype)
+        if groups > 1:
+            gamma_slot = np.empty((groups, c), dtype=np.float64)
+            beta_slot = np.empty((groups, c), dtype=np.float64)
+            get_gamma = lambda: gamma_slot.reshape(pshape)  # noqa: E731
+            get_beta = lambda: beta_slot.reshape(pshape)  # noqa: E731
+        else:
+            gamma_slot = beta_slot = None
+            stat = (1, 1, c) + (1,) * (len(pshape) - 3)
+            get_gamma = lambda: module.weight.data.reshape(stat)  # noqa: E731
+            get_beta = lambda: module.bias.data.reshape(stat)  # noqa: E731
+        tap = BNLayerTap(
+            module=module,
+            gamma_slot=gamma_slot,
+            beta_slot=beta_slot,
+            grad_gamma=np.empty((groups, c), dtype=np.float64),
+            grad_beta=np.empty((groups, c), dtype=np.float64),
+            batch_mean=np.empty((groups, c), dtype=np.float64),
+            batch_var=np.empty((groups, c), dtype=np.float64),
+        )
+        self.bn_taps.append(tap)
+        get_x = self._getter(x_ref)
+        cell.update(
+            gshape=gshape, axes=axes, m=m, tap=tap, xhat=xhat,
+            get_gamma=get_gamma,
+        )
+
+        def run():
+            x5 = get_x().reshape(gshape)
+            mean = x5.mean(axis=axes, keepdims=True)
+            var = x5.var(axis=axes, keepdims=True)
+            inv_std = 1.0 / np.sqrt(var + eps)
+            xh5 = xhat.reshape(gshape)
+            np.subtract(x5, mean, out=xh5)
+            np.multiply(xh5, inv_std, out=xh5)
+            out5 = out.reshape(gshape)
+            np.multiply(xh5, get_gamma(), out=out5)
+            np.add(out5, get_beta(), out=out5)
+            tap.batch_mean[...] = mean.reshape(groups, c)
+            tap.batch_var[...] = var.reshape(groups, c)
+            cell["inv_std"] = inv_std
+
+        self._fwd.append(run)
+        register(node.out_vid, out)
+
+    # ------------------------------------------------------------------
+    # backward stage builders (emitted in reverse node order)
+    # ------------------------------------------------------------------
+    def _contribute(self, vid, sink, compute_fresh, compute_value):
+        """Emit one gradient contribution into ``vid``.
+
+        ``compute_fresh(dst)`` writes the contribution with ``out=``;
+        ``compute_value()`` returns it (used in accumulate mode, where the
+        eager path also materializes a temporary before ``existing +
+        grad``).
+        """
+        dst, fresh = sink(vid)
+        if fresh:
+            self._bwd.append(lambda: compute_fresh(dst))
+        else:
+            self._bwd.append(lambda: np.add(dst, compute_value(), out=dst))
+
+    def _bwd_mean(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:  # pragma: no cover - loss always carries
+            return
+        vid = grad_in[0]
+        seed = 1.0 / cell["per_group"]
+        self._contribute(
+            vid, sink,
+            lambda dst: dst.fill(seed),
+            lambda: seed,
+        )
+
+    def _bwd_neg(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g = self._grads[node.out_vid]
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.negative(g, out=dst),
+            lambda: -g,
+        )
+
+    def _bwd_sum(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g = self._grads[node.out_vid]
+        axis = cell["axis"]
+        keepdims = cell["keepdims"]
+        in_shape = self._shapes[grad_in[0]]
+        axis_norm = axis % len(in_shape)
+
+        def expanded():
+            return g if keepdims else np.expand_dims(g, axis_norm)
+
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.copyto(dst, expanded()),
+            expanded,
+        )
+
+    def _bwd_mul(self, node, index, cell, alloc, sink, grad_in):
+        g = self._grads[node.out_vid]
+        a_ref, b_ref = node.inputs[0], node.inputs[1]
+        get_a, get_b = self._getter(a_ref), self._getter(b_ref)
+        if isinstance(a_ref, ValueRef) and a_ref.vid in grad_in:
+            self._contribute(
+                a_ref.vid, sink,
+                lambda dst: np.multiply(g, get_b(), out=dst),
+                lambda: g * get_b(),
+            )
+        if isinstance(b_ref, ValueRef) and b_ref.vid in grad_in:
+            self._contribute(
+                b_ref.vid, sink,
+                lambda dst: np.multiply(g, get_a(), out=dst),
+                lambda: g * get_a(),
+            )
+
+    def _bwd_exp(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g = self._grads[node.out_vid]
+        out = self._fixed[node.out_vid]
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.multiply(g, out, out=dst),
+            lambda: g * out,
+        )
+
+    def _bwd_logsoftmax(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g = self._grads[node.out_vid]
+        out = self._fixed[node.out_vid]
+        axis = cell["axis"]
+        scratch = cell["scratch"]
+
+        def value():
+            np.exp(out, out=scratch)  # softmax
+            s = g.sum(axis=axis, keepdims=True)
+            np.multiply(scratch, s, out=scratch)
+            return scratch
+
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.subtract(g, value(), out=dst),
+            lambda: g - value(),
+        )
+
+    def _bwd_reshape(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g = self._grads[node.out_vid]
+        in_shape = self._shapes[grad_in[0]]
+
+        def reshaped():
+            return g.reshape(in_shape)
+
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.copyto(dst, reshaped()),
+            reshaped,
+        )
+
+    def _bwd_add(self, node, index, cell, alloc, sink, grad_in):
+        g = self._grads[node.out_vid]
+        for ref in node.inputs[:2]:
+            if isinstance(ref, ValueRef) and ref.vid in grad_in:
+                self._contribute(
+                    ref.vid, sink,
+                    lambda dst: np.copyto(dst, g),
+                    lambda: g,
+                )
+
+    def _bwd_relu(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g = self._grads[node.out_vid]
+        out = self._fixed[node.out_vid]
+        mask = alloc(("mask", index), node.out_shape, np.bool_)
+
+        def fresh(dst):
+            np.greater(out, 0, out=mask)
+            np.multiply(g, mask, out=dst)
+
+        def value():
+            np.greater(out, 0, out=mask)
+            return g * mask
+
+        self._contribute(grad_in[0], sink, fresh, value)
+
+    def _bwd_linear(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g = self._grads[node.out_vid]
+        weight = node.inputs[1].tensor
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.matmul(g, weight.data, out=dst),
+            lambda: g @ weight.data,
+        )
+
+    def _bwd_conv(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g4 = self._grads[node.out_vid]
+        weight = node.inputs[1].tensor
+        n, c, h, w = cell["x_shape"]
+        stride, padding = cell["stride"], cell["padding"]
+        k_total, p_total, f_out = cell["k_total"], cell["p_total"], cell["f_out"]
+        dtype = node.out_dtype
+        grad_cols = alloc(("gcols", index), (n, k_total, p_total), dtype)
+        if cell["identity_cols"]:
+            def value():
+                g_mat = g4.reshape(n, f_out, p_total)
+                np.einsum(
+                    "fk,nfp->nkp", weight.data.reshape(f_out, k_total), g_mat,
+                    out=grad_cols, optimize=True,
+                )
+                return grad_cols.reshape(n, c, h, w)
+        else:
+            kernel = (weight.shape[2], weight.shape[3])
+            k, i, j, _, _ = _im2col_indices(c, h, w, kernel, stride, padding)
+            hp, wp = h + 2 * padding[0], w + 2 * padding[1]
+            gpad = alloc(("gpad", index), (n, c, hp, wp), dtype)
+            inner = gpad[:, :, padding[0]:padding[0] + h,
+                         padding[1]:padding[1] + w]
+
+            def value():
+                g_mat = g4.reshape(n, f_out, p_total)
+                np.einsum(
+                    "fk,nfp->nkp", weight.data.reshape(f_out, k_total), g_mat,
+                    out=grad_cols, optimize=True,
+                )
+                gpad.fill(0.0)
+                np.add.at(gpad, (slice(None), k, i, j), grad_cols)
+                return inner
+
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.copyto(dst, value()),
+            value,
+        )
+
+    def _bwd_maxpool(self, node, index, cell, alloc, sink, grad_in):
+        if not grad_in:
+            return
+        g4 = self._grads[node.out_vid]
+        n, c, h, w = cell["x_shape"]
+        kernel, stride, padding = cell["kernel"], cell["stride"], cell["padding"]
+        h_eff, w_eff = cell["h_eff"], cell["w_eff"]
+        arg = cell["arg"]
+        k, i, j = cell["scatter"]
+        p_total = cell["p_total"]
+        dtype = node.out_dtype
+        grad_cols = alloc(
+            ("gcols", index), (n * c, kernel[0] * kernel[1], p_total), dtype
+        )
+        gpad = alloc(("gpad", index), (n * c, 1, h_eff, w_eff), dtype)
+        ph, pw = padding
+
+        def value():
+            g_flat = g4.reshape(n * c, -1)
+            grad_cols.fill(0.0)
+            np.put_along_axis(
+                grad_cols, arg[:, None, :], g_flat[:, None, :], axis=1
+            )
+            gpad.fill(0.0)
+            np.add.at(gpad, (slice(None), k, i, j), grad_cols)
+            grad = gpad.reshape(n, c, h_eff, w_eff)
+            if ph or pw:
+                return grad[:, :, ph:ph + h, pw:pw + w]
+            return grad
+
+        self._contribute(
+            grad_in[0], sink,
+            lambda dst: np.copyto(dst, value()),
+            value,
+        )
+
+    def _bwd_bn(self, node, index, cell, alloc, sink, grad_in):
+        g = self._grads[node.out_vid]
+        gshape, axes, m = cell["gshape"], cell["axes"], cell["m"]
+        tap, xhat = cell["tap"], cell["xhat"]
+        get_gamma = cell["get_gamma"]
+        groups = self.groups
+        c = tap.module.num_features
+
+        def grads_gamma_beta():
+            g5 = g.reshape(gshape)
+            xh5 = xhat.reshape(gshape)
+            tap.grad_gamma[...] = (
+                (g5 * xh5).sum(axis=axes, keepdims=True).reshape(groups, c)
+            )
+            tap.grad_beta[...] = (
+                g5.sum(axis=axes, keepdims=True).reshape(groups, c)
+            )
+            return g5, xh5
+
+        if grad_in:
+            def value():
+                g5, xh5 = grads_gamma_beta()
+                inv_std = cell["inv_std"]
+                dx_hat = g5 * get_gamma()
+                grad5 = (
+                    inv_std
+                    / m
+                    * (
+                        m * dx_hat
+                        - dx_hat.sum(axis=axes, keepdims=True)
+                        - xh5 * (dx_hat * xh5).sum(axis=axes, keepdims=True)
+                    )
+                )
+                return grad5.reshape(self._shapes[grad_in[0]])
+
+            self._contribute(
+                grad_in[0], sink,
+                lambda dst: np.copyto(dst, value()),
+                value,
+            )
+        else:
+            # the first BN in the network: nothing upstream needs gradient
+            self._bwd.append(lambda: grads_gamma_beta())
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """One compiled entropy step; returns per-group losses ``(G,)``.
+
+        BN gradients and batch statistics are left in :attr:`bn_taps`
+        (plan-owned buffers, overwritten by the next ``run``).
+        """
+        if x.shape != self._input_shape:
+            raise ValueError(
+                f"adaptation plan compiled for input {self._input_shape}, "
+                f"got {x.shape}"
+            )
+        self._input_cell[0] = x
+        for step in self._fwd:
+            step()
+        for step in self._bwd:
+            step()
+        return self._loss_out

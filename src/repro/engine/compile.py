@@ -1,4 +1,4 @@
-"""Model-level entry point: shape-keyed plan cache over trace + compile.
+"""Model-level entry points: shape-keyed plan caches over trace + compile.
 
 :func:`compile_model` wraps a model in a :class:`CompiledInference`
 callable.  The first call at a given input shape traces one eval-mode
@@ -7,17 +7,22 @@ forward (:mod:`repro.engine.tracer`) and lowers it to an
 plan with zero autograd bookkeeping and no steady-state allocation.  A
 new input shape (e.g. a different fleet batch size) transparently
 retraces — plans are cached per ``(shape, dtype)``.
+
+:class:`CompiledAdaptStep` is the training-side twin: a cache of
+:class:`~repro.engine.adapt_plan.AdaptationPlan` objects keyed by
+``(shape, dtype, groups)``, tracing the entropy step on demand.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..nn.tensor import Tensor
+from .adapt_plan import AdaptationPlan
 from .plan import ExecutionPlan
-from .tracer import trace
+from .tracer import trace, trace_entropy_step
 
 
 class CompiledInference:
@@ -74,3 +79,55 @@ class CompiledInference:
 def compile_model(model) -> CompiledInference:
     """Return a compiled, replayable inference callable for ``model``."""
     return CompiledInference(model)
+
+
+class CompiledAdaptStep:
+    """Compiled LD-BN-ADAPT entropy steps for one model.
+
+    Caches one :class:`~repro.engine.adapt_plan.AdaptationPlan` per
+    ``(input shape, dtype, groups)``.  With ``groups == 1`` a plan reads
+    gamma/beta live from the model's BN modules (the single-stream step);
+    with ``groups == G`` it exposes per-group parameter slots — the
+    fleet's mechanism for fusing G same-phase streams' steps into one
+    batched replay.  Tracing restores every buffer it touches, so
+    building a plan never perturbs the model.
+    """
+
+    def __init__(self, model, loss_fn=None):
+        if loss_fn is None:
+            from ..adapt.entropy import entropy_loss  # avoid a cycle
+
+            loss_fn = entropy_loss
+        self.model = model
+        self.loss_fn = loss_fn
+        self._plans: Dict[Tuple, AdaptationPlan] = {}
+
+    def plan_for(self, arr: np.ndarray, groups: int = 1) -> AdaptationPlan:
+        """The (cached) adaptation plan for ``arr``'s signature.
+
+        Raises :class:`~repro.engine.adapt_plan.UnsupportedAdaptGraph`
+        when the traced step contains an op the plan cannot lower — the
+        caller falls back to the eager autograd step.  The trace graph is
+        not retained: the plan's closures captured what replay needs.
+        """
+        key = (arr.shape, arr.dtype.str, int(groups))
+        plan = self._plans.get(key)
+        if plan is None:
+            graph = trace_entropy_step(self.model, arr, self.loss_fn)
+            plan = AdaptationPlan(graph, groups=groups)
+            self._plans[key] = plan
+        return plan
+
+    def warm(self, x, groups: int = 1) -> None:
+        """Trace + compile for ``x``'s signature without replaying.
+
+        Serving loops call this outside their timed regions so the
+        one-time trace cost never pollutes per-step latency statistics.
+        """
+        self.plan_for(
+            x.data if isinstance(x, Tensor) else np.asarray(x), groups=groups
+        )
+
+    @property
+    def num_plans(self) -> int:
+        return len(self._plans)

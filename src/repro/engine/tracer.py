@@ -57,7 +57,10 @@ class OpNode:
 
     ``function`` is the :class:`~repro.nn.tensor.Function` subclass for
     generic ops, or None for the opaque ``bn`` nodes (which carry the
-    live module in ``module`` instead).
+    live module in ``module`` instead).  ``train_bn`` marks a BatchNorm
+    node captured from a *training-mode* forward (the adaptation trace):
+    at replay it normalizes with live batch statistics instead of the
+    folded eval affine.
     """
 
     function: Optional[type]
@@ -67,6 +70,7 @@ class OpNode:
     out_shape: Tuple[int, ...]
     out_dtype: np.dtype
     module: Optional[_BatchNormBase] = None
+    train_bn: bool = False
 
     @property
     def kind(self) -> str:
@@ -173,6 +177,115 @@ def trace(model, example: np.ndarray) -> TraceGraph:
         nodes=nodes,
         input_vid=0,
         output_vid=out_vid,
+        input_shape=tuple(example.shape),
+        input_dtype=example.dtype,
+        _keepalive=keepalive,
+    )
+
+
+def trace_entropy_step(model, example: np.ndarray, loss_fn) -> TraceGraph:
+    """Trace one LD-BN-ADAPT entropy-step forward into a static plan source.
+
+    Runs ``loss_fn(model(example))`` once with BatchNorm layers in
+    *training* mode (the rest of the model stays in eval, exactly like
+    :func:`repro.adapt.base.set_bn_training`) and records the op stream.
+    BatchNorm layers become opaque ``train_bn`` nodes: at replay they
+    normalize with the live batch statistics of their input (gradients
+    flow through the statistics, PyTorch semantics) and read gamma/beta
+    from a plan input, so LD-BN-ADAPT's per-step parameter updates — and
+    the fleet's per-stream gamma/beta slots — need no retrace.
+
+    The trace forward itself is side-effect free: the running-statistics
+    buffers and ``num_batches_tracked`` counters the training forward
+    mutates are snapshotted before and restored after.
+    """
+    example = np.asarray(example)
+    bn_modules = [m for m in model.modules() if isinstance(m, _BatchNormBase)]
+    if not bn_modules:
+        raise ValueError("model has no BatchNorm layers; nothing to adapt")
+    saved_buffers = [
+        {
+            name: np.array(getattr(m, name))
+            for name in ("running_mean", "running_var", "num_batches_tracked")
+        }
+        for m in bn_modules
+    ]
+    saved_training = [m.training for m in bn_modules]
+
+    nodes: List[OpNode] = []
+    vids: Dict[int, int] = {}
+    keepalive: List[Tensor] = []
+    x_t = Tensor(example, _copy=False)
+    vids[id(x_t)] = 0
+    keepalive.append(x_t)
+    counter = [1]
+
+    def _ref(arg):
+        if isinstance(arg, Tensor):
+            vid = vids.get(id(arg))
+            if vid is not None:
+                return ValueRef(vid)
+            return ConstRef(arg)
+        return arg
+
+    def _record(function, args, kwargs, out, module=None, train_bn=False):
+        vid = counter[0]
+        counter[0] += 1
+        vids[id(out)] = vid
+        keepalive.append(out)
+        nodes.append(
+            OpNode(
+                function=function,
+                inputs=[_ref(a) for a in args],
+                kwargs=dict(kwargs),
+                out_vid=vid,
+                out_shape=tuple(out.shape),
+                out_dtype=out.data.dtype,
+                module=module,
+                train_bn=train_bn,
+            )
+        )
+
+    def hook(cls, args, kwargs, out):
+        _record(cls, args, kwargs, out)
+
+    bn_orig = _BatchNormBase.forward
+
+    def bn_forward(self, x):
+        tensor_mod._TRACE_HOOK = None
+        try:
+            out = bn_orig(self, x)
+        finally:
+            tensor_mod._TRACE_HOOK = hook
+        _record(None, (x,), {}, out, module=self, train_bn=True)
+        return out
+
+    for module in bn_modules:
+        object.__setattr__(module, "training", True)
+    tensor_mod._TRACE_HOOK = hook
+    _BatchNormBase.forward = bn_forward
+    try:
+        with autograd.no_grad():
+            loss = loss_fn(model(x_t))
+    finally:
+        tensor_mod._TRACE_HOOK = None
+        _BatchNormBase.forward = bn_orig
+        for module, training in zip(bn_modules, saved_training):
+            object.__setattr__(module, "training", training)
+        for module, bufs in zip(bn_modules, saved_buffers):
+            for name, value in bufs.items():
+                getattr(module, name)[...] = value
+
+    loss_vid = vids.get(id(loss))
+    if loss_vid is None:
+        raise RuntimeError(
+            "loss was not produced by a traced op; cannot compile the "
+            "adaptation step"
+        )
+    return TraceGraph(
+        nodes=nodes,
+        input_vid=0,
+        output_vid=loss_vid,
         input_shape=tuple(example.shape),
         input_dtype=example.dtype,
         _keepalive=keepalive,

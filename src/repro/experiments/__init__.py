@@ -12,6 +12,7 @@ from .ablations import (
     run_stats_mode_ablation,
     run_variant_comparison,
 )
+from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
 from .config import (
     ADAPT_BATCH_SIZES,
@@ -68,6 +69,7 @@ __all__ = [
     "run_stats_mode_ablation",
     "run_sota_cost",
     "run_bench_infer",
+    "run_bench_adapt",
     "check_regressions",
     "RegressionReport",
     "VariantResult",

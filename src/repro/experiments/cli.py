@@ -7,13 +7,15 @@
     python -m repro.experiments fig1
     python -m repro.experiments fleet --streams 3 --frames 45
     python -m repro.experiments bench-infer --quick
+    python -m repro.experiments bench-adapt --quick
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
-interactive use.  ``fleet`` is the multi-vehicle serving demo and
-``bench-infer`` the eager-vs-compiled engine benchmark plus p95
-regression gate (neither is a paper artifact, so ``all`` includes
-neither).
+interactive use.  ``fleet`` is the multi-vehicle serving demo;
+``bench-infer`` (eager-vs-compiled inference) and ``bench-adapt``
+(eager-vs-compiled/fused adaptation steps) each archive results and run
+the regression gate (none is a paper artifact, so ``all`` includes
+none of them).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from .ablations import run_param_census, run_sota_cost
+from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
 from .config import get_run_scale
 from .fig1_datasets import run_fig1
@@ -35,7 +38,7 @@ from .reporting import format_table, save_json
 
 _ARTIFACTS = (
     "fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "bench-infer",
-    "all",
+    "bench-adapt", "all",
 )
 
 
@@ -140,6 +143,33 @@ def _run_bench_infer(scale, quick: bool, results_dir: str) -> int:
         print("PARITY FAILURE: compiled output diverged from eager")
         return 1
     save_json(os.path.join(results_dir, "infer_engine.json"), rows)
+    return _gate(results_dir)
+
+
+def _run_bench_adapt(scale, quick: bool, results_dir: str) -> int:
+    """Measure eager vs compiled/fused adaptation, archive, gate on p95."""
+    rows = run_bench_adapt(scale=scale, reps=5 if quick else 30)
+    print("BENCH-ADAPT — eager vs compiled adaptation-step latency (ms)")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "backbone", "mode", "streams", "eager_p50_ms",
+                "compiled_p50_ms", "compiled_p95_ms", "speedup_p50",
+                "parity_ok",
+            ],
+            floatfmt=".3f",
+        )
+    )
+    if not all(r["parity_ok"] for r in rows):
+        print("PARITY FAILURE: compiled adaptation diverged from eager")
+        return 1
+    save_json(os.path.join(results_dir, "adapt_step.json"), rows)
+    return _gate(results_dir)
+
+
+def _gate(results_dir: str) -> int:
+    """Run the latency/throughput regression gate over archived results."""
     report = check_regressions(results_dir)
     print(f"regression check: {report.summary()}")
     if report.regressions:
@@ -184,13 +214,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="bench-infer only: fewer repetitions (fast CI smoke run)",
+        help="bench-infer/bench-adapt only: fewer repetitions (fast CI "
+        "smoke run)",
     )
     parser.add_argument(
         "--results-dir",
         default=None,
-        help="bench-infer only: where to archive and gate results "
-        "(default: the source tree's benchmarks/results, matching "
+        help="bench-infer/bench-adapt only: where to archive and gate "
+        "results (default: the source tree's benchmarks/results, matching "
         "benchmarks/check_regression.py)",
     )
     args = parser.parse_args(argv)
@@ -203,6 +234,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.artifact == "bench-infer":
         return _run_bench_infer(scale, args.quick, args.results_dir)
+    if args.artifact == "bench-adapt":
+        return _run_bench_adapt(scale, args.quick, args.results_dir)
 
     runners = {
         "fig1": _print_fig1,

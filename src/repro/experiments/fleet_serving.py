@@ -75,24 +75,36 @@ def roofline_comparison_rows(
 ) -> List[Dict[str, object]]:
     """Modeled per-tick cost: batched fleet vs. N time-sliced serial loops.
 
-    Both alternatives share ONE device; the difference is whether the N
-    inference passes of a camera period run as one batch or serially.
-    Adaptation steps are serial per-stream work in both cases.
+    Both alternatives share ONE device; the batched fleet runs the N
+    inference passes of a camera period as one batch AND fuses the
+    same-phase adaptation steps into one grouped training pass (per
+    :mod:`repro.serve.adapt_batch`), while the serial alternative pays N
+    individual passes of each.  With ``adapt_stride > 1`` the server
+    staggers adaptation phases, so on average ``N / stride`` streams
+    step per tick — that average group is what the batched row fuses.
     """
     spec = get_config(backbone_preset).to_spec()
     device = get_power_mode(power_mode)
-    adapt_ms = ld_bn_adapt_latency(spec, device, 1).adaptation_ms / adapt_stride
+    step_ms = ld_bn_adapt_latency(spec, device, 1).adaptation_ms
+    adapting_per_tick = num_streams / adapt_stride
+    fused_size = max(1, round(adapting_per_tick))
+    fused_step_ms = ld_bn_adapt_latency(spec, device, fused_size).adaptation_ms
     serial_infer = num_streams * batched_inference_latency_ms(spec, device, 1)
     batched_infer = batched_inference_latency_ms(spec, device, num_streams)
+    serial_adapt = adapting_per_tick * step_ms
+    batched_adapt = fused_step_ms * (adapting_per_tick / fused_size)
     rows = []
-    for label, infer_ms in (("serial", serial_infer), ("batched", batched_infer)):
-        tick_ms = infer_ms + num_streams * adapt_ms
+    for label, infer_ms, adapt_ms in (
+        ("serial", serial_infer, serial_adapt),
+        ("batched", batched_infer, batched_adapt),
+    ):
+        tick_ms = infer_ms + adapt_ms
         rows.append(
             {
                 "mode": label,
                 "streams": num_streams,
                 "inference_ms_per_tick": infer_ms,
-                "adaptation_ms_per_tick": num_streams * adapt_ms,
+                "adaptation_ms_per_tick": adapt_ms,
                 "tick_ms": tick_ms,
                 "frames_per_second": 1e3 * num_streams / tick_ms,
             }

@@ -1,17 +1,26 @@
 """Benchmark regression gate: diff latest results against the previous run.
 
-Walks ``benchmarks/results/*.json``, extracts every p95 latency metric
-(numeric leaves whose key contains ``"p95"``; the reference
-``eager_*`` timings are excluded — the gate guards the serving path, not
-the eager baseline it is measured against), and compares each against the
-snapshot of the previous run stored in ``<results>/baseline/``.  A metric
-more than ``threshold`` (default 10 %) slower fails the check.
+Walks ``benchmarks/results/*.json`` and gates two metric families against
+the snapshot of the previous run stored in ``<results>/baseline/``:
+
+* **latency** — numeric leaves whose key contains ``"p95"``: the
+  inference engine (``infer_engine.json``), the compiled/fused adaptation
+  step (``adapt_step.json``) and any fleet dashboard percentiles.  More
+  than ``threshold`` (default 10 %) *slower* fails.
+* **throughput** — leaves whose key contains ``"fps"`` or
+  ``"frames_per_second"`` (``serve_throughput.json``).  More than
+  ``threshold`` *lower* fails.
+
+Reference measurements are excluded from gating — ``eager_*`` timings and
+``serial_*`` throughputs are the baselines the serving path is measured
+*against*, not the serving path itself.
 
 On a passing run the baseline is refreshed to the current results, so the
 next invocation diffs against *this* run; on failure the baseline is kept
 (re-running won't hide the regression) unless ``update=True`` forces a
 refresh.  ``benchmarks/check_regression.py`` is the CLI wrapper and
-``python -m repro.experiments bench-infer`` exercises the whole loop.
+``python -m repro.experiments bench-infer`` / ``bench-adapt`` exercise
+the whole loop.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from __future__ import annotations
 import os
 import shutil
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .reporting import load_json
 
@@ -27,44 +36,72 @@ DEFAULT_THRESHOLD = 0.10
 BASELINE_DIRNAME = "baseline"
 
 
-def collect_p95_metrics(payload: object, prefix: str = "") -> Dict[str, float]:
-    """Flatten a JSON payload to ``{path: value}`` for p95 latency keys."""
-    metrics: Dict[str, float] = {}
+def classify_metric(key: str) -> Optional[str]:
+    """Gate family for one JSON key: "latency", "throughput" or None."""
+    lowered = str(key).lower()
+    if "eager" in lowered or "serial" in lowered:
+        return None  # reference measurements are not gated
+    if "p95" in lowered:
+        return "latency"
+    if "fps" in lowered or "frames_per_second" in lowered:
+        return "throughput"
+    return None
+
+
+def collect_gated_metrics(
+    payload: object, prefix: str = ""
+) -> Dict[str, Tuple[float, str]]:
+    """Flatten a JSON payload to ``{path: (value, family)}`` for gated keys."""
+    metrics: Dict[str, Tuple[float, str]] = {}
     if isinstance(payload, dict):
         for key, value in payload.items():
             path = f"{prefix}.{key}" if prefix else str(key)
             if isinstance(value, (dict, list)):
-                metrics.update(collect_p95_metrics(value, path))
+                metrics.update(collect_gated_metrics(value, path))
             elif isinstance(value, (int, float)) and not isinstance(value, bool):
-                lowered = str(key).lower()
-                if "p95" in lowered and "eager" not in lowered:
-                    metrics[path] = float(value)
+                family = classify_metric(key)
+                if family is not None:
+                    metrics[path] = (float(value), family)
     elif isinstance(payload, list):
         for idx, item in enumerate(payload):
-            metrics.update(collect_p95_metrics(item, f"{prefix}[{idx}]"))
+            metrics.update(collect_gated_metrics(item, f"{prefix}[{idx}]"))
     return metrics
+
+
+def collect_p95_metrics(payload: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten a JSON payload to ``{path: value}`` for p95 latency keys."""
+    return {
+        path: value
+        for path, (value, family) in collect_gated_metrics(payload, prefix).items()
+        if family == "latency"
+    }
 
 
 @dataclass
 class Regression:
-    """One metric that got slower than the allowed threshold."""
+    """One metric that got worse than the allowed threshold."""
 
     file: str
     metric: str
     baseline: float
     current: float
+    family: str = "latency"  # "latency" (higher=worse) | "throughput"
 
     @property
     def ratio(self) -> float:
+        """Degradation factor (> 1 means worse), family-aware."""
+        if self.family == "throughput":
+            return self.baseline / self.current if self.current else float("inf")
         return self.current / self.baseline if self.baseline else float("inf")
 
     def as_row(self) -> Dict[str, object]:
         return {
             "file": self.file,
             "metric": self.metric,
-            "baseline_ms": self.baseline,
-            "current_ms": self.current,
-            "slowdown": self.ratio,
+            "family": self.family,
+            "baseline": self.baseline,
+            "current": self.current,
+            "degradation": self.ratio,
         }
 
 
@@ -85,9 +122,9 @@ class RegressionReport:
 
     def summary(self) -> str:
         if not self.checked_files and not self.new_files:
-            return f"no result files with p95 metrics under {self.results_dir}"
+            return f"no result files with gated metrics under {self.results_dir}"
         parts = [
-            f"{self.metrics_compared} p95 metric(s) across "
+            f"{self.metrics_compared} gated metric(s) across "
             f"{len(self.checked_files)} file(s) vs previous run"
         ]
         if self.new_files:
@@ -128,26 +165,35 @@ def check_regressions(
     )
     refresh: List[str] = []
     for name in names:
-        current = collect_p95_metrics(load_json(os.path.join(results_dir, name)))
+        current = collect_gated_metrics(load_json(os.path.join(results_dir, name)))
         if not current:
-            continue  # no latency percentiles in this artifact
+            continue  # no gated metrics in this artifact
         baseline_path = os.path.join(baseline_dir, name)
         if not os.path.isfile(baseline_path):
             report.new_files.append(name)
             refresh.append(name)
             continue
-        baseline = collect_p95_metrics(load_json(baseline_path))
+        baseline = collect_gated_metrics(load_json(baseline_path))
         report.checked_files.append(name)
         refresh.append(name)
-        for metric, value in sorted(current.items()):
-            base = baseline.get(metric)
-            if base is None:
+        for metric, (value, family) in sorted(current.items()):
+            base_entry = baseline.get(metric)
+            if base_entry is None:
                 continue  # metric appeared; nothing to diff against
+            base = base_entry[0]
             report.metrics_compared += 1
-            if base > 0 and value > base * (1.0 + threshold):
+            if base <= 0:
+                continue
+            worse = (
+                value < base * (1.0 - threshold)
+                if family == "throughput"
+                else value > base * (1.0 + threshold)
+            )
+            if worse:
                 report.regressions.append(
                     Regression(
-                        file=name, metric=metric, baseline=base, current=value
+                        file=name, metric=metric, baseline=base,
+                        current=value, family=family,
                     )
                 )
 

@@ -18,6 +18,8 @@ Typical usage::
 from . import functional
 from . import init
 from .autograd import (
+    adaptation_mode,
+    compiled_adaptation_enabled,
     compiled_inference_enabled,
     enable_grad,
     gradcheck,
@@ -66,6 +68,8 @@ __all__ = [
     "enable_grad",
     "inference_mode",
     "compiled_inference_enabled",
+    "adaptation_mode",
+    "compiled_adaptation_enabled",
     "is_grad_enabled",
     "set_grad_enabled",
     "gradcheck",

@@ -100,6 +100,38 @@ def inference_mode(mode: bool = True):
         _INFERENCE_MODE = previous
 
 
+# When True (default), LD-BN-ADAPT entropy steps run through the compiled
+# adaptation plan in repro.engine (traced train-mode forward + static
+# backward restricted to BN gamma/beta).  The eager autograd step remains
+# the correctness oracle; flip this flag to fall back to it.
+_ADAPTATION_MODE = True
+
+
+def compiled_adaptation_enabled() -> bool:
+    """Return True when adaptation steps should use the compiled plan."""
+    return _ADAPTATION_MODE
+
+
+@contextlib.contextmanager
+def adaptation_mode(mode: bool = True):
+    """Escape hatch for the compiled adaptation step.
+
+    ``with adaptation_mode(False):`` forces the eager autograd
+    forward+backward for every LD-BN-ADAPT entropy step (the correctness
+    oracle the compiled plan is validated against); ``adaptation_mode(
+    True)`` is the default state.  The compiled step issues the same
+    kernels on the same values, minus graph bookkeeping and the unused
+    conv/linear weight gradients.
+    """
+    global _ADAPTATION_MODE
+    previous = _ADAPTATION_MODE
+    _ADAPTATION_MODE = bool(mode)
+    try:
+        yield
+    finally:
+        _ADAPTATION_MODE = previous
+
+
 def _central_difference(
     func: Callable[[], "np.ndarray"],
     array: np.ndarray,

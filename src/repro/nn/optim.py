@@ -56,8 +56,59 @@ class Optimizer:
                 yield p
 
 
+def sgd_update(
+    data: np.ndarray,
+    grad: np.ndarray,
+    state: dict,
+    lr: float,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+    nesterov: bool = False,
+) -> None:
+    """One fused in-place SGD update on raw arrays.
+
+    Issues the same kernel sequence as the classic eager formulation
+    (``buf = momentum * buf + grad; p -= lr * buf``) but with ``out=``
+    everywhere, reusing the momentum buffer and a float64 work scratch
+    kept in ``state`` — no per-parameter temporaries on the adaptation
+    hot path.  Shared by :meth:`SGD.step` and the fleet server's batched
+    per-stream adaptation updater (:mod:`repro.serve.adapt_batch`), so
+    serial and batched stepping apply bitwise-identical updates.
+    """
+    work = state.get("work")
+    if work is None or work.shape != grad.shape:
+        work = np.empty(grad.shape, dtype=np.float64)
+        state["work"] = work
+    np.copyto(work, grad)  # grad.astype(float64) without the allocation
+    if weight_decay:
+        np.add(work, weight_decay * data, out=work)
+    if momentum:
+        buf = state.get("momentum")
+        if buf is None:
+            buf = work.copy()
+            state["momentum"] = buf
+        else:
+            np.multiply(buf, momentum, out=buf)
+            np.add(buf, work, out=buf)
+        if nesterov:
+            np.add(work, momentum * buf, out=work)
+        else:
+            np.copyto(work, buf)
+    np.multiply(work, lr, out=work)
+    if data.dtype == work.dtype:
+        np.subtract(data, work, out=data)
+    else:
+        data -= work.astype(data.dtype)
+
+
 class SGD(Optimizer):
-    """Stochastic gradient descent with momentum / weight decay / Nesterov."""
+    """Stochastic gradient descent with momentum / weight decay / Nesterov.
+
+    The update itself is the fused in-place :func:`sgd_update`: momentum
+    buffers are mutated in place and the only allocation is a one-time
+    per-parameter work scratch, so the LD-BN-ADAPT step (one ``step()``
+    per camera frame) allocates nothing in steady state.
+    """
 
     def __init__(
         self,
@@ -76,18 +127,15 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         for p in self._updatable():
-            grad = p.grad.astype(np.float64)
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            if self.momentum:
-                buf = self.state.setdefault(id(p), {}).get("momentum")
-                if buf is None:
-                    buf = grad.copy()
-                else:
-                    buf = self.momentum * buf + grad
-                self.state[id(p)]["momentum"] = buf
-                grad = grad + self.momentum * buf if self.nesterov else buf
-            p.data -= (self.lr * grad).astype(p.data.dtype)
+            sgd_update(
+                p.data,
+                p.grad,
+                self.state.setdefault(id(p), {}),
+                self.lr,
+                momentum=self.momentum,
+                weight_decay=self.weight_decay,
+                nesterov=self.nesterov,
+            )
 
 
 class Adam(Optimizer):

@@ -41,6 +41,7 @@ class FrameRecord:
     accuracy: float  # point accuracy of this frame's prediction
     entropy: Optional[float] = None  # adaptation loss when a step ran
     adapted: bool = False
+    adapt_ms: Optional[float] = None  # adaptation-step latency when one ran
 
 
 class DeadlineMonitor:
@@ -166,6 +167,17 @@ class PipelineReport:
     def latency_percentile(self, q: float) -> float:
         """Latency percentile ``q`` in [0, 100] over all frames."""
         return latency_percentile([f.latency_ms for f in self.frames], q)
+
+    def adaptation_percentile(self, q: float) -> float:
+        """Adaptation-step latency percentile over frames where one ran."""
+        return latency_percentile(
+            [f.adapt_ms for f in self.frames if f.adapt_ms is not None], q
+        )
+
+    @property
+    def mean_adapt_ms(self) -> float:
+        steps = [f.adapt_ms for f in self.frames if f.adapt_ms is not None]
+        return float(np.mean(steps)) if steps else 0.0
 
     def summary(self) -> Dict[str, float]:
         return {

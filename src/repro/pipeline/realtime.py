@@ -15,9 +15,13 @@ Latency accounting is pluggable:
 
 Inference runs through the compiled engine (:mod:`repro.engine`) by
 default — a traced static plan with fused conv-BN-ReLU stages and arena
-buffer reuse, bit-exact against eager — while adaptation steps keep the
-eager autograd path.  ``repro.nn.inference_mode(False)`` forces eager
-inference (the escape hatch).
+buffer reuse, bit-exact against eager.  Adaptation steps use the same
+machinery: :class:`repro.adapt.LDBNAdapt` replays the compiled entropy
+step (train-mode forward + backward restricted to BN gamma/beta), warmed
+here outside the timed region like the inference plan.
+``repro.nn.inference_mode(False)`` forces eager inference and
+``repro.nn.adaptation_mode(False)`` the eager adaptation step (the
+escape hatches).
 """
 
 from __future__ import annotations
@@ -107,6 +111,8 @@ class RealTimePipeline:
                 self._compiled = compile_model(self.model)
             self.model.eval()
             self._compiled.warm(frame.image[None])
+        if hasattr(self.adapter, "warm"):
+            self.adapter.warm(frame.image)
 
     def _predict(self, frame: LaneSample) -> np.ndarray:
         self.model.eval()
@@ -161,11 +167,13 @@ class RealTimePipeline:
 
             if self.config.latency_model == "orin":
                 latency = self._infer_ms + (self._adapt_ms if result else 0.0)
+                adapt_ms = self._adapt_ms if result else None
             else:
-                latency = 1e3 * (
-                    self.timer.records["inference"][-1]
-                    + self.timer.records["adaptation"][-1]
+                adapt_wall_ms = 1e3 * self.timer.records["adaptation"][-1]
+                latency = (
+                    1e3 * self.timer.records["inference"][-1] + adapt_wall_ms
                 )
+                adapt_ms = adapt_wall_ms if result else None
             met = monitor.record(latency)
 
             report.frames.append(
@@ -179,6 +187,7 @@ class RealTimePipeline:
                     accuracy=metrics.accuracy,
                     entropy=result.loss if result else None,
                     adapted=result is not None,
+                    adapt_ms=adapt_ms,
                 )
             )
         return report

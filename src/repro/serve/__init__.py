@@ -34,20 +34,44 @@ Architecture
   :mod:`repro.hw.roofline` latency model, orders requests by aged
   urgency (EDF plus a queue-age credit so no stream starves), and flips
   to max-throughput batching once a deadline is already unmeetable.
+  :func:`plan_adaptation_groups` is the adaptation-side planner: it
+  partitions the streams stepping this tick into same-key fused groups.
+* **adapt_batch.py** — batched same-phase adaptation.  Streams whose
+  entropy steps land on the same tick fuse into ONE grouped replay of
+  the compiled adaptation plan (:class:`repro.engine.CompiledAdaptStep`
+  with ``groups=K``): per-group batch statistics, per-stream gamma/beta
+  slots read straight from each stream's snapshot (no model swap), and
+  per-stream fused SGD/statistics updates applied back to the snapshots
+  — per-stream results match serial stepping to float precision.
+  Batching contract: LD-BN-ADAPT + SGD adapters whose incoming frame
+  completes their adaptation batch, equal batch sizes; per-stream
+  learning rates/momenta/stats modes may differ freely.  Everything else
+  steps serially; ``FleetConfig(batch_adaptation=False)`` disables
+  fusing outright.
 * **server.py** — the fleet loop: ingest one frame per stream per tick →
-  batch → shared forward → per-stream decode, accuracy and adaptation,
-  with per-frame deadline accounting on either the simulated Jetson Orin
-  clock or measured wallclock.
+  batch → shared forward → per-stream decode, accuracy and adaptation
+  (fused groups first, serial leftovers after), with per-frame deadline
+  accounting on either the simulated Jetson Orin clock or measured
+  wallclock.
 * **report.py** — fleet dashboard: p50/p95/p99 latency, per-stream
-  accuracy, deadline-miss rate and sustained frames/sec.
+  accuracy and adaptation-step p50/p95, deadline-miss rate, fused-step
+  sizes and sustained frames/sec.
 
 Entry points: ``python -m repro.experiments fleet`` (heterogeneous-domain
-demo harness), ``examples/fleet_serving.py``, and
-``benchmarks/bench_serve_throughput.py`` (batched vs. N serial pipelines).
+demo harness), ``examples/fleet_serving.py``,
+``benchmarks/bench_serve_throughput.py`` (batched vs. N serial pipelines)
+and ``benchmarks/bench_adapt_step.py`` (eager vs. compiled vs. fused
+adaptation steps).
 """
 
+from .adapt_batch import FleetAdaptationBatcher
 from .report import FleetReport
-from .scheduler import BatchPlan, DeadlineAwareScheduler, FrameRequest
+from .scheduler import (
+    BatchPlan,
+    DeadlineAwareScheduler,
+    FrameRequest,
+    plan_adaptation_groups,
+)
 from .server import FleetConfig, FleetServer
 from .streams import (
     BNStateSnapshot,
@@ -60,9 +84,11 @@ __all__ = [
     "FleetServer",
     "FleetConfig",
     "FleetReport",
+    "FleetAdaptationBatcher",
     "DeadlineAwareScheduler",
     "BatchPlan",
     "FrameRequest",
+    "plan_adaptation_groups",
     "StreamRegistry",
     "StreamSession",
     "BNStateSnapshot",

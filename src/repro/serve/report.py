@@ -34,6 +34,7 @@ class FleetReport:
     latency_model: str = "orin"
     elapsed_ms: float = 0.0
     batch_sizes: List[int] = field(default_factory=list)
+    adapt_batch_sizes: List[int] = field(default_factory=list)  # fused steps
     stream_reports: "OrderedDict[str, PipelineReport]" = field(
         default_factory=OrderedDict
     )
@@ -105,6 +106,25 @@ class FleetReport:
         return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
 
     @property
+    def mean_adapt_batch_size(self) -> float:
+        """Mean number of streams fused per grouped adaptation step."""
+        if not self.adapt_batch_sizes:
+            return 0.0
+        return float(np.mean(self.adapt_batch_sizes))
+
+    def adaptation_percentile(self, q: float) -> float:
+        """Fleet-wide adaptation-step latency percentile (adapted frames)."""
+        return latency_percentile(
+            [
+                f.adapt_ms
+                for report in self.stream_reports.values()
+                for f in report.frames
+                if f.adapt_ms is not None
+            ],
+            q,
+        )
+
+    @property
     def per_stream_accuracy(self) -> Dict[str, float]:
         return {
             sid: report.mean_accuracy
@@ -132,6 +152,9 @@ class FleetReport:
             "p99_latency_ms": self.p99_latency_ms,
             "deadline_ms": self.deadline_ms,
             "deadline_miss_rate": self.deadline_miss_rate,
+            "adapt_p50_ms": self.adaptation_percentile(50),
+            "adapt_p95_ms": self.adaptation_percentile(95),
+            "mean_adapt_batch_size": self.mean_adapt_batch_size,
         }
 
     def per_stream_rows(self) -> List[Dict[str, object]]:
@@ -147,6 +170,8 @@ class FleetReport:
                     "p95_latency_ms": report.latency_percentile(95),
                     "miss_rate": report.deadline_miss_rate,
                     "adapt_steps": report.adaptation_steps,
+                    "adapt_p50_ms": report.adaptation_percentile(50),
+                    "adapt_p95_ms": report.adaptation_percentile(95),
                     "truncated": report.truncated,
                 }
             )

@@ -19,6 +19,12 @@ repo uses:
   batch size 1) is still served immediately and recorded as a miss —
   shedding it would silently starve its stream.
 
+Besides inference batches, the scheduler module also plans *adaptation*
+batching: :func:`plan_adaptation_groups` partitions the streams due for
+an adaptation step this tick into same-key groups that the server fuses
+into one grouped compiled step (see :mod:`repro.serve.adapt_batch`),
+leaving the rest to step serially.
+
 The scheduler is pure logic over :class:`FrameRequest` objects; it never
 touches the model, so it is unit-testable with synthetic latency
 functions.
@@ -26,8 +32,9 @@ functions.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 #: planning latency (ms) for a batch of size b; None = batching is free
 LatencyFn = Optional[Callable[[int], float]]
@@ -142,3 +149,38 @@ class DeadlineAwareScheduler:
             requests=tuple(batch),
             planned_latency_ms=self._planned_latency(len(batch)),
         )
+
+
+def plan_adaptation_groups(
+    candidates: Sequence[Tuple[object, object]],
+    min_group_size: int = 2,
+) -> Tuple[List[List[object]], List[object]]:
+    """Partition adaptation-step candidates into fused groups.
+
+    ``candidates`` is a sequence of ``(key, item)`` pairs in serving
+    order; ``key`` is a hashable batching key (items only fuse when keys
+    are equal) or None for items that must step serially.  Returns
+    ``(groups, serial)``: ``groups`` is a list of same-key item lists of
+    at least ``min_group_size`` members, ``serial`` the remaining items
+    — both preserving the original order.  Pure logic, no model access:
+    the server decides *what* is fusable (via the batcher's key), this
+    decides *which* steps share a fused replay.
+    """
+    if min_group_size < 2:
+        raise ValueError(
+            f"min_group_size must be >= 2, got {min_group_size}"
+        )
+    by_key: "OrderedDict[object, List[object]]" = OrderedDict()
+    order: List[Tuple[object, object]] = []
+    for key, item in candidates:
+        order.append((key, item))
+        if key is not None:
+            by_key.setdefault(key, []).append(item)
+    grouped_ids = set()
+    groups: List[List[object]] = []
+    for key, items in by_key.items():
+        if len(items) >= min_group_size:
+            groups.append(items)
+            grouped_ids.update(id(item) for item in items)
+    serial = [item for _, item in order if id(item) not in grouped_ids]
+    return groups, serial

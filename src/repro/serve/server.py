@@ -26,14 +26,22 @@ The shared forward runs through the compiled engine (:mod:`repro.engine`)
 by default: one traced plan per batch size, with each stream's folded BN
 ``(scale, shift)`` entering the plan as a per-sample input, so
 differently-adapted streams share one batched replay bit-exactly.
-``repro.nn.inference_mode(False)`` forces the eager forward; per-stream
-adaptation steps always use the eager autograd path.
+``repro.nn.inference_mode(False)`` forces the eager forward.
+
+Adaptation amortizes the same way: streams whose adaptation steps land
+on the same tick (same phase) are fused into ONE grouped replay of the
+compiled adaptation plan (:mod:`repro.serve.adapt_batch`) with per-group
+batch statistics and per-stream gamma/beta/optimizer slots — no BN state
+swap-in/swap-out at all — while ineligible streams (non-SGD adapters,
+frames that only buffer, unsupported graphs) keep the serial step.
+``FleetConfig(batch_adaptation=False)`` or
+``repro.nn.adaptation_mode(False)`` force every step serial/eager.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -49,8 +57,14 @@ from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS, point_accuracy
 from ..models.spec import ModelSpec
 from ..models.ufld import decode_predictions
 from ..utils.profiling import Timer
+from .adapt_batch import FleetAdaptationBatcher
 from .report import FleetReport
-from .scheduler import BatchPlan, DeadlineAwareScheduler, FrameRequest
+from .scheduler import (
+    BatchPlan,
+    DeadlineAwareScheduler,
+    FrameRequest,
+    plan_adaptation_groups,
+)
 from .streams import StreamRegistry, StreamSession, per_stream_inference
 
 
@@ -67,6 +81,7 @@ class FleetConfig:
     max_batch_size: int = 8
     aging_rate: float = 0.1
     adapt_stride: int = 1  # each stream adapts on every k-th of its frames
+    batch_adaptation: bool = True  # fuse same-phase streams' entropy steps
 
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
@@ -89,6 +104,24 @@ class FleetConfig:
     @property
     def period_ms(self) -> float:
         return self.frame_period_ms if self.frame_period_ms is not None else self.deadline_ms
+
+
+class StagedGroup:
+    """Execution state of one fused adaptation step within a served batch.
+
+    Created at staging time (before the timed region); the first member
+    encountered in the record loop launches :meth:`FleetServer._run_group`,
+    which fills in the results and completion bookkeeping every other
+    member then reads.
+    """
+
+    __slots__ = ("staged", "results", "per_stream_ms", "done_clock_ms")
+
+    def __init__(self, staged):
+        self.staged = staged
+        self.results = None
+        self.per_stream_ms = 0.0
+        self.done_clock_ms = 0.0
 
 
 class FleetServer:
@@ -124,6 +157,8 @@ class FleetServer:
         self.timer = Timer()
         self._batch_sizes = []
         self._compiled = None  # built lazily; plans cached per batch size
+        self._adapt_batcher = FleetAdaptationBatcher(model)
+        self._adapt_batch_sizes = []  # streams fused per grouped step
 
     # ------------------------------------------------------------------
     def add_stream(
@@ -244,37 +279,114 @@ class FleetServer:
         else:
             infer_ms = 1e3 * self.timer.records["inference"][-1]
 
-        # inference completes for the whole batch at once; adaptation steps
-        # then run serially on the shared device in batch order
+        # inference completes for the whole batch at once; same-phase
+        # adaptation steps are then fused into grouped compiled replays
+        # (per-stream state slots, no model swap), with remaining steps
+        # running serially on the shared device in batch order
         clock_ms = start_ms + infer_ms
+        group_of: Dict[int, StagedGroup] = self._plan_adaptation(
+            plan.requests, sessions, frames
+        )
         for req, session, frame, pred in zip(plan.requests, sessions, frames, preds):
             metrics = point_accuracy(
                 pred[None], frame.gt_cells[None], config.accuracy_threshold_cells
             )
             result = None
-            adapt_wall_ms = 0.0
+            adapt_step_ms = 0.0
+            completion_ms = clock_ms
             if session.due_for_adaptation():
-                session.swap_in()
-                with self.timer.measure("adaptation"):
-                    result = session.adapter.observe_frame(frame.image) if hasattr(
-                        session.adapter, "observe_frame"
-                    ) else session.adapter.adapt(frame.image[None])
-                session.swap_out()
-                adapt_wall_ms = 1e3 * self.timer.records["adaptation"][-1]
-                if result is not None:
-                    clock_ms += (
-                        session.adapt_latency_ms
-                        if config.latency_model == "orin"
-                        else adapt_wall_ms
-                    )
+                group = group_of.get(id(session))
+                if group is not None:
+                    if group.results is None:  # first member launches it
+                        clock_ms = self._run_group(group, clock_ms)
+                    result = group.results[id(session)]
+                    adapt_step_ms = group.per_stream_ms
+                    completion_ms = group.done_clock_ms
+                else:
+                    session.swap_in()
+                    with self.timer.measure("adaptation"):
+                        result = session.adapter.observe_frame(
+                            frame.image
+                        ) if hasattr(
+                            session.adapter, "observe_frame"
+                        ) else session.adapter.adapt(frame.image[None])
+                    session.swap_out()
+                    wall_ms = 1e3 * self.timer.records["adaptation"][-1]
+                    if result is not None:
+                        adapt_step_ms = (
+                            session.adapt_latency_ms
+                            if config.latency_model == "orin"
+                            else wall_ms
+                        )
+                        clock_ms += adapt_step_ms
+                    completion_ms = clock_ms
             if config.latency_model == "orin":
-                latency_ms = clock_ms - req.arrival_ms
+                latency_ms = completion_ms - req.arrival_ms
             else:
                 # processing cost only (no simulated queueing): this frame's
-                # share of the batched forward plus its own adaptation step
-                latency_ms = infer_ms / plan.batch_size + adapt_wall_ms
-            session.record(frame, latency_ms, metrics.accuracy, result)
+                # share of the batched forward plus its adaptation share
+                latency_ms = infer_ms / plan.batch_size + adapt_step_ms
+            session.record(
+                frame, latency_ms, metrics.accuracy, result,
+                adapt_ms=adapt_step_ms if result is not None else None,
+            )
         return clock_ms
+
+    # ------------------------------------------------------------------
+    def _plan_adaptation(self, requests, sessions, frames):
+        """Stage fused same-phase adaptation steps for this served batch.
+
+        Returns ``{id(session): StagedGroup}`` for every session joining
+        a fused step; everything else keeps the serial path.  Staging
+        (batch assembly + one-time trace/compile) happens here, outside
+        the timed region, mirroring the inference engine's ``warm``.
+        """
+        group_of: Dict[int, "StagedGroup"] = {}
+        if not self.config.batch_adaptation:
+            return group_of
+        due = [
+            (session, frame)
+            for session, frame in zip(sessions, frames)
+            if session.due_for_adaptation()
+        ]
+        candidates = [
+            (self._adapt_batcher.group_key(session), (session, frame))
+            for session, frame in due
+        ]
+        groups, _ = plan_adaptation_groups(candidates)
+        for members in groups:
+            staged = self._adapt_batcher.stage(
+                [session for session, _ in members],
+                [frame.image for _, frame in members],
+            )
+            if staged is None:  # graph not lowerable: serial fallback
+                continue
+            group = StagedGroup(staged)
+            for session, _ in members:
+                group_of[id(session)] = group
+        # serial steppers warm their compiled plan outside the timed region
+        for session, frame in due:
+            if id(session) not in group_of and hasattr(session.adapter, "warm"):
+                session.adapter.warm(frame.image)
+        return group_of
+
+    def _run_group(self, group: "StagedGroup", clock_ms: float) -> float:
+        """Execute one fused adaptation step; returns the advanced clock."""
+        staged = group.staged
+        with self.timer.measure("adaptation"):
+            group.results = staged.execute()
+        wall_ms = 1e3 * self.timer.records["adaptation"][-1]
+        if self.config.latency_model == "orin":
+            fused_ms = ld_bn_adapt_latency(
+                self.spec, self.device,
+                staged.num_streams * staged.group_size,
+            ).adaptation_ms
+        else:
+            fused_ms = wall_ms
+        self._adapt_batch_sizes.append(staged.num_streams)
+        group.per_stream_ms = fused_ms / staged.num_streams
+        group.done_clock_ms = clock_ms + fused_ms
+        return group.done_clock_ms
 
     # ------------------------------------------------------------------
     def _build_report(self, elapsed_ms: float) -> FleetReport:
@@ -285,6 +397,7 @@ class FleetServer:
             if self.config.latency_model == "orin"
             else 1e3 * (self.timer.total("inference") + self.timer.total("adaptation")),
             batch_sizes=list(self._batch_sizes),
+            adapt_batch_sizes=list(self._adapt_batch_sizes),
         )
         for session in self.registry:
             report.stream_reports[session.stream_id] = session.report

@@ -165,6 +165,7 @@ class StreamSession:
         latency_ms: float,
         accuracy: float,
         adapt_result,
+        adapt_ms: Optional[float] = None,
     ) -> FrameRecord:
         """Append one served frame to this stream's report."""
         met = self.monitor.record(latency_ms)
@@ -179,6 +180,7 @@ class StreamSession:
             accuracy=accuracy,
             entropy=adapt_result.loss if adapt_result else None,
             adapted=adapt_result is not None,
+            adapt_ms=adapt_ms if adapt_result is not None else None,
         )
         self.report.frames.append(record)
         self.frames_seen += 1

@@ -16,7 +16,9 @@ from repro.serve import (
     FrameRequest,
     StreamRegistry,
     per_stream_inference,
+    plan_adaptation_groups,
 )
+from repro.serve.adapt_batch import FleetAdaptationBatcher
 from repro.serve.streams import BNStateSnapshot
 
 
@@ -89,6 +91,215 @@ class TestScheduler:
             DeadlineAwareScheduler(max_batch_size=0)
         with pytest.raises(ValueError):
             DeadlineAwareScheduler(aging_rate=-1.0)
+
+
+class TestAdaptationGroupPlanning:
+    def test_groups_by_key_preserving_order(self):
+        candidates = [
+            ("a", 1), ("b", 2), ("a", 3), (None, 4), ("b", 5), ("c", 6),
+        ]
+        groups, serial = plan_adaptation_groups(candidates)
+        assert groups == [[1, 3], [2, 5]]
+        assert serial == [4, 6]
+
+    def test_singletons_stay_serial(self):
+        groups, serial = plan_adaptation_groups([("a", 1), ("b", 2)])
+        assert groups == []
+        assert serial == [1, 2]
+
+    def test_min_group_size(self):
+        candidates = [("a", 1), ("a", 2), ("a", 3)]
+        groups, serial = plan_adaptation_groups(candidates, min_group_size=3)
+        assert groups == [[1, 2, 3]]
+        groups, serial = plan_adaptation_groups(
+            candidates[:2] + [("b", 9)], min_group_size=3
+        )
+        assert groups == [] and serial == [1, 2, 9]
+        with pytest.raises(ValueError):
+            plan_adaptation_groups(candidates, min_group_size=1)
+
+
+class TestBatchedAdaptation:
+    def _sessions(self, model, count, lr=1e-3, batch_size=1, optimizer="sgd"):
+        registry = StreamRegistry(model)
+        return [
+            registry.register(
+                f"s{i}",
+                iter(()),
+                LDBNAdapt(
+                    model,
+                    LDBNAdaptConfig(
+                        lr=lr, batch_size=batch_size, optimizer=optimizer
+                    ),
+                ),
+                deadline_ms=33.3,
+            )
+            for i in range(count)
+        ]
+
+    def test_group_key_eligibility(self, trained_tiny_model):
+        batcher = FleetAdaptationBatcher(trained_tiny_model)
+        (sgd,) = self._sessions(trained_tiny_model, 1)
+        assert batcher.group_key(sgd) == ("ldbn-sgd", 1)
+        registry = StreamRegistry(trained_tiny_model)
+        adam = registry.register(
+            "adam", iter(()),
+            LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(optimizer="adam")),
+            deadline_ms=33.3,
+        )
+        assert batcher.group_key(adam) is None
+        noop = registry.register(
+            "noop", iter(()), NoAdapt(trained_tiny_model), deadline_ms=33.3
+        )
+        assert batcher.group_key(noop) is None
+
+    def test_buffering_frame_not_fused(self, trained_tiny_model):
+        """A frame that only fills the buffer has no step to fuse."""
+        batcher = FleetAdaptationBatcher(trained_tiny_model)
+        (session,) = self._sessions(trained_tiny_model, 1, batch_size=2)
+        # empty buffer: the incoming frame only buffers, nothing to fuse
+        assert batcher.group_key(session) is None
+        h, w = trained_tiny_model.config.input_hw
+        session.adapter.observe_frame(
+            np.zeros((3, h, w), dtype=np.float32)
+        )  # buffered: the NEXT frame completes the batch and can fuse
+        assert session.adapter.pending_frames == 1
+        assert batcher.group_key(session) == ("ldbn-sgd", 2)
+
+    def test_fused_step_matches_serial_stepping(self, trained_tiny_model, rng):
+        """Acceptance: fused per-stream states == serial stepping."""
+        model = trained_tiny_model
+        h, w = model.config.input_hw
+        frames = [
+            rng.normal(0.5, 0.3, size=(3, h, w)).astype(np.float32)
+            for _ in range(3)
+        ]
+
+        def snapshot(sessions):
+            return [
+                (
+                    [p.copy() for p in s.bn_state.params.saved],
+                    [
+                        {k: np.array(v) for k, v in bufs.items()}
+                        for bufs in s.bn_state.buffers
+                    ],
+                )
+                for s in sessions
+            ]
+
+        pristine = model.state_dict()
+        serial_sessions = self._sessions(model, 3)
+        for session, image in zip(serial_sessions, frames):
+            session.swap_in()
+            session.adapter.observe_frame(image)
+            session.swap_out()
+        serial_states = snapshot(serial_sessions)
+
+        # the serial loop leaves the last stream's state on the model;
+        # fused sessions must snapshot the same pristine starting point
+        model.load_state_dict(pristine)
+        fused_sessions = self._sessions(model, 3)
+        batcher = FleetAdaptationBatcher(model)
+        staged = batcher.stage(fused_sessions, frames)
+        assert staged is not None and staged.num_streams == 3
+        results = staged.execute()
+        fused_states = snapshot(fused_sessions)
+
+        for (sp, sb), (fp, fb), session in zip(
+            serial_states, fused_states, fused_sessions
+        ):
+            for a, b in zip(sp, fp):
+                np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+            for a, b in zip(sb, fb):
+                for key in a:
+                    np.testing.assert_allclose(
+                        a[key], b[key], rtol=1e-9, atol=1e-12, err_msg=key
+                    )
+            assert results[id(session)].step_index == 1
+            assert session.adapter.steps_taken == 1
+
+    def test_fleet_server_batched_equals_serial_config(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """FleetServer(batch_adaptation=True) == the serial-stepping run."""
+        frames = 6
+        frame_lists = [
+            tiny_benchmark.target_stream(rng=np.random.default_rng(300 + i))
+            .take(frames)
+            .samples
+            for i in range(3)
+        ]
+        pristine = trained_tiny_model.state_dict()
+
+        def run(batch_adaptation):
+            trained_tiny_model.load_state_dict(pristine)
+            server = FleetServer(
+                trained_tiny_model,
+                FleetConfig(
+                    latency_model="wallclock",
+                    deadline_ms=1e9,
+                    batch_adaptation=batch_adaptation,
+                ),
+            )
+            sessions = [
+                server.add_stream(
+                    f"s{i}",
+                    iter(list(frame_list)),
+                    adapter_config=LDBNAdaptConfig(lr=1e-3),
+                )
+                for i, frame_list in enumerate(frame_lists)
+            ]
+            report = server.run(frames)
+            states = [
+                [p.copy() for p in s.bn_state.params.saved] for s in sessions
+            ]
+            return report, states
+
+        batched_report, batched_states = run(True)
+        serial_report, serial_states = run(False)
+        # every tick fused all three same-phase streams into one step
+        assert batched_report.adapt_batch_sizes == [3] * frames
+        assert serial_report.adapt_batch_sizes == []
+        for sid in batched_report.stream_reports:
+            b_frames = batched_report.stream_reports[sid].frames
+            s_frames = serial_report.stream_reports[sid].frames
+            assert [f.accuracy for f in b_frames] == [
+                f.accuracy for f in s_frames
+            ]
+            np.testing.assert_allclose(
+                [f.entropy for f in b_frames],
+                [f.entropy for f in s_frames],
+                rtol=1e-9,
+            )
+        for batched, serial in zip(batched_states, serial_states):
+            for a, b in zip(batched, serial):
+                np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+        # fused steps report their amortized per-stream latency share
+        assert batched_report.adaptation_percentile(50) > 0
+        assert batched_report.mean_adapt_batch_size == pytest.approx(3.0)
+
+    def test_mixed_fleet_fuses_eligible_streams_only(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        frame_lists = [
+            tiny_benchmark.target_stream(rng=np.random.default_rng(400 + i))
+            .take(3)
+            .samples
+            for i in range(3)
+        ]
+        server = FleetServer(
+            trained_tiny_model,
+            FleetConfig(latency_model="wallclock", deadline_ms=1e9),
+        )
+        server.add_stream("adapt-0", iter(frame_lists[0]))
+        server.add_stream("adapt-1", iter(frame_lists[1]))
+        server.add_stream(
+            "frozen", iter(frame_lists[2]),
+            adapter=NoAdapt(trained_tiny_model),
+        )
+        report = server.run(3)
+        assert report.adapt_batch_sizes == [2] * 3  # adapting pair fused
+        assert report.stream_reports["frozen"].adaptation_steps == 3
 
 
 class TestRooflineBatching:
