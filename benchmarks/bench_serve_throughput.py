@@ -1,17 +1,23 @@
-"""SERVE — fleet throughput: batched serving vs. N serial pipelines.
+"""SERVE — fleet throughput and jittered-arrival admission control.
 
-Measures, in host wallclock, the frames/sec of serving N concurrent
-adapting streams two ways over IDENTICAL pre-rendered frame sequences:
+Two scenarios share the ``serve_throughput.json`` artifact (one section
+each, see ``repro.experiments.reporting.merge_json_section``):
 
-* **serial** — N independent :class:`repro.pipeline.RealTimePipeline`
-  runs (the repo's single-vehicle deployment, once per stream);
-* **batched** — one :class:`repro.serve.FleetServer` multiplexing all N
-  streams through shared batched forward passes with per-stream BN state.
-
-Both sides pay the same per-stream adaptation work; the fleet's edge is
-the shared inference pass.  Asserted: at N >= 4 streams the batched
-server sustains more frames/sec, while every stream's accuracy stays
-within noise of its serial twin (BN state correctly isolated).
+* **batched_vs_serial** — host-wallclock frames/sec of serving N
+  concurrent adapting streams as N independent
+  :class:`repro.pipeline.RealTimePipeline` runs vs. one
+  :class:`repro.serve.FleetServer` multiplexing them through shared
+  batched forward passes with per-stream BN state.  Both sides pay the
+  same per-stream adaptation work; the fleet's edge is the shared
+  inference pass.  Asserted: at N >= 4 streams the batched server
+  sustains more frames/sec, while every stream's accuracy stays within
+  noise of its serial twin (BN state correctly isolated).
+* **jittered_admission** — the simulated-Orin jittered-arrival study
+  (``repro.experiments.bench_serve``): slack-driven adaptation
+  admission vs. the static stride ladder, plus the zero-jitter
+  async-vs-sync ingest parity guard.  Asserted: parity holds exactly,
+  and the slack policy Pareto-dominates — at equal deadline-miss rate
+  it sustains at least the static fleet's adaptation throughput.
 """
 
 import time
@@ -21,7 +27,15 @@ from conftest import results_path
 
 from repro.adapt import LDBNAdapt, LDBNAdaptConfig
 from repro.data import make_benchmark
-from repro.experiments import format_table, get_run_scale, save_json, train_source_model
+from repro.experiments import (
+    check_slack_dominates,
+    format_table,
+    get_run_scale,
+    merge_json_section,
+    run_bench_serve,
+    train_source_model,
+)
+from repro.experiments.bench_serve import COLUMNS as BENCH_SERVE_COLUMNS
 from repro.models import get_config
 from repro.pipeline import PipelineConfig, RealTimePipeline
 from repro.serve import FleetConfig, FleetServer
@@ -132,7 +146,9 @@ def test_serve_throughput(benchmark):
             ],
         )
     )
-    save_json(results_path("serve_throughput.json"), rows)
+    merge_json_section(
+        results_path("serve_throughput.json"), "batched_vs_serial", rows
+    )
 
     for row in rows:
         # BN state isolation: every stream matches its serial twin
@@ -142,3 +158,23 @@ def test_serve_throughput(benchmark):
                 "batched fleet serving should beat serial pipelines "
                 f"at {row['streams']} streams: {row}"
             )
+
+
+def test_jittered_admission(benchmark):
+    """Jittered arrivals: slack admission vs. static stride + parity."""
+    scale = get_run_scale()
+    rows = benchmark.pedantic(
+        run_bench_serve, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    print("\nSERVE — jittered arrivals: slack admission vs static stride")
+    print(format_table(rows, columns=list(BENCH_SERVE_COLUMNS)))
+    merge_json_section(
+        results_path("serve_throughput.json"), "jittered_admission", rows
+    )
+
+    # zero-jitter async ingest must reproduce the synchronous loop
+    assert all(row["parity_ok"] for row in rows)
+    # at equal deadline-miss rate, slack admission sustains at least the
+    # static-stride fleet's adaptation throughput
+    check_slack_dominates(rows)

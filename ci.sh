@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# PR verification lanes — run from the repo root on every PR.
+#
+#   ./ci.sh            tier-1 tests, the slow marker, and the
+#                      gated-benchmark smoke lane
+#   ./ci.sh --full     additionally runs the remaining quick benchmark
+#                      gates (bench-infer, bench-adapt)
+#
+# The smoke lane exists so the benchmark regression loop (archive to
+# benchmarks/results/*.json, diff p95/fps against the previous run's
+# baseline via repro.experiments.regression) is exercised on every PR,
+# not just when a human runs the benchmarks by hand.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "=== lane 1: tier-1 tests (pytest -x -q) ==="
+python -m pytest -x -q
+
+echo "=== lane 2: slow marker (pytest -m slow) ==="
+python -m pytest -m slow -q
+
+echo "=== lane 3: gated benchmark smoke (bench-serve --quick + check_regression) ==="
+python -m repro.experiments bench-serve --quick
+if [[ "${1:-}" == "--full" ]]; then
+    python -m repro.experiments bench-infer --quick
+    python -m repro.experiments bench-adapt --quick
+fi
+python benchmarks/check_regression.py
+
+echo "ci.sh: all lanes passed"

@@ -5,8 +5,12 @@ server multiplexes heterogeneous 30 FPS camera streams — one vehicle on
 the MoLane model-vehicle track, one on the TuSimple highway, one flipping
 between both domains mid-drive — through ONE source-trained UFLD model.
 Each vehicle keeps its own LD-BN-ADAPT state (BN statistics, gamma/beta,
-optimizer momentum); inference is batched across vehicles under the
-33.3 ms deadline by the roofline-planned scheduler.
+optimizer momentum); frames arrive through per-vehicle jittered arrival
+processes, inference is batched across vehicles under the 33.3 ms
+deadline by the roofline-planned scheduler, and the slack-driven
+admission controller decides per frame whether the fleet can afford the
+adaptation step (shedding when the queue runs hot, catching up when it
+clears).
 
     python examples/fleet_serving.py
 """
@@ -19,13 +23,15 @@ from repro.data.dataset import FrameStream
 from repro.data.domains import MODEL_VEHICLE, TUSIMPLE_HIGHWAY
 from repro.hw import ORIN_POWER_MODES
 from repro.models import build_model, get_config
-from repro.serve import FleetConfig, FleetServer
+from repro.serve import AdmissionConfig, FleetConfig, FleetServer
 from repro.train import SourceTrainer, TrainConfig
 
 NUM_TICKS = 90
-# each vehicle adapts on every 6th of its frames; the server staggers the
-# vehicles' adaptation phases so at most one step lands on any camera period
-ADAPT_STRIDE = 6
+# cameras are not tick-synchronous: phases spread across the period, each
+# frame picks up transmission jitter, and a few drop in flight
+JITTER_MS = 8.0
+PHASE_SPREAD_MS = 11.0
+DROP_RATE = 0.03
 
 VEHICLES = (
     ("vehicle-0-track", (MODEL_VEHICLE,), (2,)),
@@ -48,7 +54,13 @@ def main() -> None:
 
     server = FleetServer(
         model,
-        FleetConfig(latency_model="orin", adapt_stride=ADAPT_STRIDE),
+        FleetConfig(
+            latency_model="orin",
+            jitter_ms=JITTER_MS,
+            phase_spread_ms=PHASE_SPREAD_MS,
+            drop_rate=DROP_RATE,
+            admission=AdmissionConfig(),
+        ),
         device=ORIN_POWER_MODES["orin-60w"],
         spec=get_config("paper-r18").to_spec(),
     )
@@ -88,6 +100,19 @@ def main() -> None:
         f"(deadline {report.deadline_ms:.1f} ms, "
         f"miss rate {100 * summary['deadline_miss_rate']:.1f}%)"
     )
+    print(
+        f"  ingest: slack p10/p50 {summary['slack_p10_ms']:.1f} / "
+        f"{summary['slack_p50_ms']:.1f} ms, queue depth mean/max "
+        f"{summary['mean_queue_depth']:.1f} / {summary['max_queue_depth']:.0f}, "
+        f"{report.total_dropped_frames} frames dropped in flight"
+    )
+    print(
+        f"  admission: {report.total_admission_grants} grants / "
+        f"{report.total_admission_skips} skips "
+        f"({100 * summary['admission_grant_rate']:.0f}% granted), "
+        f"{summary['adaptation_steps']:.0f} steps across "
+        f"{summary['adapting_streams']:.0f} adapting vehicles"
+    )
     if report.adapt_batch_sizes:
         print(
             f"  adaptation: fleet p50/p95 {summary['adapt_p50_ms']:.1f} / "
@@ -100,7 +125,8 @@ def main() -> None:
             f"  {row['stream']:<22s} accuracy {100 * row['accuracy']:5.1f}%  "
             f"mean latency {row['mean_latency_ms']:6.1f} ms  "
             f"{row['adapt_steps']} adapt steps "
-            f"(p50/p95 {row['adapt_p50_ms']:.1f}/{row['adapt_p95_ms']:.1f} ms)"
+            f"({row['adapt_grants']} grants/{row['adapt_skips']} skips, "
+            f"{row['dropped']} dropped)"
         )
 
 

@@ -14,6 +14,7 @@ from .ablations import (
 )
 from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
+from .bench_serve import check_slack_dominates, run_bench_serve
 from .config import (
     ADAPT_BATCH_SIZES,
     BACKBONES,
@@ -33,7 +34,13 @@ from .fig2_accuracy import Fig2Cell, Fig2Result, run_fig2, train_source_model
 from .fig3_latency import PAPER_FEASIBILITY, Fig3Result, Fig3Row, run_fig3
 from .fleet_serving import FleetRunResult, roofline_comparison_rows, run_fleet
 from .regression import RegressionReport, check_regressions
-from .reporting import format_markdown_table, format_table, load_json, save_json
+from .reporting import (
+    format_markdown_table,
+    format_table,
+    load_json,
+    merge_json_section,
+    save_json,
+)
 
 __all__ = [
     "RunScale",
@@ -70,6 +77,8 @@ __all__ = [
     "run_sota_cost",
     "run_bench_infer",
     "run_bench_adapt",
+    "run_bench_serve",
+    "check_slack_dominates",
     "check_regressions",
     "RegressionReport",
     "VariantResult",
@@ -77,4 +86,5 @@ __all__ = [
     "format_markdown_table",
     "save_json",
     "load_json",
+    "merge_json_section",
 ]

@@ -6,16 +6,19 @@
     python -m repro.experiments sota-cost
     python -m repro.experiments fig1
     python -m repro.experiments fleet --streams 3 --frames 45
+    python -m repro.experiments fleet --jitter 10 --drop 0.05 --admission slack
     python -m repro.experiments bench-infer --quick
     python -m repro.experiments bench-adapt --quick
+    python -m repro.experiments bench-serve --quick
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
 interactive use.  ``fleet`` is the multi-vehicle serving demo;
-``bench-infer`` (eager-vs-compiled inference) and ``bench-adapt``
-(eager-vs-compiled/fused adaptation steps) each archive results and run
-the regression gate (none is a paper artifact, so ``all`` includes
-none of them).
+``bench-infer`` (eager-vs-compiled inference), ``bench-adapt``
+(eager-vs-compiled/fused adaptation steps) and ``bench-serve``
+(jittered-arrival slack-admission study + async/sync parity guard) each
+archive results and run the regression gate (none is a paper artifact,
+so ``all`` includes none of them).
 """
 
 from __future__ import annotations
@@ -28,17 +31,23 @@ from typing import List, Optional
 from .ablations import run_param_census, run_sota_cost
 from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
+from .bench_serve import (
+    COLUMNS as BENCH_SERVE_COLUMNS,
+    STRIDES,
+    check_slack_dominates,
+    run_bench_serve,
+)
 from .config import get_run_scale
 from .fig1_datasets import run_fig1
 from .fig2_accuracy import run_fig2
 from .fig3_latency import run_fig3
 from .fleet_serving import roofline_comparison_rows, run_fleet
 from .regression import check_regressions
-from .reporting import format_table, save_json
+from .reporting import format_table, merge_json_section, save_json
 
 _ARTIFACTS = (
     "fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "bench-infer",
-    "bench-adapt", "all",
+    "bench-adapt", "bench-serve", "all",
 )
 
 
@@ -75,13 +84,18 @@ def _print_sota_cost(scale) -> None:
     print(format_table(run_sota_cost(), floatfmt=".2f"))
 
 
-def _print_fleet(scale, streams: int, frames: int, adapt_stride: int) -> None:
+def _print_fleet(scale, args) -> None:
     result = run_fleet(
         scale=scale,
-        num_streams=streams,
-        num_frames=frames,
-        adapt_stride=adapt_stride,
+        num_streams=args.streams,
+        num_frames=args.frames,
+        adapt_stride=args.adapt_stride,
+        jitter_ms=args.jitter,
+        drop_rate=args.drop,
+        phase_spread_ms=args.phase_spread,
+        admission=args.admission,
     )
+    streams, adapt_stride = args.streams, args.adapt_stride
     print(f"FLEET — {streams} heterogeneous streams, one shared model")
     print(format_table(result.per_stream_rows(), floatfmt=".3f"))
     print()
@@ -168,6 +182,35 @@ def _run_bench_adapt(scale, quick: bool, results_dir: str) -> int:
     return _gate(results_dir)
 
 
+def _run_bench_serve(scale, quick: bool, results_dir: str) -> int:
+    """Jittered-arrival admission study: archive, assert, gate."""
+    rows = run_bench_serve(
+        scale=scale,
+        num_streams=4,
+        num_ticks=24 if quick else 36,
+        strides=(1, 8, 16) if quick else STRIDES,
+    )
+    print("BENCH-SERVE — jittered arrivals: slack admission vs static stride")
+    print(format_table(rows, columns=list(BENCH_SERVE_COLUMNS), floatfmt=".3f"))
+    if not all(r["parity_ok"] for r in rows):
+        print("PARITY FAILURE: zero-jitter async ingest diverged from the "
+              "synchronous loop")
+        return 1
+    try:
+        check_slack_dominates(rows)
+    except AssertionError as exc:
+        print(f"ADMISSION FAILURE: slack policy did not dominate: {exc}")
+        return 1
+    # quick rows (fewer strides/ticks) live in their own section so the
+    # positional regression gate never diffs them against full-run rows
+    merge_json_section(
+        os.path.join(results_dir, "serve_throughput.json"),
+        "jittered_admission_quick" if quick else "jittered_admission",
+        rows,
+    )
+    return _gate(results_dir)
+
+
 def _gate(results_dir: str) -> int:
     """Run the latency/throughput regression gate over archived results."""
     report = check_regressions(results_dir)
@@ -212,17 +255,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fleet only: each stream adapts on every k-th of its frames",
     )
     parser.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="fleet only: per-frame arrival jitter in ms (uniform delay)",
+    )
+    parser.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        help="fleet only: probability a frame is lost before the server",
+    )
+    parser.add_argument(
+        "--phase-spread",
+        type=float,
+        default=0.0,
+        help="fleet only: stream i's arrival phase offset = i * spread ms",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=("stride", "slack"),
+        default="stride",
+        help="fleet only: static adapt-stride stagger or slack-driven "
+        "admission control",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
-        help="bench-infer/bench-adapt only: fewer repetitions (fast CI "
-        "smoke run)",
+        help="bench-infer/bench-adapt/bench-serve only: fewer repetitions "
+        "(fast CI smoke run)",
     )
     parser.add_argument(
         "--results-dir",
         default=None,
-        help="bench-infer/bench-adapt only: where to archive and gate "
-        "results (default: the source tree's benchmarks/results, matching "
-        "benchmarks/check_regression.py)",
+        help="bench-infer/bench-adapt/bench-serve only: where to archive "
+        "and gate results (default: the source tree's benchmarks/results, "
+        "matching benchmarks/check_regression.py)",
     )
     args = parser.parse_args(argv)
     if args.results_dir is None:
@@ -230,12 +298,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = get_run_scale(args.scale)
 
     if args.artifact == "fleet":
-        _print_fleet(scale, args.streams, args.frames, args.adapt_stride)
+        _print_fleet(scale, args)
         return 0
     if args.artifact == "bench-infer":
         return _run_bench_infer(scale, args.quick, args.results_dir)
     if args.artifact == "bench-adapt":
         return _run_bench_adapt(scale, args.quick, args.results_dir)
+    if args.artifact == "bench-serve":
+        return _run_bench_serve(scale, args.quick, args.results_dir)
 
     runners = {
         "fig1": _print_fig1,

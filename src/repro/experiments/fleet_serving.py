@@ -28,7 +28,7 @@ from ..data.domains import MODEL_VEHICLE, TUSIMPLE_HIGHWAY
 from ..hw.device import get_power_mode
 from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
 from ..models.registry import get_config
-from ..serve import FleetConfig, FleetReport, FleetServer
+from ..serve import AdmissionConfig, FleetConfig, FleetReport, FleetServer
 from ..utils.logging import Logger
 from .config import RunScale, get_run_scale
 from .fig2_accuracy import train_source_model
@@ -52,6 +52,9 @@ class FleetRunResult:
     scale_name: str
     power_mode: str
     adapt_stride: int
+    admission: str = "stride"  # "stride" (static) | "slack"
+    jitter_ms: float = 0.0
+    drop_rate: float = 0.0
     domain_schedules: Dict[str, str] = field(default_factory=dict)
 
     def per_stream_rows(self) -> List[Dict[str, object]]:
@@ -63,7 +66,10 @@ class FleetRunResult:
     def summary_rows(self) -> List[Dict[str, object]]:
         summary = self.report.summary()
         summary["power_mode"] = self.power_mode
+        summary["admission"] = self.admission
         summary["adapt_stride"] = float(self.adapt_stride)
+        summary["jitter_ms"] = float(self.jitter_ms)
+        summary["drop_rate"] = float(self.drop_rate)
         return [summary]
 
 
@@ -119,10 +125,21 @@ def run_fleet(
     power_mode: str = "orin-60w",
     adapt_stride: int = 1,
     max_batch_size: int = 8,
+    jitter_ms: float = 0.0,
+    drop_rate: float = 0.0,
+    phase_spread_ms: float = 0.0,
+    admission: str = "stride",
 ) -> FleetRunResult:
-    """Train a source model and serve a heterogeneous fleet from it."""
+    """Train a source model and serve a heterogeneous fleet from it.
+
+    ``jitter_ms``/``drop_rate``/``phase_spread_ms`` shape the per-stream
+    arrival processes; ``admission="slack"`` swaps the static
+    ``adapt_stride`` stagger for the slack-driven admission controller.
+    """
     if num_streams < 1:
         raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+    if admission not in ("stride", "slack"):
+        raise ValueError(f"unknown admission policy {admission!r}")
     scale = scale if scale is not None else get_run_scale()
 
     # one 4-slot source model serves every vehicle (2-lane scenes live in
@@ -146,6 +163,11 @@ def run_fleet(
             latency_model="orin",
             adapt_stride=adapt_stride,
             max_batch_size=max_batch_size,
+            jitter_ms=jitter_ms,
+            drop_rate=drop_rate,
+            phase_spread_ms=phase_spread_ms,
+            arrival_seed=scale.seed,
+            admission=AdmissionConfig() if admission == "slack" else None,
         ),
         device=device,
         spec=spec,
@@ -179,5 +201,8 @@ def run_fleet(
         scale_name=scale.name,
         power_mode=power_mode,
         adapt_stride=adapt_stride,
+        admission=admission,
+        jitter_ms=jitter_ms,
+        drop_rate=drop_rate,
         domain_schedules=schedules,
     )

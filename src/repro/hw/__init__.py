@@ -5,6 +5,8 @@ from .deadline import (
     DEADLINE_30FPS_MS,
     NAMED_DEADLINES,
     FeasibilityEntry,
+    adaptation_budget_ms,
+    deadline_slack_ms,
     feasibility_table,
     max_fps,
     meets_deadline,
@@ -52,6 +54,8 @@ __all__ = [
     "DEADLINE_18FPS_MS",
     "NAMED_DEADLINES",
     "meets_deadline",
+    "deadline_slack_ms",
+    "adaptation_budget_ms",
     "max_fps",
     "feasibility_table",
     "FeasibilityEntry",

@@ -29,6 +29,37 @@ def meets_deadline(latency_ms: float, deadline_ms: float) -> bool:
     return latency_ms <= deadline_ms
 
 
+def deadline_slack_ms(latency_ms: float, deadline_ms: float) -> float:
+    """Slack a frame finished with: ``deadline - latency`` (negative = miss).
+
+    The quantity the fleet's admission controller watches — sustained low
+    or negative slack means the device is hot and optional work (the
+    adaptation step) should be shed.
+    """
+    if latency_ms < 0 or deadline_ms <= 0:
+        raise ValueError("latencies and deadlines must be positive")
+    return deadline_ms - latency_ms
+
+
+def adaptation_budget_ms(
+    batch_deadline_ms: float,
+    inference_done_ms: float,
+    headroom_ms: float = 0.0,
+) -> float:
+    """Time left for adaptation steps after a served batch's forward pass.
+
+    ``batch_deadline_ms`` is the earliest absolute deadline in the batch
+    and ``inference_done_ms`` the absolute clock at which the shared
+    forward completes; whatever remains (minus a safety ``headroom_ms``)
+    is the budget the admission controller may spend on adaptation
+    without the roofline model predicting a new deadline miss.  May be
+    negative — the batch is already doomed and no step should be granted.
+    """
+    if headroom_ms < 0:
+        raise ValueError("headroom_ms must be non-negative")
+    return batch_deadline_ms - inference_done_ms - headroom_ms
+
+
 @dataclass(frozen=True)
 class FeasibilityEntry:
     """One (configuration, deadline) feasibility record."""

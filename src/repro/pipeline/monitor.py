@@ -13,17 +13,24 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..hw.deadline import deadline_slack_ms
+
 
 def latency_percentile(latencies: Sequence[float], q: float) -> float:
     """Percentile ``q`` in [0, 100] of a latency series; 0.0 when empty.
 
     The one shared implementation behind :class:`DeadlineMonitor`,
     :class:`PipelineReport` and the fleet-level
-    :class:`repro.serve.report.FleetReport`.
+    :class:`repro.serve.report.FleetReport`.  Empty windows are a normal
+    state, not an error — a stream that never received an adaptation
+    grant, a fleet with no fused steps — so every percentile family
+    routes through here and reports 0.0 instead of raising.  Accepts any
+    sequence, including numpy arrays (``not array`` is ambiguous, hence
+    the explicit length check).
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    if not latencies:
+    if len(latencies) == 0:
         return 0.0
     return float(np.percentile(latencies, q))
 
@@ -167,6 +174,21 @@ class PipelineReport:
     def latency_percentile(self, q: float) -> float:
         """Latency percentile ``q`` in [0, 100] over all frames."""
         return latency_percentile([f.latency_ms for f in self.frames], q)
+
+    def slack_percentile(self, q: float) -> float:
+        """Deadline-slack percentile over all frames (negative = missed).
+
+        Low percentiles (p10) show how close the stream runs to its
+        deadline, the signal the fleet's admission controller throttles
+        adaptation on.
+        """
+        return latency_percentile(
+            [
+                deadline_slack_ms(f.latency_ms, f.deadline_ms)
+                for f in self.frames
+            ],
+            q,
+        )
 
     def adaptation_percentile(self, q: float) -> float:
         """Adaptation-step latency percentile over frames where one ran."""

@@ -3,68 +3,95 @@
 The paper deploys one vehicle adapting online at 30 FPS
 (:class:`repro.pipeline.RealTimePipeline`).  This package scales that
 deployment story to a *fleet*: many concurrent camera streams, each with
-its own domain-shift schedule and its own LD-BN-ADAPT state, multiplexed
-through a single model on a single device.
+its own domain-shift schedule, its own LD-BN-ADAPT state and its own
+frame-arrival process, multiplexed through a single model on a single
+device under the real-time deadline.
 
 Architecture
 ------------
 ::
 
-    cameras ──► StreamRegistry ──► DeadlineAwareScheduler ──► FleetServer
-                (streams.py)          (scheduler.py)           (server.py)
-                 per-stream           deadline-aware            batched fwd +
-                 BN state +           dynamic batching          per-stream
-                 adapter              w/ priority aging         decode/adapt
-                                                                   │
-                                                              FleetReport
-                                                              (report.py)
+    cameras ──► ArrivalProcess ──► DeadlineAwareScheduler ──► FleetServer
+                 (streams.py)          (scheduler.py)          (server.py)
+                 per-stream phase/      time-ordered queue,     event loop:
+                 jitter/drop model      deadline-aware           batched fwd +
+                      │                 dynamic batching         per-stream
+                StreamSession           w/ priority aging        decode/adapt
+                 per-stream BN               │                       │
+                 state + adapter       SlackAdmission           FleetReport
+                                       (admission.py)           (report.py)
 
-* **streams.py** — per-stream isolation.  Everything LD-BN-ADAPT touches
-  (BN running statistics, gamma/beta, optimizer momentum) lives in a
-  :class:`StreamSession`; ``ParameterSnapshot``-based ``swap_in`` /
-  ``swap_out`` materializes a stream's state on the shared model around
-  its adaptation steps.  For inference no swapping is needed at all:
-  eval-mode BN folds to a per-channel affine, so
-  :func:`per_stream_inference` stacks each stream's folded
-  ``(scale, shift)`` into per-sample arrays and ONE batched forward pass
-  serves frames from many differently-adapted streams simultaneously.
-* **scheduler.py** — deadline-aware dynamic batching.  Batches amortize
-  per-layer launch overhead but must finish inside the 33.3 ms camera
-  deadline; the scheduler plans batch sizes with the
-  :mod:`repro.hw.roofline` latency model, orders requests by aged
-  urgency (EDF plus a queue-age credit so no stream starves), and flips
-  to max-throughput batching once a deadline is already unmeetable.
-  :func:`plan_adaptation_groups` is the adaptation-side planner: it
-  partitions the streams stepping this tick into same-key fused groups.
-* **adapt_batch.py** — batched same-phase adaptation.  Streams whose
-  entropy steps land on the same tick fuse into ONE grouped replay of
+* **streams.py** — per-stream isolation *and arrival modelling*.
+  Everything LD-BN-ADAPT touches (BN running statistics, gamma/beta,
+  optimizer momentum) lives in a :class:`StreamSession`;
+  ``ParameterSnapshot``-based ``swap_in``/``swap_out`` materializes a
+  stream's state on the shared model around serial adaptation steps,
+  while eval-mode BN folds to per-sample ``(scale, shift)`` vectors so
+  :func:`per_stream_inference` serves many differently-adapted streams
+  in ONE batched forward.  Each session also owns an
+  :class:`ArrivalProcess` — a seeded realization of its
+  :class:`ArrivalModel` (per-stream phase offset over the camera period,
+  uniform transmission jitter, in-flight frame drops) — so the fleet
+  loop sees frames when they *actually* arrive, not on an idealized
+  tick grid.
+* **scheduler.py** — deadline-aware dynamic batching over a time-ordered
+  queue.  Batches amortize per-layer launch overhead but must finish
+  inside the 33.3 ms camera deadline; the scheduler plans batch sizes
+  with the :mod:`repro.hw.roofline` latency model, orders requests by
+  aged urgency (EDF plus a queue-age credit so no stream starves), flips
+  to max-throughput batching once a deadline is already unmeetable, and
+  exposes the earliest pending arrival so the event loop can launch the
+  instant the device frees up — between ticks.
+  :func:`plan_adaptation_groups` partitions the steps granted in one
+  served batch into same-key fused groups.
+* **admission.py** — slack-driven adaptation admission control.  The
+  adaptation step is the fleet's only optional work, so
+  :class:`SlackAdmission` grants it per stream from observed deadline
+  slack: steps shed when the queue runs hot, skipped streams catch up
+  when it clears (bounded by a per-stream debt limit), a step is never
+  granted when the roofline model says it would push the served batch
+  past its earliest deadline, and solo steps are deferred briefly so
+  they share a fused replay with a same-key partner (phase packing).
+  The static ``adapt_stride`` stagger remains as the legacy policy when
+  no :class:`AdmissionConfig` is given.
+* **adapt_batch.py** — batched same-batch adaptation.  Granted steps
+  that land in the same served batch fuse into ONE grouped replay of
   the compiled adaptation plan (:class:`repro.engine.CompiledAdaptStep`
   with ``groups=K``): per-group batch statistics, per-stream gamma/beta
   slots read straight from each stream's snapshot (no model swap), and
   per-stream fused SGD/statistics updates applied back to the snapshots
   — per-stream results match serial stepping to float precision.
   Batching contract: LD-BN-ADAPT + SGD adapters whose incoming frame
-  completes their adaptation batch, equal batch sizes; per-stream
-  learning rates/momenta/stats modes may differ freely.  Everything else
-  steps serially; ``FleetConfig(batch_adaptation=False)`` disables
-  fusing outright.
-* **server.py** — the fleet loop: ingest one frame per stream per tick →
-  batch → shared forward → per-stream decode, accuracy and adaptation
-  (fused groups first, serial leftovers after), with per-frame deadline
-  accounting on either the simulated Jetson Orin clock or measured
-  wallclock.
-* **report.py** — fleet dashboard: p50/p95/p99 latency, per-stream
-  accuracy and adaptation-step p50/p95, deadline-miss rate, fused-step
-  sizes and sustained frames/sec.
+  completes their adaptation batch, equal batch sizes; learning rates,
+  momenta and stats modes may differ freely.  Everything else steps
+  serially; ``FleetConfig(batch_adaptation=False)`` disables fusing.
+* **server.py** — the event-driven fleet loop: pop arrivals from the
+  time-ordered event queue → launch a deadline-feasible batch at
+  ``max(device_free, earliest pending arrival)`` → shared forward →
+  per-frame decode, accuracy, admission decision and (fused-first)
+  adaptation, with per-frame deadline accounting on either the
+  simulated Jetson Orin clock or measured wallclock.
+  ``FleetConfig(ingest="sync")`` keeps the legacy tick-synchronous loop
+  as the parity oracle: with zero jitter/drops/phase-spread the async
+  loop reproduces its per-stream outputs exactly.
+* **report.py** — fleet dashboard: p50/p95/p99 latency, deadline-slack
+  percentiles, queue depth at batch launch, per-stream accuracy,
+  adaptation-step p50/p95, admission grants/skips, dropped frames,
+  fused-step sizes and sustained frames/sec.
 
 Entry points: ``python -m repro.experiments fleet`` (heterogeneous-domain
-demo harness), ``examples/fleet_serving.py``,
-``benchmarks/bench_serve_throughput.py`` (batched vs. N serial pipelines)
-and ``benchmarks/bench_adapt_step.py`` (eager vs. compiled vs. fused
-adaptation steps).
+demo harness, ``--jitter``/``--drop``/``--admission`` flags),
+``python -m repro.experiments bench-serve`` (jittered-arrival admission
+study + regression gate), ``examples/fleet_serving.py``,
+``benchmarks/bench_serve_throughput.py`` (batched vs. N serial pipelines
+plus the jittered-admission scenario) and
+``benchmarks/bench_adapt_step.py`` (eager vs. compiled vs. fused
+adaptation steps).  ``tests/test_properties_serve.py`` is the
+property-test harness for the scheduler/admission invariants.
 """
 
-from .adapt_batch import FleetAdaptationBatcher
+from .adapt_batch import FleetAdaptationBatcher, static_fuse_key
+from .admission import AdmissionConfig, SlackAdmission, StepCandidate
 from .report import FleetReport
 from .scheduler import (
     BatchPlan,
@@ -74,6 +101,8 @@ from .scheduler import (
 )
 from .server import FleetConfig, FleetServer
 from .streams import (
+    ArrivalModel,
+    ArrivalProcess,
     BNStateSnapshot,
     StreamRegistry,
     StreamSession,
@@ -85,10 +114,16 @@ __all__ = [
     "FleetConfig",
     "FleetReport",
     "FleetAdaptationBatcher",
+    "static_fuse_key",
+    "AdmissionConfig",
+    "SlackAdmission",
+    "StepCandidate",
     "DeadlineAwareScheduler",
     "BatchPlan",
     "FrameRequest",
     "plan_adaptation_groups",
+    "ArrivalModel",
+    "ArrivalProcess",
     "StreamRegistry",
     "StreamSession",
     "BNStateSnapshot",

@@ -43,6 +43,21 @@ from ..nn.optim import sgd_update
 from .streams import StreamSession
 
 
+def static_fuse_key(adapter):
+    """The fuse key this adapter's steps carry when they run, or None.
+
+    The *static* half of the batching contract — an SGD-driven
+    :class:`LDBNAdapt` of a given batch size always fuses under the same
+    key; whether a particular frame actually has a step to fuse is the
+    dynamic half (:meth:`FleetAdaptationBatcher.group_key`).  The
+    admission controller uses the static key to know which streams could
+    ever share a fused replay (phase packing).
+    """
+    if isinstance(adapter, LDBNAdapt) and adapter.config.optimizer == "sgd":
+        return ("ldbn-sgd", adapter.config.batch_size)
+    return None
+
+
 class StagedGroupStep:
     """One fused adaptation step, assembled but not yet executed.
 
@@ -75,7 +90,27 @@ class FleetAdaptationBatcher:
         self.model = model
         self._compiled = CompiledAdaptStep(model)
         self._unsupported = False
+        self._fused_proven = False  # a grouped stage has succeeded
         self._module_index: Optional[Dict[int, int]] = None
+
+    @property
+    def unsupported(self) -> bool:
+        """True once a stage attempt found the graph unlowerable."""
+        return self._unsupported
+
+    @property
+    def fuse_billable(self) -> bool:
+        """Whether admission may bill steps at the fused (sublinear) rate.
+
+        Until a grouped stage has actually succeeded, fused costing would
+        be speculative: if the graph then turns out unlowerable, granted
+        steps fall back to serial execution and a fused-priced budget
+        would overrun the deadline it guaranteed.  Serial pricing is
+        always an over-estimate of the fused cost, so billing serially
+        before the first proof (and forever after an ``unsupported``
+        verdict) keeps the feasibility invariant hard.
+        """
+        return self._fused_proven and not self._unsupported
 
     # ------------------------------------------------------------------
     def group_key(self, session: StreamSession):
@@ -88,13 +123,12 @@ class FleetAdaptationBatcher:
         if self._unsupported or not nn.compiled_adaptation_enabled():
             return None
         adapter = session.adapter
-        if not isinstance(adapter, LDBNAdapt):
-            return None
-        if adapter.config.optimizer != "sgd":
+        key = static_fuse_key(adapter)
+        if key is None:
             return None
         if adapter.pending_frames != adapter.config.batch_size - 1:
             return None  # this frame only buffers; no step to fuse
-        return ("ldbn-sgd", adapter.config.batch_size)
+        return key
 
     def stage(
         self, sessions: Sequence[StreamSession], frames: Sequence[np.ndarray]
@@ -123,6 +157,7 @@ class FleetAdaptationBatcher:
         except UnsupportedAdaptGraph:
             self._unsupported = True
             return None
+        self._fused_proven = True
         return StagedGroupStep(self, list(sessions), images, plan, group_size)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,298 @@
+"""Slack-driven admission control for fleet adaptation steps.
+
+The adaptation step is the fleet's only *optional* work: skipping it
+costs a little accuracy later, running it late costs a deadline now.
+The legacy policy (``adapt_stride`` + static phase stagger) fixes the
+adaptation rate at configuration time, so a hot queue keeps paying for
+steps it cannot afford and an idle one leaves slack unused.  This module
+replaces that with a feedback controller fed by the serving loop itself:
+
+* **hard feasibility** — a step is *never* granted when the roofline
+  model says it would push the served batch past its earliest deadline
+  (:func:`repro.hw.deadline.adaptation_budget_ms` is the budget, the
+  modeled fused/serial step cost the price).  This invariant holds
+  unconditionally, including for starvation catch-ups.
+* **load shedding** — when the queue is hot (deep backlog, or the EWMA
+  of observed per-frame deadline slack below ``slack_low_ms``), only
+  streams whose adaptation *debt* (frames skipped since their last
+  granted step) reached ``max_debt`` are granted, and only if feasible;
+  everyone else sheds.  When load clears the debts drain naturally —
+  skipped streams catch up because granting reverts to
+  "everything feasible".
+* **phase packing** — fused same-key steps cost sublinearly in the
+  number of streams (:mod:`repro.serve.adapt_batch`), so the controller
+  deliberately maximizes fused group sizes: a step that would run *solo*
+  in a multi-stream batch is deferred for up to ``pack_patience`` frames
+  when another stream with the same fuse key exists in the fleet, so
+  that both steps land in the same served batch and share one grouped
+  replay.
+
+The controller is pure logic over :class:`StepCandidate` records and a
+modeled step-cost function; it never touches sessions or the model, so
+the scheduler property harness can drive it with synthetic fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+#: modeled latency (ms) of one fused adaptation step over ``n`` frames;
+#: None = no latency model (wallclock serving) → the budget is unlimited
+StepCostFn = Optional[Callable[[int], float]]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning of the slack-driven admission controller.
+
+    Attributes
+    ----------
+    slack_low_ms:
+        EWMA deadline slack below which the queue counts as *hot* and
+        adaptation sheds (starvation catch-ups excepted).
+    slack_high_ms:
+        EWMA slack the fleet must recover above before the hot state
+        clears — hysteresis, kept distinct from ``slack_low_ms`` so the
+        controller doesn't flap around one threshold.
+    depth_high:
+        Pending-queue depth at batch launch that counts as hot
+        regardless of observed slack.
+    max_debt:
+        Frames a stream may be skipped consecutively before a catch-up
+        step is forced (still subject to hard feasibility).
+    ewma_alpha:
+        Update weight of the observed-slack EWMA.
+    headroom_ms:
+        Safety margin subtracted from every feasibility budget.
+    pack_patience:
+        How many consecutive frames a solo step may be deferred while
+        waiting to share a fused replay with a same-key partner.
+    """
+
+    slack_low_ms: float = 2.0
+    slack_high_ms: float = 8.0
+    depth_high: int = 4
+    max_debt: int = 8
+    ewma_alpha: float = 0.25
+    headroom_ms: float = 0.25
+    pack_patience: int = 2
+
+    def __post_init__(self):
+        if self.slack_high_ms < self.slack_low_ms:
+            raise ValueError(
+                f"slack_high_ms ({self.slack_high_ms}) must be >= "
+                f"slack_low_ms ({self.slack_low_ms})"
+            )
+        if self.depth_high < 1:
+            raise ValueError(f"depth_high must be >= 1, got {self.depth_high}")
+        if self.max_debt < 1:
+            raise ValueError(f"max_debt must be >= 1, got {self.max_debt}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.headroom_ms < 0:
+            raise ValueError(
+                f"headroom_ms must be >= 0, got {self.headroom_ms}"
+            )
+        if self.pack_patience < 0:
+            raise ValueError(
+                f"pack_patience must be >= 0, got {self.pack_patience}"
+            )
+
+
+@dataclass(frozen=True)
+class StepCandidate:
+    """One frame of one stream, up for an adaptation-admission decision.
+
+    ``would_step`` marks frames that complete the stream's adaptation
+    batch (the expensive decision); other frames merely buffer and cost
+    nothing.  ``fuse_key`` is the batching key the step would fuse under
+    (None = must run serially), ``frames_per_step`` the adapter's batch
+    size, ``serial_cost_ms`` the modeled cost of the stream stepping
+    alone (0 when unmodeled).
+    """
+
+    stream_id: str
+    would_step: bool
+    fuse_key: Optional[Hashable] = None
+    frames_per_step: int = 1
+    serial_cost_ms: float = 0.0
+
+
+class SlackAdmission:
+    """Grants per-stream adaptation work from observed deadline slack."""
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        step_cost_ms: StepCostFn = None,
+    ):
+        self.config = config if config is not None else AdmissionConfig()
+        self.step_cost_ms = step_cost_ms
+        self.ewma_slack_ms: Optional[float] = None
+        self._slack_hot = False  # hysteresis latch between the thresholds
+        self._static_keys: Dict[str, Optional[Hashable]] = {}
+        self._debt: Dict[str, int] = {}
+        self._deferrals: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register_stream(
+        self, stream_id: str, static_key: Optional[Hashable] = None
+    ) -> None:
+        """Announce a stream and the fuse key its steps will carry.
+
+        The static key feeds the packing rule: a solo step is only worth
+        deferring when some *other* registered stream could share its
+        fused replay.
+        """
+        self._static_keys[stream_id] = static_key
+        self._debt.setdefault(stream_id, 0)
+        self._deferrals.setdefault(stream_id, 0)
+
+    def observe_slack(self, slack_ms: float) -> None:
+        """Feed one served frame's deadline slack (negative = miss)."""
+        alpha = self.config.ewma_alpha
+        if self.ewma_slack_ms is None:
+            self.ewma_slack_ms = float(slack_ms)
+        else:
+            self.ewma_slack_ms += alpha * (float(slack_ms) - self.ewma_slack_ms)
+
+    def debt(self, stream_id: str) -> int:
+        """Frames skipped since the stream's last granted step."""
+        return self._debt.get(stream_id, 0)
+
+    def _partner_exists(self, candidate: StepCandidate) -> bool:
+        key = candidate.fuse_key
+        if key is None:
+            return False
+        return any(
+            static == key and sid != candidate.stream_id
+            for sid, static in self._static_keys.items()
+        )
+
+    def _cost(self, frames: int) -> float:
+        # zero frames cost nothing by definition — latency models need
+        # never price (or even accept) an empty batch, and the first
+        # group member's marginal is then the full cost(B), fixed
+        # overheads included
+        if frames <= 0 or self.step_cost_ms is None:
+            return 0.0
+        return self.step_cost_ms(frames)
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        candidates: Sequence[StepCandidate],
+        budget_ms: float,
+        queue_depth: int,
+        allow_fused: bool = True,
+    ) -> List[bool]:
+        """Decide one served batch's adaptation grants.
+
+        ``budget_ms`` is the feasibility budget
+        (:func:`repro.hw.deadline.adaptation_budget_ms`, already measured
+        from the batch's earliest deadline; pass ``float('inf')`` when
+        serving without a latency model), ``queue_depth`` the pending
+        count at batch launch.  Returns one grant flag per candidate, in
+        order.  The cumulative modeled cost of all granted steps never
+        exceeds ``budget_ms`` minus the configured headroom.
+        """
+        config = self.config
+        for candidate in candidates:
+            if candidate.stream_id not in self._static_keys:
+                self.register_stream(candidate.stream_id, candidate.fuse_key)
+
+        # slack hysteresis: hot latches below slack_low_ms and only
+        # clears once the EWMA recovers above slack_high_ms
+        if self.ewma_slack_ms is not None:
+            if self.ewma_slack_ms < config.slack_low_ms:
+                self._slack_hot = True
+            elif self.ewma_slack_ms > config.slack_high_ms:
+                self._slack_hot = False
+        hot = queue_depth > config.depth_high or self._slack_hot
+        if self.step_cost_ms is None:
+            remaining = float("inf")
+        else:
+            remaining = budget_ms - config.headroom_ms
+
+        # fused groups: first stepping occurrence of each stream, keyed
+        # by fuse key; repeats and keyless steps pay the serial price
+        group_sizes: Dict[Hashable, int] = {}
+        granted_per_key: Dict[Hashable, int] = {}
+        first_occurrence: Dict[str, int] = {}
+        for i, candidate in enumerate(candidates):
+            if not candidate.would_step or candidate.fuse_key is None:
+                continue
+            if candidate.stream_id in first_occurrence:
+                continue
+            first_occurrence[candidate.stream_id] = i
+            if allow_fused:
+                key = candidate.fuse_key
+                group_sizes[key] = group_sizes.get(key, 0) + 1
+
+        # grant order: deepest debt first, so catch-ups outrank fresh
+        # steps when the budget only covers part of the batch
+        order = sorted(
+            range(len(candidates)),
+            key=lambda i: (-self._debt.get(candidates[i].stream_id, 0), i),
+        )
+        # debt advances decision-by-decision, so a backlogged batch
+        # carrying several frames of one stream behaves exactly like the
+        # same frames split across batches
+        debt = {
+            c.stream_id: self._debt.get(c.stream_id, 0) for c in candidates
+        }
+        decisions = [False] * len(candidates)
+        for i in order:
+            candidate = candidates[i]
+            sid = candidate.stream_id
+            if not candidate.would_step:
+                decisions[i] = True  # buffering is free; phase advances
+                continue
+            fused = (
+                allow_fused
+                and candidate.fuse_key is not None
+                and first_occurrence.get(sid) == i
+            )
+            if fused:
+                key = candidate.fuse_key
+                already = granted_per_key.get(key, 0)
+                size = candidate.frames_per_step
+                marginal = self._cost((already + 1) * size) - self._cost(
+                    already * size
+                )
+            else:
+                marginal = candidate.serial_cost_ms
+            if marginal > remaining:
+                grant = False  # infeasible: the roofline says it would miss
+            elif hot:
+                grant = debt[sid] >= config.max_debt
+            elif (
+                fused
+                and group_sizes.get(candidate.fuse_key, 0) == 1
+                and queue_depth >= 2
+                and self._partner_exists(candidate)
+                and self._deferrals.get(sid, 0) < config.pack_patience
+                and debt[sid] < config.max_debt
+            ):
+                # packing: hold a solo step back so it can share a fused
+                # replay with a same-key partner in an upcoming batch
+                grant = False
+                self._deferrals[sid] = self._deferrals.get(sid, 0) + 1
+            else:
+                grant = True
+            decisions[i] = grant
+            if grant:
+                remaining -= marginal
+                if fused:
+                    granted_per_key[candidate.fuse_key] = (
+                        granted_per_key.get(candidate.fuse_key, 0) + 1
+                    )
+                debt[sid] = 0
+                self._deferrals[sid] = 0
+            else:
+                debt[sid] += 1
+        self._debt.update(debt)
+        return decisions

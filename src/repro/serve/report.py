@@ -5,8 +5,15 @@ per stream (the same record type the single-vehicle pipeline emits, so
 per-stream numbers are directly comparable to serial
 :class:`~repro.pipeline.RealTimePipeline` baselines).  This module rolls
 them up into what a serving operator watches: tail latency (p50/p95/p99)
-across the whole fleet, per-stream accuracy, deadline-miss rate, and
-sustained throughput against the serial alternative.
+and deadline-slack percentiles across the whole fleet, per-stream
+accuracy, deadline-miss rate, queue depth at batch launch, adaptation
+admission grants/skips, in-flight frame drops, and sustained throughput
+against the serial alternative.
+
+Every percentile family routes through
+:func:`repro.pipeline.monitor.latency_percentile`, so empty windows — a
+stream that never received an adaptation grant, a run with no fused
+steps — report 0.0 instead of raising.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..hw.deadline import deadline_slack_ms
 from ..pipeline.monitor import PipelineReport, latency_percentile
 
 
@@ -35,6 +43,10 @@ class FleetReport:
     elapsed_ms: float = 0.0
     batch_sizes: List[int] = field(default_factory=list)
     adapt_batch_sizes: List[int] = field(default_factory=list)  # fused steps
+    queue_depths: List[int] = field(default_factory=list)  # at batch launch
+    admission_grants: Dict[str, int] = field(default_factory=dict)
+    admission_skips: Dict[str, int] = field(default_factory=dict)
+    dropped_frames: Dict[str, int] = field(default_factory=dict)
     stream_reports: "OrderedDict[str, PipelineReport]" = field(
         default_factory=OrderedDict
     )
@@ -124,6 +136,65 @@ class FleetReport:
             q,
         )
 
+    def slack_percentile(self, q: float) -> float:
+        """Fleet-wide deadline-slack percentile (negative = missed).
+
+        The low tail (p10) shows how hot the fleet runs, the signal the
+        admission controller sheds adaptation on.
+        """
+        return latency_percentile(
+            [
+                deadline_slack_ms(f.latency_ms, f.deadline_ms)
+                for report in self.stream_reports.values()
+                for f in report.frames
+            ],
+            q,
+        )
+
+    def queue_depth_percentile(self, q: float) -> float:
+        """Percentile of pending-queue depth observed at batch launches."""
+        return latency_percentile(self.queue_depths, q)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        return float(np.mean(self.queue_depths)) if self.queue_depths else 0.0
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depths) if self.queue_depths else 0
+
+    @property
+    def total_admission_grants(self) -> int:
+        return sum(self.admission_grants.values())
+
+    @property
+    def total_admission_skips(self) -> int:
+        return sum(self.admission_skips.values())
+
+    @property
+    def admission_grant_rate(self) -> float:
+        """Fraction of adaptation-admission decisions that granted."""
+        total = self.total_admission_grants + self.total_admission_skips
+        if total == 0:
+            return 0.0
+        return self.total_admission_grants / total
+
+    @property
+    def total_dropped_frames(self) -> int:
+        return sum(self.dropped_frames.values())
+
+    @property
+    def adaptation_steps(self) -> int:
+        """Adaptation steps actually taken across the fleet."""
+        return sum(r.adaptation_steps for r in self.stream_reports.values())
+
+    @property
+    def adapting_streams(self) -> int:
+        """Streams that took at least one adaptation step."""
+        return sum(
+            1 for r in self.stream_reports.values() if r.adaptation_steps > 0
+        )
+
     @property
     def per_stream_accuracy(self) -> Dict[str, float]:
         return {
@@ -152,9 +223,17 @@ class FleetReport:
             "p99_latency_ms": self.p99_latency_ms,
             "deadline_ms": self.deadline_ms,
             "deadline_miss_rate": self.deadline_miss_rate,
+            "slack_p10_ms": self.slack_percentile(10),
+            "slack_p50_ms": self.slack_percentile(50),
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": float(self.max_queue_depth),
             "adapt_p50_ms": self.adaptation_percentile(50),
             "adapt_p95_ms": self.adaptation_percentile(95),
             "mean_adapt_batch_size": self.mean_adapt_batch_size,
+            "adaptation_steps": float(self.adaptation_steps),
+            "adapting_streams": float(self.adapting_streams),
+            "admission_grant_rate": self.admission_grant_rate,
+            "dropped_frames": float(self.total_dropped_frames),
         }
 
     def per_stream_rows(self) -> List[Dict[str, object]]:
@@ -172,6 +251,9 @@ class FleetReport:
                     "adapt_steps": report.adaptation_steps,
                     "adapt_p50_ms": report.adaptation_percentile(50),
                     "adapt_p95_ms": report.adaptation_percentile(95),
+                    "adapt_grants": self.admission_grants.get(sid, 0),
+                    "adapt_skips": self.admission_skips.get(sid, 0),
+                    "dropped": self.dropped_frames.get(sid, 0),
                     "truncated": report.truncated,
                 }
             )

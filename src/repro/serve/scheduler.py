@@ -98,6 +98,19 @@ class DeadlineAwareScheduler:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    @property
+    def earliest_pending_arrival_ms(self) -> Optional[float]:
+        """Arrival time of the oldest queued frame; None when idle.
+
+        The event-driven ingest launches its next batch at
+        ``max(device_free, earliest_pending_arrival_ms)`` — a batch can
+        start the instant the device frees up, *between* camera ticks,
+        rather than waiting for a synchronous cohort.
+        """
+        if not self._pending:
+            return None
+        return min(r.arrival_ms for r in self._pending)
+
     def effective_priority(self, request: FrameRequest, now_ms: float) -> float:
         """Aged urgency — smaller is served first.
 

@@ -1,26 +1,31 @@
-"""The fleet serving loop: ingest → batch → shared forward → per-stream
-decode + adaptation.
+"""The fleet serving loop: event-driven ingest → batch → shared forward →
+per-stream decode + admission-controlled adaptation.
 
-Each tick of the fleet clock, every registered stream contributes one
-frame (30 FPS cameras are synchronous to within a frame period).  The
-scheduler folds pending frames into deadline-feasible batches; each batch
-runs ONE shared eval-mode forward pass with per-sample BN statistics
-(:func:`~repro.serve.streams.per_stream_inference`), then every frame is
-decoded and — on its stream's adaptation cadence — fed to that stream's
-adapter with the stream's BN state swapped onto the model.
+Frames no longer arrive as one synchronous cohort per camera period.
+Each registered stream owns an :class:`~repro.serve.streams.ArrivalProcess`
+(per-stream phase offset plus a seeded jitter/drop model), and the serving
+loop is a discrete-event simulation over those arrivals: frames carry
+their actual arrival timestamps, and the
+:class:`~repro.serve.scheduler.DeadlineAwareScheduler` launches a
+deadline-feasible batch the moment the device frees up — *between* camera
+ticks, from whatever has genuinely arrived — instead of draining an
+assumed full cohort.  ``FleetConfig(ingest="sync")`` keeps the legacy
+tick-synchronous loop as the parity oracle (it requires a zero-jitter,
+zero-drop arrival model, and the async loop reproduces it exactly there).
 
 Latency accounting mirrors :class:`repro.pipeline.RealTimePipeline`:
 
 * ``latency_model="orin"`` — a discrete-event simulation of the paper's
-  Jetson Orin: arrivals advance with the camera period, service times
-  come from the roofline model, and a frame's recorded latency is
-  completion minus arrival (so queueing delay from sharing one device
-  across the fleet is visible, and the deadline-miss-rate-vs-fleet-size
-  curve means something);
+  Jetson Orin: arrivals follow each stream's (jittered) arrival process,
+  service times come from the roofline model, and a frame's recorded
+  latency is completion minus arrival — so queueing delay under load and
+  jitter, the regime deadline-aware scheduling exists for, is visible;
 * ``latency_model="wallclock"`` — measured host time of the numpy
   implementation itself (a frame is charged its share of the batched
   forward plus its own adaptation step), used by the throughput
-  benchmark to show batched serving beating N serial pipelines.
+  benchmark.  Wallclock serving has no modeled service time, so batches
+  group frames by arrival timestamp (jittered arrivals serve solo; the
+  jitter regime is an ``"orin"``-mode study).
 
 The shared forward runs through the compiled engine (:mod:`repro.engine`)
 by default: one traced plan per batch size, with each stream's folded BN
@@ -28,20 +33,27 @@ by default: one traced plan per batch size, with each stream's folded BN
 differently-adapted streams share one batched replay bit-exactly.
 ``repro.nn.inference_mode(False)`` forces the eager forward.
 
-Adaptation amortizes the same way: streams whose adaptation steps land
-on the same tick (same phase) are fused into ONE grouped replay of the
-compiled adaptation plan (:mod:`repro.serve.adapt_batch`) with per-group
-batch statistics and per-stream gamma/beta/optimizer slots — no BN state
-swap-in/swap-out at all — while ineligible streams (non-SGD adapters,
-frames that only buffer, unsupported graphs) keep the serial step.
-``FleetConfig(batch_adaptation=False)`` or
-``repro.nn.adaptation_mode(False)`` force every step serial/eager.
+Adaptation is *admitted*, not scheduled statically.  With
+``FleetConfig(admission=AdmissionConfig(...))`` the
+:class:`~repro.serve.admission.SlackAdmission` controller grants each
+frame's adaptation work from observed deadline slack: steps shed when the
+queue runs hot, catch up when it clears, are never granted when the
+roofline model says they would push the batch past its earliest deadline,
+and solo steps are deferred briefly to share a fused replay with a
+same-key partner (phase packing).  Without an admission config the legacy
+static ``adapt_stride`` stagger applies.  Granted same-batch steps fuse
+into ONE grouped replay of the compiled adaptation plan
+(:mod:`repro.serve.adapt_batch`) with per-group batch statistics and
+per-stream gamma/beta/optimizer slots; ``FleetConfig(
+batch_adaptation=False)`` or ``repro.nn.adaptation_mode(False)`` force
+every step serial/eager.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,14 +62,20 @@ from ..adapt.base import Adapter
 from ..adapt.bn_adapt import LDBNAdapt, LDBNAdaptConfig
 from ..data.dataset import LaneSample
 from ..engine import compile_model
-from ..hw.deadline import DEADLINE_30FPS_MS
+from ..hw.deadline import (
+    DEADLINE_30FPS_MS,
+    adaptation_budget_ms,
+    deadline_slack_ms,
+)
 from ..hw.device import DeviceProfile
 from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
 from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS, point_accuracy
 from ..models.spec import ModelSpec
 from ..models.ufld import decode_predictions
 from ..utils.profiling import Timer
-from .adapt_batch import FleetAdaptationBatcher
+from ..utils.rng import child_seed
+from .adapt_batch import FleetAdaptationBatcher, static_fuse_key
+from .admission import AdmissionConfig, SlackAdmission, StepCandidate
 from .report import FleetReport
 from .scheduler import (
     BatchPlan,
@@ -65,7 +83,13 @@ from .scheduler import (
     FrameRequest,
     plan_adaptation_groups,
 )
-from .streams import StreamRegistry, StreamSession, per_stream_inference
+from .streams import (
+    ArrivalModel,
+    ArrivalProcess,
+    StreamRegistry,
+    StreamSession,
+    per_stream_inference,
+)
 
 
 @dataclass(frozen=True)
@@ -80,8 +104,14 @@ class FleetConfig:
     rolling_window: int = 30
     max_batch_size: int = 8
     aging_rate: float = 0.1
-    adapt_stride: int = 1  # each stream adapts on every k-th of its frames
-    batch_adaptation: bool = True  # fuse same-phase streams' entropy steps
+    adapt_stride: int = 1  # static fallback policy: every k-th frame adapts
+    batch_adaptation: bool = True  # fuse same-batch streams' entropy steps
+    ingest: str = "async"  # "async" (event-driven) | "sync" (legacy oracle)
+    jitter_ms: float = 0.0  # per-frame arrival delay, uniform in [0, jitter]
+    drop_rate: float = 0.0  # probability a frame is lost before the server
+    phase_spread_ms: float = 0.0  # stream i's arrival phase = i * spread
+    arrival_seed: int = 0  # root seed of the per-stream arrival processes
+    admission: Optional[AdmissionConfig] = None  # None → static stride
 
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
@@ -100,6 +130,23 @@ class FleetConfig:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         if self.adapt_stride < 1:
             raise ValueError(f"adapt_stride must be >= 1, got {self.adapt_stride}")
+        if self.ingest not in ("async", "sync"):
+            raise ValueError(f"unknown ingest mode {self.ingest!r}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if self.phase_spread_ms < 0:
+            raise ValueError(
+                f"phase_spread_ms must be >= 0, got {self.phase_spread_ms}"
+            )
+        if self.ingest == "sync" and (
+            self.jitter_ms > 0 or self.drop_rate > 0 or self.phase_spread_ms > 0
+        ):
+            raise ValueError(
+                "ingest='sync' is the tick-synchronous parity oracle and "
+                "requires jitter_ms == drop_rate == phase_spread_ms == 0"
+            )
 
     @property
     def period_ms(self) -> float:
@@ -124,6 +171,23 @@ class StagedGroup:
         self.done_clock_ms = 0.0
 
 
+class _Decision:
+    """One frame's admission outcome: feed the adapter or withhold it.
+
+    ``planned_step`` records whether the admission controller budgeted an
+    actual optimization step for this feed (as opposed to a free
+    buffering frame); :meth:`FleetServer._reconcile_buffer_drift` refuses
+    any feed whose real buffer state would turn a free plan into an
+    unbudgeted step.
+    """
+
+    __slots__ = ("feed", "planned_step")
+
+    def __init__(self, feed: bool, planned_step: bool):
+        self.feed = feed
+        self.planned_step = planned_step
+
+
 class FleetServer:
     """Serves N adapting camera streams through one shared model."""
 
@@ -145,20 +209,31 @@ class FleetServer:
                     "paper-size ModelSpec (the platform under study)"
                 )
             latency_fn = lambda b: batched_inference_latency_ms(spec, device, b)  # noqa: E731
+            adapt_cost_fn = lambda n: ld_bn_adapt_latency(  # noqa: E731
+                spec, device, n
+            ).adaptation_ms
         else:
             # wallclock mode measures instead of planning; batch greedily
             latency_fn = None
+            adapt_cost_fn = None
         self.registry = StreamRegistry(model)
         self.scheduler = DeadlineAwareScheduler(
             latency_fn=latency_fn,
             max_batch_size=self.config.max_batch_size,
             aging_rate=self.config.aging_rate,
         )
+        self.admission: Optional[SlackAdmission] = (
+            SlackAdmission(self.config.admission, adapt_cost_fn)
+            if self.config.admission is not None
+            else None
+        )
         self.timer = Timer()
         self._batch_sizes = []
+        self._queue_depths = []  # pending frames at each batch launch
         self._compiled = None  # built lazily; plans cached per batch size
         self._adapt_batcher = FleetAdaptationBatcher(model)
         self._adapt_batch_sizes = []  # streams fused per grouped step
+        self._event_seq = 0  # ties arrival events deterministically
 
     # ------------------------------------------------------------------
     def add_stream(
@@ -167,6 +242,7 @@ class FleetServer:
         stream: Iterator[LaneSample],
         adapter: Optional[Adapter] = None,
         adapter_config: Optional[LDBNAdaptConfig] = None,
+        arrival: Optional[ArrivalModel] = None,
     ) -> StreamSession:
         """Register one camera stream.
 
@@ -177,10 +253,15 @@ class FleetServer:
         ``adapter_config``); every session owns its adapter and therefore
         its optimizer momentum.
 
-        When ``adapt_stride > 1`` each stream's adaptation phase is
-        auto-staggered by registration order, spreading the fleet's
-        adaptation load across camera periods instead of spiking every
-        stream's step onto the same tick.
+        Without an explicit ``arrival`` model the stream gets the fleet
+        default: phase offset ``i * phase_spread_ms`` for the *i*-th
+        registered stream, the configured jitter/drop statistics, and a
+        per-stream child seed of ``arrival_seed`` — fully deterministic
+        per registration order.
+
+        When ``adapt_stride > 1`` (static admission) each stream's
+        adaptation phase is auto-staggered by registration order,
+        spreading the fleet's adaptation load across camera periods.
         """
         if adapter is not None and adapter_config is not None:
             raise ValueError("pass either adapter or adapter_config, not both")
@@ -193,6 +274,25 @@ class FleetServer:
         if self.config.latency_model == "orin":
             batch = getattr(getattr(adapter, "config", None), "batch_size", 1)
             adapt_ms = ld_bn_adapt_latency(self.spec, self.device, batch).adaptation_ms
+        index = len(self.registry)
+        if arrival is None:
+            arrival = ArrivalModel(
+                period_ms=self.config.period_ms,
+                phase_ms=index * self.config.phase_spread_ms,
+                jitter_ms=self.config.jitter_ms,
+                drop_rate=self.config.drop_rate,
+                seed=child_seed(self.config.arrival_seed, index),
+            )
+        elif self.config.ingest == "sync" and (
+            arrival.jitter_ms > 0 or arrival.drop_rate > 0 or arrival.phase_ms > 0
+        ):
+            raise ValueError(
+                "ingest='sync' ignores arrival processes; an explicit "
+                "jittered/dropping/phase-shifted ArrivalModel would be "
+                "silently discarded — use the async ingest"
+            )
+        if self.admission is not None:
+            self.admission.register_stream(stream_id, static_fuse_key(adapter))
         return self.registry.register(
             stream_id,
             stream,
@@ -200,20 +300,34 @@ class FleetServer:
             deadline_ms=self.config.deadline_ms,
             rolling_window=self.config.rolling_window,
             adapt_stride=self.config.adapt_stride,
-            adapt_phase=len(self.registry) % self.config.adapt_stride,
+            adapt_phase=index % self.config.adapt_stride,
             adapt_latency_ms=adapt_ms,
+            arrivals=ArrivalProcess(arrival),
         )
 
     # ------------------------------------------------------------------
     def run(self, num_ticks: int) -> FleetReport:
-        """Serve ``num_ticks`` camera periods; returns the fleet report.
+        """Serve ``num_ticks`` camera periods' worth of frames per stream.
 
-        Each tick ingests one frame per live stream and drains the queue.
-        Streams that end early are marked truncated and simply stop
-        contributing (the fleet keeps serving the others).
+        Each stream contributes up to ``num_ticks`` frames on its own
+        arrival process (fewer when frames drop or the source ends early;
+        truncated streams simply stop contributing while the fleet keeps
+        serving the others).
         """
         if len(self.registry) == 0:
             raise ValueError("no streams registered")
+        if self.config.ingest == "sync":
+            return self._run_sync(num_ticks)
+        return self._run_async(num_ticks)
+
+    def _run_sync(self, num_ticks: int) -> FleetReport:
+        """Legacy tick-synchronous loop: one cohort per period, drained.
+
+        The parity oracle for the event-driven loop — with zero jitter,
+        drops and phase spread both loops see identical arrivals, and
+        whenever the device keeps up within each camera period they form
+        identical batches.
+        """
         period = self.config.period_ms
         device_free_ms = 0.0
         for tick in range(num_ticks):
@@ -235,17 +349,89 @@ class FleetServer:
                 )
             while self.scheduler.pending_count:
                 start_ms = max(device_free_ms, arrival_ms)
+                self._queue_depths.append(self.scheduler.pending_count)
                 plan = self.scheduler.next_batch(start_ms)
                 if plan is None:  # pragma: no cover - pending implies a plan
                     break
-                device_free_ms = self._serve_batch(plan, start_ms)
+                device_free_ms = self._serve_batch(
+                    plan, start_ms, self.scheduler.pending_count
+                )
         return self._build_report(device_free_ms)
 
+    def _run_async(self, num_ticks: int) -> FleetReport:
+        """Event-driven loop over each stream's jittered arrival process.
+
+        A time-ordered event queue holds every stream's next arrival;
+        the scheduler launches a batch whenever the device is free and
+        frames are pending, at ``max(device_free, earliest pending
+        arrival)`` — so batches form from what has actually arrived by
+        launch time, and a backlogged device folds late arrivals into
+        the draining batches instead of waiting out the tick grid.
+        """
+        wallclock = self.config.latency_model == "wallclock"
+        heap: List[Tuple[float, int, bool, StreamSession]] = []
+        for session in self.registry:
+            self._push_arrival(heap, session, num_ticks)
+        device_free_ms = 0.0
+        while heap or self.scheduler.pending_count:
+            if self.scheduler.pending_count:
+                now_ms = max(
+                    device_free_ms, self.scheduler.earliest_pending_arrival_ms
+                )
+            else:
+                now_ms = max(device_free_ms, heap[0][0])
+            while heap and heap[0][0] <= now_ms:
+                arrival_ms, _, dropped, session = heapq.heappop(heap)
+                if dropped:
+                    session.drop_frame()
+                else:
+                    frame = session.next_frame()
+                    if frame is not None:
+                        self.scheduler.submit(
+                            FrameRequest(
+                                stream_id=session.stream_id,
+                                frame_index=session.frames_ingested - 1,
+                                arrival_ms=arrival_ms,
+                                deadline_ms=arrival_ms + self.config.deadline_ms,
+                                payload=(session, frame),
+                            )
+                        )
+                self._push_arrival(heap, session, num_ticks)
+            if not self.scheduler.pending_count:
+                continue  # everything due was dropped or exhausted
+            self._queue_depths.append(self.scheduler.pending_count)
+            plan = self.scheduler.next_batch(now_ms)
+            completion_ms = self._serve_batch(
+                plan, now_ms, self.scheduler.pending_count
+            )
+            # wallclock serving has no modeled service time: sequencing
+            # advances with arrivals only (timestamp-grouped batches)
+            device_free_ms = now_ms if wallclock else completion_ms
+        return self._build_report(device_free_ms)
+
+    def _push_arrival(self, heap, session: StreamSession, num_ticks: int) -> None:
+        """Queue the session's next arrival event, if any frames remain."""
+        if session.exhausted:
+            return
+        if session.arrivals is None:
+            session.arrivals = ArrivalProcess(
+                ArrivalModel(period_ms=self.config.period_ms)
+            )
+        if session.arrivals.frames_emitted >= num_ticks:
+            return
+        _, arrival_ms, dropped = session.arrivals.next_event()
+        heapq.heappush(heap, (arrival_ms, self._event_seq, dropped, session))
+        self._event_seq += 1
+
     # ------------------------------------------------------------------
-    def _serve_batch(self, plan: BatchPlan, start_ms: float) -> float:
+    def _serve_batch(
+        self, plan: BatchPlan, start_ms: float, leftover_depth: int
+    ) -> float:
         """Run one shared forward + per-stream postprocessing.
 
-        Returns the fleet-clock time at which the device is free again.
+        ``leftover_depth`` is the pending count left behind at launch
+        (the admission controller's queue-pressure signal).  Returns the
+        fleet-clock time at which the device is free again.
         """
         config = self.config
         sessions = [req.payload[0] for req in plan.requests]
@@ -279,13 +465,13 @@ class FleetServer:
         else:
             infer_ms = 1e3 * self.timer.records["inference"][-1]
 
-        # inference completes for the whole batch at once; same-phase
-        # adaptation steps are then fused into grouped compiled replays
-        # (per-stream state slots, no model swap), with remaining steps
-        # running serially on the shared device in batch order
+        # inference completes for the whole batch at once; granted
+        # same-batch adaptation steps are then fused into grouped
+        # compiled replays (per-stream state slots, no model swap), with
+        # remaining granted steps running serially in batch order
         clock_ms = start_ms + infer_ms
-        group_of: Dict[int, StagedGroup] = self._plan_adaptation(
-            plan.requests, sessions, frames
+        decisions, group_of = self._plan_adaptation(
+            plan, start_ms, infer_ms, leftover_depth
         )
         for req, session, frame, pred in zip(plan.requests, sessions, frames, preds):
             metrics = point_accuracy(
@@ -294,8 +480,10 @@ class FleetServer:
             result = None
             adapt_step_ms = 0.0
             completion_ms = clock_ms
-            if session.due_for_adaptation():
-                group = group_of.get(id(session))
+            decision = decisions[id(req)]
+            if decision.feed:
+                session.adapt_grants += 1
+                group = group_of.get(id(req))
                 if group is not None:
                     if group.results is None:  # first member launches it
                         clock_ms = self._run_group(group, clock_ms)
@@ -320,12 +508,18 @@ class FleetServer:
                         )
                         clock_ms += adapt_step_ms
                     completion_ms = clock_ms
+            else:
+                session.adapt_skips += 1
             if config.latency_model == "orin":
                 latency_ms = completion_ms - req.arrival_ms
             else:
                 # processing cost only (no simulated queueing): this frame's
                 # share of the batched forward plus its adaptation share
                 latency_ms = infer_ms / plan.batch_size + adapt_step_ms
+            if self.admission is not None and config.latency_model == "orin":
+                self.admission.observe_slack(
+                    deadline_slack_ms(latency_ms, config.deadline_ms)
+                )
             session.record(
                 frame, latency_ms, metrics.accuracy, result,
                 adapt_ms=adapt_step_ms if result is not None else None,
@@ -333,42 +527,148 @@ class FleetServer:
         return clock_ms
 
     # ------------------------------------------------------------------
-    def _plan_adaptation(self, requests, sessions, frames):
-        """Stage fused same-phase adaptation steps for this served batch.
+    def _admission_decisions(
+        self, plan: BatchPlan, start_ms: float, infer_ms: float, leftover_depth: int
+    ) -> Dict[int, _Decision]:
+        """Per-request adaptation grants for one served batch.
 
-        Returns ``{id(session): StagedGroup}`` for every session joining
-        a fused step; everything else keeps the serial path.  Staging
-        (batch assembly + one-time trace/compile) happens here, outside
-        the timed region, mirroring the inference engine's ``warm``.
+        Static policy (no admission controller): the stream's
+        ``adapt_stride``/``adapt_phase`` schedule, offset-corrected when
+        a backlogged batch carries several frames of one stream.  Slack
+        policy: :meth:`SlackAdmission.admit` over the batch's step
+        candidates, with the roofline feasibility budget measured from
+        the batch's earliest deadline.
         """
-        group_of: Dict[int, "StagedGroup"] = {}
-        if not self.config.batch_adaptation:
-            return group_of
-        due = [
-            (session, frame)
-            for session, frame in zip(sessions, frames)
-            if session.due_for_adaptation()
-        ]
-        candidates = [
-            (self._adapt_batcher.group_key(session), (session, frame))
-            for session, frame in due
-        ]
-        groups, _ = plan_adaptation_groups(candidates)
-        for members in groups:
-            staged = self._adapt_batcher.stage(
-                [session for session, _ in members],
-                [frame.image for _, frame in members],
+        decisions: Dict[int, _Decision] = {}
+        requests = plan.requests
+        sessions = [req.payload[0] for req in requests]
+        if self.admission is None:
+            offsets: Dict[int, int] = {}
+            for req, session in zip(requests, sessions):
+                k = offsets.get(id(session), 0)
+                offsets[id(session)] = k + 1
+                decisions[id(req)] = _Decision(session.due_for_adaptation(k), True)
+            return decisions
+
+        candidates = []
+        assumed_pending: Dict[int, int] = {}
+        first_step: Dict[int, int] = {}
+        for i, (req, session) in enumerate(zip(requests, sessions)):
+            adapter = session.adapter
+            batch_size = getattr(getattr(adapter, "config", None), "batch_size", 1)
+            if id(session) not in assumed_pending:
+                assumed_pending[id(session)] = getattr(
+                    adapter, "pending_frames", batch_size - 1
+                )
+            pending = assumed_pending[id(session)]
+            would_step = pending >= batch_size - 1
+            assumed_pending[id(session)] = 0 if would_step else pending + 1
+            fuse_key = None
+            if would_step and id(session) not in first_step:
+                first_step[id(session)] = i
+                fuse_key = self._adapt_batcher.group_key(session)
+            candidates.append(
+                StepCandidate(
+                    stream_id=session.stream_id,
+                    would_step=would_step,
+                    fuse_key=fuse_key,
+                    frames_per_step=batch_size,
+                    serial_cost_ms=session.adapt_latency_ms,
+                )
             )
-            if staged is None:  # graph not lowerable: serial fallback
+        if self.config.latency_model == "orin":
+            batch_deadline_ms = min(r.deadline_ms for r in requests)
+            budget_ms = adaptation_budget_ms(batch_deadline_ms, start_ms + infer_ms)
+        else:
+            budget_ms = float("inf")
+        # fused (sublinear) billing only once grouped staging has proven
+        # itself; before that — or if the graph is unlowerable — steps
+        # are billed at the serial rate, an over-estimate that keeps the
+        # feasibility guarantee hard even when stage() falls back
+        allow_fused = (
+            self.config.batch_adaptation and self._adapt_batcher.fuse_billable
+        )
+        grants = self.admission.admit(
+            candidates, budget_ms, leftover_depth, allow_fused=allow_fused
+        )
+        for req, candidate, grant in zip(requests, candidates, grants):
+            decisions[id(req)] = _Decision(grant, candidate.would_step)
+        return decisions
+
+    def _reconcile_buffer_drift(
+        self, plan: BatchPlan, decisions: Dict[int, _Decision]
+    ) -> None:
+        """Refuse feeds the plan budgeted as free buffering but that the
+        adapter's *actual* buffer state would turn into a step.
+
+        Admission predicts buffer phases assuming its grants are taken;
+        a denied step leaves the buffer full, so a later frame planned
+        as "free buffering" would fire an unbudgeted step.  Decisions
+        are reconciled here — before fused staging — so a refused frame
+        can never ride along in a grouped replay either.
+        """
+        sim_pending: Dict[int, int] = {}
+        for req in plan.requests:
+            session, _ = req.payload
+            decision = decisions[id(req)]
+            adapter = session.adapter
+            if not decision.feed or not hasattr(adapter, "pending_frames"):
+                continue  # bufferless adapters step every granted frame
+            batch_size = getattr(getattr(adapter, "config", None), "batch_size", 1)
+            if id(session) not in sim_pending:
+                sim_pending[id(session)] = adapter.pending_frames
+            would_step = sim_pending[id(session)] >= batch_size - 1
+            if would_step and not decision.planned_step:
+                decisions[id(req)] = _Decision(False, False)
+                continue  # refused: buffer state unchanged
+            sim_pending[id(session)] = (
+                0 if would_step else sim_pending[id(session)] + 1
+            )
+
+    def _plan_adaptation(
+        self, plan: BatchPlan, start_ms: float, infer_ms: float, leftover_depth: int
+    ):
+        """Admission decisions + staged fused steps for this served batch.
+
+        Returns ``(decisions, group_of)``: the per-request admission
+        outcome and ``{id(request): StagedGroup}`` for every granted
+        step joining a fused replay; everything else granted keeps the
+        serial path.  Staging (batch assembly + one-time trace/compile)
+        happens here, outside the timed region, mirroring the inference
+        engine's ``warm``.
+        """
+        decisions = self._admission_decisions(plan, start_ms, infer_ms, leftover_depth)
+        self._reconcile_buffer_drift(plan, decisions)
+        group_of: Dict[int, StagedGroup] = {}
+        due = []
+        seen_sessions = set()
+        for req in plan.requests:
+            session, frame = req.payload
+            if not decisions[id(req)].feed or id(session) in seen_sessions:
                 continue
-            group = StagedGroup(staged)
-            for session, _ in members:
-                group_of[id(session)] = group
+            seen_sessions.add(id(session))
+            due.append((req, session, frame))
+        if self.config.batch_adaptation:
+            candidates = [
+                (self._adapt_batcher.group_key(session), (req, session, frame))
+                for req, session, frame in due
+            ]
+            groups, _ = plan_adaptation_groups(candidates)
+            for members in groups:
+                staged = self._adapt_batcher.stage(
+                    [session for _, session, _ in members],
+                    [frame.image for _, _, frame in members],
+                )
+                if staged is None:  # graph not lowerable: serial fallback
+                    continue
+                group = StagedGroup(staged)
+                for req, _, _ in members:
+                    group_of[id(req)] = group
         # serial steppers warm their compiled plan outside the timed region
-        for session, frame in due:
-            if id(session) not in group_of and hasattr(session.adapter, "warm"):
+        for req, session, frame in due:
+            if id(req) not in group_of and hasattr(session.adapter, "warm"):
                 session.adapter.warm(frame.image)
-        return group_of
+        return decisions, group_of
 
     def _run_group(self, group: "StagedGroup", clock_ms: float) -> float:
         """Execute one fused adaptation step; returns the advanced clock."""
@@ -398,7 +698,11 @@ class FleetServer:
             else 1e3 * (self.timer.total("inference") + self.timer.total("adaptation")),
             batch_sizes=list(self._batch_sizes),
             adapt_batch_sizes=list(self._adapt_batch_sizes),
+            queue_depths=list(self._queue_depths),
         )
         for session in self.registry:
             report.stream_reports[session.stream_id] = session.report
+            report.admission_grants[session.stream_id] = session.adapt_grants
+            report.admission_skips[session.stream_id] = session.adapt_skips
+            report.dropped_frames[session.stream_id] = session.frames_dropped
         return report

@@ -12,6 +12,12 @@ values and optimizer momentum.  This module keeps those states separate:
 * :class:`StreamSession` — one registered stream: its frame source, its
   adapter (owning the per-stream optimizer state), its BN snapshot and
   its online monitors.
+* :class:`ArrivalModel` / :class:`ArrivalProcess` — the stream's frame
+  *arrival* process for the event-driven fleet loop: a per-stream phase
+  offset over the camera period, plus a seeded jitter/drop model
+  (:func:`repro.utils.rng.child_seed` keeps every stream exactly
+  repeatable), yielding the timestamps frames actually become available
+  at instead of assuming one tick-synchronous cohort per period.
 * :class:`StreamRegistry` — the session table, all bound to one model.
 * :func:`per_stream_inference` — context manager enabling the *batched*
   shared forward pass: eval-mode BN is an affine per channel, so each
@@ -25,7 +31,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,8 +45,79 @@ from ..pipeline.monitor import (
     PipelineReport,
     RollingAccuracy,
 )
+from ..utils.rng import make_rng
 
 _BN_BUFFER_NAMES = ("running_mean", "running_var", "num_batches_tracked")
+
+
+@dataclass(frozen=True)
+class ArrivalModel:
+    """One camera stream's frame-arrival statistics.
+
+    Frame *i*'s nominal arrival is ``phase_ms + i * period_ms``; on top
+    of that each frame picks up a delay drawn uniformly from
+    ``[0, jitter_ms]`` (transmission/encoder delay — jitter never makes
+    a frame early), and with probability ``drop_rate`` the frame is lost
+    before it reaches the server (the camera still produced it, so the
+    content timeline advances).  ``seed`` makes the process exactly
+    repeatable per stream.
+    """
+
+    period_ms: float
+    phase_ms: float = 0.0
+    jitter_ms: float = 0.0
+    drop_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.period_ms <= 0:
+            raise ValueError(f"period_ms must be positive, got {self.period_ms}")
+        if self.phase_ms < 0:
+            raise ValueError(f"phase_ms must be >= 0, got {self.phase_ms}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate}"
+            )
+
+
+class ArrivalProcess:
+    """Seeded realization of an :class:`ArrivalModel`, one event at a time.
+
+    Events come out in frame order with non-decreasing timestamps (a
+    delayed frame cannot be overtaken by its successor on the same
+    camera link, so arrivals are monotonized with a running max).  With
+    ``jitter_ms == 0`` and ``drop_rate == 0`` the process degenerates to
+    the tick-synchronous schedule the legacy fleet loop assumed —
+    the async-ingest parity guarantee rests on that.
+    """
+
+    def __init__(self, model: ArrivalModel):
+        self.model = model
+        self._rng = make_rng(model.seed)
+        self._index = 0
+        self._last_ms = 0.0
+
+    @property
+    def frames_emitted(self) -> int:
+        return self._index
+
+    def next_event(self) -> Tuple[int, float, bool]:
+        """``(frame_index, arrival_ms, dropped)`` for the next frame."""
+        model = self.model
+        nominal = model.phase_ms + self._index * model.period_ms
+        arrival = nominal
+        if model.jitter_ms > 0:
+            arrival += float(self._rng.uniform(0.0, model.jitter_ms))
+        arrival = max(arrival, self._last_ms)
+        dropped = model.drop_rate > 0 and bool(
+            self._rng.random() < model.drop_rate
+        )
+        event = (self._index, arrival, dropped)
+        self._index += 1
+        self._last_ms = arrival
+        return event
 
 
 class BNStateSnapshot:
@@ -113,6 +191,7 @@ class StreamSession:
         adapt_stride: int = 1,
         adapt_phase: int = 0,
         adapt_latency_ms: float = 0.0,
+        arrivals: Optional[ArrivalProcess] = None,
     ):
         if adapt_stride < 1:
             raise ValueError(f"adapt_stride must be >= 1, got {adapt_stride}")
@@ -122,12 +201,16 @@ class StreamSession:
         self.adapt_stride = adapt_stride
         self.adapt_phase = adapt_phase
         self.adapt_latency_ms = adapt_latency_ms
+        self.arrivals = arrivals
         self.bn_state = BNStateSnapshot(model)
         self.monitor = DeadlineMonitor(deadline_ms)
         self.rolling = RollingAccuracy(rolling_window)
         self.report = PipelineReport(deadline_ms=deadline_ms)
         self.frames_seen = 0  # frames fully served (decoded + recorded)
         self.frames_ingested = 0  # frames pulled off the camera stream
+        self.frames_dropped = 0  # frames the arrival process lost in flight
+        self.adapt_grants = 0  # frames admission fed to the adapter
+        self.adapt_skips = 0  # frames admission withheld from the adapter
         self.exhausted = False
 
     def next_frame(self) -> Optional[LaneSample]:
@@ -143,15 +226,31 @@ class StreamSession:
         self.frames_ingested += 1
         return frame
 
-    def due_for_adaptation(self) -> bool:
+    def drop_frame(self) -> bool:
+        """Consume one frame the arrival process lost; True if one existed.
+
+        The camera produced the frame, so the content timeline advances
+        (the iterator is consumed) but nothing is served or recorded.
+        """
+        if self.next_frame() is None:
+            return False
+        self.frames_dropped += 1
+        return True
+
+    def due_for_adaptation(self, offset: int = 0) -> bool:
         """Whether the frame being served should feed the adapter.
 
         With ``adapt_stride`` k, every k-th frame adapts; ``adapt_phase``
         offsets which frames those are, so a fleet can stagger its
         adaptation load across streams instead of spiking every stream's
-        step onto the same camera period.
+        step onto the same camera period.  ``offset`` counts frames of
+        this stream already decided earlier in the *same* served batch
+        (a backlogged batch can carry several), keeping the stagger
+        aligned with per-stream frame order rather than record order.
         """
-        return (self.frames_seen - self.adapt_phase) % self.adapt_stride == 0
+        return (
+            self.frames_seen + offset - self.adapt_phase
+        ) % self.adapt_stride == 0
 
     def swap_in(self) -> None:
         self.bn_state.swap_in()
@@ -204,6 +303,7 @@ class StreamRegistry:
         adapt_stride: int = 1,
         adapt_phase: int = 0,
         adapt_latency_ms: float = 0.0,
+        arrivals: Optional[ArrivalProcess] = None,
     ) -> StreamSession:
         """Add a stream; its BN snapshot is the model's *current* state."""
         if stream_id in self._sessions:
@@ -222,6 +322,7 @@ class StreamRegistry:
             adapt_stride=adapt_stride,
             adapt_phase=adapt_phase,
             adapt_latency_ms=adapt_latency_ms,
+            arrivals=arrivals,
         )
         self._sessions[stream_id] = session
         return session

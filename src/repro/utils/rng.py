@@ -30,6 +30,20 @@ def split_rng(rng: np.random.Generator, count: int) -> List[np.random.Generator]
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
+def child_seed(seed: int, index: int) -> int:
+    """Stable derived seed for child stream ``index`` of root ``seed``.
+
+    Unlike :func:`split_rng` this needs no parent generator state, so a
+    component can derive the seed for its *k*-th child (e.g. the arrival
+    process of the *k*-th registered camera stream) at any time and in
+    any order while remaining exactly reproducible.
+    """
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    sequence = np.random.SeedSequence([int(seed), int(index)])
+    return int(sequence.generate_state(1, np.uint64)[0])
+
+
 def rng_stream(rng: np.random.Generator) -> Iterator[np.random.Generator]:
     """Infinite iterator of child generators (one per item/frame)."""
     while True:

@@ -1,0 +1,352 @@
+"""Property-based tests (hypothesis) for the fleet scheduler stack.
+
+Seeded random fleets probe the invariants the serving loop leans on:
+
+* :func:`plan_adaptation_groups` never mixes fuse keys and partitions
+  its input exactly (nothing lost, nothing duplicated);
+* :class:`DeadlineAwareScheduler` never exceeds capacity, never loses or
+  double-serves a frame, serves each stream's frames in order, and only
+  launches a deadline-infeasible batch when even a singleton of the most
+  urgent frame would already miss (the throughput-mode escape);
+* :class:`SlackAdmission` never grants adaptation work whose modeled
+  cost exceeds the batch's deadline budget, always grants free buffering
+  frames, sheds non-starving streams when hot, and bounds every stream's
+  skip streak at ``max_debt`` while the budget allows catch-ups;
+* :class:`ArrivalProcess` realizations are monotone, deterministic per
+  seed, and degenerate to the exact tick grid at zero jitter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import (
+    ArrivalModel,
+    ArrivalProcess,
+    DeadlineAwareScheduler,
+    FrameRequest,
+    SlackAdmission,
+    StepCandidate,
+    plan_adaptation_groups,
+)
+from repro.serve.admission import AdmissionConfig
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# plan_adaptation_groups
+# ----------------------------------------------------------------------
+
+keyed_items = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.sampled_from(["a", "b", "c", "d"])),
+        st.integers(0, 10_000),
+    ),
+    max_size=20,
+)
+
+
+class TestGroupPlanningProperties:
+    @given(candidates=keyed_items, min_group=st.integers(2, 4))
+    @settings(**SETTINGS)
+    def test_partition_is_exact_and_never_mixes_keys(
+        self, candidates, min_group
+    ):
+        items = [object() for _ in candidates]
+        keyed = [(key, item) for (key, _), item in zip(candidates, items)]
+        groups, serial = plan_adaptation_groups(keyed, min_group_size=min_group)
+
+        key_of = {id(item): key for key, item in keyed}
+        # no group mixes keys, groups never go below the minimum size,
+        # and serial-only (None-key) items never join a group
+        for group in groups:
+            assert len(group) >= min_group
+            keys = {key_of[id(item)] for item in group}
+            assert len(keys) == 1 and None not in keys
+
+        # exact partition: every item appears exactly once overall
+        out = [id(item) for group in groups for item in group]
+        out += [id(item) for item in serial]
+        assert sorted(out) == sorted(id(item) for item in items)
+
+        # order preserved within each group and within the serial list
+        position = {id(item): i for i, item in enumerate(items)}
+        for group in groups:
+            ordered = [position[id(item)] for item in group]
+            assert ordered == sorted(ordered)
+        ordered = [position[id(item)] for item in serial]
+        assert ordered == sorted(ordered)
+
+
+# ----------------------------------------------------------------------
+# DeadlineAwareScheduler
+# ----------------------------------------------------------------------
+
+@st.composite
+def random_fleet(draw):
+    """A random request set plus a monotone batch-latency model."""
+    num_streams = draw(st.integers(1, 5))
+    frames_per_stream = draw(st.integers(1, 6))
+    period = draw(st.floats(5.0, 50.0))
+    deadline = draw(st.floats(5.0, 80.0))
+    base = draw(st.floats(0.0, 40.0))
+    slope = draw(st.floats(0.0, 15.0))
+    jitters = draw(
+        st.lists(
+            st.floats(0.0, 30.0),
+            min_size=num_streams * frames_per_stream,
+            max_size=num_streams * frames_per_stream,
+        )
+    )
+    requests = []
+    k = 0
+    for s in range(num_streams):
+        last = 0.0
+        for i in range(frames_per_stream):
+            arrival = max(i * period + jitters[k], last)
+            last = arrival
+            k += 1
+            requests.append(
+                FrameRequest(
+                    stream_id=f"s{s}",
+                    frame_index=i,
+                    arrival_ms=arrival,
+                    deadline_ms=arrival + deadline,
+                )
+            )
+    return requests, (lambda b: base + slope * b)
+
+
+class TestSchedulerProperties:
+    @given(
+        fleet=random_fleet(),
+        max_batch=st.integers(1, 8),
+        aging=st.floats(0.0, 2.0),
+    )
+    @settings(**SETTINGS)
+    def test_drain_serves_every_frame_exactly_once_in_order(
+        self, fleet, max_batch, aging
+    ):
+        requests, latency_fn = fleet
+        sched = DeadlineAwareScheduler(
+            latency_fn=latency_fn, max_batch_size=max_batch, aging_rate=aging
+        )
+        # event-driven ingest: requests become visible at their arrival
+        by_arrival = sorted(requests, key=lambda r: r.arrival_ms)
+        served = []
+        device_free = 0.0
+        i = 0
+        while i < len(by_arrival) or sched.pending_count:
+            if sched.pending_count:
+                now = max(device_free, sched.earliest_pending_arrival_ms)
+            else:
+                now = max(device_free, by_arrival[i].arrival_ms)
+            while i < len(by_arrival) and by_arrival[i].arrival_ms <= now:
+                sched.submit(by_arrival[i])
+                i += 1
+            plan = sched.next_batch(now)
+
+            # capacity is never exceeded and the plan prices its own size
+            assert 1 <= plan.batch_size <= max_batch
+            assert plan.planned_latency_ms == pytest.approx(
+                latency_fn(plan.batch_size)
+            )
+            # deadline feasibility, or the explicit throughput-mode escape:
+            # even a singleton of the most urgent frame would have missed
+            min_deadline = min(r.deadline_ms for r in plan.requests)
+            if now + plan.planned_latency_ms > min_deadline:
+                assert now + latency_fn(1) > plan.requests[0].deadline_ms
+            served.extend(plan.requests)
+            device_free = now + plan.planned_latency_ms
+
+        # no frame dropped, none served twice
+        assert sorted(id(r) for r in served) == sorted(id(r) for r in requests)
+        # per-stream frame order is preserved across batches
+        for stream_id in {r.stream_id for r in requests}:
+            indices = [r.frame_index for r in served if r.stream_id == stream_id]
+            assert indices == sorted(indices)
+
+
+# ----------------------------------------------------------------------
+# SlackAdmission
+# ----------------------------------------------------------------------
+
+@st.composite
+def admission_batch(draw):
+    """Random step candidates with a consistent (key -> batch size) map."""
+    keys = ["k1", "k2", None]
+    sizes = {"k1": draw(st.integers(1, 4)), "k2": draw(st.integers(1, 4))}
+    candidates = []
+    for i in range(draw(st.integers(1, 8))):
+        key = draw(st.sampled_from(keys))
+        would_step = draw(st.booleans())
+        batch = sizes.get(key, 1)
+        candidates.append(
+            StepCandidate(
+                stream_id=f"s{draw(st.integers(0, 5))}",
+                would_step=would_step,
+                fuse_key=key if would_step else None,
+                frames_per_step=batch,
+                serial_cost_ms=draw(st.floats(0.0, 30.0)),
+            )
+        )
+    return candidates
+
+
+def _granted_cost(candidates, decisions, cost_fn, allow_fused=True):
+    """Total modeled cost of the granted steps, fused where the server
+    would fuse (same key, first occurrence per stream)."""
+    fused_counts = {}
+    serial = 0.0
+    first = {}
+    for candidate, granted in zip(candidates, decisions):
+        if not granted or not candidate.would_step:
+            continue
+        fusable = (
+            allow_fused
+            and candidate.fuse_key is not None
+            and first.setdefault(candidate.stream_id, id(candidate))
+            == id(candidate)
+        )
+        if fusable:
+            key = (candidate.fuse_key, candidate.frames_per_step)
+            fused_counts[key] = fused_counts.get(key, 0) + 1
+        else:
+            serial += candidate.serial_cost_ms
+    fused = sum(
+        cost_fn(count * batch) for (_, batch), count in fused_counts.items()
+    )
+    return fused + serial
+
+
+class TestAdmissionProperties:
+    @given(
+        batch=admission_batch(),
+        budget=st.floats(-10.0, 120.0),
+        depth=st.integers(0, 12),
+        base=st.floats(0.0, 25.0),
+        slope=st.floats(0.0, 10.0),
+        slack=st.one_of(st.none(), st.floats(-50.0, 50.0)),
+    )
+    @settings(**SETTINGS)
+    def test_granted_cost_never_exceeds_budget(
+        self, batch, budget, depth, base, slope, slack
+    ):
+        """Admission never grants steps the roofline model can't afford."""
+        cost_fn = lambda n: base + slope * n  # noqa: E731
+        config = AdmissionConfig(headroom_ms=0.0)
+        controller = SlackAdmission(config, cost_fn)
+        if slack is not None:
+            controller.observe_slack(slack)
+        decisions = controller.admit(batch, budget, depth)
+
+        total = _granted_cost(batch, decisions, cost_fn)
+        assert total <= budget + 1e-9 or total == 0.0
+        # buffering frames are free and always granted
+        for candidate, granted in zip(batch, decisions):
+            if not candidate.would_step:
+                assert granted
+
+    @given(batch=admission_batch(), depth=st.integers(0, 12))
+    @settings(**SETTINGS)
+    def test_hot_queue_sheds_all_fresh_steps(self, batch, depth):
+        """With zero debt everywhere, a hot queue grants no step at all."""
+        controller = SlackAdmission(
+            AdmissionConfig(slack_low_ms=float("inf"), slack_high_ms=float("inf")),
+            lambda n: 1.0,
+        )
+        controller.observe_slack(0.0)  # below the infinite hot threshold
+        decisions = controller.admit(batch, budget_ms=1e9, queue_depth=depth)
+        for candidate, granted in zip(batch, decisions):
+            assert granted == (not candidate.would_step)
+
+    @given(
+        max_debt=st.integers(1, 6),
+        rounds=st.integers(8, 30),
+        num_streams=st.integers(1, 4),
+    )
+    @settings(**SETTINGS)
+    def test_debt_bounds_skip_streaks_under_sustained_heat(
+        self, max_debt, rounds, num_streams
+    ):
+        """Forced catch-ups cap consecutive skips at max_debt when the
+        budget stays feasible, even while the queue never cools down."""
+        controller = SlackAdmission(
+            AdmissionConfig(
+                slack_low_ms=float("inf"),
+                slack_high_ms=float("inf"),
+                max_debt=max_debt,
+                headroom_ms=0.0,
+            ),
+            lambda n: 1.0,
+        )
+        controller.observe_slack(0.0)  # permanently hot
+        streaks = {f"s{i}": 0 for i in range(num_streams)}
+        for _ in range(rounds):
+            batch = [
+                StepCandidate(stream_id=sid, would_step=True, serial_cost_ms=1.0)
+                for sid in streaks
+            ]
+            decisions = controller.admit(batch, budget_ms=1e9, queue_depth=0)
+            for candidate, granted in zip(batch, decisions):
+                if granted:
+                    streaks[candidate.stream_id] = 0
+                else:
+                    streaks[candidate.stream_id] += 1
+                assert streaks[candidate.stream_id] <= max_debt
+
+    @given(batch=admission_batch())
+    @settings(**SETTINGS)
+    def test_unmodeled_cost_means_unlimited_budget(self, batch):
+        """Without a latency model (wallclock serving) nothing is shed."""
+        controller = SlackAdmission(AdmissionConfig(), step_cost_ms=None)
+        decisions = controller.admit(
+            batch, budget_ms=float("-inf"), queue_depth=0
+        )
+        assert all(decisions)
+
+
+# ----------------------------------------------------------------------
+# ArrivalProcess
+# ----------------------------------------------------------------------
+
+class TestArrivalProperties:
+    @given(
+        period=st.floats(1.0, 60.0),
+        phase=st.floats(0.0, 40.0),
+        jitter=st.floats(0.0, 50.0),
+        drop=st.floats(0.0, 0.9),
+        seed=st.integers(0, 2**32 - 1),
+        count=st.integers(1, 40),
+    )
+    @settings(**SETTINGS)
+    def test_monotone_and_deterministic(
+        self, period, phase, jitter, drop, seed, count
+    ):
+        model = ArrivalModel(
+            period_ms=period, phase_ms=phase, jitter_ms=jitter,
+            drop_rate=drop, seed=seed,
+        )
+        process, twin = ArrivalProcess(model), ArrivalProcess(model)
+        events = [process.next_event() for _ in range(count)]
+        replay = [twin.next_event() for _ in range(count)]
+        assert events == replay  # same seed, same realization
+        times = [t for _, t, _ in events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        # a frame never arrives before its nominal camera slot
+        for index, arrival, _ in events:
+            assert arrival >= phase + index * period - 1e-9
+
+    @given(
+        period=st.floats(1.0, 60.0),
+        seed=st.integers(0, 2**32 - 1),
+        count=st.integers(1, 30),
+    )
+    @settings(**SETTINGS)
+    def test_zero_jitter_is_the_exact_tick_grid(self, period, seed, count):
+        process = ArrivalProcess(ArrivalModel(period_ms=period, seed=seed))
+        for i in range(count):
+            index, arrival, dropped = process.next_event()
+            assert (index, dropped) == (i, False)
+            assert arrival == pytest.approx(i * period)

@@ -8,7 +8,10 @@ from repro.adapt import LDBNAdapt, LDBNAdaptConfig, NoAdapt
 from repro.hw import ORIN_POWER_MODES, batched_inference_latency_ms, batching_speedup
 from repro.models import get_config
 from repro.pipeline import PipelineConfig, RealTimePipeline
+from repro.pipeline.monitor import PipelineReport, latency_percentile
 from repro.serve import (
+    AdmissionConfig,
+    ArrivalModel,
     DeadlineAwareScheduler,
     FleetConfig,
     FleetReport,
@@ -17,6 +20,7 @@ from repro.serve import (
     StreamRegistry,
     per_stream_inference,
     plan_adaptation_groups,
+    static_fuse_key,
 )
 from repro.serve.adapt_batch import FleetAdaptationBatcher
 from repro.serve.streams import BNStateSnapshot
@@ -463,7 +467,14 @@ class TestFleetServer:
     def test_accuracy_matches_serial_pipelines(
         self, trained_tiny_model, tiny_benchmark
     ):
-        """Acceptance: per-stream accuracy within noise of the serial twin."""
+        """Acceptance: per-stream accuracy within noise of the serial twin.
+
+        Uses the tick-synchronous ingest oracle: serial pipelines adapt
+        between every pair of consecutive frames, which only the
+        one-frame-per-stream-per-tick loop guarantees (the async loop
+        legitimately folds a backlogged stream's consecutive frames into
+        one batch, serving frame i+1 before frame i's step applies).
+        """
         frames = 8
         frame_lists = self._frame_lists(tiny_benchmark, 3, frames)
         pristine = trained_tiny_model.state_dict()
@@ -482,7 +493,7 @@ class TestFleetServer:
             serial.append(pipeline.run(iter(frame_list), frames).mean_accuracy)
 
         trained_tiny_model.load_state_dict(pristine)
-        server = self._server(trained_tiny_model)
+        server = self._server(trained_tiny_model, ingest="sync")
         for i, frame_list in enumerate(frame_lists):
             server.add_stream(
                 f"s{i}", iter(frame_list), adapter_config=LDBNAdaptConfig(lr=1e-3)
@@ -576,6 +587,395 @@ class TestFleetServer:
         )
         assert report.elapsed_ms > 0
         assert report.frames_per_second > 0
+
+
+# the one definition of "identical per-stream outputs" — shared with the
+# benchmark's async/sync parity guard
+from repro.experiments.bench_serve import per_stream_outputs as _per_frame_outputs
+
+
+class TestAsyncIngest:
+    DEVICE = ORIN_POWER_MODES["orin-60w"]
+    SPEC = get_config("paper-r18").to_spec()
+
+    def _frame_lists(self, benchmark, count, frames, seed=200):
+        return [
+            benchmark.target_stream(rng=np.random.default_rng(seed + i))
+            .take(frames)
+            .samples
+            for i in range(count)
+        ]
+
+    def _run(self, model, pristine, frame_lists, ticks, arrivals=None, **cfg):
+        model.load_state_dict(pristine)
+        config = FleetConfig(**cfg)
+        server = (
+            FleetServer(model, config, device=self.DEVICE, spec=self.SPEC)
+            if config.latency_model == "orin"
+            else FleetServer(model, config)
+        )
+        sessions = []
+        for i, frames in enumerate(frame_lists):
+            sessions.append(
+                server.add_stream(
+                    f"s{i}",
+                    iter(list(frames)),
+                    adapter_config=LDBNAdaptConfig(lr=1e-3),
+                    arrival=arrivals[i] if arrivals else None,
+                )
+            )
+        return server.run(ticks), sessions
+
+    def test_zero_jitter_async_matches_sync_exactly(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Satellite acceptance: the refactor guard.  A fleet the device
+        keeps up with must produce bit-identical per-stream results
+        through both ingest paths."""
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 8)
+        pristine = trained_tiny_model.state_dict()
+        reports = {}
+        for ingest in ("async", "sync"):
+            reports[ingest], _ = self._run(
+                trained_tiny_model, pristine, frame_lists, 8,
+                latency_model="orin", adapt_stride=4, ingest=ingest,
+            )
+        assert _per_frame_outputs(reports["async"]) == _per_frame_outputs(
+            reports["sync"]
+        )
+        assert reports["async"].batch_sizes == reports["sync"].batch_sizes
+        assert reports["async"].queue_depths == reports["sync"].queue_depths
+        assert reports["async"].total_frames == 16
+
+    def test_wallclock_zero_jitter_parity(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Wallclock serving groups arrivals by timestamp, so zero-jitter
+        async reproduces the synchronous cohorts (and their fused
+        adaptation groups, hence identical per-stream states)."""
+        frame_lists = self._frame_lists(tiny_benchmark, 3, 6)
+        pristine = trained_tiny_model.state_dict()
+        outputs = {}
+        for ingest in ("async", "sync"):
+            report, sessions = self._run(
+                trained_tiny_model, pristine, frame_lists, 6,
+                latency_model="wallclock", deadline_ms=1e9, ingest=ingest,
+            )
+            outputs[ingest] = (
+                [
+                    [(f.accuracy, f.entropy) for f in r.frames]
+                    for r in report.stream_reports.values()
+                ],
+                report.batch_sizes,
+                report.adapt_batch_sizes,
+                [[p.copy() for p in s.bn_state.params.saved] for s in sessions],
+            )
+        a, s = outputs["async"], outputs["sync"]
+        assert a[0] == s[0]
+        assert a[1] == s[1] and a[2] == s[2]
+        for batched, serial in zip(a[3], s[3]):
+            for x, y in zip(batched, serial):
+                np.testing.assert_array_equal(x, y)
+
+    def test_jittered_arrivals_deterministic_and_accounted(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 10)
+        pristine = trained_tiny_model.state_dict()
+        kwargs = dict(
+            latency_model="orin", jitter_ms=15.0, drop_rate=0.2,
+            phase_spread_ms=5.0, arrival_seed=7,
+        )
+        first, _ = self._run(trained_tiny_model, pristine, frame_lists, 10, **kwargs)
+        again, _ = self._run(trained_tiny_model, pristine, frame_lists, 10, **kwargs)
+        # seeded arrival processes: the whole run is exactly repeatable
+        assert _per_frame_outputs(first) == _per_frame_outputs(again)
+        assert first.total_dropped_frames == again.total_dropped_frames
+        # dropped frames are consumed from the camera but never served
+        assert first.total_dropped_frames > 0
+        assert first.total_frames + first.total_dropped_frames == 2 * 10
+        for sid, stream_report in first.stream_reports.items():
+            assert (
+                stream_report.num_frames + first.dropped_frames[sid] == 10
+            )
+
+    def test_phase_spread_staggers_cohorts(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Explicit arrival models: spread phases split the cohort."""
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 6)
+        pristine = trained_tiny_model.state_dict()
+        period = FleetConfig().period_ms
+        staggered, _ = self._run(
+            trained_tiny_model, pristine, frame_lists, 6,
+            latency_model="wallclock", deadline_ms=1e9,
+            arrivals=[
+                ArrivalModel(period_ms=period, phase_ms=i * period / 2)
+                for i in range(2)
+            ],
+        )
+        aligned, _ = self._run(
+            trained_tiny_model, pristine, frame_lists, 6,
+            latency_model="wallclock", deadline_ms=1e9,
+        )
+        assert staggered.mean_batch_size == pytest.approx(1.0)
+        assert aligned.mean_batch_size == pytest.approx(2.0)
+
+    def test_sync_ingest_rejects_jitter(self, trained_tiny_model):
+        with pytest.raises(ValueError):
+            FleetConfig(ingest="sync", jitter_ms=1.0)
+        with pytest.raises(ValueError):
+            FleetConfig(ingest="sync", drop_rate=0.1)
+        with pytest.raises(ValueError):
+            FleetConfig(ingest="bus")
+        # an explicit jittered arrival model would be silently discarded
+        # by the sync loop, so registration refuses it outright
+        server = FleetServer(
+            trained_tiny_model,
+            FleetConfig(latency_model="wallclock", ingest="sync"),
+        )
+        with pytest.raises(ValueError):
+            server.add_stream(
+                "s0", iter(()),
+                arrival=ArrivalModel(period_ms=33.3, jitter_ms=5.0),
+            )
+
+    def test_arrival_model_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalModel(period_ms=0.0)
+        with pytest.raises(ValueError):
+            ArrivalModel(period_ms=33.3, jitter_ms=-1.0)
+        with pytest.raises(ValueError):
+            ArrivalModel(period_ms=33.3, drop_rate=1.0)
+
+
+class TestSlackAdmissionFleet:
+    DEVICE = ORIN_POWER_MODES["orin-60w"]
+    SPEC = get_config("paper-r18").to_spec()
+
+    def _run(self, model, pristine, benchmark, ticks, streams=3, **cfg):
+        model.load_state_dict(pristine)
+        server = FleetServer(
+            model,
+            FleetConfig(latency_model="orin", **cfg),
+            device=self.DEVICE,
+            spec=self.SPEC,
+        )
+        sessions = [
+            server.add_stream(
+                f"s{i}",
+                iter(
+                    benchmark.target_stream(rng=np.random.default_rng(600 + i))
+                    .take(ticks)
+                    .samples
+                ),
+                adapter_config=LDBNAdaptConfig(lr=1e-3),
+            )
+            for i in range(streams)
+        ]
+        return server.run(ticks), sessions
+
+    def test_fused_vs_serial_state_parity_under_admission_skips(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Satellite acceptance: with the controller pinned permanently
+        hot, only debt-forced catch-up steps run — a decision trace that
+        is independent of adaptation costs, so the fused and serial
+        fleets grant identically and their per-stream states must match
+        to float precision."""
+        pristine = trained_tiny_model.state_dict()
+        always_hot = AdmissionConfig(
+            slack_low_ms=float("inf"), slack_high_ms=float("inf"), max_debt=2
+        )
+        runs = {}
+        for fused in (True, False):
+            report, sessions = self._run(
+                trained_tiny_model, pristine, tiny_benchmark, 9,
+                deadline_ms=1e9, frame_period_ms=33.3,
+                admission=always_hot, batch_adaptation=fused,
+            )
+            runs[fused] = (
+                report,
+                [[p.copy() for p in s.bn_state.params.saved] for s in sessions],
+            )
+        fused_report, fused_states = runs[True]
+        serial_report, serial_states = runs[False]
+        # the always-hot controller skips two frames then force-grants,
+        # in lockstep across streams — those catch-up steps fuse
+        assert fused_report.adaptation_steps == serial_report.adaptation_steps
+        assert fused_report.adaptation_steps == 9  # 3 streams x 3 steps
+        assert fused_report.adapt_batch_sizes == [3, 3, 3]
+        assert serial_report.adapt_batch_sizes == []
+        assert fused_report.admission_grants == serial_report.admission_grants
+        assert fused_report.admission_skips == serial_report.admission_skips
+        for batched, serial in zip(fused_states, serial_states):
+            for a, b in zip(batched, serial):
+                np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+
+    def test_slack_sheds_load_and_protects_deadlines(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """An overloaded jittered fleet: slack admission must miss far
+        fewer deadlines than adapt-every-frame while still adapting."""
+        pristine = trained_tiny_model.state_dict()
+        arrival = dict(jitter_ms=10.0, phase_spread_ms=7.0)
+        slack, _ = self._run(
+            trained_tiny_model, pristine, tiny_benchmark, 12,
+            admission=AdmissionConfig(), **arrival,
+        )
+        static, _ = self._run(
+            trained_tiny_model, pristine, tiny_benchmark, 12,
+            adapt_stride=1, **arrival,
+        )
+        assert static.deadline_miss_rate > 0.8  # the fleet is overloaded
+        assert slack.deadline_miss_rate < static.deadline_miss_rate / 2
+        assert slack.adaptation_steps > 0  # sheds, but never starves out
+        assert 0.0 < slack.admission_grant_rate < 1.0
+        assert static.admission_grant_rate == pytest.approx(1.0)
+
+    def test_admission_counters_are_consistent(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        pristine = trained_tiny_model.state_dict()
+        report, sessions = self._run(
+            trained_tiny_model, pristine, tiny_benchmark, 8,
+            jitter_ms=8.0, admission=AdmissionConfig(),
+        )
+        for session in sessions:
+            served = report.stream_reports[session.stream_id].num_frames
+            # every served frame got exactly one admission decision
+            assert session.adapt_grants + session.adapt_skips == served
+            # a step requires a grant (buffering grants may outnumber steps)
+            assert (
+                report.stream_reports[session.stream_id].adaptation_steps
+                <= session.adapt_grants
+            )
+        rows = {row["stream"]: row for row in report.per_stream_rows()}
+        for session in sessions:
+            assert rows[session.stream_id]["adapt_grants"] == session.adapt_grants
+            assert rows[session.stream_id]["adapt_skips"] == session.adapt_skips
+
+    def test_buffer_drift_refusal_happens_before_staging(
+        self, trained_tiny_model
+    ):
+        """A feed budgeted as free buffering onto a full buffer (after a
+        denied step) must be refused at plan time, so it can never be
+        staged into a fused group and stepped unbudgeted."""
+        from repro.serve.scheduler import BatchPlan, FrameRequest
+        from repro.serve.server import _Decision
+
+        server = FleetServer(
+            trained_tiny_model,
+            FleetConfig(latency_model="wallclock", deadline_ms=1e9,
+                        admission=AdmissionConfig()),
+        )
+        session = server.add_stream(
+            "s0", iter(()), adapter_config=LDBNAdaptConfig(batch_size=2)
+        )
+        h, w = trained_tiny_model.config.input_hw
+        session.adapter.observe_frame(np.zeros((3, h, w), dtype=np.float32))
+        assert session.adapter.pending_frames == 1  # buffer full: next feeds step
+        req = FrameRequest(
+            stream_id="s0", frame_index=1, arrival_ms=0.0, deadline_ms=1e9,
+            payload=(session, None),
+        )
+        plan = BatchPlan(requests=(req,), planned_latency_ms=0.0)
+        decisions = {id(req): _Decision(True, False)}  # planned: free buffer
+        server._reconcile_buffer_drift(plan, decisions)
+        assert not decisions[id(req)].feed  # refused, not silently stepped
+        # a budgeted step on the same state passes through untouched
+        decisions = {id(req): _Decision(True, True)}
+        server._reconcile_buffer_drift(plan, decisions)
+        assert decisions[id(req)].feed
+
+    def test_slack_hysteresis_latches_between_thresholds(self):
+        from repro.serve import SlackAdmission, StepCandidate
+
+        controller = SlackAdmission(
+            AdmissionConfig(slack_low_ms=2.0, slack_high_ms=8.0),
+            lambda n: 1.0,
+        )
+        batch = [StepCandidate(stream_id="s0", would_step=True, serial_cost_ms=1.0)]
+
+        def step_granted():
+            return controller.admit(batch, budget_ms=1e9, queue_depth=0)[0]
+
+        assert step_granted()  # no observations yet: not hot
+        controller.observe_slack(-5.0)  # EWMA below slack_low -> hot
+        assert not step_granted()
+        # recovery into the hysteresis band must NOT clear the hot latch
+        controller.ewma_slack_ms = 5.0
+        assert not step_granted()
+        # only recovering past slack_high clears it
+        controller.ewma_slack_ms = 10.0
+        assert step_granted()
+
+    def test_static_fuse_key(self, trained_tiny_model):
+        sgd = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(batch_size=2))
+        assert static_fuse_key(sgd) == ("ldbn-sgd", 2)
+        adam = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(optimizer="adam"))
+        assert static_fuse_key(adam) is None
+        assert static_fuse_key(NoAdapt(trained_tiny_model)) is None
+
+
+class TestEmptyWindowPercentiles:
+    """Regression tests: percentile families over empty/array windows.
+
+    A stream that never receives an adaptation grant produces empty
+    percentile windows everywhere downstream; the family must report
+    0.0, never raise.
+    """
+
+    def test_latency_percentile_accepts_numpy_arrays(self):
+        # regression: `if not <ndarray>` raised "truth value is ambiguous"
+        assert latency_percentile(np.asarray([3.0, 1.0]), 50) == pytest.approx(2.0)
+        assert latency_percentile(np.asarray([]), 95) == 0.0
+
+    def test_empty_fleet_report_percentile_family(self):
+        report = FleetReport(deadline_ms=33.3)
+        assert report.slack_percentile(10) == 0.0
+        assert report.queue_depth_percentile(95) == 0.0
+        assert report.adaptation_percentile(50) == 0.0
+        assert report.mean_queue_depth == 0.0
+        assert report.max_queue_depth == 0
+        assert report.admission_grant_rate == 0.0
+        assert report.adapting_streams == 0
+        summary = report.summary()
+        assert summary["slack_p10_ms"] == 0.0
+        assert summary["adapting_streams"] == 0.0
+
+    def test_never_granted_stream_reports_zero_not_raise(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """A fleet where one stream's steps are all skipped still builds
+        every percentile row."""
+        frames = tiny_benchmark.target_stream(
+            rng=np.random.default_rng(0)
+        ).take(3).samples
+        server = FleetServer(
+            trained_tiny_model,
+            FleetConfig(latency_model="wallclock", deadline_ms=1e9,
+                        adapt_stride=4),
+        )
+        # the 4th stream of a stride-4 fleet has phase 3: its first
+        # adaptation slot is frame 3, past the end of a 3-frame stream
+        for i in range(3):
+            server.add_stream(f"granted-{i}", iter(list(frames)))
+        never = server.add_stream("never", iter(list(frames)))
+        assert never.adapt_phase == 3
+        report = server.run(3)
+        stream_report = report.stream_reports["never"]
+        assert stream_report.adaptation_steps == 0
+        assert stream_report.adaptation_percentile(50) == 0.0
+        assert stream_report.slack_percentile(10) != 0.0  # frames exist
+        assert report.adaptation_percentile(95) >= 0.0
+        rows = {row["stream"]: row for row in report.per_stream_rows()}
+        assert rows["never"]["adapt_p50_ms"] == 0.0
+        assert rows["never"]["adapt_p95_ms"] == 0.0
+
+    def test_pipeline_report_slack_percentile(self):
+        report = PipelineReport(deadline_ms=33.3)
+        assert report.slack_percentile(50) == 0.0  # empty window
 
 
 class TestFleetReport:

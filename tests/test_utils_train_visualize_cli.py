@@ -12,6 +12,7 @@ from repro.experiments.cli import main as cli_main
 from repro.models import decode_predictions, get_config
 from repro.train import SourceTrainer, TrainConfig, TrainReport
 from repro.utils import Logger, Timer, make_rng, rng_stream, set_verbosity, split_rng
+from repro.utils.rng import child_seed
 
 
 class TestRngUtils:
@@ -19,6 +20,13 @@ class TestRngUtils:
         a = make_rng(42).random(3)
         b = make_rng(42).random(3)
         np.testing.assert_array_equal(a, b)
+
+    def test_child_seed_stable_and_distinct(self):
+        assert child_seed(7, 3) == child_seed(7, 3)
+        assert child_seed(7, 3) != child_seed(7, 4)
+        assert child_seed(8, 3) != child_seed(7, 3)
+        with pytest.raises(ValueError):
+            child_seed(7, -1)
 
     def test_split_rng_independent_and_stable(self):
         parent1 = make_rng(0)
@@ -241,3 +249,29 @@ class TestCLI:
             row["compiled_p95_ms"] *= 10.0
         baseline.write_text(json.dumps(rows))
         assert cli_main(["bench-infer", "--quick", "--results-dir", results]) == 0
+
+    @pytest.mark.slow
+    def test_bench_serve_quick(self, capsys, tmp_path):
+        """Quick jittered-admission benchmark + regression gate round-trips.
+
+        Exercised on every PR by ci.sh's smoke lane (the gated benchmark
+        loop must not rot between hand-runs).
+        """
+        results = str(tmp_path / "results")
+        assert cli_main(["bench-serve", "--quick", "--results-dir", results]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH-SERVE" in out
+        assert "regression check" in out
+        artifact = tmp_path / "results" / "serve_throughput.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        rows = payload["jittered_admission_quick"]
+        assert {r["policy"] for r in rows} >= {"stride-1", "slack"}
+        assert all(r["parity_ok"] for r in rows)
+        baseline = tmp_path / "results" / "baseline" / "serve_throughput.json"
+        assert baseline.exists()  # first run recorded the baseline
+        # the simulated study is deterministic, so a second run diffs
+        # cleanly against the recorded baseline and passes the gate
+        assert cli_main(["bench-serve", "--quick", "--results-dir", results]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
