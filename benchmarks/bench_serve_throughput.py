@@ -1,7 +1,7 @@
-"""SERVE — fleet throughput and jittered-arrival admission control.
+"""SERVE — fleet throughput, jittered admission, device-pool scaling.
 
-Two scenarios share the ``serve_throughput.json`` artifact (one section
-each, see ``repro.experiments.reporting.merge_json_section``):
+Three scenarios share the ``serve_throughput.json`` artifact (one
+section each, see ``repro.experiments.reporting.merge_json_section``):
 
 * **batched_vs_serial** — host-wallclock frames/sec of serving N
   concurrent adapting streams as N independent
@@ -18,6 +18,11 @@ each, see ``repro.experiments.reporting.merge_json_section``):
   async-vs-sync ingest parity guard.  Asserted: parity holds exactly,
   and the slack policy Pareto-dominates — at equal deadline-miss rate
   it sustains at least the static fleet's adaptation throughput.
+* **device_scaling** — the device-pool study: pools of 1/2/4 simulated
+  Orins serve growing fleets of always-adapting jittered streams until
+  each pool saturates (deadline-miss rate over the budget).  Asserted:
+  at equal miss budget, the 2-device pool sustains >= 1.8x the adapting
+  streams of one device, and capacity never shrinks as the pool grows.
 """
 
 import time
@@ -28,14 +33,21 @@ from conftest import results_path
 from repro.adapt import LDBNAdapt, LDBNAdaptConfig
 from repro.data import make_benchmark
 from repro.experiments import (
+    check_device_scaling,
     check_slack_dominates,
     format_table,
     get_run_scale,
     merge_json_section,
+    run_bench_devices,
     run_bench_serve,
+    scaling_archive,
+    sustained_streams,
     train_source_model,
 )
-from repro.experiments.bench_serve import COLUMNS as BENCH_SERVE_COLUMNS
+from repro.experiments.bench_serve import (
+    COLUMNS as BENCH_SERVE_COLUMNS,
+    DEVICE_COLUMNS as BENCH_DEVICE_COLUMNS,
+)
 from repro.models import get_config
 from repro.pipeline import PipelineConfig, RealTimePipeline
 from repro.serve import FleetConfig, FleetServer
@@ -178,3 +190,25 @@ def test_jittered_admission(benchmark):
     # at equal deadline-miss rate, slack admission sustains at least the
     # static-stride fleet's adaptation throughput
     check_slack_dominates(rows)
+
+
+def test_device_scaling(benchmark):
+    """Device-pool scaling: 1/2/4 devices under jittered arrivals."""
+    scale = get_run_scale()
+    rows = benchmark.pedantic(
+        run_bench_devices, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    print("\nSERVE — device-pool scaling: sustained adapting streams")
+    print(format_table(rows, columns=list(BENCH_DEVICE_COLUMNS)))
+    print(f"sustained capacity per pool size: {sustained_streams(rows)}")
+    merge_json_section(
+        results_path("serve_throughput.json"),
+        "device_scaling",
+        scaling_archive(rows),
+    )
+
+    # the scaling gate: at equal deadline-miss budget a 2-device pool
+    # sustains >= 1.8x one device's adapting streams, and capacity is
+    # monotone in pool size
+    check_device_scaling(rows)

@@ -23,6 +23,9 @@ python -m pytest -m slow -q
 
 echo "=== lane 3: gated benchmark smoke (bench-serve --quick + check_regression) ==="
 python -m repro.experiments bench-serve --quick
+# the 2-device quick run exercises the sharded device-pool path (and its
+# >= 1.8x scaling gate) on every PR, not just when the full benchmark runs
+python -m repro.experiments bench-serve --quick --devices 2
 if [[ "${1:-}" == "--full" ]]; then
     python -m repro.experiments bench-infer --quick
     python -m repro.experiments bench-adapt --quick

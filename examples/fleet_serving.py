@@ -1,16 +1,36 @@
-"""Fleet serving: three adapting vehicles, one shared model.
+"""Fleet serving on a device pool: three adapting vehicles, two devices.
 
-The multi-vehicle extension of ``examples/realtime_stream.py``: a fleet
-server multiplexes heterogeneous 30 FPS camera streams — one vehicle on
-the MoLane model-vehicle track, one on the TuSimple highway, one flipping
-between both domains mid-drive — through ONE source-trained UFLD model.
-Each vehicle keeps its own LD-BN-ADAPT state (BN statistics, gamma/beta,
-optimizer momentum); frames arrive through per-vehicle jittered arrival
-processes, inference is batched across vehicles under the 33.3 ms
-deadline by the roofline-planned scheduler, and the slack-driven
-admission controller decides per frame whether the fleet can afford the
-adaptation step (shedding when the queue runs hot, catching up when it
-clears).
+The multi-vehicle extension of ``examples/realtime_stream.py``, now
+sharded: a fleet server multiplexes heterogeneous 30 FPS camera streams
+— one vehicle on the MoLane model-vehicle track, one on the TuSimple
+highway, one flipping between both domains mid-drive — through ONE
+source-trained UFLD model served by a heterogeneous pool of a 60 W and
+a 30 W Jetson Orin.  Each vehicle keeps its own LD-BN-ADAPT state (BN
+statistics, gamma/beta, optimizer momentum); frames arrive through
+per-vehicle jittered arrival processes, each device batches inference
+under the 33.3 ms deadline with its own roofline-planned scheduler, and
+the slack-driven admission controller on each device decides per frame
+whether that device can afford the adaptation step.
+
+The device-pool knobs demonstrated here:
+
+* ``FleetConfig(devices=N)`` or an explicit ``device_pool=[...]`` —
+  pool size; heterogeneous pools (mixed power modes) price every
+  stream's inference/adaptation cost per device.
+* ``FleetConfig(placement=...)`` — ``"least_loaded"`` (default: argmin
+  projected utilization from the roofline-estimated stream cost),
+  ``"round_robin"``, or ``"pinned"``; ``add_stream(..., device=k)``
+  pins one session regardless of policy.
+* ``FleetConfig(migration=MigrationConfig(...))`` — sessions move off a
+  sustained-hot device (slack EWMA below ``hot_slack_ms`` for at least
+  ``min_observations`` frames while another device is cooler by more
+  than ``slack_gap_ms``), rate-limited by ``cooldown_ms``; the
+  session's BN snapshot, optimizer slots and admission debt migrate
+  intact.  Below, ALL three vehicles start pinned onto the 30 W device
+  — a deliberately bad bootstrap placement the pool cannot hold (three
+  paper-scale forwards alone overrun the 33 ms period at 30 W) — and
+  the migration log shows the coordinator draining it onto the idle
+  60 W device until the pool balances.
 
     python examples/fleet_serving.py
 """
@@ -21,9 +41,14 @@ from repro.adapt import LDBNAdaptConfig
 from repro.data import make_benchmark
 from repro.data.dataset import FrameStream
 from repro.data.domains import MODEL_VEHICLE, TUSIMPLE_HIGHWAY
-from repro.hw import ORIN_POWER_MODES
+from repro.hw import build_device_pool
 from repro.models import build_model, get_config
-from repro.serve import AdmissionConfig, FleetConfig, FleetServer
+from repro.serve import (
+    AdmissionConfig,
+    FleetConfig,
+    FleetServer,
+    MigrationConfig,
+)
 from repro.train import SourceTrainer, TrainConfig
 
 NUM_TICKS = 90
@@ -32,6 +57,8 @@ NUM_TICKS = 90
 JITTER_MS = 8.0
 PHASE_SPREAD_MS = 11.0
 DROP_RATE = 0.03
+# a fast and a throttled device; per-device pricing makes the pool work
+DEVICE_POOL = "orin-60w,orin-30w"
 
 VEHICLES = (
     ("vehicle-0-track", (MODEL_VEHICLE,), (2,)),
@@ -52,6 +79,7 @@ def main() -> None:
         benchmark.source_train, rng
     )
 
+    pool = build_device_pool(DEVICE_POOL)
     server = FleetServer(
         model,
         FleetConfig(
@@ -60,9 +88,17 @@ def main() -> None:
             phase_spread_ms=PHASE_SPREAD_MS,
             drop_rate=DROP_RATE,
             admission=AdmissionConfig(),
+            devices=len(pool),
+            placement="least_loaded",
+            # migrate a session when its device's slack EWMA sits below
+            # hot_slack_ms while another device is cooler by slack_gap_ms;
+            # at most one move per cooldown so sessions don't thrash
+            migration=MigrationConfig(
+                hot_slack_ms=2.0, slack_gap_ms=8.0, cooldown_ms=500.0
+            ),
         ),
-        device=ORIN_POWER_MODES["orin-60w"],
         spec=get_config("paper-r18").to_spec(),
+        device_pool=pool,
     )
     for i, (name, domains, scene_lanes) in enumerate(VEHICLES):
         stream = FrameStream(
@@ -72,8 +108,16 @@ def main() -> None:
             scene_lanes_per_domain=scene_lanes,
             switch_every=NUM_TICKS // 3,
         )
-        server.add_stream(name, stream, adapter_config=LDBNAdaptConfig(lr=1e-3))
-        print(f"  registered {name}: {' -> '.join(d.name for d in domains)}")
+        # every vehicle starts pinned onto the throttled 30 W device — a
+        # bootstrap placement migration has to repair
+        server.add_stream(
+            name, stream, adapter_config=LDBNAdaptConfig(lr=1e-3), device=1
+        )
+        placed = server.workers[server.device_of(name)].name
+        print(
+            f"  registered {name}: {' -> '.join(d.name for d in domains)} "
+            f"pinned on device {placed}"
+        )
 
     print(f"\nserving {NUM_TICKS} camera periods across the fleet...\n")
     report = server.run(NUM_TICKS)
@@ -90,7 +134,8 @@ def main() -> None:
     print("\nfleet dashboard")
     summary = report.summary()
     print(
-        f"  {report.num_streams} streams, {report.total_frames} frames, "
+        f"  {report.num_streams} streams on {report.num_devices} devices, "
+        f"{report.total_frames} frames, "
         f"mean batch {summary['mean_batch_size']:.2f}, "
         f"throughput {summary['frames_per_second']:.1f} frames/s"
     )
@@ -120,6 +165,29 @@ def main() -> None:
             f"{len(report.adapt_batch_sizes)} fused steps of "
             f"{summary['mean_adapt_batch_size']:.1f} streams on average"
         )
+
+    print("\ndevice pool")
+    for row in report.per_device_rows():
+        print(
+            f"  {row['device']:<14s} {row['streams']} stream(s), "
+            f"{row['frames']} frames in {row['batches']} batches "
+            f"(mean batch {row['mean_batch_size']:.2f}), "
+            f"utilization {100 * row['utilization']:.0f}%, "
+            f"queue mean/max {row['mean_queue_depth']:.1f}/"
+            f"{row['max_queue_depth']:.0f}, "
+            f"migrations in/out {row['migrations_in']}/{row['migrations_out']}"
+        )
+    if report.migration_events:
+        print("  migration log:")
+        for event in report.migration_events:
+            print(
+                f"    t={event['time_ms']:7.1f} ms  {event['stream']} "
+                f"device {event['source']} -> {event['target']}"
+            )
+    else:
+        print("  no migrations (pool stayed balanced)")
+
+    print()
     for row in report.per_stream_rows():
         print(
             f"  {row['stream']:<22s} accuracy {100 * row['accuracy']:5.1f}%  "

@@ -14,7 +14,14 @@ from .ablations import (
 )
 from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
-from .bench_serve import check_slack_dominates, run_bench_serve
+from .bench_serve import (
+    check_device_scaling,
+    check_slack_dominates,
+    run_bench_devices,
+    run_bench_serve,
+    scaling_archive,
+    sustained_streams,
+)
 from .config import (
     ADAPT_BATCH_SIZES,
     BACKBONES,
@@ -78,7 +85,11 @@ __all__ = [
     "run_bench_infer",
     "run_bench_adapt",
     "run_bench_serve",
+    "run_bench_devices",
     "check_slack_dominates",
+    "check_device_scaling",
+    "scaling_archive",
+    "sustained_streams",
     "check_regressions",
     "RegressionReport",
     "VariantResult",

@@ -1,27 +1,33 @@
-"""SERVE-ADMIT — jittered-arrival fleet: slack admission vs. static stride.
+"""SERVE-ADMIT — jittered-arrival fleet: admission policies + device scaling.
 
 The regime the tick-synchronous loop could not express: frames arrive
 with per-stream phase offsets, transmission jitter and in-flight drops,
 so the queue builds and drains stochastically and deadline-aware
 scheduling actually earns its keep.  On that arrival process this
-harness compares adaptation policies on the simulated Jetson Orin:
+module hosts two studies on the simulated Jetson Orin:
 
-* ``stride-k`` — the legacy static policy: every stream adapts on every
-  k-th frame, phases staggered at registration, load-blind;
-* ``slack`` — :class:`repro.serve.admission.SlackAdmission`: steps
-  granted from observed deadline slack and the roofline feasibility
-  budget, shed when hot, caught up when idle, phase-packed when fusing
-  helps.
+* :func:`run_bench_serve` — adaptation admission policies: ``stride-k``
+  (the legacy static stagger, load-blind) vs. ``slack``
+  (:class:`repro.serve.admission.SlackAdmission`: steps granted from
+  observed deadline slack and the roofline feasibility budget, shed
+  when hot, caught up when idle, phase-packed when fusing helps).  The
+  asserted claim is Pareto dominance: at equal deadline-miss rate,
+  slack admission sustains at least the static fleet's adaptation
+  throughput.  A final ``parity`` row re-runs the fleet with zero
+  jitter/drops through both ingest modes and checks the async loop
+  reproduces the synchronous loop's per-stream outputs exactly (the
+  refactor guard — it runs at the configured pool size, so the sharded
+  path is covered too).
+* :func:`run_bench_devices` — device-pool scaling: for each pool size,
+  grow the number of always-adapting streams until the fleet misses
+  more than :data:`SCALING_MISS_BUDGET` of its deadlines; the largest
+  fleet still under budget is the pool's *sustained* capacity.
+  :func:`check_device_scaling` asserts the acceptance claim: at equal
+  deadline-miss rate, a 2-device pool sustains >= 1.8x the adapting
+  streams of one device.
 
 Everything is simulated (roofline service times, seeded arrivals), so
-every row is exactly reproducible and safe to regression-gate.  The
-claim the benchmark asserts is Pareto dominance: some static-stride row
-adapts *no more* than the slack fleet yet misses *more* deadlines —
-i.e. at equal deadline-miss rate, slack admission sustains at least the
-static fleet's adaptation throughput.  A final ``parity`` row re-runs
-the fleet with zero jitter/drops through both ingest modes and checks
-the async loop reproduces the synchronous loop's per-stream outputs
-exactly (the refactor guard).
+every row is exactly reproducible and safe to regression-gate.
 """
 
 from __future__ import annotations
@@ -49,6 +55,14 @@ DROP_RATE = 0.05
 STRIDES = (1, 2, 4, 8, 16)
 MISS_RATE_TOLERANCE = 0.02
 
+#: device-scaling study: pool sizes swept, the deadline-miss budget a
+#: fleet must stay under to count as sustained, and the stream-count
+#: scan ceiling
+DEVICE_COUNTS = (1, 2, 4)
+SCALING_MISS_BUDGET = 0.15
+SCALING_MAX_STREAMS = 10
+SCALING_FACTOR = 1.8  # 2 devices must sustain >= 1.8x the streams of 1
+
 #: display order of the study's table, shared by the CLI and the
 #: benchmark harness (the archived rows additionally carry every
 #: _policy_row key)
@@ -56,6 +70,13 @@ COLUMNS = (
     "policy", "frames", "dropped", "miss_rate", "adapt_steps",
     "steps_per_tick", "adapting_streams", "grant_rate",
     "mean_queue_depth", "slack_p10_ms", "fleet_fps", "parity_ok",
+)
+
+#: display order of the device-scaling table
+DEVICE_COLUMNS = (
+    "devices", "streams", "frames", "miss_rate", "adapt_steps",
+    "adapting_streams", "mean_queue_depth", "max_device_utilization",
+    "fleet_fps", "sustained",
 )
 
 
@@ -159,11 +180,19 @@ def run_bench_serve(
     num_streams: int = 4,
     num_ticks: int = 36,
     strides=STRIDES,
+    devices: int = 1,
+    placement: str = "least_loaded",
 ) -> List[Dict[str, object]]:
-    """The jittered-arrival admission study; returns table-ready rows."""
+    """The jittered-arrival admission study; returns table-ready rows.
+
+    ``devices``/``placement`` shard every fleet of the study across a
+    homogeneous pool — including the async/sync parity guard, so the
+    sharded coordinator is held to the same exactness bar.
+    """
     scale = scale if scale is not None else get_run_scale()
     benchmark, model = _prepare(scale)
     pristine = model.state_dict()
+    shard = dict(devices=devices, placement=placement)
     arrival = dict(
         jitter_ms=JITTER_MS,
         phase_spread_ms=PHASE_SPREAD_MS,
@@ -175,13 +204,13 @@ def run_bench_serve(
         log.info("bench-serve: static stride-%d fleet", stride)
         report = _run_fleet(
             model, pristine, benchmark, scale, num_streams, num_ticks,
-            adapt_stride=stride, **arrival,
+            adapt_stride=stride, **arrival, **shard,
         )
         rows.append(_policy_row(f"stride-{stride}", report, num_ticks))
     log.info("bench-serve: slack-admission fleet")
     report = _run_fleet(
         model, pristine, benchmark, scale, num_streams, num_ticks,
-        admission=AdmissionConfig(), **arrival,
+        admission=AdmissionConfig(), **arrival, **shard,
     )
     rows.append(_policy_row("slack", report, num_ticks))
 
@@ -194,7 +223,7 @@ def run_bench_serve(
         per_stream_outputs(
             _run_fleet(
                 model, pristine, benchmark, scale, 2, num_ticks,
-                adapt_stride=4, ingest=ingest,
+                adapt_stride=4, ingest=ingest, **shard,
             )
         )
         for ingest in ("async", "sync")
@@ -202,3 +231,139 @@ def run_bench_serve(
     for row in rows:
         row["parity_ok"] = outputs[0] == outputs[1]
     return rows
+
+
+def _scaling_row(
+    devices: int, streams: int, report, sustained: bool
+) -> Dict[str, object]:
+    return {
+        "devices": devices,
+        "streams": streams,
+        "frames": report.total_frames,
+        "miss_rate": report.deadline_miss_rate,
+        "adapt_steps": report.adaptation_steps,
+        "adapting_streams": report.adapting_streams,
+        "mean_queue_depth": report.mean_queue_depth,
+        "max_device_utilization": report.max_device_utilization,
+        "fleet_fps": report.frames_per_second,
+        "sustained": sustained,
+    }
+
+
+def run_bench_devices(
+    scale: Optional[RunScale] = None,
+    device_counts=DEVICE_COUNTS,
+    num_ticks: int = 24,
+    max_streams: int = SCALING_MAX_STREAMS,
+    placement: str = "least_loaded",
+) -> List[Dict[str, object]]:
+    """The device-pool scaling study; returns table-ready rows.
+
+    For each pool size, adds always-adapting jittered streams one at a
+    time until the fleet's deadline-miss rate exceeds
+    :data:`SCALING_MISS_BUDGET` (or ``max_streams`` is reached); every
+    probed fleet becomes one row, flagged ``sustained`` when it stayed
+    under budget with every stream adapting.
+    """
+    scale = scale if scale is not None else get_run_scale()
+    benchmark, model = _prepare(scale)
+    pristine = model.state_dict()
+    arrival = dict(
+        jitter_ms=JITTER_MS,
+        phase_spread_ms=PHASE_SPREAD_MS,
+        drop_rate=DROP_RATE,
+    )
+    rows: List[Dict[str, object]] = []
+    for devices in device_counts:
+        for streams in range(1, max_streams + 1):
+            log.info(
+                "bench-serve: %d-device pool, %d adapting streams",
+                devices,
+                streams,
+            )
+            report = _run_fleet(
+                model, pristine, benchmark, scale, streams, num_ticks,
+                adapt_stride=1, devices=devices, placement=placement,
+                **arrival,
+            )
+            sustained = (
+                report.deadline_miss_rate <= SCALING_MISS_BUDGET
+                and report.adapting_streams == streams
+            )
+            rows.append(_scaling_row(devices, streams, report, sustained))
+            if not sustained:
+                break  # the pool saturated; larger fleets only miss more
+    return rows
+
+
+def scaling_archive(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """Key scaling rows by configuration for the regression archive.
+
+    The scan emits a data-dependent number of rows per pool size (it
+    stops at saturation), so archiving the plain list would let the
+    positional regression gate diff *different* (devices, streams)
+    probes against each other whenever capacity shifts.  Keying each row
+    by its configuration makes the gate compare like with like — probes
+    that appear or disappear are simply skipped.
+    """
+    return {
+        f"{row['devices']}dev_{row['streams']}streams": row for row in rows
+    }
+
+
+def sustained_streams(rows: List[Dict[str, object]]) -> Dict[int, int]:
+    """Largest sustained fleet per pool size from scaling-study rows."""
+    capacity: Dict[int, int] = {}
+    for row in rows:
+        devices = int(row["devices"])
+        capacity.setdefault(devices, 0)
+        if row["sustained"]:
+            capacity[devices] = max(capacity[devices], int(row["streams"]))
+    return capacity
+
+
+def _censored_capacities(rows: List[Dict[str, object]]) -> Dict[int, bool]:
+    """Pool sizes whose scan ended still sustained (capacity is only a
+    lower bound: the stream scan hit its ceiling before saturating)."""
+    last_sustained: Dict[int, bool] = {}
+    last_streams: Dict[int, int] = {}
+    for row in rows:
+        devices = int(row["devices"])
+        if int(row["streams"]) >= last_streams.get(devices, -1):
+            last_streams[devices] = int(row["streams"])
+            last_sustained[devices] = bool(row["sustained"])
+    return last_sustained
+
+
+def check_device_scaling(rows: List[Dict[str, object]]) -> None:
+    """Assert the scaling acceptance claim over one set of study rows.
+
+    At equal deadline-miss budget, a 2-device pool must sustain at least
+    :data:`SCALING_FACTOR` (1.8x) the adapting streams of one device,
+    and capacity must never shrink as the pool grows.  A scan that hit
+    its stream ceiling still sustained measured only a *lower bound*,
+    so the gate distinguishes "did not scale" from "ceiling too low to
+    tell" instead of failing spuriously on censored capacity.
+    """
+    capacity = sustained_streams(rows)
+    censored = _censored_capacities(rows)
+    assert capacity.get(1, 0) >= 1, capacity
+    assert not censored.get(1, False), (
+        f"1-device scan never saturated (capacity right-censored at "
+        f"{capacity.get(1)}): raise max_streams so the baseline capacity "
+        f"is actually measured; capacities={capacity}"
+    )
+    assert 2 in capacity, capacity
+    if capacity[2] < SCALING_FACTOR * capacity[1]:
+        assert not censored.get(2, False), (
+            f"2-device capacity right-censored at {capacity[2]} — the "
+            f"scan ceiling is too low to verify the >= {SCALING_FACTOR}x "
+            f"claim; raise max_streams; capacities={capacity}"
+        )
+        raise AssertionError(
+            f"2-device pool sustains {capacity[2]} adapting streams "
+            f"< {SCALING_FACTOR} x the 1-device {capacity[1]}: {capacity}"
+        )
+    ordered = sorted(capacity)
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert capacity[larger] >= capacity[smaller], capacity

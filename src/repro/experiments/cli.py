@@ -7,18 +7,23 @@
     python -m repro.experiments fig1
     python -m repro.experiments fleet --streams 3 --frames 45
     python -m repro.experiments fleet --jitter 10 --drop 0.05 --admission slack
+    python -m repro.experiments fleet --devices 2 --placement round_robin
+    python -m repro.experiments fleet --pool orin-60w,orin-30w --migrate
     python -m repro.experiments bench-infer --quick
     python -m repro.experiments bench-adapt --quick
     python -m repro.experiments bench-serve --quick
+    python -m repro.experiments bench-serve --quick --devices 2
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
-interactive use.  ``fleet`` is the multi-vehicle serving demo;
-``bench-infer`` (eager-vs-compiled inference), ``bench-adapt``
-(eager-vs-compiled/fused adaptation steps) and ``bench-serve``
-(jittered-arrival slack-admission study + async/sync parity guard) each
-archive results and run the regression gate (none is a paper artifact,
-so ``all`` includes none of them).
+interactive use.  ``fleet`` is the multi-vehicle serving demo (the
+``--devices``/``--placement``/``--pool``/``--migrate`` flags shard it
+across a device pool); ``bench-infer`` (eager-vs-compiled inference),
+``bench-adapt`` (eager-vs-compiled/fused adaptation steps) and
+``bench-serve`` (jittered-arrival slack-admission study + async/sync
+parity guard at ``--devices 1``, the device-pool scaling study at
+``--devices N``) each archive results and run the regression gate (none
+is a paper artifact, so ``all`` includes none of them).
 """
 
 from __future__ import annotations
@@ -33,9 +38,13 @@ from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
 from .bench_serve import (
     COLUMNS as BENCH_SERVE_COLUMNS,
+    DEVICE_COLUMNS as BENCH_DEVICE_COLUMNS,
     STRIDES,
+    check_device_scaling,
     check_slack_dominates,
+    run_bench_devices,
     run_bench_serve,
+    scaling_archive,
 )
 from .config import get_run_scale
 from .fig1_datasets import run_fig1
@@ -94,14 +103,26 @@ def _print_fleet(scale, args) -> None:
         drop_rate=args.drop,
         phase_spread_ms=args.phase_spread,
         admission=args.admission,
+        devices=args.devices,
+        placement=args.placement,
+        pool=args.pool,
+        migrate=args.migrate,
     )
     streams, adapt_stride = args.streams, args.adapt_stride
-    print(f"FLEET — {streams} heterogeneous streams, one shared model")
+    devices = result.devices
+    print(
+        f"FLEET — {streams} heterogeneous streams, one shared model, "
+        f"{devices} device(s)"
+    )
     print(format_table(result.per_stream_rows(), floatfmt=".3f"))
     print()
     print("fleet dashboard")
     print(format_table(result.summary_rows(), floatfmt=".3f"))
     print()
+    if devices > 1:
+        print("device pool")
+        print(format_table(result.per_device_rows(), floatfmt=".3f"))
+        print()
     print("roofline: batched vs serial inference at this fleet size")
     print(
         format_table(
@@ -182,13 +203,57 @@ def _run_bench_adapt(scale, quick: bool, results_dir: str) -> int:
     return _gate(results_dir)
 
 
-def _run_bench_serve(scale, quick: bool, results_dir: str) -> int:
-    """Jittered-arrival admission study: archive, assert, gate."""
+def _run_bench_serve(
+    scale, quick: bool, results_dir: str, devices: int, placement: str
+) -> int:
+    """Fleet serving studies: archive, assert, gate.
+
+    ``--devices 1`` (the default) runs the jittered-arrival admission
+    study; ``--devices N`` (N > 1) runs the device-pool scaling study
+    over pools of 1, 2 and N devices instead, asserting the scaling
+    gate (2 devices sustain >= 1.8x the adapting streams of one).
+    """
+    if devices > 1:
+        rows = run_bench_devices(
+            scale=scale,
+            device_counts=tuple(sorted({1, 2, devices})),
+            num_ticks=16 if quick else 24,
+            max_streams=6 if quick else 10,
+            placement=placement,
+        )
+        print("BENCH-SERVE — device-pool scaling: sustained adapting streams")
+        print(
+            format_table(
+                rows, columns=list(BENCH_DEVICE_COLUMNS), floatfmt=".3f"
+            )
+        )
+        try:
+            check_device_scaling(rows)
+        except AssertionError as exc:
+            print(f"SCALING FAILURE: device pool did not scale: {exc}")
+            return 1
+        # quick rows (fewer ticks, lower scan ceiling) live in their own
+        # section so the positional regression gate never diffs them
+        # against full-run rows; same for non-standard pool sizes
+        if quick:
+            section = "device_scaling_quick"
+        elif devices == 2:
+            section = "device_scaling_cli"
+        else:
+            section = f"device_scaling_cli_{devices}dev"
+        merge_json_section(
+            os.path.join(results_dir, "serve_throughput.json"),
+            section,
+            scaling_archive(rows),
+        )
+        return _gate(results_dir)
+
     rows = run_bench_serve(
         scale=scale,
         num_streams=4,
         num_ticks=24 if quick else 36,
         strides=(1, 8, 16) if quick else STRIDES,
+        placement=placement,
     )
     print("BENCH-SERVE — jittered arrivals: slack admission vs static stride")
     print(format_table(rows, columns=list(BENCH_SERVE_COLUMNS), floatfmt=".3f"))
@@ -280,6 +345,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "admission control",
     )
     parser.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="fleet: shard streams across a pool of N devices; "
+        "bench-serve: N > 1 runs the device-pool scaling study",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("least_loaded", "round_robin"),
+        default="least_loaded",
+        help="fleet/bench-serve: session placement policy over the pool "
+        "(the 'pinned' policy needs per-stream devices, so it is "
+        "API-only: FleetServer.add_stream(device=k))",
+    )
+    parser.add_argument(
+        "--pool",
+        default=None,
+        help="fleet only: explicit heterogeneous device pool, e.g. "
+        "'orin-60w:2,orin-30w' (overrides --devices)",
+    )
+    parser.add_argument(
+        "--migrate",
+        action="store_true",
+        help="fleet only: migrate sessions off sustained-hot devices",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="bench-infer/bench-adapt/bench-serve only: fewer repetitions "
@@ -305,7 +396,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.artifact == "bench-adapt":
         return _run_bench_adapt(scale, args.quick, args.results_dir)
     if args.artifact == "bench-serve":
-        return _run_bench_serve(scale, args.quick, args.results_dir)
+        return _run_bench_serve(
+            scale, args.quick, args.results_dir, args.devices, args.placement
+        )
 
     runners = {
         "fig1": _print_fig1,

@@ -25,10 +25,16 @@ from ..adapt import LDBNAdaptConfig
 from ..data.benchmarks import make_benchmark
 from ..data.dataset import FrameStream
 from ..data.domains import MODEL_VEHICLE, TUSIMPLE_HIGHWAY
-from ..hw.device import get_power_mode
+from ..hw.device import build_device_pool, get_power_mode
 from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
 from ..models.registry import get_config
-from ..serve import AdmissionConfig, FleetConfig, FleetReport, FleetServer
+from ..serve import (
+    AdmissionConfig,
+    FleetConfig,
+    FleetReport,
+    FleetServer,
+    MigrationConfig,
+)
 from ..utils.logging import Logger
 from .config import RunScale, get_run_scale
 from .fig2_accuracy import train_source_model
@@ -55,6 +61,9 @@ class FleetRunResult:
     admission: str = "stride"  # "stride" (static) | "slack"
     jitter_ms: float = 0.0
     drop_rate: float = 0.0
+    devices: int = 1
+    placement: str = "least_loaded"
+    pool: Optional[str] = None  # explicit heterogeneous pool, if any
     domain_schedules: Dict[str, str] = field(default_factory=dict)
 
     def per_stream_rows(self) -> List[Dict[str, object]]:
@@ -65,12 +74,16 @@ class FleetRunResult:
 
     def summary_rows(self) -> List[Dict[str, object]]:
         summary = self.report.summary()
-        summary["power_mode"] = self.power_mode
+        summary["power_mode"] = self.pool if self.pool else self.power_mode
         summary["admission"] = self.admission
         summary["adapt_stride"] = float(self.adapt_stride)
         summary["jitter_ms"] = float(self.jitter_ms)
         summary["drop_rate"] = float(self.drop_rate)
+        summary["placement"] = self.placement
         return [summary]
+
+    def per_device_rows(self) -> List[Dict[str, object]]:
+        return self.report.per_device_rows()
 
 
 def roofline_comparison_rows(
@@ -129,18 +142,29 @@ def run_fleet(
     drop_rate: float = 0.0,
     phase_spread_ms: float = 0.0,
     admission: str = "stride",
+    devices: int = 1,
+    placement: str = "least_loaded",
+    pool: Optional[str] = None,
+    migrate: bool = False,
 ) -> FleetRunResult:
     """Train a source model and serve a heterogeneous fleet from it.
 
     ``jitter_ms``/``drop_rate``/``phase_spread_ms`` shape the per-stream
     arrival processes; ``admission="slack"`` swaps the static
     ``adapt_stride`` stagger for the slack-driven admission controller.
+    ``devices`` shards the fleet across a pool of ``power_mode`` devices
+    placed by ``placement``; ``pool`` overrides it with an explicit
+    (possibly heterogeneous) comma list like ``"orin-60w,orin-30w"``,
+    and ``migrate`` lets sessions move off sustained-hot devices.
     """
     if num_streams < 1:
         raise ValueError(f"num_streams must be >= 1, got {num_streams}")
     if admission not in ("stride", "slack"):
         raise ValueError(f"unknown admission policy {admission!r}")
     scale = scale if scale is not None else get_run_scale()
+    device_pool = build_device_pool(pool) if pool else None
+    if device_pool is not None:
+        devices = len(device_pool)
 
     # one 4-slot source model serves every vehicle (2-lane scenes live in
     # the inner slots, exactly like MuLane's label space)
@@ -168,9 +192,13 @@ def run_fleet(
             phase_spread_ms=phase_spread_ms,
             arrival_seed=scale.seed,
             admission=AdmissionConfig() if admission == "slack" else None,
+            devices=devices,
+            placement=placement,
+            migration=MigrationConfig() if migrate else None,
         ),
         device=device,
         spec=spec,
+        device_pool=device_pool,
     )
 
     schedules: Dict[str, str] = {}
@@ -190,10 +218,11 @@ def run_fleet(
         schedules[stream_id] = "+".join(d.name for d in domains)
 
     log.info(
-        "fleet: serving %d streams for %d ticks on %s",
+        "fleet: serving %d streams for %d ticks on %d x %s",
         num_streams,
         num_frames,
-        power_mode,
+        devices,
+        pool if pool else power_mode,
     )
     report = server.run(num_frames)
     return FleetRunResult(
@@ -204,5 +233,8 @@ def run_fleet(
         admission=admission,
         jitter_ms=jitter_ms,
         drop_rate=drop_rate,
+        devices=devices,
+        placement=placement,
+        pool=pool,
         domain_schedules=schedules,
     )

@@ -60,6 +60,23 @@ def adaptation_budget_ms(
     return batch_deadline_ms - inference_done_ms - headroom_ms
 
 
+def stream_utilization(service_ms: float, period_ms: float) -> float:
+    """Fraction of one device a stream occupies, per camera period.
+
+    ``service_ms`` is the stream's roofline-estimated per-period service
+    demand on a *specific* device (inference at batch 1 plus its share
+    of the adaptation step) — heterogeneous pools price the same stream
+    differently per power mode.  The device-pool placement policies sum
+    these utilizations to compare device loads; a device whose total
+    exceeds ~1.0 cannot keep up even with perfect batching.
+    """
+    if period_ms <= 0:
+        raise ValueError(f"period_ms must be positive, got {period_ms}")
+    if service_ms < 0:
+        raise ValueError(f"service_ms must be >= 0, got {service_ms}")
+    return service_ms / period_ms
+
+
 @dataclass(frozen=True)
 class FeasibilityEntry:
     """One (configuration, deadline) feasibility record."""

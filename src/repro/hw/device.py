@@ -20,7 +20,7 @@ milliseconds — see DESIGN.md section 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -105,3 +105,41 @@ def get_power_mode(name: str) -> DeviceProfile:
             f"unknown power mode {name!r}; available: {sorted(ORIN_POWER_MODES)}"
         )
     return ORIN_POWER_MODES[key]
+
+
+def build_device_pool(modes: Union[str, Sequence[str]]) -> List[DeviceProfile]:
+    """Build a (possibly heterogeneous) device pool from power-mode names.
+
+    ``modes`` is a comma-separated string or a sequence of entries, each
+    ``"<mode>"`` or ``"<mode>:<count>"``::
+
+        build_device_pool("orin-60w:2,orin-30w")
+        # -> [orin-60w, orin-60w, orin-30w]
+
+    The fleet's device-pool serving (``repro.serve``) prices every
+    stream per device, so mixed power modes in one pool are first-class:
+    the placement policies and the migration planner see each device's
+    own roofline costs.
+    """
+    if isinstance(modes, str):
+        entries = [entry.strip() for entry in modes.split(",")]
+    else:
+        entries = [str(entry).strip() for entry in modes]
+    entries = [entry for entry in entries if entry]
+    if not entries:
+        raise ValueError("device pool needs at least one power-mode entry")
+    pool: List[DeviceProfile] = []
+    for entry in entries:
+        name, _, count_str = entry.partition(":")
+        count = 1
+        if count_str:
+            try:
+                count = int(count_str)
+            except ValueError:
+                raise ValueError(
+                    f"bad device-pool entry {entry!r}: count must be an integer"
+                ) from None
+        if count < 1:
+            raise ValueError(f"bad device-pool entry {entry!r}: count must be >= 1")
+        pool.extend([get_power_mode(name)] * count)
+    return pool

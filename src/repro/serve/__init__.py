@@ -1,25 +1,31 @@
-"""``repro.serve`` — fleet serving: N adapting vehicles, one shared model.
+"""``repro.serve`` — fleet serving: N adapting vehicles, a pool of devices.
 
 The paper deploys one vehicle adapting online at 30 FPS
 (:class:`repro.pipeline.RealTimePipeline`).  This package scales that
 deployment story to a *fleet*: many concurrent camera streams, each with
 its own domain-shift schedule, its own LD-BN-ADAPT state and its own
-frame-arrival process, multiplexed through a single model on a single
-device under the real-time deadline.
+frame-arrival process, sharded across a **pool of devices** — one
+simulated Orin saturates at ~2-3 paper-scale adapting streams, so the
+serving layer places sessions on devices, serves each device with its
+own deadline-aware scheduler, and migrates sessions off sustained-hot
+devices.
 
 Architecture
 ------------
 ::
 
-    cameras ──► ArrivalProcess ──► DeadlineAwareScheduler ──► FleetServer
-                 (streams.py)          (scheduler.py)          (server.py)
-                 per-stream phase/      time-ordered queue,     event loop:
-                 jitter/drop model      deadline-aware           batched fwd +
-                      │                 dynamic batching         per-stream
-                StreamSession           w/ priority aging        decode/adapt
-                 per-stream BN               │                       │
-                 state + adapter       SlackAdmission           FleetReport
-                                       (admission.py)           (report.py)
+    cameras ──► ArrivalProcess ──► FleetServer (coordinator) ── FleetReport
+                 (streams.py)      │  placement · one arrival   (report.py)
+                 per-stream phase/ │  heap · migration            per-stream +
+                 jitter/drop model │  (server.py + pool.py)       per-device
+                      │            ▼
+                StreamSession   DeviceWorker ×D        (pool.py)
+                 per-stream BN   │ DeviceProfile-priced costs
+                 state + adapter │ DeadlineAwareScheduler  (scheduler.py)
+                                 │ SlackAdmission budget   (admission.py)
+                                 │ compiled plan caches
+                                 └ batched fwd + fused adaptation
+                                                           (adapt_batch.py)
 
 * **streams.py** — per-stream isolation *and arrival modelling*.
   Everything LD-BN-ADAPT touches (BN running statistics, gamma/beta,
@@ -28,71 +34,94 @@ Architecture
   stream's state on the shared model around serial adaptation steps,
   while eval-mode BN folds to per-sample ``(scale, shift)`` vectors so
   :func:`per_stream_inference` serves many differently-adapted streams
-  in ONE batched forward.  Each session also owns an
-  :class:`ArrivalProcess` — a seeded realization of its
-  :class:`ArrivalModel` (per-stream phase offset over the camera period,
-  uniform transmission jitter, in-flight frame drops) — so the fleet
-  loop sees frames when they *actually* arrive, not on an idealized
-  tick grid.
+  in ONE batched forward.  Each session owns an :class:`ArrivalProcess`
+  — a seeded realization of its :class:`ArrivalModel`, with the seed
+  derived from ``child_seed(arrival_seed, stream_id)`` so a stream's
+  arrival realization is invariant to pool size and placement.  The
+  session is also the unit of migration: re-homing it moves all
+  per-stream state bitwise.
+* **pool.py** — the device layer.  A :class:`DeviceWorker` owns one
+  device's :class:`~repro.hw.device.DeviceProfile` (heterogeneous pools
+  price each stream per device), its scheduler + queue, its admission
+  budget, its compiled inference/adaptation plan caches and its clock;
+  the per-batch serving path (shared forward → decode → admission-gated
+  fused/serial adaptation) lives here.  :func:`place_stream` is the
+  pure placement policy ("least_loaded" over roofline-estimated stream
+  cost, "round_robin", "pinned") and :class:`MigrationPlanner` the pure
+  migration rule: when per-device slack EWMAs diverge past
+  ``MigrationConfig.slack_gap_ms`` while a device sits below
+  ``hot_slack_ms``, the hot device's heaviest movable session moves to
+  the coolest device, rate-limited by a cooldown.  Queued frames
+  re-home with the session (a saturated device can drain its backlog),
+  but a session with a batch still in flight is pinned — it is never
+  served by two devices in overlapping windows.
 * **scheduler.py** — deadline-aware dynamic batching over a time-ordered
-  queue.  Batches amortize per-layer launch overhead but must finish
-  inside the 33.3 ms camera deadline; the scheduler plans batch sizes
-  with the :mod:`repro.hw.roofline` latency model, orders requests by
-  aged urgency (EDF plus a queue-age credit so no stream starves), flips
-  to max-throughput batching once a deadline is already unmeetable, and
-  exposes the earliest pending arrival so the event loop can launch the
-  instant the device frees up — between ticks.
+  queue, one instance per device.  Batches amortize per-layer launch
+  overhead but must finish inside the camera deadline; the scheduler
+  plans batch sizes with the :mod:`repro.hw.roofline` latency model of
+  *its* device, orders requests by aged urgency (EDF plus a queue-age
+  credit so no stream starves), flips to max-throughput batching once a
+  deadline is already unmeetable, and exposes the earliest pending
+  arrival so the event loop can launch the instant the device frees up.
   :func:`plan_adaptation_groups` partitions the steps granted in one
   served batch into same-key fused groups.
-* **admission.py** — slack-driven adaptation admission control.  The
-  adaptation step is the fleet's only optional work, so
-  :class:`SlackAdmission` grants it per stream from observed deadline
-  slack: steps shed when the queue runs hot, skipped streams catch up
-  when it clears (bounded by a per-stream debt limit), a step is never
-  granted when the roofline model says it would push the served batch
-  past its earliest deadline, and solo steps are deferred briefly so
-  they share a fused replay with a same-key partner (phase packing).
-  The static ``adapt_stride`` stagger remains as the legacy policy when
-  no :class:`AdmissionConfig` is given.
-* **adapt_batch.py** — batched same-batch adaptation.  Granted steps
-  that land in the same served batch fuse into ONE grouped replay of
-  the compiled adaptation plan (:class:`repro.engine.CompiledAdaptStep`
-  with ``groups=K``): per-group batch statistics, per-stream gamma/beta
-  slots read straight from each stream's snapshot (no model swap), and
-  per-stream fused SGD/statistics updates applied back to the snapshots
-  — per-stream results match serial stepping to float precision.
-  Batching contract: LD-BN-ADAPT + SGD adapters whose incoming frame
-  completes their adaptation batch, equal batch sizes; learning rates,
-  momenta and stats modes may differ freely.  Everything else steps
-  serially; ``FleetConfig(batch_adaptation=False)`` disables fusing.
-* **server.py** — the event-driven fleet loop: pop arrivals from the
-  time-ordered event queue → launch a deadline-feasible batch at
-  ``max(device_free, earliest pending arrival)`` → shared forward →
-  per-frame decode, accuracy, admission decision and (fused-first)
-  adaptation, with per-frame deadline accounting on either the
-  simulated Jetson Orin clock or measured wallclock.
-  ``FleetConfig(ingest="sync")`` keeps the legacy tick-synchronous loop
-  as the parity oracle: with zero jitter/drops/phase-spread the async
-  loop reproduces its per-stream outputs exactly.
+* **admission.py** — slack-driven adaptation admission control, one
+  controller per device.  :class:`SlackAdmission` grants the optional
+  adaptation work from observed deadline slack: steps shed when the
+  queue runs hot, skipped streams catch up when it clears (bounded by a
+  per-stream debt limit), a step is never granted when the roofline
+  model says it would push the served batch past its earliest deadline,
+  and solo steps are deferred briefly to share a fused replay (phase
+  packing).  Migration transfers a stream's debt/deferral state between
+  controllers (``export_stream``/``import_stream``), so moving neither
+  erases nor inflates its catch-up claim.  The static ``adapt_stride``
+  stagger remains as the legacy policy when no :class:`AdmissionConfig`
+  is given.
+* **adapt_batch.py** — batched same-batch adaptation, one batcher per
+  device.  Granted steps that land in the same served batch fuse into
+  ONE grouped replay of the compiled adaptation plan with per-stream
+  state slots read straight from each session's snapshot (no model
+  swap); per-stream results match serial stepping to float precision.
+  ``FleetConfig(batch_adaptation=False)`` disables fusing.
+* **server.py** — the fleet coordinator.  One fleet-wide time-ordered
+  arrival heap; arrivals route to the session's current device; each
+  worker launches a deadline-feasible batch at ``max(device_free,
+  earliest pending arrival)``, executed in global time order across the
+  pool; after each batch the migration planner may rebalance.
+  ``FleetConfig(devices=N, placement=..., migration=...)`` configures
+  the pool (an explicit heterogeneous ``device_pool`` may be passed to
+  the server); ``FleetConfig(devices=1)`` — the default — reproduces
+  the former single-device server exactly, and ``ingest="sync"`` keeps
+  the tick-synchronous loop as the parity oracle.
 * **report.py** — fleet dashboard: p50/p95/p99 latency, deadline-slack
   percentiles, queue depth at batch launch, per-stream accuracy,
   adaptation-step p50/p95, admission grants/skips, dropped frames,
-  fused-step sizes and sustained frames/sec.
+  fused-step sizes, sustained frames/sec, and per-device
+  :class:`DeviceReport` rows (utilization, queue depth, migrations)
+  plus the migration event log.
 
 Entry points: ``python -m repro.experiments fleet`` (heterogeneous-domain
-demo harness, ``--jitter``/``--drop``/``--admission`` flags),
-``python -m repro.experiments bench-serve`` (jittered-arrival admission
-study + regression gate), ``examples/fleet_serving.py``,
-``benchmarks/bench_serve_throughput.py`` (batched vs. N serial pipelines
-plus the jittered-admission scenario) and
-``benchmarks/bench_adapt_step.py`` (eager vs. compiled vs. fused
-adaptation steps).  ``tests/test_properties_serve.py`` is the
-property-test harness for the scheduler/admission invariants.
+demo harness; ``--devices``/``--placement``/``--jitter``/``--admission``
+flags), ``python -m repro.experiments bench-serve`` (jittered-arrival
+admission study, or the device-scaling study with ``--devices N``; both
+regression-gated), ``examples/fleet_serving.py`` (device-pool walkthrough
+with placement/migration knobs), ``benchmarks/bench_serve_throughput.py``
+(batched vs. N serial pipelines, jittered admission, device scaling) and
+``benchmarks/bench_adapt_step.py``.  ``tests/test_properties_serve.py``
+is the property harness for the scheduler/admission/pool invariants.
 """
 
 from .adapt_batch import FleetAdaptationBatcher, static_fuse_key
 from .admission import AdmissionConfig, SlackAdmission, StepCandidate
-from .report import FleetReport
+from .pool import (
+    PLACEMENT_POLICIES,
+    DeviceWorker,
+    MigrationConfig,
+    MigrationDecision,
+    MigrationPlanner,
+    place_stream,
+)
+from .report import DeviceReport, FleetReport
 from .scheduler import (
     BatchPlan,
     DeadlineAwareScheduler,
@@ -113,6 +142,13 @@ __all__ = [
     "FleetServer",
     "FleetConfig",
     "FleetReport",
+    "DeviceReport",
+    "DeviceWorker",
+    "MigrationConfig",
+    "MigrationDecision",
+    "MigrationPlanner",
+    "PLACEMENT_POLICIES",
+    "place_stream",
     "FleetAdaptationBatcher",
     "static_fuse_key",
     "AdmissionConfig",

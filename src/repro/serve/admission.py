@@ -151,6 +151,27 @@ class SlackAdmission:
         self._debt.setdefault(stream_id, 0)
         self._deferrals.setdefault(stream_id, 0)
 
+    def export_stream(self, stream_id: str) -> Dict[str, object]:
+        """Detach one stream's admission state (device-pool migration).
+
+        Removes and returns the stream's fuse key, accumulated debt and
+        packing deferrals, so :meth:`import_stream` on the *target*
+        device's controller can resume the stream exactly where it left
+        off — a migrated stream neither loses its catch-up claim nor
+        escapes it.
+        """
+        return {
+            "static_key": self._static_keys.pop(stream_id, None),
+            "debt": self._debt.pop(stream_id, 0),
+            "deferrals": self._deferrals.pop(stream_id, 0),
+        }
+
+    def import_stream(self, stream_id: str, state: Dict[str, object]) -> None:
+        """Attach a stream previously exported from another controller."""
+        self._static_keys[stream_id] = state.get("static_key")
+        self._debt[stream_id] = int(state.get("debt", 0))
+        self._deferrals[stream_id] = int(state.get("deferrals", 0))
+
     def observe_slack(self, slack_ms: float) -> None:
         """Feed one served frame's deadline slack (negative = miss)."""
         alpha = self.config.ewma_alpha

@@ -7,8 +7,10 @@ per-stream numbers are directly comparable to serial
 them up into what a serving operator watches: tail latency (p50/p95/p99)
 and deadline-slack percentiles across the whole fleet, per-stream
 accuracy, deadline-miss rate, queue depth at batch launch, adaptation
-admission grants/skips, in-flight frame drops, and sustained throughput
-against the serial alternative.
+admission grants/skips, in-flight frame drops, sustained throughput
+against the serial alternative, and — for device pools — one
+:class:`DeviceReport` row per pool member (utilization, queue depth,
+session count, migrations) plus the migration event log.
 
 Every percentile family routes through
 :func:`repro.pipeline.monitor.latency_percentile`, so empty windows — a
@@ -26,6 +28,44 @@ import numpy as np
 
 from ..hw.deadline import deadline_slack_ms
 from ..pipeline.monitor import PipelineReport, latency_percentile
+
+
+@dataclass
+class DeviceReport:
+    """One device's share of a fleet serving run.
+
+    ``utilization`` is modeled busy time over the run's makespan (how
+    much of the pool's wall this device actually worked); ``streams``
+    is the *final* placement — sessions that migrated away mid-run show
+    up in ``migrations_out`` instead.
+    """
+
+    device: str
+    streams: List[str] = field(default_factory=list)
+    frames_served: int = 0
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    busy_ms: float = 0.0
+    utilization: float = 0.0
+    mean_queue_depth: float = 0.0
+    max_queue_depth: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "device": self.device,
+            "streams": len(self.streams),
+            "frames": self.frames_served,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "busy_ms": self.busy_ms,
+            "utilization": self.utilization,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "migrations_in": self.migrations_in,
+            "migrations_out": self.migrations_out,
+        }
 
 
 @dataclass
@@ -50,6 +90,8 @@ class FleetReport:
     stream_reports: "OrderedDict[str, PipelineReport]" = field(
         default_factory=OrderedDict
     )
+    device_reports: List[DeviceReport] = field(default_factory=list)
+    migration_events: List[Dict[str, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -196,6 +238,23 @@ class FleetReport:
         )
 
     @property
+    def num_devices(self) -> int:
+        """Devices in the serving pool (1 = the legacy single device)."""
+        return max(len(self.device_reports), 1)
+
+    @property
+    def total_migrations(self) -> int:
+        """Sessions moved between devices during the run."""
+        return len(self.migration_events)
+
+    @property
+    def max_device_utilization(self) -> float:
+        """Busy fraction of the pool's hottest device."""
+        if not self.device_reports:
+            return 0.0
+        return max(d.utilization for d in self.device_reports)
+
+    @property
     def per_stream_accuracy(self) -> Dict[str, float]:
         return {
             sid: report.mean_accuracy
@@ -213,6 +272,7 @@ class FleetReport:
         """The fleet dashboard row."""
         return {
             "streams": float(self.num_streams),
+            "devices": float(self.num_devices),
             "frames": float(self.total_frames),
             "frames_per_second": self.frames_per_second,
             "mean_batch_size": self.mean_batch_size,
@@ -234,7 +294,13 @@ class FleetReport:
             "adapting_streams": float(self.adapting_streams),
             "admission_grant_rate": self.admission_grant_rate,
             "dropped_frames": float(self.total_dropped_frames),
+            "migrations": float(self.total_migrations),
+            "max_device_utilization": self.max_device_utilization,
         }
+
+    def per_device_rows(self) -> List[Dict[str, object]]:
+        """One table row per pool device (load / queue / migrations)."""
+        return [d.as_row() for d in self.device_reports]
 
     def per_stream_rows(self) -> List[Dict[str, object]]:
         """One table row per stream (accuracy / latency / misses)."""

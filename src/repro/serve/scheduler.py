@@ -99,6 +99,23 @@ class DeadlineAwareScheduler:
         return len(self._pending)
 
     @property
+    def pending_stream_ids(self) -> set:
+        """Stream ids with at least one queued frame."""
+        return {r.stream_id for r in self._pending}
+
+    def extract_stream(self, stream_id: str) -> List[FrameRequest]:
+        """Remove and return the stream's queued frames, in queue order.
+
+        Device-pool migration re-homes a session's backlog with it: the
+        extracted requests are re-submitted to the target device's
+        scheduler with arrival timestamps and deadlines intact, so no
+        frame is lost or double-served by the move.
+        """
+        extracted = [r for r in self._pending if r.stream_id == stream_id]
+        self._pending = [r for r in self._pending if r.stream_id != stream_id]
+        return extracted
+
+    @property
     def earliest_pending_arrival_ms(self) -> Optional[float]:
         """Arrival time of the oldest queued frame; None when idle.
 

@@ -1,94 +1,85 @@
-"""The fleet serving loop: event-driven ingest → batch → shared forward →
-per-stream decode + admission-controlled adaptation.
+"""The fleet coordinator: place sessions on a device pool, drive the
+event-driven ingest, and rebalance by migration.
 
-Frames no longer arrive as one synchronous cohort per camera period.
-Each registered stream owns an :class:`~repro.serve.streams.ArrivalProcess`
-(per-stream phase offset plus a seeded jitter/drop model), and the serving
-loop is a discrete-event simulation over those arrivals: frames carry
-their actual arrival timestamps, and the
-:class:`~repro.serve.scheduler.DeadlineAwareScheduler` launches a
-deadline-feasible batch the moment the device frees up — *between* camera
-ticks, from whatever has genuinely arrived — instead of draining an
-assumed full cohort.  ``FleetConfig(ingest="sync")`` keeps the legacy
-tick-synchronous loop as the parity oracle (it requires a zero-jitter,
-zero-drop arrival model, and the async loop reproduces it exactly there).
+One :class:`FleetServer` now fronts a *pool* of devices.  Each pool
+member is a :class:`~repro.serve.pool.DeviceWorker` owning everything a
+single device needs — its :class:`~repro.hw.device.DeviceProfile`, its
+:class:`~repro.serve.scheduler.DeadlineAwareScheduler` and queue, its
+:class:`~repro.serve.admission.SlackAdmission` budget and its compiled
+plan caches — while the coordinator owns what spans devices:
 
-Latency accounting mirrors :class:`repro.pipeline.RealTimePipeline`:
+* **placement** — at registration each stream is placed by
+  ``FleetConfig(placement=...)``: ``"least_loaded"`` (argmin projected
+  utilization from the roofline-estimated per-stream cost *on each
+  device* — heterogeneous pools price the same stream differently per
+  power mode), ``"round_robin"``, or ``"pinned"`` (explicit
+  ``add_stream(..., device=k)``).
+* **ingest** — a single fleet-wide time-ordered arrival heap.  Every
+  stream owns a seeded :class:`~repro.serve.streams.ArrivalProcess`
+  (per-stream phase offset, jitter, drops; seeds derived via
+  ``utils.rng.child_seed(arrival_seed, stream_id)``, so a stream's
+  arrival realization is invariant to device count and placement).
+  Arrivals route to the session's *current* device; each worker
+  launches a deadline-feasible batch the moment it is free and frames
+  are pending, at ``max(device_free, earliest pending arrival)`` — the
+  same event-driven discipline as before, generalized to many device
+  clocks.  ``FleetConfig(ingest="sync")`` keeps the tick-synchronous
+  loop as the parity oracle, drained per worker.
+* **migration** — with ``FleetConfig(migration=MigrationConfig(...))``
+  each worker's observed-slack EWMA feeds a
+  :class:`~repro.serve.pool.MigrationPlanner`; when one device runs
+  sustainedly hot while another is cooler by more than the configured
+  gap, the hot device's heaviest movable session (no frames queued)
+  migrates: the session object — `ParameterSnapshot`, BN buffers,
+  optimizer slots, monitors — moves bitwise untouched, its admission
+  debt transfers between controllers, and its modeled adaptation cost
+  is re-priced on the target device.  A cooldown keeps sessions from
+  thrashing.
 
-* ``latency_model="orin"`` — a discrete-event simulation of the paper's
-  Jetson Orin: arrivals follow each stream's (jittered) arrival process,
-  service times come from the roofline model, and a frame's recorded
-  latency is completion minus arrival — so queueing delay under load and
-  jitter, the regime deadline-aware scheduling exists for, is visible;
-* ``latency_model="wallclock"`` — measured host time of the numpy
-  implementation itself (a frame is charged its share of the batched
-  forward plus its own adaptation step), used by the throughput
-  benchmark.  Wallclock serving has no modeled service time, so batches
-  group frames by arrival timestamp (jittered arrivals serve solo; the
-  jitter regime is an ``"orin"``-mode study).
+A pool of one device (``FleetConfig(devices=1)``, the default)
+reproduces the former single-device ``FleetServer`` outputs exactly —
+the per-batch serving path moved verbatim into ``DeviceWorker`` and the
+merged event loop degenerates to the old one — for both ingest modes;
+the test suite and the throughput benchmark guard that parity.
 
-The shared forward runs through the compiled engine (:mod:`repro.engine`)
-by default: one traced plan per batch size, with each stream's folded BN
-``(scale, shift)`` entering the plan as a per-sample input, so
-differently-adapted streams share one batched replay bit-exactly.
-``repro.nn.inference_mode(False)`` forces the eager forward.
-
-Adaptation is *admitted*, not scheduled statically.  With
-``FleetConfig(admission=AdmissionConfig(...))`` the
-:class:`~repro.serve.admission.SlackAdmission` controller grants each
-frame's adaptation work from observed deadline slack: steps shed when the
-queue runs hot, catch up when it clears, are never granted when the
-roofline model says they would push the batch past its earliest deadline,
-and solo steps are deferred briefly to share a fused replay with a
-same-key partner (phase packing).  Without an admission config the legacy
-static ``adapt_stride`` stagger applies.  Granted same-batch steps fuse
-into ONE grouped replay of the compiled adaptation plan
-(:mod:`repro.serve.adapt_batch`) with per-group batch statistics and
-per-stream gamma/beta/optimizer slots; ``FleetConfig(
-batch_adaptation=False)`` or ``repro.nn.adaptation_mode(False)`` force
-every step serial/eager.
+Latency accounting is unchanged (see ``DeviceWorker.serve_batch``):
+``latency_model="orin"`` is a discrete-event simulation over roofline
+service times per device, ``"wallclock"`` measures the host numpy cost
+of the shared implementation.  The shared forward runs through the
+compiled engine by default; granted same-batch adaptation steps fuse
+into grouped replays per device (:mod:`repro.serve.adapt_batch`).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from .. import nn
 from ..adapt.base import Adapter
 from ..adapt.bn_adapt import LDBNAdapt, LDBNAdaptConfig
 from ..data.dataset import LaneSample
-from ..engine import compile_model
-from ..hw.deadline import (
-    DEADLINE_30FPS_MS,
-    adaptation_budget_ms,
-    deadline_slack_ms,
-)
+from ..hw.deadline import DEADLINE_30FPS_MS, stream_utilization
 from ..hw.device import DeviceProfile
-from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
-from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS, point_accuracy
+from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS
 from ..models.spec import ModelSpec
-from ..models.ufld import decode_predictions
 from ..utils.profiling import Timer
 from ..utils.rng import child_seed
-from .adapt_batch import FleetAdaptationBatcher, static_fuse_key
-from .admission import AdmissionConfig, SlackAdmission, StepCandidate
-from .report import FleetReport
-from .scheduler import (
-    BatchPlan,
-    DeadlineAwareScheduler,
-    FrameRequest,
-    plan_adaptation_groups,
+from .admission import AdmissionConfig
+from .pool import (
+    PLACEMENT_POLICIES,
+    DeviceWorker,
+    MigrationConfig,
+    MigrationPlanner,
+    place_stream,
 )
+from .report import FleetReport
+from .scheduler import FrameRequest
 from .streams import (
     ArrivalModel,
     ArrivalProcess,
     StreamRegistry,
     StreamSession,
-    per_stream_inference,
 )
 
 
@@ -112,6 +103,9 @@ class FleetConfig:
     phase_spread_ms: float = 0.0  # stream i's arrival phase = i * spread
     arrival_seed: int = 0  # root seed of the per-stream arrival processes
     admission: Optional[AdmissionConfig] = None  # None → static stride
+    devices: int = 1  # pool size (ignored when an explicit pool is passed)
+    placement: str = "least_loaded"  # | "round_robin" | "pinned"
+    migration: Optional[MigrationConfig] = None  # None → sessions never move
 
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
@@ -147,49 +141,38 @@ class FleetConfig:
                 "ingest='sync' is the tick-synchronous parity oracle and "
                 "requires jitter_ms == drop_rate == phase_spread_ms == 0"
             )
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; expected one "
+                f"of {PLACEMENT_POLICIES}"
+            )
+        if self.ingest == "sync" and self.migration is not None:
+            raise ValueError(
+                "ingest='sync' is the tick-synchronous parity oracle and "
+                "cannot migrate: its per-tick drain has no global launch "
+                "clock, so a backlogged device's sessions would stay "
+                "pinned (busy_until on the device clock vs the tick "
+                "clock) and migration would silently never fire — use "
+                "the event-driven async ingest for device pools that "
+                "rebalance"
+            )
+        if self.latency_model == "wallclock" and self.migration is not None:
+            raise ValueError(
+                "latency_model='wallclock' has no modeled deadline slack, "
+                "so the migration planner's heat signal never exists and "
+                "migration would silently never fire — rebalancing needs "
+                "the simulated 'orin' clock"
+            )
 
     @property
     def period_ms(self) -> float:
         return self.frame_period_ms if self.frame_period_ms is not None else self.deadline_ms
 
 
-class StagedGroup:
-    """Execution state of one fused adaptation step within a served batch.
-
-    Created at staging time (before the timed region); the first member
-    encountered in the record loop launches :meth:`FleetServer._run_group`,
-    which fills in the results and completion bookkeeping every other
-    member then reads.
-    """
-
-    __slots__ = ("staged", "results", "per_stream_ms", "done_clock_ms")
-
-    def __init__(self, staged):
-        self.staged = staged
-        self.results = None
-        self.per_stream_ms = 0.0
-        self.done_clock_ms = 0.0
-
-
-class _Decision:
-    """One frame's admission outcome: feed the adapter or withhold it.
-
-    ``planned_step`` records whether the admission controller budgeted an
-    actual optimization step for this feed (as opposed to a free
-    buffering frame); :meth:`FleetServer._reconcile_buffer_drift` refuses
-    any feed whose real buffer state would turn a free plan into an
-    unbudgeted step.
-    """
-
-    __slots__ = ("feed", "planned_step")
-
-    def __init__(self, feed: bool, planned_step: bool):
-        self.feed = feed
-        self.planned_step = planned_step
-
-
 class FleetServer:
-    """Serves N adapting camera streams through one shared model."""
+    """Serves N adapting camera streams across a pool of devices."""
 
     def __init__(
         self,
@@ -197,43 +180,91 @@ class FleetServer:
         config: Optional[FleetConfig] = None,
         device: Optional[DeviceProfile] = None,
         spec: Optional[ModelSpec] = None,
+        device_pool: Optional[Sequence[DeviceProfile]] = None,
     ):
         self.model = model
         self.config = config if config is not None else FleetConfig()
-        self.device = device
         self.spec = spec
+        profiles: Optional[List[DeviceProfile]] = None
+        if device_pool is not None:
+            profiles = list(device_pool)
+            if not profiles:
+                raise ValueError("device_pool must not be empty")
+            if self.config.devices not in (1, len(profiles)):
+                raise ValueError(
+                    f"FleetConfig(devices={self.config.devices}) "
+                    f"contradicts an explicit pool of {len(profiles)} devices"
+                )
         if self.config.latency_model == "orin":
-            if device is None or spec is None:
+            if profiles is not None:
+                pool = profiles
+            else:
+                if device is None:
+                    raise ValueError(
+                        "latency_model='orin' requires a DeviceProfile (or an "
+                        "explicit device_pool) and a paper-size ModelSpec "
+                        "(the platform under study)"
+                    )
+                pool = [device] * self.config.devices
+            if spec is None:
                 raise ValueError(
                     "latency_model='orin' requires a DeviceProfile and a "
                     "paper-size ModelSpec (the platform under study)"
                 )
-            latency_fn = lambda b: batched_inference_latency_ms(spec, device, b)  # noqa: E731
-            adapt_cost_fn = lambda n: ld_bn_adapt_latency(  # noqa: E731
-                spec, device, n
-            ).adaptation_ms
         else:
-            # wallclock mode measures instead of planning; batch greedily
-            latency_fn = None
-            adapt_cost_fn = None
-        self.registry = StreamRegistry(model)
-        self.scheduler = DeadlineAwareScheduler(
-            latency_fn=latency_fn,
-            max_batch_size=self.config.max_batch_size,
-            aging_rate=self.config.aging_rate,
+            if profiles is not None:
+                raise ValueError(
+                    "latency_model='wallclock' serving is unpriced, so an "
+                    "explicit device_pool's profiles would be silently "
+                    "ignored — use FleetConfig(devices=N) to size an "
+                    "unpriced pool"
+                )
+            pool = [None] * self.config.devices
+        self.device = pool[0] if pool[0] is not None else device
+        self.timer = Timer()
+        self._batch_sizes: List[int] = []
+        self._adapt_batch_sizes: List[int] = []  # streams fused per step
+        self._queue_depths: List[int] = []  # pending frames at batch launch
+        slack_alpha = (
+            self.config.migration.ewma_alpha
+            if self.config.migration is not None
+            else 0.25
         )
-        self.admission: Optional[SlackAdmission] = (
-            SlackAdmission(self.config.admission, adapt_cost_fn)
-            if self.config.admission is not None
+        self.workers: List[DeviceWorker] = [
+            DeviceWorker(
+                index,
+                model,
+                self.config,
+                device=profile,
+                spec=spec,
+                timer=self.timer,
+                slack_alpha=slack_alpha,
+                fleet_batch_sizes=self._batch_sizes,
+                fleet_adapt_batch_sizes=self._adapt_batch_sizes,
+                fleet_queue_depths=self._queue_depths,
+            )
+            for index, profile in enumerate(pool)
+        ]
+        self.registry = StreamRegistry(model)
+        self._placements: Dict[str, int] = {}
+        self._migration_planner: Optional[MigrationPlanner] = (
+            MigrationPlanner(self.config.migration)
+            if self.config.migration is not None and len(self.workers) > 1
             else None
         )
-        self.timer = Timer()
-        self._batch_sizes = []
-        self._queue_depths = []  # pending frames at each batch launch
-        self._compiled = None  # built lazily; plans cached per batch size
-        self._adapt_batcher = FleetAdaptationBatcher(model)
-        self._adapt_batch_sizes = []  # streams fused per grouped step
+        self._migration_events: List[Dict[str, object]] = []
         self._event_seq = 0  # ties arrival events deterministically
+
+    # -- single-device compatibility views -----------------------------
+    @property
+    def scheduler(self):
+        """The pool's first scheduler (the only one at ``devices=1``)."""
+        return self.workers[0].scheduler
+
+    @property
+    def admission(self):
+        """The pool's first admission controller (the only one at 1)."""
+        return self.workers[0].admission
 
     # ------------------------------------------------------------------
     def add_stream(
@@ -243,8 +274,9 @@ class FleetServer:
         adapter: Optional[Adapter] = None,
         adapter_config: Optional[LDBNAdaptConfig] = None,
         arrival: Optional[ArrivalModel] = None,
+        device: Optional[int] = None,
     ) -> StreamSession:
-        """Register one camera stream.
+        """Register one camera stream and place it on a pool device.
 
         The session snapshots the model's *current* BN state, so register
         streams while the model holds the pristine source-trained weights
@@ -256,12 +288,15 @@ class FleetServer:
         Without an explicit ``arrival`` model the stream gets the fleet
         default: phase offset ``i * phase_spread_ms`` for the *i*-th
         registered stream, the configured jitter/drop statistics, and a
-        per-stream child seed of ``arrival_seed`` — fully deterministic
-        per registration order.
+        per-stream child seed of ``arrival_seed`` keyed by *stream id* —
+        deterministic, and invariant to pool size and placement.
 
-        When ``adapt_stride > 1`` (static admission) each stream's
-        adaptation phase is auto-staggered by registration order,
-        spreading the fleet's adaptation load across camera periods.
+        ``device`` pins the session to a pool index; otherwise the
+        configured placement policy picks one from the roofline-estimated
+        per-device stream cost.  When ``adapt_stride > 1`` (static
+        admission) each stream's adaptation phase is auto-staggered by
+        registration order, spreading the fleet's adaptation load across
+        camera periods.
         """
         if adapter is not None and adapter_config is not None:
             raise ValueError("pass either adapter or adapter_config, not both")
@@ -270,10 +305,6 @@ class FleetServer:
                 self.model,
                 adapter_config if adapter_config is not None else LDBNAdaptConfig(),
             )
-        adapt_ms = 0.0
-        if self.config.latency_model == "orin":
-            batch = getattr(getattr(adapter, "config", None), "batch_size", 1)
-            adapt_ms = ld_bn_adapt_latency(self.spec, self.device, batch).adaptation_ms
         index = len(self.registry)
         if arrival is None:
             arrival = ArrivalModel(
@@ -281,7 +312,7 @@ class FleetServer:
                 phase_ms=index * self.config.phase_spread_ms,
                 jitter_ms=self.config.jitter_ms,
                 drop_rate=self.config.drop_rate,
-                seed=child_seed(self.config.arrival_seed, index),
+                seed=child_seed(self.config.arrival_seed, stream_id),
             )
         elif self.config.ingest == "sync" and (
             arrival.jitter_ms > 0 or arrival.drop_rate > 0 or arrival.phase_ms > 0
@@ -291,9 +322,16 @@ class FleetServer:
                 "jittered/dropping/phase-shifted ArrivalModel would be "
                 "silently discarded — use the async ingest"
             )
-        if self.admission is not None:
-            self.admission.register_stream(stream_id, static_fuse_key(adapter))
-        return self.registry.register(
+        period = self.config.period_ms
+        costs = [
+            stream_utilization(worker.estimate_cost_ms(adapter), period)
+            for worker in self.workers
+        ]
+        loads = [worker.load for worker in self.workers]
+        target = place_stream(
+            self.config.placement, index, costs, loads, pinned=device
+        )
+        session = self.registry.register(
             stream_id,
             stream,
             adapter,
@@ -301,9 +339,18 @@ class FleetServer:
             rolling_window=self.config.rolling_window,
             adapt_stride=self.config.adapt_stride,
             adapt_phase=index % self.config.adapt_stride,
-            adapt_latency_ms=adapt_ms,
             arrivals=ArrivalProcess(arrival),
         )
+        self.workers[target].attach(session)
+        self._placements[stream_id] = target
+        return session
+
+    def device_of(self, stream_id: str) -> int:
+        """Pool index currently serving the stream."""
+        return self._placements[stream_id]
+
+    def _worker_of(self, session: StreamSession) -> DeviceWorker:
+        return self.workers[self._placements[session.stream_id]]
 
     # ------------------------------------------------------------------
     def run(self, num_ticks: int) -> FleetReport:
@@ -321,15 +368,15 @@ class FleetServer:
         return self._run_async(num_ticks)
 
     def _run_sync(self, num_ticks: int) -> FleetReport:
-        """Legacy tick-synchronous loop: one cohort per period, drained.
+        """Legacy tick-synchronous loop: one cohort per period, drained
+        per device.
 
         The parity oracle for the event-driven loop — with zero jitter,
         drops and phase spread both loops see identical arrivals, and
-        whenever the device keeps up within each camera period they form
+        whenever each device keeps up within its camera period they form
         identical batches.
         """
         period = self.config.period_ms
-        device_free_ms = 0.0
         for tick in range(num_ticks):
             if self.registry.all_exhausted:
                 break
@@ -338,7 +385,7 @@ class FleetServer:
                 frame = session.next_frame()
                 if frame is None:
                     continue
-                self.scheduler.submit(
+                self._worker_of(session).scheduler.submit(
                     FrameRequest(
                         stream_id=session.stream_id,
                         frame_index=session.frames_ingested - 1,
@@ -347,47 +394,53 @@ class FleetServer:
                         payload=(session, frame),
                     )
                 )
-            while self.scheduler.pending_count:
-                start_ms = max(device_free_ms, arrival_ms)
-                self._queue_depths.append(self.scheduler.pending_count)
-                plan = self.scheduler.next_batch(start_ms)
-                if plan is None:  # pragma: no cover - pending implies a plan
-                    break
-                device_free_ms = self._serve_batch(
-                    plan, start_ms, self.scheduler.pending_count
-                )
-        return self._build_report(device_free_ms)
+            for worker in self.workers:
+                while worker.scheduler.pending_count:
+                    start_ms = max(worker.device_free_ms, arrival_ms)
+                    worker.device_free_ms = worker.launch(start_ms)
+        return self._build_report(
+            max(worker.device_free_ms for worker in self.workers)
+        )
 
     def _run_async(self, num_ticks: int) -> FleetReport:
         """Event-driven loop over each stream's jittered arrival process.
 
-        A time-ordered event queue holds every stream's next arrival;
-        the scheduler launches a batch whenever the device is free and
-        frames are pending, at ``max(device_free, earliest pending
-        arrival)`` — so batches form from what has actually arrived by
-        launch time, and a backlogged device folds late arrivals into
-        the draining batches instead of waiting out the tick grid.
+        One fleet-wide time-ordered event queue holds every stream's
+        next arrival; arrivals route to the session's current device,
+        and each worker launches a batch whenever it is free and frames
+        are pending, at ``max(device_free, earliest pending arrival)`` —
+        so batches form from what has actually arrived by launch time,
+        and a backlogged device folds late arrivals into the draining
+        batches instead of waiting out the tick grid.  Launches execute
+        in global time order across workers (ties by pool index), which
+        keeps the simulation deterministic and the fleet-wide metric
+        streams time-ordered.
         """
         wallclock = self.config.latency_model == "wallclock"
         heap: List[Tuple[float, int, bool, StreamSession]] = []
         for session in self.registry:
             self._push_arrival(heap, session, num_ticks)
-        device_free_ms = 0.0
-        while heap or self.scheduler.pending_count:
-            if self.scheduler.pending_count:
-                now_ms = max(
-                    device_free_ms, self.scheduler.earliest_pending_arrival_ms
+        while heap or any(w.scheduler.pending_count for w in self.workers):
+            ready = [
+                (
+                    max(
+                        worker.device_free_ms,
+                        worker.scheduler.earliest_pending_arrival_ms,
+                    ),
+                    worker.index,
                 )
-            else:
-                now_ms = max(device_free_ms, heap[0][0])
-            while heap and heap[0][0] <= now_ms:
+                for worker in self.workers
+                if worker.scheduler.pending_count
+            ]
+            launch_ms, launch_idx = min(ready) if ready else (None, None)
+            if heap and (launch_ms is None or heap[0][0] <= launch_ms):
                 arrival_ms, _, dropped, session = heapq.heappop(heap)
                 if dropped:
                     session.drop_frame()
                 else:
                     frame = session.next_frame()
                     if frame is not None:
-                        self.scheduler.submit(
+                        self._worker_of(session).scheduler.submit(
                             FrameRequest(
                                 stream_id=session.stream_id,
                                 frame_index=session.frames_ingested - 1,
@@ -397,17 +450,26 @@ class FleetServer:
                             )
                         )
                 self._push_arrival(heap, session, num_ticks)
-            if not self.scheduler.pending_count:
-                continue  # everything due was dropped or exhausted
-            self._queue_depths.append(self.scheduler.pending_count)
-            plan = self.scheduler.next_batch(now_ms)
-            completion_ms = self._serve_batch(
-                plan, now_ms, self.scheduler.pending_count
-            )
+                continue
+            if launch_ms is None:
+                break  # pragma: no cover - loop condition excludes this
+            # rebalance on the launch clock BEFORE the batch forms:
+            # launch times are monotone across the pool (completions are
+            # not), so a migration can never take effect "before"
+            # another device's next batch — and at this instant the
+            # previous batch's sessions are no longer in flight, so a
+            # saturated device genuinely has movable sessions.  A move
+            # re-homes queued frames, so the launch plan is re-derived.
+            if self._maybe_migrate(launch_ms):
+                continue
+            worker = self.workers[launch_idx]
+            completion_ms = worker.launch(launch_ms)
             # wallclock serving has no modeled service time: sequencing
             # advances with arrivals only (timestamp-grouped batches)
-            device_free_ms = now_ms if wallclock else completion_ms
-        return self._build_report(device_free_ms)
+            worker.device_free_ms = launch_ms if wallclock else completion_ms
+        return self._build_report(
+            max(worker.device_free_ms for worker in self.workers)
+        )
 
     def _push_arrival(self, heap, session: StreamSession, num_ticks: int) -> None:
         """Queue the session's next arrival event, if any frames remain."""
@@ -423,270 +485,101 @@ class FleetServer:
         heapq.heappush(heap, (arrival_ms, self._event_seq, dropped, session))
         self._event_seq += 1
 
-    # ------------------------------------------------------------------
-    def _serve_batch(
-        self, plan: BatchPlan, start_ms: float, leftover_depth: int
-    ) -> float:
-        """Run one shared forward + per-stream postprocessing.
+    # -- migration -----------------------------------------------------
+    def _maybe_migrate(self, now_ms: float) -> bool:
+        """Rebalance once: move a session off a sustained-hot device.
 
-        ``leftover_depth`` is the pending count left behind at launch
-        (the admission controller's queue-pressure signal).  Returns the
-        fleet-clock time at which the device is free again.
+        Called at every async batch launch; returns True when a session
+        moved (the caller re-derives its launch plan).  A no-op without
+        a migration config — the sync/wallclock modes, where migration
+        cannot work, are rejected at config time.
         """
-        config = self.config
-        sessions = [req.payload[0] for req in plan.requests]
-        frames = [req.payload[1] for req in plan.requests]
-        self._batch_sizes.append(plan.batch_size)
-
-        images = np.stack([f.image for f in frames]).astype(np.float32)
-        self.model.eval()
-        if nn.compiled_inference_enabled():
-            if self._compiled is None:
-                self._compiled = compile_model(self.model)
-            # one-time trace per batch size, outside the timed region
-            self._compiled.warm(images)
-        with self.timer.measure("inference"):
-            with per_stream_inference(sessions):
-                if nn.compiled_inference_enabled():
-                    if self._compiled is None:
-                        self._compiled = compile_model(self.model)
-                    logits = self._compiled(images)
-                else:
-                    with nn.no_grad():
-                        logits = self.model(nn.Tensor(images, _copy=False))
-            # decode is part of serving a frame, so wallclock inference cost
-            # includes it — same accounting as RealTimePipeline._predict
-            preds = decode_predictions(
-                logits.numpy(), self.model.config, method=config.decode_method
-            )
-
-        if config.latency_model == "orin":
-            infer_ms = plan.planned_latency_ms
-        else:
-            infer_ms = 1e3 * self.timer.records["inference"][-1]
-
-        # inference completes for the whole batch at once; granted
-        # same-batch adaptation steps are then fused into grouped
-        # compiled replays (per-stream state slots, no model swap), with
-        # remaining granted steps running serially in batch order
-        clock_ms = start_ms + infer_ms
-        decisions, group_of = self._plan_adaptation(
-            plan, start_ms, infer_ms, leftover_depth
-        )
-        for req, session, frame, pred in zip(plan.requests, sessions, frames, preds):
-            metrics = point_accuracy(
-                pred[None], frame.gt_cells[None], config.accuracy_threshold_cells
-            )
-            result = None
-            adapt_step_ms = 0.0
-            completion_ms = clock_ms
-            decision = decisions[id(req)]
-            if decision.feed:
-                session.adapt_grants += 1
-                group = group_of.get(id(req))
-                if group is not None:
-                    if group.results is None:  # first member launches it
-                        clock_ms = self._run_group(group, clock_ms)
-                    result = group.results[id(session)]
-                    adapt_step_ms = group.per_stream_ms
-                    completion_ms = group.done_clock_ms
-                else:
-                    session.swap_in()
-                    with self.timer.measure("adaptation"):
-                        result = session.adapter.observe_frame(
-                            frame.image
-                        ) if hasattr(
-                            session.adapter, "observe_frame"
-                        ) else session.adapter.adapt(frame.image[None])
-                    session.swap_out()
-                    wall_ms = 1e3 * self.timer.records["adaptation"][-1]
-                    if result is not None:
-                        adapt_step_ms = (
-                            session.adapt_latency_ms
-                            if config.latency_model == "orin"
-                            else wall_ms
-                        )
-                        clock_ms += adapt_step_ms
-                    completion_ms = clock_ms
-            else:
-                session.adapt_skips += 1
-            if config.latency_model == "orin":
-                latency_ms = completion_ms - req.arrival_ms
-            else:
-                # processing cost only (no simulated queueing): this frame's
-                # share of the batched forward plus its adaptation share
-                latency_ms = infer_ms / plan.batch_size + adapt_step_ms
-            if self.admission is not None and config.latency_model == "orin":
-                self.admission.observe_slack(
-                    deadline_slack_ms(latency_ms, config.deadline_ms)
-                )
-            session.record(
-                frame, latency_ms, metrics.accuracy, result,
-                adapt_ms=adapt_step_ms if result is not None else None,
-            )
-        return clock_ms
-
-    # ------------------------------------------------------------------
-    def _admission_decisions(
-        self, plan: BatchPlan, start_ms: float, infer_ms: float, leftover_depth: int
-    ) -> Dict[int, _Decision]:
-        """Per-request adaptation grants for one served batch.
-
-        Static policy (no admission controller): the stream's
-        ``adapt_stride``/``adapt_phase`` schedule, offset-corrected when
-        a backlogged batch carries several frames of one stream.  Slack
-        policy: :meth:`SlackAdmission.admit` over the batch's step
-        candidates, with the roofline feasibility budget measured from
-        the batch's earliest deadline.
-        """
-        decisions: Dict[int, _Decision] = {}
-        requests = plan.requests
-        sessions = [req.payload[0] for req in requests]
-        if self.admission is None:
-            offsets: Dict[int, int] = {}
-            for req, session in zip(requests, sessions):
-                k = offsets.get(id(session), 0)
-                offsets[id(session)] = k + 1
-                decisions[id(req)] = _Decision(session.due_for_adaptation(k), True)
-            return decisions
-
-        candidates = []
-        assumed_pending: Dict[int, int] = {}
-        first_step: Dict[int, int] = {}
-        for i, (req, session) in enumerate(zip(requests, sessions)):
-            adapter = session.adapter
-            batch_size = getattr(getattr(adapter, "config", None), "batch_size", 1)
-            if id(session) not in assumed_pending:
-                assumed_pending[id(session)] = getattr(
-                    adapter, "pending_frames", batch_size - 1
-                )
-            pending = assumed_pending[id(session)]
-            would_step = pending >= batch_size - 1
-            assumed_pending[id(session)] = 0 if would_step else pending + 1
-            fuse_key = None
-            if would_step and id(session) not in first_step:
-                first_step[id(session)] = i
-                fuse_key = self._adapt_batcher.group_key(session)
-            candidates.append(
-                StepCandidate(
-                    stream_id=session.stream_id,
-                    would_step=would_step,
-                    fuse_key=fuse_key,
-                    frames_per_step=batch_size,
-                    serial_cost_ms=session.adapt_latency_ms,
-                )
-            )
-        if self.config.latency_model == "orin":
-            batch_deadline_ms = min(r.deadline_ms for r in requests)
-            budget_ms = adaptation_budget_ms(batch_deadline_ms, start_ms + infer_ms)
-        else:
-            budget_ms = float("inf")
-        # fused (sublinear) billing only once grouped staging has proven
-        # itself; before that — or if the graph is unlowerable — steps
-        # are billed at the serial rate, an over-estimate that keeps the
-        # feasibility guarantee hard even when stage() falls back
-        allow_fused = (
-            self.config.batch_adaptation and self._adapt_batcher.fuse_billable
-        )
-        grants = self.admission.admit(
-            candidates, budget_ms, leftover_depth, allow_fused=allow_fused
-        )
-        for req, candidate, grant in zip(requests, candidates, grants):
-            decisions[id(req)] = _Decision(grant, candidate.would_step)
-        return decisions
-
-    def _reconcile_buffer_drift(
-        self, plan: BatchPlan, decisions: Dict[int, _Decision]
-    ) -> None:
-        """Refuse feeds the plan budgeted as free buffering but that the
-        adapter's *actual* buffer state would turn into a step.
-
-        Admission predicts buffer phases assuming its grants are taken;
-        a denied step leaves the buffer full, so a later frame planned
-        as "free buffering" would fire an unbudgeted step.  Decisions
-        are reconciled here — before fused staging — so a refused frame
-        can never ride along in a grouped replay either.
-        """
-        sim_pending: Dict[int, int] = {}
-        for req in plan.requests:
-            session, _ = req.payload
-            decision = decisions[id(req)]
-            adapter = session.adapter
-            if not decision.feed or not hasattr(adapter, "pending_frames"):
-                continue  # bufferless adapters step every granted frame
-            batch_size = getattr(getattr(adapter, "config", None), "batch_size", 1)
-            if id(session) not in sim_pending:
-                sim_pending[id(session)] = adapter.pending_frames
-            would_step = sim_pending[id(session)] >= batch_size - 1
-            if would_step and not decision.planned_step:
-                decisions[id(req)] = _Decision(False, False)
-                continue  # refused: buffer state unchanged
-            sim_pending[id(session)] = (
-                0 if would_step else sim_pending[id(session)] + 1
-            )
-
-    def _plan_adaptation(
-        self, plan: BatchPlan, start_ms: float, infer_ms: float, leftover_depth: int
-    ):
-        """Admission decisions + staged fused steps for this served batch.
-
-        Returns ``(decisions, group_of)``: the per-request admission
-        outcome and ``{id(request): StagedGroup}`` for every granted
-        step joining a fused replay; everything else granted keeps the
-        serial path.  Staging (batch assembly + one-time trace/compile)
-        happens here, outside the timed region, mirroring the inference
-        engine's ``warm``.
-        """
-        decisions = self._admission_decisions(plan, start_ms, infer_ms, leftover_depth)
-        self._reconcile_buffer_drift(plan, decisions)
-        group_of: Dict[int, StagedGroup] = {}
-        due = []
-        seen_sessions = set()
-        for req in plan.requests:
-            session, frame = req.payload
-            if not decisions[id(req)].feed or id(session) in seen_sessions:
-                continue
-            seen_sessions.add(id(session))
-            due.append((req, session, frame))
-        if self.config.batch_adaptation:
-            candidates = [
-                (self._adapt_batcher.group_key(session), (req, session, frame))
-                for req, session, frame in due
-            ]
-            groups, _ = plan_adaptation_groups(candidates)
-            for members in groups:
-                staged = self._adapt_batcher.stage(
-                    [session for _, session, _ in members],
-                    [frame.image for _, _, frame in members],
-                )
-                if staged is None:  # graph not lowerable: serial fallback
+        planner = self._migration_planner
+        if planner is None:
+            return False
+        if planner.in_cooldown(now_ms):
+            return False  # no decision possible: skip the movable scans
+        if not planner.any_hot(
+            [worker.slack_ewma_ms for worker in self.workers],
+            [worker.frames_served for worker in self.workers],
+        ):
+            return False  # no sustained-hot source: skip the scans too
+        movable = set()
+        for worker in self.workers:
+            pending = worker.scheduler.pending_stream_ids
+            for sid, session in worker.sessions.items():
+                # a session moves only when no batch containing it is
+                # still completing — queued frames re-home WITH it, so a
+                # saturated device can drain, but in-flight work pins it
+                # (it is never served by two devices in overlapping
+                # windows).  An exhausted session with an empty queue has
+                # nothing left to move.
+                if session.busy_until_ms > now_ms:
                     continue
-                group = StagedGroup(staged)
-                for req, _, _ in members:
-                    group_of[id(req)] = group
-        # serial steppers warm their compiled plan outside the timed region
-        for req, session, frame in due:
-            if id(req) not in group_of and hasattr(session.adapter, "warm"):
-                session.adapter.warm(frame.image)
-        return decisions, group_of
+                if session.exhausted and sid not in pending:
+                    continue
+                movable.add(sid)
+        if not movable:
+            return False
+        period = self.config.period_ms
+        costs = {
+            sid: stream_utilization(cost, period)
+            for worker in self.workers
+            for sid, cost in worker.session_cost_ms.items()
+        }
+        decision = planner.plan(
+            now_ms,
+            [worker.slack_ewma_ms for worker in self.workers],
+            [worker.frames_served for worker in self.workers],
+            [list(worker.sessions) for worker in self.workers],
+            movable,
+            costs,
+        )
+        if decision is None:
+            return False
+        self._migrate(
+            decision.stream_id, decision.source, decision.target, now_ms
+        )
+        planner.commit(decision, now_ms)
+        self._migration_events.append(
+            {
+                "time_ms": now_ms,
+                "stream": decision.stream_id,
+                "source": decision.source,
+                "target": decision.target,
+            }
+        )
+        return True
 
-    def _run_group(self, group: "StagedGroup", clock_ms: float) -> float:
-        """Execute one fused adaptation step; returns the advanced clock."""
-        staged = group.staged
-        with self.timer.measure("adaptation"):
-            group.results = staged.execute()
-        wall_ms = 1e3 * self.timer.records["adaptation"][-1]
-        if self.config.latency_model == "orin":
-            fused_ms = ld_bn_adapt_latency(
-                self.spec, self.device,
-                staged.num_streams * staged.group_size,
-            ).adaptation_ms
-        else:
-            fused_ms = wall_ms
-        self._adapt_batch_sizes.append(staged.num_streams)
-        group.per_stream_ms = fused_ms / staged.num_streams
-        group.done_clock_ms = clock_ms + fused_ms
-        return group.done_clock_ms
+    def _migrate(
+        self, stream_id: str, source: int, target: int, now_ms: float = 0.0
+    ) -> None:
+        """Move one session between workers, state and backlog intact.
+
+        The session object carries its own BN snapshot, optimizer slots
+        and monitors, so the move itself is bitwise lossless; what
+        changes hands is the admission state (debt/deferrals/fuse key),
+        the modeled adaptation price (re-quoted from the target's own
+        profile), and the session's *queued frames* — re-submitted to
+        the target's scheduler with arrivals and deadlines intact, so a
+        saturated device can actually shed its backlog.  The target's
+        clock is floored at the handoff instant: re-homed frames can
+        never launch before ``now_ms``, which (with the ``busy_until``
+        movability gate) keeps one session from being served by two
+        devices in overlapping windows.
+        """
+        session = self.registry.get(stream_id)
+        state = self.workers[source].detach(session)
+        self.workers[target].attach(session, admission_state=state)
+        for request in self.workers[source].scheduler.extract_stream(stream_id):
+            self.workers[target].scheduler.submit(request)
+        self.workers[target].device_free_ms = max(
+            self.workers[target].device_free_ms, now_ms
+        )
+        self.workers[source].migrations_out += 1
+        self.workers[target].migrations_in += 1
+        session.migrations += 1
+        self._placements[stream_id] = target
 
     # ------------------------------------------------------------------
     def _build_report(self, elapsed_ms: float) -> FleetReport:
@@ -699,7 +592,11 @@ class FleetServer:
             batch_sizes=list(self._batch_sizes),
             adapt_batch_sizes=list(self._adapt_batch_sizes),
             queue_depths=list(self._queue_depths),
+            migration_events=list(self._migration_events),
         )
+        report.device_reports = [
+            worker.report(report.elapsed_ms) for worker in self.workers
+        ]
         for session in self.registry:
             report.stream_reports[session.stream_id] = session.report
             report.admission_grants[session.stream_id] = session.adapt_grants

@@ -178,6 +178,12 @@ class StreamSession:
     shared — sessions take turns materializing their state on it via
     ``swap_in``/``swap_out`` around adaptation steps, and contribute
     folded per-sample stats to batched inference in between.
+
+    Because the session is the single container of per-stream state, the
+    device pool migrates a stream by *re-homing the session object*: the
+    snapshot, optimizer slots and monitors move bitwise untouched, only
+    the modeled adaptation price (``adapt_latency_ms``) is re-quoted by
+    the target device.
     """
 
     def __init__(
@@ -211,6 +217,8 @@ class StreamSession:
         self.frames_dropped = 0  # frames the arrival process lost in flight
         self.adapt_grants = 0  # frames admission fed to the adapter
         self.adapt_skips = 0  # frames admission withheld from the adapter
+        self.migrations = 0  # times the session moved to another device
+        self.busy_until_ms = 0.0  # completion of the last batch serving us
         self.exhausted = False
 
     def next_frame(self) -> Optional[LaneSample]:

@@ -8,7 +8,7 @@ splitting those generators so experiments are exactly repeatable.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Union
 
 import numpy as np
 
@@ -30,17 +30,37 @@ def split_rng(rng: np.random.Generator, count: int) -> List[np.random.Generator]
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
-def child_seed(seed: int, index: int) -> int:
-    """Stable derived seed for child stream ``index`` of root ``seed``.
+def child_seed(seed: int, key: Union[int, str]) -> int:
+    """Stable derived seed for child ``key`` of root ``seed``.
 
     Unlike :func:`split_rng` this needs no parent generator state, so a
-    component can derive the seed for its *k*-th child (e.g. the arrival
-    process of the *k*-th registered camera stream) at any time and in
-    any order while remaining exactly reproducible.
+    component can derive the seed for any child at any time and in any
+    order while remaining exactly reproducible.  ``key`` is either an
+    integer in ``[0, 2**32)`` (the *k*-th child — the historical form,
+    whose derived seeds are stable across releases) or a string
+    *namespace* — e.g. a camera stream id — hashed through the same
+    ``SeedSequence`` machinery.  String keys make the derived stream
+    independent of registration order and of how sessions are sharded
+    across a device pool: a stream's arrival process depends only on
+    ``(seed, stream_id)``, never on device count or placement.  The two
+    namespaces are disjoint: an integer key contributes one entropy
+    word, a string always at least two (tag + length + bytes).
     """
-    if index < 0:
-        raise ValueError("index must be non-negative")
-    sequence = np.random.SeedSequence([int(seed), int(index)])
+    if isinstance(key, str):
+        data = key.encode("utf-8")
+        # namespace tag 1 + length keep string keys disjoint from the
+        # single-word integer namespace and prefix strings from each
+        # other
+        entropy = [int(seed), 1, len(data)] + list(data)
+    else:
+        if not 0 <= key < 2**32:
+            raise ValueError(
+                f"integer keys must be in [0, 2**32), got {key}; larger "
+                "keys would span several entropy words and could collide "
+                "with the string namespace — use a string key instead"
+            )
+        entropy = [int(seed), int(key)]
+    sequence = np.random.SeedSequence(entropy)
     return int(sequence.generate_state(1, np.uint64)[0])
 
 

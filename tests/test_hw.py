@@ -58,6 +58,37 @@ class TestDeviceProfiles:
         assert derived.power_w == 30.0
 
 
+class TestDevicePoolHelpers:
+    def test_build_device_pool_from_string(self):
+        from repro.hw import build_device_pool
+
+        pool = build_device_pool("orin-60w:2,orin-30w")
+        assert [d.name for d in pool] == ["orin-60w", "orin-60w", "orin-30w"]
+        assert build_device_pool(["orin-15w"])[0].name == "orin-15w"
+
+    def test_build_device_pool_rejects_bad_entries(self):
+        from repro.hw import build_device_pool
+
+        with pytest.raises(ValueError):
+            build_device_pool("")
+        with pytest.raises(ValueError):
+            build_device_pool("orin-60w:0")
+        with pytest.raises(ValueError):
+            build_device_pool("orin-60w:x")
+        with pytest.raises(KeyError):
+            build_device_pool("orin-7w")
+
+    def test_stream_utilization(self):
+        from repro.hw import stream_utilization
+
+        assert stream_utilization(16.65, 33.3) == pytest.approx(0.5)
+        assert stream_utilization(0.0, 33.3) == 0.0
+        with pytest.raises(ValueError):
+            stream_utilization(1.0, 0.0)
+        with pytest.raises(ValueError):
+            stream_utilization(-1.0, 33.3)
+
+
 class TestRoofline:
     def test_forward_positive(self):
         assert forward_latency(R18_SPEC, ORIN60) > 0

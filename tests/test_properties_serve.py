@@ -11,10 +11,22 @@ Seeded random fleets probe the invariants the serving loop leans on:
 * :class:`SlackAdmission` never grants adaptation work whose modeled
   cost exceeds the batch's deadline budget, always grants free buffering
   frames, sheds non-starving streams when hot, and bounds every stream's
-  skip streak at ``max_debt`` while the budget allows catch-ups;
+  skip streak at ``max_debt`` while the budget allows catch-ups —
+  per-device controllers keep the guarantee pool-wide, and migration's
+  ``export_stream``/``import_stream`` moves debt exactly;
+* the **device pool**: a sharded drain with rule-respecting migrations
+  (a stream with a batch in flight is pinned; queued frames re-home
+  with the mover, whose launches are floored at the handoff instant)
+  serves every frame exactly once, never exceeds any device's capacity,
+  preserves per-stream order, and never serves one session on two
+  devices in overlapping windows; :class:`MigrationPlanner` decisions
+  always name a sustained-hot observed source, a cooler-by-the-gap
+  target, and a movable session, and respect the cooldowns;
 * :class:`ArrivalProcess` realizations are monotone, deterministic per
   seed, and degenerate to the exact tick grid at zero jitter.
 """
+
+from collections import defaultdict
 
 import numpy as np
 import pytest
@@ -25,8 +37,11 @@ from repro.serve import (
     ArrivalProcess,
     DeadlineAwareScheduler,
     FrameRequest,
+    MigrationConfig,
+    MigrationPlanner,
     SlackAdmission,
     StepCandidate,
+    place_stream,
     plan_adaptation_groups,
 )
 from repro.serve.admission import AdmissionConfig
@@ -196,18 +211,26 @@ def admission_batch(draw):
 
 def _granted_cost(candidates, decisions, cost_fn, allow_fused=True):
     """Total modeled cost of the granted steps, fused where the server
-    would fuse (same key, first occurrence per stream)."""
+    would fuse (same key, first occurrence per stream).
+
+    Mirrors ``SlackAdmission.admit``'s billing exactly: the *first*
+    stepping occurrence of a stream is the fusable one regardless of
+    whether it was granted — a granted repeat after a denied first
+    occurrence pays the serial price, never the fused marginal.
+    """
+    first = {}
+    for candidate in candidates:
+        if candidate.would_step and candidate.fuse_key is not None:
+            first.setdefault(candidate.stream_id, id(candidate))
     fused_counts = {}
     serial = 0.0
-    first = {}
     for candidate, granted in zip(candidates, decisions):
         if not granted or not candidate.would_step:
             continue
         fusable = (
             allow_fused
             and candidate.fuse_key is not None
-            and first.setdefault(candidate.stream_id, id(candidate))
-            == id(candidate)
+            and first.get(candidate.stream_id) == id(candidate)
         )
         if fusable:
             key = (candidate.fuse_key, candidate.frames_per_step)
@@ -305,6 +328,414 @@ class TestAdmissionProperties:
             batch, budget_ms=float("-inf"), queue_depth=0
         )
         assert all(decisions)
+
+
+# ----------------------------------------------------------------------
+# Device pool: sharded drain + migration
+# ----------------------------------------------------------------------
+
+@st.composite
+def pool_fleet(draw):
+    """A random request set over a random heterogeneous device pool."""
+    num_devices = draw(st.integers(1, 3))
+    num_streams = draw(st.integers(1, 4))
+    frames_per_stream = draw(st.integers(1, 5))
+    period = draw(st.floats(5.0, 50.0))
+    deadline = draw(st.floats(5.0, 80.0))
+    # per-device latency models: heterogeneous bases/slopes
+    bases = draw(
+        st.lists(
+            st.floats(0.0, 40.0), min_size=num_devices, max_size=num_devices
+        )
+    )
+    slopes = draw(
+        st.lists(
+            st.floats(0.0, 15.0), min_size=num_devices, max_size=num_devices
+        )
+    )
+    jitters = draw(
+        st.lists(
+            st.floats(0.0, 30.0),
+            min_size=num_streams * frames_per_stream,
+            max_size=num_streams * frames_per_stream,
+        )
+    )
+    policy = draw(st.sampled_from(["least_loaded", "round_robin"]))
+    mig_seed = draw(st.integers(0, 2**32 - 1))
+    requests = []
+    k = 0
+    for s in range(num_streams):
+        last = 0.0
+        for i in range(frames_per_stream):
+            arrival = max(i * period + jitters[k], last)
+            last = arrival
+            k += 1
+            requests.append(
+                FrameRequest(
+                    stream_id=f"s{s}",
+                    frame_index=i,
+                    arrival_ms=arrival,
+                    deadline_ms=arrival + deadline,
+                )
+            )
+    latency_fns = [
+        (lambda b, base=base, slope=slope: base + slope * b)
+        for base, slope in zip(bases, slopes)
+    ]
+    return requests, latency_fns, policy, mig_seed
+
+
+class TestPoolProperties:
+    @given(fleet=pool_fleet(), max_batch=st.integers(1, 6))
+    @settings(**SETTINGS)
+    def test_sharded_drain_with_migration_partitions_and_never_overlaps(
+        self, fleet, max_batch
+    ):
+        """The pool invariants under arbitrary rule-respecting migration:
+        every frame served exactly once by exactly one device, no device
+        over its capacity or mispriced, per-stream order preserved, and
+        no session served by two devices in overlapping windows."""
+        requests, latency_fns, policy, mig_seed = fleet
+        num_devices = len(latency_fns)
+        scheds = [
+            DeadlineAwareScheduler(latency_fn=fn, max_batch_size=max_batch)
+            for fn in latency_fns
+        ]
+        # placement mirrors the server: policy over per-device costs
+        stream_ids = sorted({r.stream_id for r in requests})
+        placement = {}
+        loads = [0.0] * num_devices
+        for index, sid in enumerate(stream_ids):
+            costs = [fn(1) / 100.0 for fn in latency_fns]
+            device = place_stream(policy, index, costs, loads)
+            placement[sid] = device
+            loads[device] += costs[device]
+        mig_rng = np.random.default_rng(mig_seed)
+
+        by_arrival = sorted(
+            requests, key=lambda r: (r.arrival_ms, r.stream_id, r.frame_index)
+        )
+        device_free = [0.0] * num_devices
+        busy_until = defaultdict(float)
+        intervals = defaultdict(list)  # sid -> [(start, end, device)]
+        served = []
+        i = 0
+        while i < len(by_arrival) or any(s.pending_count for s in scheds):
+            ready = [
+                (max(device_free[d], scheds[d].earliest_pending_arrival_ms), d)
+                for d in range(num_devices)
+                if scheds[d].pending_count
+            ]
+            launch_ms, device = min(ready) if ready else (None, None)
+            if i < len(by_arrival) and (
+                launch_ms is None or by_arrival[i].arrival_ms <= launch_ms
+            ):
+                request = by_arrival[i]
+                scheds[placement[request.stream_id]].submit(request)
+                i += 1
+                continue
+            plan = scheds[device].next_batch(launch_ms)
+
+            # per-device capacity and pricing
+            assert 1 <= plan.batch_size <= max_batch
+            assert plan.planned_latency_ms == pytest.approx(
+                latency_fns[device](plan.batch_size)
+            )
+            end_ms = launch_ms + plan.planned_latency_ms
+            for request in plan.requests:
+                intervals[request.stream_id].append((launch_ms, end_ms, device))
+                busy_until[request.stream_id] = max(
+                    busy_until[request.stream_id], end_ms
+                )
+            served.extend(plan.requests)
+            device_free[device] = end_ms
+
+            # rule-respecting random migration at the (monotone) launch
+            # clock — exactly the server's movability gate: a stream
+            # with a batch still in flight is pinned; queued frames
+            # re-home with the mover and the target's clock is floored
+            # at the handoff instant
+            if num_devices > 1 and mig_rng.random() < 0.5:
+                movable = [
+                    sid
+                    for sid in stream_ids
+                    if busy_until[sid] <= launch_ms
+                ]
+                if movable:
+                    sid = movable[int(mig_rng.integers(len(movable)))]
+                    old = placement[sid]
+                    new = int(mig_rng.integers(num_devices))
+                    placement[sid] = new
+                    if new != old:
+                        for request in scheds[old].extract_stream(sid):
+                            scheds[new].submit(request)
+                        device_free[new] = max(device_free[new], launch_ms)
+
+        # exact partition pool-wide: nothing lost, nothing double-served
+        assert sorted(id(r) for r in served) == sorted(id(r) for r in requests)
+        # per-stream frame order is preserved across batches AND devices
+        for sid in stream_ids:
+            indices = [r.frame_index for r in served if r.stream_id == sid]
+            assert indices == sorted(indices)
+        # a session is never served by two devices in overlapping windows
+        for sid, spans in intervals.items():
+            spans = sorted(spans)
+            for (s0, e0, d0), (s1, e1, d1) in zip(spans, spans[1:]):
+                if d0 != d1:
+                    assert s1 >= e0 - 1e-9, (sid, (s0, e0, d0), (s1, e1, d1))
+
+    @given(
+        policy=st.sampled_from(["least_loaded", "round_robin"]),
+        index=st.integers(0, 20),
+        costs=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=6),
+        extra=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=6),
+        pinned=st.one_of(st.none(), st.integers(0, 5)),
+    )
+    @settings(**SETTINGS)
+    def test_place_stream_in_range_and_deterministic(
+        self, policy, index, costs, extra, pinned
+    ):
+        loads = extra[: len(costs)] + [0.0] * max(0, len(costs) - len(extra))
+        if pinned is not None and pinned >= len(costs):
+            with pytest.raises(ValueError):
+                place_stream(policy, index, costs, loads, pinned=pinned)
+            return
+        device = place_stream(policy, index, costs, loads, pinned=pinned)
+        assert 0 <= device < len(costs)
+        assert device == place_stream(policy, index, costs, loads, pinned=pinned)
+        if pinned is not None:
+            assert device == pinned
+        elif policy == "least_loaded":
+            projected = [l + c for l, c in zip(loads, costs)]
+            assert projected[device] == min(projected)
+
+
+class TestMigrationPlannerProperties:
+    @st.composite
+    def scenario(draw):
+        num_devices = draw(st.integers(2, 4))
+        ewmas = draw(
+            st.lists(
+                st.one_of(st.none(), st.floats(-60.0, 30.0)),
+                min_size=num_devices,
+                max_size=num_devices,
+            )
+        )
+        observations = draw(
+            st.lists(
+                st.integers(0, 40), min_size=num_devices, max_size=num_devices
+            )
+        )
+        num_streams = draw(st.integers(0, 6))
+        homes = draw(
+            st.lists(
+                st.integers(0, num_devices - 1),
+                min_size=num_streams,
+                max_size=num_streams,
+            )
+        )
+        device_sessions = [[] for _ in range(num_devices)]
+        for k, home in enumerate(homes):
+            device_sessions[home].append(f"s{k}")
+        movable = {
+            f"s{k}" for k in range(num_streams) if draw(st.booleans())
+        }
+        costs = {
+            f"s{k}": draw(st.floats(0.0, 3.0)) for k in range(num_streams)
+        }
+        config = MigrationConfig(
+            hot_slack_ms=draw(st.floats(-5.0, 10.0)),
+            slack_gap_ms=draw(st.floats(0.0, 20.0)),
+            cooldown_ms=draw(st.floats(1.0, 1000.0)),
+            min_observations=draw(st.integers(1, 10)),
+        )
+        now = draw(st.floats(0.0, 5000.0))
+        return config, now, ewmas, observations, device_sessions, movable, costs
+
+    @given(scenario=scenario())
+    @settings(**SETTINGS)
+    def test_decisions_respect_heat_gap_movability_and_cooldowns(
+        self, scenario
+    ):
+        config, now, ewmas, observations, device_sessions, movable, costs = (
+            scenario
+        )
+        planner = MigrationPlanner(config)
+        decision = planner.plan(
+            now, ewmas, observations, device_sessions, movable, costs
+        )
+        if decision is None:
+            return
+        source, target = decision.source, decision.target
+        assert source != target
+        # the source is observed, sustained, and genuinely hot
+        assert ewmas[source] is not None
+        assert observations[source] >= config.min_observations
+        assert ewmas[source] < config.hot_slack_ms
+        # the moved stream lives on the source and is movable
+        assert decision.stream_id in device_sessions[source]
+        assert decision.stream_id in movable
+        # the target is cooler by more than the gap (empty-unobserved
+        # devices count as maximally cool)
+        if ewmas[target] is None:
+            assert not device_sessions[target]
+        else:
+            assert ewmas[target] - ewmas[source] > config.slack_gap_ms
+        # cooldowns: immediately after committing, nothing moves; once
+        # the fleet cooldown passes, the just-moved stream still waits
+        # out its own (longer) per-session refractory
+        planner.commit(decision, now)
+        assert (
+            planner.plan(
+                now + config.cooldown_ms / 2.0,
+                ewmas,
+                observations,
+                device_sessions,
+                movable,
+                costs,
+            )
+            is None
+        )
+        later = now + config.cooldown_ms
+        follow_up = planner.plan(
+            later, ewmas, observations, device_sessions, movable, costs
+        )
+        if follow_up is not None and follow_up.stream_id == decision.stream_id:
+            # allowed only once its per-session refractory also elapsed
+            assert later - now >= config.effective_session_cooldown_ms
+
+
+class TestMigrationStatePreservation:
+    @given(
+        steps=st.integers(0, 2),
+        lr=st.floats(1e-4, 1e-2),
+        seed=st.integers(0, 2**16),
+        debt=st.integers(0, 8),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_migration_preserves_snapshot_and_optimizer_bitwise(
+        self, steps, lr, seed, debt
+    ):
+        """Satellite acceptance: after any adaptation history, migrating
+        a session moves its BN snapshot, running buffers, optimizer
+        slots, step count and admission debt bitwise — only the modeled
+        adaptation price changes (re-quoted per device)."""
+        from repro.adapt import LDBNAdaptConfig
+        from repro.hw import ORIN_POWER_MODES, ld_bn_adapt_latency
+        from repro.models import build_model, get_config
+        from repro.serve import AdmissionConfig, FleetConfig, FleetServer
+
+        model = build_model(
+            "tiny-r18", num_lanes=2, rng=np.random.default_rng(seed)
+        )
+        pool = [ORIN_POWER_MODES["orin-60w"], ORIN_POWER_MODES["orin-15w"]]
+        spec = get_config("paper-r18").to_spec()
+        server = FleetServer(
+            model,
+            FleetConfig(
+                latency_model="orin", devices=2, admission=AdmissionConfig()
+            ),
+            spec=spec,
+            device_pool=pool,
+        )
+        session = server.add_stream(
+            "s0", iter(()), adapter_config=LDBNAdaptConfig(lr=lr), device=0
+        )
+        rng = np.random.default_rng(seed)
+        h, w = model.config.input_hw
+        session.swap_in()
+        for _ in range(steps):
+            session.adapter.observe_frame(
+                rng.normal(0.5, 0.3, size=(3, h, w)).astype(np.float32)
+            )
+        session.swap_out()
+        server.workers[0].admission._debt["s0"] = debt
+
+        params = [p.copy() for p in session.bn_state.params.saved]
+        buffers = [
+            {k: np.array(v) for k, v in bufs.items()}
+            for bufs in session.bn_state.buffers
+        ]
+        optimizer = session.adapter.optimizer
+        opt_state = {
+            key: {k: np.array(v) for k, v in slot.items()}
+            for key, slot in optimizer.state.items()
+        }
+        steps_taken = session.adapter.steps_taken
+
+        server._migrate("s0", 0, 1)
+
+        assert server.workers[1].sessions["s0"] is session
+        for before, after in zip(params, session.bn_state.params.saved):
+            np.testing.assert_array_equal(before, after)
+        for before, after in zip(buffers, session.bn_state.buffers):
+            for key in before:
+                np.testing.assert_array_equal(before[key], after[key])
+        assert session.adapter.optimizer is optimizer
+        assert set(opt_state) == set(optimizer.state)
+        for key, slot in opt_state.items():
+            for k, v in slot.items():
+                np.testing.assert_array_equal(v, optimizer.state[key][k])
+        assert session.adapter.steps_taken == steps_taken
+        assert server.workers[1].admission.debt("s0") == debt
+        assert server.workers[0].admission.debt("s0") == 0
+        assert session.adapt_latency_ms == pytest.approx(
+            ld_bn_adapt_latency(spec, pool[1], 1).adaptation_ms
+        )
+
+
+class TestAdmissionPoolProperties:
+    @given(
+        debt=st.integers(0, 30),
+        deferrals=st.integers(0, 10),
+        key=st.one_of(st.none(), st.sampled_from(["a", "b"])),
+    )
+    @settings(**SETTINGS)
+    def test_export_import_moves_admission_state_exactly(
+        self, debt, deferrals, key
+    ):
+        """Migration's state hand-off: debt neither lost nor duplicated."""
+        source, target = SlackAdmission(), SlackAdmission()
+        source.import_stream(
+            "s0", {"static_key": key, "debt": debt, "deferrals": deferrals}
+        )
+        state = source.export_stream("s0")
+        assert state == {
+            "static_key": key, "debt": debt, "deferrals": deferrals
+        }
+        # exporting removed every trace from the source controller
+        assert source.debt("s0") == 0
+        assert "s0" not in source._static_keys
+        target.import_stream("s0", state)
+        assert target.debt("s0") == debt
+        assert target._static_keys["s0"] == key
+        assert target._deferrals["s0"] == deferrals
+
+    @given(
+        batches=st.lists(admission_batch(), min_size=2, max_size=3),
+        budgets=st.lists(st.floats(-10.0, 120.0), min_size=3, max_size=3),
+        base=st.floats(0.0, 25.0),
+        slope=st.floats(0.0, 10.0),
+    )
+    @settings(**SETTINGS)
+    def test_per_device_budgets_never_exceeded_pool_wide(
+        self, batches, budgets, base, slope
+    ):
+        """Each device's controller spends only its own batch budget, so
+        the pool-wide grant cost is bounded by the sum of budgets."""
+        cost_fn = lambda n: base + slope * n  # noqa: E731
+        total_granted = 0.0
+        total_budget = 0.0
+        for batch, budget in zip(batches, budgets):
+            controller = SlackAdmission(
+                AdmissionConfig(headroom_ms=0.0), cost_fn
+            )
+            decisions = controller.admit(batch, budget, queue_depth=0)
+            granted = _granted_cost(batch, decisions, cost_fn)
+            assert granted <= budget + 1e-9 or granted == 0.0
+            total_granted += granted
+            total_budget += max(budget, 0.0)
+        assert total_granted <= total_budget + 1e-9
 
 
 # ----------------------------------------------------------------------

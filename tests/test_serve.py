@@ -861,8 +861,8 @@ class TestSlackAdmissionFleet:
         """A feed budgeted as free buffering onto a full buffer (after a
         denied step) must be refused at plan time, so it can never be
         staged into a fused group and stepped unbudgeted."""
+        from repro.serve.pool import _Decision
         from repro.serve.scheduler import BatchPlan, FrameRequest
-        from repro.serve.server import _Decision
 
         server = FleetServer(
             trained_tiny_model,
@@ -872,6 +872,7 @@ class TestSlackAdmissionFleet:
         session = server.add_stream(
             "s0", iter(()), adapter_config=LDBNAdaptConfig(batch_size=2)
         )
+        worker = server.workers[0]
         h, w = trained_tiny_model.config.input_hw
         session.adapter.observe_frame(np.zeros((3, h, w), dtype=np.float32))
         assert session.adapter.pending_frames == 1  # buffer full: next feeds step
@@ -881,11 +882,11 @@ class TestSlackAdmissionFleet:
         )
         plan = BatchPlan(requests=(req,), planned_latency_ms=0.0)
         decisions = {id(req): _Decision(True, False)}  # planned: free buffer
-        server._reconcile_buffer_drift(plan, decisions)
+        worker._reconcile_buffer_drift(plan, decisions)
         assert not decisions[id(req)].feed  # refused, not silently stepped
         # a budgeted step on the same state passes through untouched
         decisions = {id(req): _Decision(True, True)}
-        server._reconcile_buffer_drift(plan, decisions)
+        worker._reconcile_buffer_drift(plan, decisions)
         assert decisions[id(req)].feed
 
     def test_slack_hysteresis_latches_between_thresholds(self):
@@ -916,6 +917,289 @@ class TestSlackAdmissionFleet:
         adam = LDBNAdapt(trained_tiny_model, LDBNAdaptConfig(optimizer="adam"))
         assert static_fuse_key(adam) is None
         assert static_fuse_key(NoAdapt(trained_tiny_model)) is None
+
+
+class TestDevicePool:
+    """Tentpole acceptance: sharding, placement, migration, parity."""
+
+    DEVICE = ORIN_POWER_MODES["orin-60w"]
+    SPEC = get_config("paper-r18").to_spec()
+
+    def _frame_lists(self, benchmark, count, frames, seed=200):
+        return [
+            benchmark.target_stream(rng=np.random.default_rng(seed + i))
+            .take(frames)
+            .samples
+            for i in range(count)
+        ]
+
+    def _run(
+        self, model, pristine, frame_lists, ticks,
+        stream_ids=None, pins=None, device_pool=None, **cfg
+    ):
+        model.load_state_dict(pristine)
+        server = FleetServer(
+            model,
+            FleetConfig(latency_model="orin", **cfg),
+            device=self.DEVICE,
+            spec=self.SPEC,
+            device_pool=device_pool,
+        )
+        sessions = []
+        for i, frames in enumerate(frame_lists):
+            sessions.append(
+                server.add_stream(
+                    stream_ids[i] if stream_ids else f"s{i}",
+                    iter(list(frames)),
+                    adapter_config=LDBNAdaptConfig(lr=1e-3),
+                    device=pins[i] if pins else None,
+                )
+            )
+        return server.run(ticks), server, sessions
+
+    def test_default_pool_is_single_device(self, trained_tiny_model):
+        server = FleetServer(
+            trained_tiny_model,
+            FleetConfig(latency_model="orin"),
+            device=self.DEVICE,
+            spec=self.SPEC,
+        )
+        assert FleetConfig().devices == 1
+        assert len(server.workers) == 1
+        assert server.scheduler is server.workers[0].scheduler
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(devices=0)
+        with pytest.raises(ValueError):
+            FleetConfig(placement="hash-ring")
+
+    def test_pool_size_mismatch_rejected(self, trained_tiny_model):
+        with pytest.raises(ValueError):
+            FleetServer(
+                trained_tiny_model,
+                FleetConfig(latency_model="orin", devices=3),
+                spec=self.SPEC,
+                device_pool=[self.DEVICE, self.DEVICE],
+            )
+        with pytest.raises(ValueError):
+            FleetServer(
+                trained_tiny_model,
+                FleetConfig(latency_model="orin"),
+                spec=self.SPEC,
+                device_pool=[],
+            )
+
+    def test_pinned_policy_requires_device(self, trained_tiny_model, tiny_benchmark):
+        frames = self._frame_lists(tiny_benchmark, 1, 2)
+        server = FleetServer(
+            trained_tiny_model,
+            FleetConfig(latency_model="orin", devices=2, placement="pinned"),
+            device=self.DEVICE,
+            spec=self.SPEC,
+        )
+        with pytest.raises(ValueError):
+            server.add_stream("s0", iter(frames[0]))
+        session = server.add_stream("s1", iter(frames[0]), device=1)
+        assert server.device_of("s1") == 1
+        assert server.workers[1].sessions["s1"] is session
+        with pytest.raises(ValueError):
+            server.add_stream("s2", iter(frames[0]), device=2)  # out of range
+
+    def test_round_robin_placement(self, trained_tiny_model, tiny_benchmark):
+        frame_lists = self._frame_lists(tiny_benchmark, 3, 2)
+        _, server, _ = self._run(
+            trained_tiny_model, trained_tiny_model.state_dict(), frame_lists,
+            2, devices=2, placement="round_robin",
+        )
+        assert [server.device_of(f"s{i}") for i in range(3)] == [0, 1, 0]
+
+    def test_least_loaded_balances_homogeneous_pool(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        frame_lists = self._frame_lists(tiny_benchmark, 4, 2)
+        _, server, _ = self._run(
+            trained_tiny_model, trained_tiny_model.state_dict(), frame_lists,
+            2, devices=2, placement="least_loaded",
+        )
+        placements = [server.device_of(f"s{i}") for i in range(4)]
+        assert sorted(placements) == [0, 0, 1, 1]
+
+    def test_heterogeneous_pool_prices_per_device(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Mixed power modes: each worker quotes its own roofline costs."""
+        from repro.hw import build_device_pool, ld_bn_adapt_latency
+
+        pool = build_device_pool("orin-60w,orin-15w")
+        frame_lists = self._frame_lists(tiny_benchmark, 2, 2)
+        _, server, sessions = self._run(
+            trained_tiny_model, trained_tiny_model.state_dict(), frame_lists,
+            2, pins=[0, 1], device_pool=pool,
+        )
+        fast, slow = sessions
+        assert fast.adapt_latency_ms == pytest.approx(
+            ld_bn_adapt_latency(self.SPEC, pool[0], 1).adaptation_ms
+        )
+        assert slow.adapt_latency_ms == pytest.approx(
+            ld_bn_adapt_latency(self.SPEC, pool[1], 1).adaptation_ms
+        )
+        assert slow.adapt_latency_ms > fast.adapt_latency_ms
+        # the slow device also plans slower batches
+        assert server.workers[1].latency_fn(1) > server.workers[0].latency_fn(1)
+        # and least-loaded placement would prefer the faster device
+        costs = [
+            w.estimate_cost_ms(sessions[0].adapter) for w in server.workers
+        ]
+        assert costs[1] > costs[0]
+
+    def test_all_pinned_to_one_device_matches_single_device_exactly(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """A 2-device pool with every session pinned to device 0 must
+        reproduce the 1-device fleet bitwise — the coordinator loop adds
+        nothing when only one device serves."""
+        frame_lists = self._frame_lists(tiny_benchmark, 3, 6)
+        pristine = trained_tiny_model.state_dict()
+        kwargs = dict(jitter_ms=9.0, drop_rate=0.1, arrival_seed=3)
+        single, _, _ = self._run(
+            trained_tiny_model, pristine, frame_lists, 6, devices=1, **kwargs
+        )
+        pooled, _, _ = self._run(
+            trained_tiny_model, pristine, frame_lists, 6,
+            devices=2, pins=[0, 0, 0], **kwargs,
+        )
+        assert _per_frame_outputs(pooled) == _per_frame_outputs(single)
+        assert pooled.batch_sizes == single.batch_sizes
+        assert pooled.queue_depths == single.queue_depths
+        assert pooled.device_reports[1].frames_served == 0
+
+    def test_pinned_split_equals_independent_fleets_bitwise(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Satellite acceptance (RNG namespacing): stream-id-keyed
+        arrival seeds make a sharded fleet decompose exactly — a
+        4-stream 2-device pinned pool reproduces two independent
+        2-stream single-device fleets bitwise, jitter and drops
+        included."""
+        frame_lists = self._frame_lists(tiny_benchmark, 4, 6)
+        pristine = trained_tiny_model.state_dict()
+        kwargs = dict(jitter_ms=12.0, drop_rate=0.15, arrival_seed=11)
+        combined, _, _ = self._run(
+            trained_tiny_model, pristine, frame_lists, 6,
+            devices=2, pins=[0, 0, 1, 1], **kwargs,
+        )
+        first, _, _ = self._run(
+            trained_tiny_model, pristine, frame_lists[:2], 6,
+            stream_ids=["s0", "s1"], **kwargs,
+        )
+        second, _, _ = self._run(
+            trained_tiny_model, pristine, frame_lists[2:], 6,
+            stream_ids=["s2", "s3"], **kwargs,
+        )
+        expected = _per_frame_outputs(first) + _per_frame_outputs(second)
+        assert _per_frame_outputs(combined) == expected
+        # at least one stream actually jittered into a drop somewhere,
+        # so the equality exercised the seeded arrival processes
+        assert combined.total_dropped_frames > 0
+        assert (
+            combined.total_dropped_frames
+            == first.total_dropped_frames + second.total_dropped_frames
+        )
+
+    def test_sync_ingest_parity_on_pool(self, trained_tiny_model, tiny_benchmark):
+        """Pool-of-N async/sync parity: the per-worker tick drain and
+        the merged event loop see identical arrivals at zero jitter."""
+        frame_lists = self._frame_lists(tiny_benchmark, 4, 6)
+        pristine = trained_tiny_model.state_dict()
+        reports = {}
+        for ingest in ("async", "sync"):
+            reports[ingest], _, _ = self._run(
+                trained_tiny_model, pristine, frame_lists, 6,
+                devices=2, adapt_stride=4, ingest=ingest,
+            )
+        assert _per_frame_outputs(reports["async"]) == _per_frame_outputs(
+            reports["sync"]
+        )
+        assert reports["async"].batch_sizes == reports["sync"].batch_sizes
+
+    def test_migration_drains_hot_device(self, trained_tiny_model, tiny_benchmark):
+        """Three paper-scale streams pinned onto a 30 W device overrun it;
+        the planner must move load to the idle 60 W device, and the
+        moved session's state must survive bitwise."""
+        from repro.hw import build_device_pool
+        from repro.serve import MigrationConfig
+
+        pool = build_device_pool("orin-60w,orin-30w")
+        frame_lists = self._frame_lists(tiny_benchmark, 3, 20)
+        report, server, sessions = self._run(
+            trained_tiny_model, trained_tiny_model.state_dict(), frame_lists,
+            20, pins=[1, 1, 1], device_pool=pool, devices=2,
+            jitter_ms=8.0, phase_spread_ms=11.0,
+            admission=AdmissionConfig(),
+            migration=MigrationConfig(cooldown_ms=300.0, min_observations=6),
+        )
+        assert report.total_migrations >= 1
+        event = report.migration_events[0]
+        assert event["source"] == 1 and event["target"] == 0
+        moved = server.registry.get(event["stream"])
+        assert moved.migrations >= 1
+        assert server.device_of(event["stream"]) != 1 or moved.migrations >= 2
+        # per-device accounting matches the event log
+        assert (
+            sum(d.migrations_out for d in report.device_reports)
+            == sum(d.migrations_in for d in report.device_reports)
+            == report.total_migrations
+        )
+        # the fleet-wide frame accounting survived the moves
+        assert report.total_frames + report.total_dropped_frames == 3 * 20
+        assert report.summary()["migrations"] == float(report.total_migrations)
+
+    def test_migrate_preserves_session_state_bitwise(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        """Unit-level: _migrate moves snapshot/optimizer/admission state
+        untouched and re-prices only the modeled adaptation cost."""
+        from repro.hw import build_device_pool, ld_bn_adapt_latency
+
+        pool = build_device_pool("orin-60w,orin-15w")
+        frame_lists = self._frame_lists(tiny_benchmark, 1, 4)
+        _, server, (session,) = self._run(
+            trained_tiny_model, trained_tiny_model.state_dict(), frame_lists,
+            4, pins=[0], device_pool=pool, devices=2,
+            admission=AdmissionConfig(),
+        )
+        params_before = [p.copy() for p in session.bn_state.params.saved]
+        buffers_before = [
+            {k: np.array(v) for k, v in bufs.items()}
+            for bufs in session.bn_state.buffers
+        ]
+        opt_state_before = {
+            key: {k: np.array(v) for k, v in slot.items()}
+            for key, slot in session.adapter.optimizer.state.items()
+        }
+        server.workers[0].admission._debt["s0"] = 5
+        server._migrate("s0", 0, 1)
+        assert server.device_of("s0") == 1
+        assert "s0" not in server.workers[0].sessions
+        assert server.workers[1].sessions["s0"] is session
+        for before, after in zip(params_before, session.bn_state.params.saved):
+            np.testing.assert_array_equal(before, after)
+        for before, after in zip(buffers_before, session.bn_state.buffers):
+            for key in before:
+                np.testing.assert_array_equal(before[key], after[key])
+        for key, slot in opt_state_before.items():
+            for k, v in slot.items():
+                np.testing.assert_array_equal(
+                    v, session.adapter.optimizer.state[key][k]
+                )
+        # admission debt followed the session to the new controller
+        assert server.workers[1].admission.debt("s0") == 5
+        assert server.workers[0].admission.debt("s0") == 0
+        # the adaptation price was re-quoted on the slower device
+        assert session.adapt_latency_ms == pytest.approx(
+            ld_bn_adapt_latency(self.SPEC, pool[1], 1).adaptation_ms
+        )
 
 
 class TestEmptyWindowPercentiles:

@@ -28,6 +28,24 @@ class TestRngUtils:
         with pytest.raises(ValueError):
             child_seed(7, -1)
 
+    def test_child_seed_string_namespace(self):
+        """Stream-id-keyed seeds: stable, distinct, disjoint from ints.
+
+        The fleet derives arrival-process seeds from stream ids, so a
+        stream's realization is invariant to registration order and to
+        how sessions are sharded across a device pool.
+        """
+        assert child_seed(7, "vehicle-0") == child_seed(7, "vehicle-0")
+        assert child_seed(7, "vehicle-0") != child_seed(7, "vehicle-1")
+        assert child_seed(8, "vehicle-0") != child_seed(7, "vehicle-0")
+        # string keys never collide with the integer namespace; integer
+        # keys stay single-word (and therefore disjoint) by validation
+        assert child_seed(7, "0") != child_seed(7, 0)
+        assert child_seed(7, "") != child_seed(7, 0)
+        assert child_seed(7, "") != child_seed(7, 2**32 - 1)
+        with pytest.raises(ValueError):
+            child_seed(7, 2**32)
+
     def test_split_rng_independent_and_stable(self):
         parent1 = make_rng(0)
         parent2 = make_rng(0)
