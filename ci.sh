@@ -26,6 +26,14 @@ python -m repro.experiments bench-serve --quick
 # the 2-device quick run exercises the sharded device-pool path (and its
 # >= 1.8x scaling gate) on every PR, not just when the full benchmark runs
 python -m repro.experiments bench-serve --quick --devices 2
+# telemetry must stay inert: the overhead study re-serves the 2-device
+# fleet traced vs untraced, asserts bitwise output parity and archives
+# both rows under the same regression gate
+python -m repro.experiments bench-serve --quick --trace
+# traced fleet smoke: dashboard + Chrome-trace export end to end (the
+# trace files are scratch, not archived benchmark results)
+python -m repro.experiments fleet --trace --streams 2 --frames 8 \
+    --results-dir "$(mktemp -d)" > /dev/null
 if [[ "${1:-}" == "--full" ]]; then
     python -m repro.experiments bench-infer --quick
     python -m repro.experiments bench-adapt --quick

@@ -54,7 +54,7 @@ from .adapt_plan import (
     UnsupportedAdaptGraph,
 )
 from .compile import CompiledAdaptStep, CompiledInference, compile_model
-from .plan import ExecutionPlan, PlanStats
+from .plan import ExecutionPlan, PlanProfile, PlanStats
 from .tracer import TraceGraph, trace, trace_entropy_step
 
 __all__ = [
@@ -66,6 +66,7 @@ __all__ = [
     "UnsupportedAdaptGraph",
     "compile_model",
     "ExecutionPlan",
+    "PlanProfile",
     "PlanStats",
     "TraceGraph",
     "trace",

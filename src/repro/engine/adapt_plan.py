@@ -43,7 +43,7 @@ from ..nn import functional as F
 from ..nn import tensor as T
 from ..nn.functional import _conv_output_size, _im2col_indices, _pair
 from ..nn.modules import _BatchNormBase
-from .plan import _Arena
+from .plan import PlanProfile, _Arena, _timed_step
 from .tracer import ConstRef, OpNode, TraceGraph, ValueRef
 
 
@@ -102,7 +102,8 @@ class AdaptationPlan:
     buffers (overwritten by the next ``run``).
     """
 
-    def __init__(self, graph: TraceGraph, groups: int = 1):
+    def __init__(self, graph: TraceGraph, groups: int = 1,
+                 profile: bool = False):
         batch = graph.input_shape[0]
         if groups < 1 or batch % groups:
             raise ValueError(
@@ -117,6 +118,9 @@ class AdaptationPlan:
         self._grads: Dict[int, np.ndarray] = {}
         self._input_cell: List[Optional[np.ndarray]] = [None]
         self.bn_taps: List[BNLayerTap] = []
+        # profiling is a compile-time choice, exactly as in ExecutionPlan:
+        # the unprofiled closures carry no timing code at all
+        self.profile: Optional[PlanProfile] = PlanProfile() if profile else None
         self._compile(graph)
 
     # ------------------------------------------------------------------
@@ -348,11 +352,22 @@ class AdaptationPlan:
         # per-node compile-time state shared between fwd and bwd closures
         cells: List[dict] = [dict() for _ in range(num)]
 
+        profile = self.profile
+
+        def wrap_tail(steps: List[Callable[[], None]], start: int,
+                      label: str) -> None:
+            # instrument whatever closures the builder just appended
+            for p in range(start, len(steps)):
+                steps[p] = _timed_step(steps[p], label, profile)
+
         # -- forward ----------------------------------------------------
         for index, node in enumerate(nodes):
             kind = kinds[index]
             builder = getattr(self, f"_fwd_{kind}")
+            before = len(self._fwd)
             builder(node, index, cells[index], alloc, register, workspace_bytes)
+            if profile is not None:
+                wrap_tail(self._fwd, before, f"fwd:{kind}")
             advance(index)
 
         # -- backward (pruned) ------------------------------------------
@@ -363,7 +378,10 @@ class AdaptationPlan:
                 node = nodes[index]
                 kind = kinds[index]
                 builder = getattr(self, f"_bwd_{kind}")
+                before = len(self._bwd)
                 builder(node, index, cells[index], alloc, sink, grad_inputs(index))
+                if profile is not None:
+                    wrap_tail(self._bwd, before, f"bwd:{kind}")
                 emitted += 1
             advance(pos)
 
@@ -970,8 +988,23 @@ class AdaptationPlan:
                 f"got {x.shape}"
             )
         self._input_cell[0] = x
+        if self.profile is not None:
+            self.profile.runs += 1
         for step in self._fwd:
             step()
         for step in self._bwd:
             step()
         return self._loss_out
+
+    def profile_summary(self) -> Optional[Dict[str, object]]:
+        """Per-op timing plus arena byte counters.
+
+        ``None`` unless the plan was compiled with ``profile=True``.
+        """
+        if self.profile is None:
+            return None
+        out = self.profile.summary()
+        out["arena_bytes"] = self.stats.arena_bytes
+        out["requested_bytes"] = self.stats.requested_bytes
+        out["workspace_bytes"] = self.stats.workspace_bytes
+        return out

@@ -38,8 +38,9 @@ class CompiledInference:
     the same input shape overwrites; copy it if it must outlive a frame.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, profile: bool = False):
         self.model = model
+        self.profile = profile  # per-op timing on every plan (opt-in)
         self._plans: Dict[Tuple, ExecutionPlan] = {}
 
     def _plan(self, arr: np.ndarray) -> ExecutionPlan:
@@ -51,7 +52,7 @@ class CompiledInference:
         key = (arr.shape, arr.dtype.str)
         plan = self._plans.get(key)
         if plan is None:
-            plan = ExecutionPlan(trace(self.model, arr))
+            plan = ExecutionPlan(trace(self.model, arr), profile=self.profile)
             self._plans[key] = plan
         return plan
 
@@ -76,9 +77,14 @@ class CompiledInference:
         return self._plans[(tuple(shape), np.dtype(dtype).str)]
 
 
-def compile_model(model) -> CompiledInference:
-    """Return a compiled, replayable inference callable for ``model``."""
-    return CompiledInference(model)
+def compile_model(model, profile: bool = False) -> CompiledInference:
+    """Return a compiled, replayable inference callable for ``model``.
+
+    ``profile=True`` compiles every plan with per-op timing
+    (:class:`~repro.engine.plan.PlanProfile`); the default compiles
+    closures with no timing code at all.
+    """
+    return CompiledInference(model, profile=profile)
 
 
 class CompiledAdaptStep:
@@ -93,13 +99,14 @@ class CompiledAdaptStep:
     building a plan never perturbs the model.
     """
 
-    def __init__(self, model, loss_fn=None):
+    def __init__(self, model, loss_fn=None, profile: bool = False):
         if loss_fn is None:
             from ..adapt.entropy import entropy_loss  # avoid a cycle
 
             loss_fn = entropy_loss
         self.model = model
         self.loss_fn = loss_fn
+        self.profile = profile  # per-op timing on every plan (opt-in)
         self._plans: Dict[Tuple, AdaptationPlan] = {}
 
     def plan_for(self, arr: np.ndarray, groups: int = 1) -> AdaptationPlan:
@@ -114,7 +121,7 @@ class CompiledAdaptStep:
         plan = self._plans.get(key)
         if plan is None:
             graph = trace_entropy_step(self.model, arr, self.loss_fn)
-            plan = AdaptationPlan(graph, groups=groups)
+            plan = AdaptationPlan(graph, groups=groups, profile=self.profile)
             self._plans[key] = plan
         return plan
 

@@ -27,7 +27,8 @@ replay path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -105,6 +106,55 @@ class PlanStats:
     workspace_bytes: int  # dedicated im2col/pool workspaces
 
 
+@dataclass
+class PlanProfile:
+    """Opt-in per-op timing of a compiled plan's replays.
+
+    Created only when a plan is compiled with ``profile=True`` — the
+    default replay path never touches it (the closures are built without
+    any timing code, so disabled profiling costs nothing).  ``op_ms``
+    buckets total milliseconds by stage label (e.g. ``"conv+bn+relu"``,
+    ``"fwd:conv"``); ``bucket_ms`` decomposes the GEMM stages into their
+    ``im2col`` / ``gemm`` / ``epilogue`` phases (a stage's phases sum to
+    its ``op_ms`` entry, so the decomposition reconciles).
+    """
+
+    op_ms: Dict[str, float] = field(default_factory=dict)
+    op_calls: Dict[str, int] = field(default_factory=dict)
+    bucket_ms: Dict[str, float] = field(default_factory=dict)
+    runs: int = 0
+
+    def add_op(self, label: str, seconds: float) -> None:
+        self.op_ms[label] = self.op_ms.get(label, 0.0) + 1e3 * seconds
+        self.op_calls[label] = self.op_calls.get(label, 0) + 1
+
+    def add_bucket(self, name: str, seconds: float) -> None:
+        self.bucket_ms[name] = self.bucket_ms.get(name, 0.0) + 1e3 * seconds
+
+    def summary(self) -> Dict[str, object]:
+        total = sum(self.op_ms.values())
+        return {
+            "runs": self.runs,
+            "total_ms": total,
+            "op_ms": dict(sorted(self.op_ms.items(), key=lambda kv: -kv[1])),
+            "op_calls": dict(self.op_calls),
+            "bucket_ms": dict(
+                sorted(self.bucket_ms.items(), key=lambda kv: -kv[1])
+            ),
+        }
+
+
+def _timed_step(step, label: str, profile: PlanProfile):
+    """Wrap one replay closure with per-call timing into ``profile``."""
+
+    def timed():
+        t0 = time.perf_counter()
+        step()
+        profile.add_op(label, time.perf_counter() - t0)
+
+    return timed
+
+
 def _bn_epilogue(buf3: np.ndarray, module, n: int) -> None:
     """Apply eval-mode BN in place on a ``(N, C, P)`` GEMM output.
 
@@ -145,13 +195,18 @@ class ExecutionPlan:
     result across frames (serving loops decode immediately and don't).
     """
 
-    def __init__(self, graph: TraceGraph):
+    def __init__(self, graph: TraceGraph, profile: bool = False):
         self._input_shape = graph.input_shape
         self._input_vid = graph.input_vid
         self._steps: List[Callable[[], None]] = []
         self._slots: Dict[int, np.ndarray] = {}
         self._input_cell: List[Optional[np.ndarray]] = [None]
         self._fixed: Dict[int, np.ndarray] = {}
+        # opt-in profiling must be chosen at compile time: the traced
+        # graph is dropped after compilation, so closures cannot be
+        # re-instrumented later — and the unprofiled closures carry zero
+        # timing code, keeping the disabled path cost-free
+        self.profile: Optional[PlanProfile] = PlanProfile() if profile else None
         self._compile(graph)
         # the graph (and its keepalive of every traced activation) is not
         # retained: closures captured what replay needs, parameters stay
@@ -245,6 +300,7 @@ class ExecutionPlan:
             node = nodes[index]
             kind = self._kind(node)
             end = index
+            before = len(self._steps)
 
             if kind == "conv" or kind == "linear":
                 bn_node = relu_node = None
@@ -314,6 +370,14 @@ class ExecutionPlan:
                 pin_inputs(node)
 
             num_stages += 1
+            if self.profile is not None:
+                label = "+".join(
+                    self._stage_label(nodes[i]) for i in range(index, end + 1)
+                )
+                for pos in range(before, len(self._steps)):
+                    self._steps[pos] = _timed_step(
+                        self._steps[pos], label, self.profile
+                    )
             release_after(index, end)
             index = end + 1
 
@@ -354,6 +418,13 @@ class ExecutionPlan:
         if fn is T.Transpose:
             return "transpose"
         return "generic"
+
+    @classmethod
+    def _stage_label(cls, node: OpNode) -> str:
+        kind = cls._kind(node)
+        if kind == "generic":
+            return getattr(node.function, "__name__", "generic").lower()
+        return kind
 
     @staticmethod
     def _consumes(node: OpNode, vid: int) -> bool:
@@ -415,25 +486,59 @@ class ExecutionPlan:
         bn_module = bn_node.module if bn_node is not None else None
         fuse_relu = relu_node is not None
 
-        def run():
-            x = get_x()
-            if padded is not None:
-                core[...] = x
-                np.take(padded.reshape(n, -1), flat, axis=1, out=cols,
-                        mode="clip")
-                cc = cols
-            elif identity_cols:
-                cc = x.reshape(n, c, p_total)
-            else:
-                np.take(x.reshape(n, -1), flat, axis=1, out=cols, mode="clip")
-                cc = cols
-            np.matmul(weight.data.reshape(f_out, k_total), cc, out=out3)
-            if bias is not None:
-                np.add(out3, bias.data.reshape(1, -1, 1), out=out3)
-            if bn_module is not None:
-                _bn_epilogue(out3, bn_module, n)
-            if fuse_relu:
-                np.maximum(out3, 0.0, out=out3)
+        if self.profile is None:
+
+            def run():
+                x = get_x()
+                if padded is not None:
+                    core[...] = x
+                    np.take(padded.reshape(n, -1), flat, axis=1, out=cols,
+                            mode="clip")
+                    cc = cols
+                elif identity_cols:
+                    cc = x.reshape(n, c, p_total)
+                else:
+                    np.take(x.reshape(n, -1), flat, axis=1, out=cols,
+                            mode="clip")
+                    cc = cols
+                np.matmul(weight.data.reshape(f_out, k_total), cc, out=out3)
+                if bias is not None:
+                    np.add(out3, bias.data.reshape(1, -1, 1), out=out3)
+                if bn_module is not None:
+                    _bn_epilogue(out3, bn_module, n)
+                if fuse_relu:
+                    np.maximum(out3, 0.0, out=out3)
+
+        else:
+            profile = self.profile
+
+            def run():
+                t0 = time.perf_counter()
+                x = get_x()
+                if padded is not None:
+                    core[...] = x
+                    np.take(padded.reshape(n, -1), flat, axis=1, out=cols,
+                            mode="clip")
+                    cc = cols
+                elif identity_cols:
+                    cc = x.reshape(n, c, p_total)
+                else:
+                    np.take(x.reshape(n, -1), flat, axis=1, out=cols,
+                            mode="clip")
+                    cc = cols
+                t1 = time.perf_counter()
+                np.matmul(weight.data.reshape(f_out, k_total), cc, out=out3)
+                t2 = time.perf_counter()
+                if bias is not None:
+                    np.add(out3, bias.data.reshape(1, -1, 1), out=out3)
+                if bn_module is not None:
+                    _bn_epilogue(out3, bn_module, n)
+                if fuse_relu:
+                    np.maximum(out3, 0.0, out=out3)
+                t3 = time.perf_counter()
+                profile.add_bucket("im2col", t1 - t0)
+                profile.add_bucket("gemm", t2 - t1)
+                profile.add_bucket("epilogue", t3 - t2)
 
         self._steps.append(run)
 
@@ -458,12 +563,29 @@ class ExecutionPlan:
         get_x = self._getter(x_ref)
         fuse_relu = relu_node is not None
 
-        def run():
-            np.matmul(get_x(), weight.data.T, out=out2)
-            if bias is not None:
-                np.add(out2, bias.data, out=out2)
-            if fuse_relu:
-                np.maximum(out2, 0.0, out=out2)
+        if self.profile is None:
+
+            def run():
+                np.matmul(get_x(), weight.data.T, out=out2)
+                if bias is not None:
+                    np.add(out2, bias.data, out=out2)
+                if fuse_relu:
+                    np.maximum(out2, 0.0, out=out2)
+
+        else:
+            profile = self.profile
+
+            def run():
+                t0 = time.perf_counter()
+                np.matmul(get_x(), weight.data.T, out=out2)
+                t1 = time.perf_counter()
+                if bias is not None:
+                    np.add(out2, bias.data, out=out2)
+                if fuse_relu:
+                    np.maximum(out2, 0.0, out=out2)
+                t2 = time.perf_counter()
+                profile.add_bucket("gemm", t1 - t0)
+                profile.add_bucket("epilogue", t2 - t1)
 
         self._steps.append(run)
 
@@ -627,6 +749,21 @@ class ExecutionPlan:
                 f"got {x.shape}"
             )
         self._input_cell[0] = x
+        if self.profile is not None:
+            self.profile.runs += 1
         for step in self._steps:
             step()
         return self._fetch_output()
+
+    def profile_summary(self) -> Optional[Dict[str, object]]:
+        """Per-op timing plus arena byte counters.
+
+        ``None`` unless the plan was compiled with ``profile=True``.
+        """
+        if self.profile is None:
+            return None
+        out = self.profile.summary()
+        out["arena_bytes"] = self.stats.arena_bytes
+        out["requested_bytes"] = self.stats.requested_bytes
+        out["workspace_bytes"] = self.stats.workspace_bytes
+        return out

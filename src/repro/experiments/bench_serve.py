@@ -32,6 +32,7 @@ every row is exactly reproducible and safe to regression-gate.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -41,6 +42,7 @@ from ..data.benchmarks import make_benchmark
 from ..hw.device import get_power_mode
 from ..models.registry import get_config
 from ..serve import AdmissionConfig, FleetConfig, FleetServer
+from ..telemetry import SpanTracer
 from ..utils.logging import Logger
 from .config import RunScale, get_run_scale
 from .fig2_accuracy import train_source_model
@@ -100,6 +102,7 @@ def _run_fleet(
     scale: RunScale,
     num_streams: int,
     num_ticks: int,
+    tracer: Optional[SpanTracer] = None,
     **config_kwargs,
 ):
     model.load_state_dict(pristine)
@@ -108,6 +111,7 @@ def _run_fleet(
         FleetConfig(latency_model="orin", **config_kwargs),
         device=get_power_mode("orin-60w"),
         spec=get_config("paper-r18").to_spec(),
+        tracer=tracer,
     )
     for i in range(num_streams):
         stream = (
@@ -231,6 +235,89 @@ def run_bench_serve(
     for row in rows:
         row["parity_ok"] = outputs[0] == outputs[1]
     return rows
+
+
+#: traced serving may cost at most this fraction over untraced, on both
+#: the simulated p95 (must in fact be identical — the clock never sees
+#: the tracer) and the measured host wall time of the whole run
+TRACE_OVERHEAD_BUDGET = 0.05
+
+#: display order of the telemetry-overhead table
+OVERHEAD_COLUMNS = (
+    "mode", "frames", "spans", "p95_latency_ms", "fleet_fps",
+    "host_wall_ms", "parity_ok",
+)
+
+
+def run_bench_overhead(
+    scale: Optional[RunScale] = None,
+    num_streams: int = 4,
+    num_ticks: int = 24,
+    devices: int = 2,
+    placement: str = "least_loaded",
+) -> List[Dict[str, object]]:
+    """Telemetry-overhead study: the same jittered fleet traced vs not.
+
+    Serves an identical 4-stream, 2-device fleet twice from a pristine
+    model — once with :data:`~repro.telemetry.NULL_TRACER` (the default)
+    and once with a live :class:`~repro.telemetry.SpanTracer` — and
+    returns one row per mode.  Telemetry must be provably inert: the
+    traced run's per-stream outputs are compared bitwise against the
+    untraced run's (``parity_ok``), its simulated percentiles are the
+    same numbers, and the measured host wall time carries the only real
+    cost (gate-excluded by name: host timings are nondeterministic).
+    """
+    scale = scale if scale is not None else get_run_scale()
+    benchmark, model = _prepare(scale)
+    pristine = model.state_dict()
+    arrival = dict(
+        jitter_ms=JITTER_MS,
+        phase_spread_ms=PHASE_SPREAD_MS,
+        drop_rate=DROP_RATE,
+    )
+
+    rows: List[Dict[str, object]] = []
+    outputs: Dict[str, List[tuple]] = {}
+    for mode in ("untraced", "traced"):
+        log.info("bench-serve: telemetry overhead, %s fleet", mode)
+        tracer = SpanTracer() if mode == "traced" else None
+        start = time.perf_counter()
+        report = _run_fleet(
+            model, pristine, benchmark, scale, num_streams, num_ticks,
+            adapt_stride=1, devices=devices, placement=placement,
+            tracer=tracer, **arrival,
+        )
+        wall_ms = 1e3 * (time.perf_counter() - start)
+        outputs[mode] = per_stream_outputs(report)
+        rows.append(
+            {
+                "mode": mode,
+                "frames": report.total_frames,
+                "spans": len(tracer) if tracer is not None else 0,
+                "p95_latency_ms": report.p95_latency_ms,
+                "fleet_fps": report.frames_per_second,
+                "host_wall_ms": wall_ms,
+            }
+        )
+    parity = outputs["traced"] == outputs["untraced"]
+    for row in rows:
+        row["parity_ok"] = parity
+    return rows
+
+
+def check_trace_overhead(rows: List[Dict[str, object]]) -> None:
+    """Assert the telemetry acceptance claims over one overhead run."""
+    by_mode = {str(r["mode"]): r for r in rows}
+    untraced, traced = by_mode["untraced"], by_mode["traced"]
+    assert traced["parity_ok"], (
+        "tracing changed per-stream serving outputs"
+    )
+    assert traced["spans"] > 0, "traced run collected no telemetry"
+    budget = 1.0 + TRACE_OVERHEAD_BUDGET
+    assert traced["p95_latency_ms"] <= untraced["p95_latency_ms"] * budget, (
+        traced,
+        untraced,
+    )
 
 
 def _scaling_row(

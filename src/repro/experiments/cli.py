@@ -9,21 +9,28 @@
     python -m repro.experiments fleet --jitter 10 --drop 0.05 --admission slack
     python -m repro.experiments fleet --devices 2 --placement round_robin
     python -m repro.experiments fleet --pool orin-60w,orin-30w --migrate
+    python -m repro.experiments fleet --trace
+    python -m repro.experiments trace
     python -m repro.experiments bench-infer --quick
     python -m repro.experiments bench-adapt --quick
     python -m repro.experiments bench-serve --quick
     python -m repro.experiments bench-serve --quick --devices 2
+    python -m repro.experiments bench-serve --quick --trace
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
 interactive use.  ``fleet`` is the multi-vehicle serving demo (the
 ``--devices``/``--placement``/``--pool``/``--migrate`` flags shard it
-across a device pool); ``bench-infer`` (eager-vs-compiled inference),
-``bench-adapt`` (eager-vs-compiled/fused adaptation steps) and
-``bench-serve`` (jittered-arrival slack-admission study + async/sync
-parity guard at ``--devices 1``, the device-pool scaling study at
-``--devices N``) each archive results and run the regression gate (none
-is a paper artifact, so ``all`` includes none of them).
+across a device pool; ``--trace`` additionally collects per-frame spans,
+prints the telemetry dashboard and exports a Chrome ``trace_event`` JSON
+plus a JSONL span log); ``trace`` is that observability run as its own
+artifact; ``bench-infer`` (eager-vs-compiled inference), ``bench-adapt``
+(eager-vs-compiled/fused adaptation steps) and ``bench-serve``
+(jittered-arrival slack-admission study + async/sync parity guard at
+``--devices 1``, the device-pool scaling study at ``--devices N``, the
+telemetry-overhead study at ``--trace``) each archive results and run
+the regression gate (none is a paper artifact, so ``all`` includes none
+of them).
 """
 
 from __future__ import annotations
@@ -39,10 +46,13 @@ from .bench_infer import run_bench_infer
 from .bench_serve import (
     COLUMNS as BENCH_SERVE_COLUMNS,
     DEVICE_COLUMNS as BENCH_DEVICE_COLUMNS,
+    OVERHEAD_COLUMNS as BENCH_OVERHEAD_COLUMNS,
     STRIDES,
     check_device_scaling,
     check_slack_dominates,
+    check_trace_overhead,
     run_bench_devices,
+    run_bench_overhead,
     run_bench_serve,
     scaling_archive,
 )
@@ -53,10 +63,11 @@ from .fig3_latency import run_fig3
 from .fleet_serving import roofline_comparison_rows, run_fleet
 from .regression import check_regressions
 from .reporting import format_table, merge_json_section, save_json
+from ..telemetry import SpanTracer, render_dashboard
 
 _ARTIFACTS = (
-    "fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "bench-infer",
-    "bench-adapt", "bench-serve", "all",
+    "fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "trace",
+    "bench-infer", "bench-adapt", "bench-serve", "all",
 )
 
 
@@ -93,7 +104,9 @@ def _print_sota_cost(scale) -> None:
     print(format_table(run_sota_cost(), floatfmt=".2f"))
 
 
-def _print_fleet(scale, args) -> None:
+def _print_fleet(scale, args, force_trace: bool = False) -> None:
+    trace_on = force_trace or args.trace
+    tracer = SpanTracer() if trace_on else None
     result = run_fleet(
         scale=scale,
         num_streams=args.streams,
@@ -107,6 +120,7 @@ def _print_fleet(scale, args) -> None:
         placement=args.placement,
         pool=args.pool,
         migrate=args.migrate,
+        tracer=tracer,
     )
     streams, adapt_stride = args.streams, args.adapt_stride
     devices = result.devices
@@ -133,6 +147,23 @@ def _print_fleet(scale, args) -> None:
             ),
             floatfmt=".2f",
         )
+    )
+    if tracer is not None:
+        print()
+        print(render_dashboard(result.report, tracer))
+        _export_trace(tracer, args.results_dir)
+
+
+def _export_trace(tracer: SpanTracer, results_dir: str) -> None:
+    """Write the run's spans as Chrome trace JSON + JSONL span log."""
+    os.makedirs(results_dir, exist_ok=True)
+    chrome_path = os.path.join(results_dir, "fleet_trace.json")
+    jsonl_path = os.path.join(results_dir, "fleet_trace.jsonl")
+    tracer.write_chrome(chrome_path)
+    tracer.write_jsonl(jsonl_path)
+    print(
+        f"trace: {len(tracer)} events -> {chrome_path} "
+        f"(load in chrome://tracing or ui.perfetto.dev) + {jsonl_path}"
     )
 
 
@@ -204,15 +235,44 @@ def _run_bench_adapt(scale, quick: bool, results_dir: str) -> int:
 
 
 def _run_bench_serve(
-    scale, quick: bool, results_dir: str, devices: int, placement: str
+    scale, quick: bool, results_dir: str, devices: int, placement: str,
+    trace: bool = False,
 ) -> int:
     """Fleet serving studies: archive, assert, gate.
 
     ``--devices 1`` (the default) runs the jittered-arrival admission
     study; ``--devices N`` (N > 1) runs the device-pool scaling study
     over pools of 1, 2 and N devices instead, asserting the scaling
-    gate (2 devices sustain >= 1.8x the adapting streams of one).
+    gate (2 devices sustain >= 1.8x the adapting streams of one);
+    ``--trace`` runs the telemetry-overhead study (the same 4-stream
+    2-device fleet traced vs untraced, with bitwise output parity).
     """
+    if trace:
+        rows = run_bench_overhead(
+            scale=scale,
+            num_streams=4,
+            num_ticks=16 if quick else 24,
+            devices=2,
+            placement=placement,
+        )
+        print("BENCH-SERVE — telemetry overhead: traced vs untraced fleet")
+        print(
+            format_table(
+                rows, columns=list(BENCH_OVERHEAD_COLUMNS), floatfmt=".3f"
+            )
+        )
+        try:
+            check_trace_overhead(rows)
+        except AssertionError as exc:
+            print(f"TELEMETRY FAILURE: tracing was not inert: {exc}")
+            return 1
+        merge_json_section(
+            os.path.join(results_dir, "serve_throughput.json"),
+            "telemetry_overhead_quick" if quick else "telemetry_overhead",
+            {str(r["mode"]): r for r in rows},
+        )
+        return _gate(results_dir)
+
     if devices > 1:
         rows = run_bench_devices(
             scale=scale,
@@ -371,6 +431,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fleet only: migrate sessions off sustained-hot devices",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="fleet: collect spans, print the telemetry dashboard and "
+        "export a Chrome trace (the 'trace' artifact forces this on); "
+        "bench-serve: run the telemetry-overhead study instead",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="bench-infer/bench-adapt/bench-serve only: fewer repetitions "
@@ -391,13 +458,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.artifact == "fleet":
         _print_fleet(scale, args)
         return 0
+    if args.artifact == "trace":
+        _print_fleet(scale, args, force_trace=True)
+        return 0
     if args.artifact == "bench-infer":
         return _run_bench_infer(scale, args.quick, args.results_dir)
     if args.artifact == "bench-adapt":
         return _run_bench_adapt(scale, args.quick, args.results_dir)
     if args.artifact == "bench-serve":
         return _run_bench_serve(
-            scale, args.quick, args.results_dir, args.devices, args.placement
+            scale, args.quick, args.results_dir, args.devices, args.placement,
+            trace=args.trace,
         )
 
     runners = {

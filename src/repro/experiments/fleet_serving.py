@@ -35,6 +35,7 @@ from ..serve import (
     FleetServer,
     MigrationConfig,
 )
+from ..telemetry import SpanTracer
 from ..utils.logging import Logger
 from .config import RunScale, get_run_scale
 from .fig2_accuracy import train_source_model
@@ -146,6 +147,7 @@ def run_fleet(
     placement: str = "least_loaded",
     pool: Optional[str] = None,
     migrate: bool = False,
+    tracer: Optional[SpanTracer] = None,
 ) -> FleetRunResult:
     """Train a source model and serve a heterogeneous fleet from it.
 
@@ -156,6 +158,9 @@ def run_fleet(
     placed by ``placement``; ``pool`` overrides it with an explicit
     (possibly heterogeneous) comma list like ``"orin-60w,orin-30w"``,
     and ``migrate`` lets sessions move off sustained-hot devices.
+    ``tracer`` collects per-frame spans and fleet events for the Chrome
+    trace export and the telemetry dashboard; serving results are
+    bitwise identical with or without it.
     """
     if num_streams < 1:
         raise ValueError(f"num_streams must be >= 1, got {num_streams}")
@@ -199,6 +204,7 @@ def run_fleet(
         device=device,
         spec=spec,
         device_pool=device_pool,
+        tracer=tracer,
     )
 
     schedules: Dict[str, str] = {}

@@ -14,25 +14,20 @@ from typing import Deque, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..hw.deadline import deadline_slack_ms
+from ..telemetry.sketch import QuantileSketch, exact_percentile
 
 
 def latency_percentile(latencies: Sequence[float], q: float) -> float:
     """Percentile ``q`` in [0, 100] of a latency series; 0.0 when empty.
 
-    The one shared implementation behind :class:`DeadlineMonitor`,
-    :class:`PipelineReport` and the fleet-level
-    :class:`repro.serve.report.FleetReport`.  Empty windows are a normal
-    state, not an error — a stream that never received an adaptation
-    grant, a fleet with no fused steps — so every percentile family
-    routes through here and reports 0.0 instead of raising.  Accepts any
-    sequence, including numpy arrays (``not array`` is ambiguous, hence
-    the explicit length check).
+    Thin alias of :func:`repro.telemetry.sketch.exact_percentile` — the
+    one shared exact implementation behind :class:`PipelineReport`,
+    ``Timer`` and every other list-backed percentile.  (Unbounded fleet
+    aggregations use the streaming sketch instead; same [0, 100] /
+    0.0-when-empty contract.)  Kept under its historical name because
+    the serving and benchmark layers import it from here.
     """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    if len(latencies) == 0:
-        return 0.0
-    return float(np.percentile(latencies, q))
+    return exact_percentile(latencies, q)
 
 
 @dataclass
@@ -52,18 +47,25 @@ class FrameRecord:
 
 
 class DeadlineMonitor:
-    """Counts deadline hits/misses and latency statistics."""
+    """Counts deadline hits/misses and latency statistics.
+
+    Latencies feed a streaming
+    :class:`~repro.telemetry.sketch.QuantileSketch` rather than a
+    per-frame list, so a monitor that watches an unbounded stream stays
+    O(1) memory; count / mean / min / max are exact, interior
+    percentiles carry the sketch's relative-error bound.
+    """
 
     def __init__(self, deadline_ms: float):
         if deadline_ms <= 0:
             raise ValueError("deadline must be positive")
         self.deadline_ms = deadline_ms
-        self.latencies: List[float] = []
+        self.latencies = QuantileSketch()
         self.misses = 0
 
     def record(self, latency_ms: float) -> bool:
         """Record one frame; returns True when the deadline was met."""
-        self.latencies.append(latency_ms)
+        self.latencies.add(latency_ms)
         met = latency_ms <= self.deadline_ms
         if not met:
             self.misses += 1
@@ -71,7 +73,7 @@ class DeadlineMonitor:
 
     @property
     def count(self) -> int:
-        return len(self.latencies)
+        return self.latencies.count
 
     @property
     def miss_rate(self) -> float:
@@ -79,11 +81,11 @@ class DeadlineMonitor:
 
     @property
     def mean_latency_ms(self) -> float:
-        return float(np.mean(self.latencies)) if self.latencies else 0.0
+        return self.latencies.mean
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile ``q`` in [0, 100]; 0.0 when nothing recorded."""
-        return latency_percentile(self.latencies, q)
+        return self.latencies.percentile(q)
 
     @property
     def p50_latency_ms(self) -> float:

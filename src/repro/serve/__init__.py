@@ -98,14 +98,28 @@ Architecture
   adaptation-step p50/p95, admission grants/skips, dropped frames,
   fused-step sizes, sustained frames/sec, and per-device
   :class:`DeviceReport` rows (utilization, queue depth, migrations)
-  plus the migration event log.
+  plus the migration event log.  Fleet-wide distributions are streaming
+  :class:`~repro.telemetry.Histogram` sketches (mergeable, O(1)
+  memory), fed by the device workers as they serve.
+
+Observability is :mod:`repro.telemetry`: every worker records its
+metrics into the server's shared :class:`~repro.telemetry.MetricsRegistry`,
+and when the server is built with a :class:`~repro.telemetry.SpanTracer`
+each frame's life (``ingest → queue → forward → adapt → emit``) plus
+batch, fusion, migration and admission events become spans exportable as
+Chrome ``trace_event`` JSON.  The default is the no-op
+:data:`~repro.telemetry.NULL_TRACER`; serving results are bitwise
+identical with tracing on or off.
 
 Entry points: ``python -m repro.experiments fleet`` (heterogeneous-domain
 demo harness; ``--devices``/``--placement``/``--jitter``/``--admission``
-flags), ``python -m repro.experiments bench-serve`` (jittered-arrival
-admission study, or the device-scaling study with ``--devices N``; both
-regression-gated), ``examples/fleet_serving.py`` (device-pool walkthrough
-with placement/migration knobs), ``benchmarks/bench_serve_throughput.py``
+flags, span tracing + dashboard with ``--trace``), ``python -m
+repro.experiments trace`` (the observability run as its own artifact),
+``python -m repro.experiments bench-serve`` (jittered-arrival admission
+study, the device-scaling study with ``--devices N``, or the
+telemetry-overhead study with ``--trace``; all regression-gated),
+``examples/fleet_serving.py`` (device-pool walkthrough with
+placement/migration knobs), ``benchmarks/bench_serve_throughput.py``
 (batched vs. N serial pipelines, jittered admission, device scaling) and
 ``benchmarks/bench_adapt_step.py``.  ``tests/test_properties_serve.py``
 is the property harness for the scheduler/admission/pool invariants.

@@ -54,6 +54,8 @@ from ..hw.deadline import (
 from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
 from ..metrics.lane_accuracy import point_accuracy
 from ..models.ufld import decode_predictions
+from ..telemetry.metrics import Histogram, MetricsRegistry
+from ..telemetry.trace import NULL_TRACER, SpanTracer
 from .adapt_batch import FleetAdaptationBatcher, static_fuse_key
 from .admission import SlackAdmission, StepCandidate
 from .report import DeviceReport
@@ -369,9 +371,8 @@ class DeviceWorker:
         spec=None,
         timer=None,
         slack_alpha: float = 0.25,
-        fleet_batch_sizes: Optional[List[int]] = None,
-        fleet_adapt_batch_sizes: Optional[List[int]] = None,
-        fleet_queue_depths: Optional[List[int]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: SpanTracer = NULL_TRACER,
     ):
         self.index = index
         self.model = model
@@ -379,6 +380,7 @@ class DeviceWorker:
         self.device = device
         self.spec = spec
         self.timer = timer
+        self.tracer = tracer
         if config.latency_model == "orin":
             self.latency_fn = lambda b: batched_inference_latency_ms(  # noqa: E731
                 spec, device, b
@@ -411,23 +413,27 @@ class DeviceWorker:
         self.migrations_out = 0
         self.sessions: "OrderedDict[str, StreamSession]" = OrderedDict()
         self.session_cost_ms: Dict[str, float] = {}
-        self.batch_sizes: List[int] = []
-        self.queue_depths: List[int] = []
-        self.adapt_batch_sizes: List[int] = []
-        # fleet-wide metric sinks shared with the coordinator (launch
-        # order across workers == global time order, the event loop
-        # serializes batches)
-        self._fleet_batch_sizes = (
-            fleet_batch_sizes if fleet_batch_sizes is not None else []
-        )
-        self._fleet_adapt_batch_sizes = (
-            fleet_adapt_batch_sizes
-            if fleet_adapt_batch_sizes is not None
-            else []
-        )
-        self._fleet_queue_depths = (
-            fleet_queue_depths if fleet_queue_depths is not None else []
-        )
+        self.batch_sizes = Histogram()
+        self.queue_depths = Histogram()
+        self.adapt_batch_sizes = Histogram()
+        self._last_served_ms: Optional[float] = None  # idle-decay anchor
+        self.slack_decays = 0
+        # fleet-wide metric sinks shared with the coordinator via its
+        # registry (sketches merge order-independently, and launch order
+        # across workers == global time order anyway — the event loop
+        # serializes batches).  Instruments are cached here so the hot
+        # path never does a registry lookup.
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics
+        self._m_batch_sizes = metrics.histogram("fleet/batch_size")
+        self._m_adapt_batch_sizes = metrics.histogram("fleet/adapt_batch_size")
+        self._m_queue_depths = metrics.histogram("fleet/queue_depth")
+        self._m_latency = metrics.histogram("fleet/latency_ms")
+        self._m_slack = metrics.histogram("fleet/slack_ms")
+        self._m_adapt = metrics.histogram("fleet/adapt_ms")
+        self._m_accuracy = metrics.histogram("fleet/accuracy")
+        self._m_misses = metrics.counter("fleet/deadline_misses")
+        self._m_decays = metrics.counter("fleet/slack_decays")
 
     @property
     def name(self) -> str:
@@ -513,22 +519,79 @@ class DeviceWorker:
                 float(slack_ms) - self.slack_ewma_ms
             )
 
+    # -- idle slack decay ----------------------------------------------
+    # A drained device's slack EWMA freezes at its last (hot) reading and
+    # keeps repelling the migration planner even though the device now
+    # sits idle — so the fleet never re-balances back onto it.  After
+    # IDLE_DECAY_GRACE_PERIODS frame periods without serving, the EWMA
+    # relaxes toward the roofline prior (the slack a lone batch-1 frame
+    # would see) at IDLE_DECAY_RATE per further idle period.  Driven off
+    # the simulated launch clock, so it is deterministic and inert for
+    # busy devices.
+    IDLE_DECAY_GRACE_PERIODS = 2.0
+    IDLE_DECAY_RATE = 0.25
+
+    def roofline_slack_prior_ms(self) -> Optional[float]:
+        """Best-case slack of an idle device (batch-1 frame, no queueing)."""
+        if self.latency_fn is None:
+            return None
+        return deadline_slack_ms(self.latency_fn(1), self.config.deadline_ms)
+
+    def decay_idle_slack(self, now_ms: float) -> bool:
+        """Relax a drained device's stale slack EWMA toward the prior.
+
+        Called by the coordinator on the launch clock; returns True when
+        the EWMA moved (at most once per frame period).  Never fires for
+        a device with pending or in-flight work.
+        """
+        if (
+            self.slack_ewma_ms is None
+            or self._last_served_ms is None
+            or self.scheduler.pending_count
+        ):
+            return False
+        prior = self.roofline_slack_prior_ms()
+        if prior is None or self.slack_ewma_ms >= prior:
+            return False
+        period = self.config.period_ms
+        idle_ms = now_ms - self._last_served_ms
+        periods = int(idle_ms / period - self.IDLE_DECAY_GRACE_PERIODS)
+        if periods < 1:
+            return False
+        old = self.slack_ewma_ms
+        # closed form of `periods` EWMA pulls toward the prior
+        self.slack_ewma_ms = prior + (old - prior) * (
+            (1.0 - self.IDLE_DECAY_RATE) ** periods
+        )
+        # re-anchor so the next idle period decays incrementally
+        self._last_served_ms = now_ms - self.IDLE_DECAY_GRACE_PERIODS * period
+        self.slack_decays += 1
+        self._m_decays.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "slack_decay",
+                now_ms,
+                pid=self.name,
+                tid="device",
+                cat="migration",
+                old_ewma_ms=old,
+                new_ewma_ms=self.slack_ewma_ms,
+                prior_ms=prior,
+            )
+        return True
+
     def report(self, elapsed_ms: float) -> DeviceReport:
         """This device's row of the fleet report."""
         return DeviceReport(
             device=self.name,
             streams=list(self.sessions),
             frames_served=self.frames_served,
-            batches=len(self.batch_sizes),
-            mean_batch_size=(
-                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
-            ),
+            batches=self.batch_sizes.count,
+            mean_batch_size=self.batch_sizes.mean,
             busy_ms=self.busy_ms,
             utilization=self.busy_ms / elapsed_ms if elapsed_ms > 0 else 0.0,
-            mean_queue_depth=(
-                float(np.mean(self.queue_depths)) if self.queue_depths else 0.0
-            ),
-            max_queue_depth=max(self.queue_depths) if self.queue_depths else 0,
+            mean_queue_depth=self.queue_depths.mean,
+            max_queue_depth=int(self.queue_depths.max),
             migrations_in=self.migrations_in,
             migrations_out=self.migrations_out,
         )
@@ -543,8 +606,8 @@ class DeviceWorker:
         is served.  Returns the device-clock completion time.
         """
         depth = self.scheduler.pending_count
-        self.queue_depths.append(depth)
-        self._fleet_queue_depths.append(depth)
+        self.queue_depths.record(depth)
+        self._m_queue_depths.record(depth)
         plan = self.scheduler.next_batch(now_ms)
         if plan is None:  # pragma: no cover - pending implies a plan
             return now_ms
@@ -562,8 +625,8 @@ class DeviceWorker:
         config = self.config
         sessions = [req.payload[0] for req in plan.requests]
         frames = [req.payload[1] for req in plan.requests]
-        self.batch_sizes.append(plan.batch_size)
-        self._fleet_batch_sizes.append(plan.batch_size)
+        self.batch_sizes.record(plan.batch_size)
+        self._m_batch_sizes.record(plan.batch_size)
         self.frames_served += plan.batch_size
 
         images = np.stack([f.image for f in frames]).astype(np.float32)
@@ -597,6 +660,24 @@ class DeviceWorker:
         # compiled replays (per-stream state slots, no model swap), with
         # remaining granted steps running serially in batch order
         clock_ms = start_ms + infer_ms
+        infer_done_ms = clock_ms
+        tracer = self.tracer
+        if tracer.enabled and config.latency_model == "orin":
+            # device-lane batch spans only exist on the simulated clock:
+            # wallclock serving reuses the host clock across overlapping
+            # launches, which would break the non-overlap invariant
+            tracer.span(
+                "forward",
+                start_ms,
+                infer_ms,
+                pid=self.name,
+                tid="device",
+                cat="batch",
+                batch=plan.batch_size,
+            )
+            tracer.instant(
+                "decode", infer_done_ms, pid=self.name, tid="device", cat="batch"
+            )
         decisions, group_of = self._plan_adaptation(
             plan, start_ms, infer_ms, leftover_depth
         )
@@ -634,20 +715,50 @@ class DeviceWorker:
                             else wall_ms
                         )
                         clock_ms += adapt_step_ms
+                        if tracer.enabled and config.latency_model == "orin":
+                            tracer.span(
+                                "adapt",
+                                clock_ms - adapt_step_ms,
+                                adapt_step_ms,
+                                pid=self.name,
+                                tid="device",
+                                cat="adapt",
+                                stream=session.stream_id,
+                            )
                     completion_ms = clock_ms
             else:
                 session.adapt_skips += 1
+            stepped = result is not None
             if config.latency_model == "orin":
                 latency_ms = completion_ms - req.arrival_ms
             else:
                 # processing cost only (no simulated queueing): this frame's
                 # share of the batched forward plus its adaptation share
                 latency_ms = infer_ms / plan.batch_size + adapt_step_ms
+            slack_ms = deadline_slack_ms(latency_ms, config.deadline_ms)
             if config.latency_model == "orin":
-                slack_ms = deadline_slack_ms(latency_ms, config.deadline_ms)
                 self.observe_slack(slack_ms)
                 if self.admission is not None:
                     self.admission.observe_slack(slack_ms)
+            self._m_latency.record(latency_ms)
+            self._m_slack.record(slack_ms)
+            self._m_accuracy.record(metrics.accuracy)
+            if stepped:
+                self._m_adapt.record(adapt_step_ms)
+            if latency_ms > config.deadline_ms:
+                self._m_misses.inc()
+            if tracer.enabled:
+                self._trace_frame(
+                    req,
+                    session,
+                    start_ms,
+                    infer_ms,
+                    infer_done_ms,
+                    completion_ms,
+                    adapt_step_ms if stepped else 0.0,
+                    plan.batch_size,
+                    decision,
+                )
             session.record(
                 frame, latency_ms, metrics.accuracy, result,
                 adapt_ms=adapt_step_ms if result is not None else None,
@@ -659,7 +770,79 @@ class DeviceWorker:
             # overlapping windows
             session.busy_until_ms = max(session.busy_until_ms, clock_ms)
         self.busy_ms += clock_ms - start_ms
+        self._last_served_ms = clock_ms
         return clock_ms
+
+    def _trace_frame(
+        self,
+        req,
+        session: StreamSession,
+        start_ms: float,
+        infer_ms: float,
+        infer_done_ms: float,
+        completion_ms: float,
+        adapt_step_ms: float,
+        batch_size: int,
+        decision: "_Decision",
+    ) -> None:
+        """Emit one frame's span chain on its stream lane.
+
+        The chain's durations sum exactly to the frame's reported
+        latency: in ``"orin"`` mode ``queue + forward [+ adapt_wait]
+        [+ adapt]`` tiles [arrival, completion]; in ``"wallclock"``
+        mode the simulated queue does not exist, so the chain is the
+        frame's forward share plus its own adaptation cost.  Pure reads
+        of already-computed values — tracing cannot move any clock.
+        """
+        pid, tid, frame_idx = self.name, session.stream_id, req.frame_index
+        if self.config.latency_model == "orin":
+            self.tracer.span(
+                "queue",
+                req.arrival_ms,
+                start_ms - req.arrival_ms,
+                pid=pid, tid=tid, cat="frame", frame=frame_idx,
+            )
+            self.tracer.span(
+                "forward",
+                start_ms,
+                infer_ms,
+                pid=pid, tid=tid, cat="frame", frame=frame_idx, batch=batch_size,
+            )
+            wait_ms = completion_ms - adapt_step_ms - infer_done_ms
+            if wait_ms > 1e-9:
+                self.tracer.span(
+                    "adapt_wait",
+                    infer_done_ms,
+                    wait_ms,
+                    pid=pid, tid=tid, cat="frame", frame=frame_idx,
+                )
+        else:
+            self.tracer.span(
+                "forward",
+                start_ms,
+                infer_ms / batch_size,
+                pid=pid, tid=tid, cat="frame", frame=frame_idx, batch=batch_size,
+            )
+        if adapt_step_ms > 0.0:
+            self.tracer.span(
+                "adapt",
+                completion_ms - adapt_step_ms,
+                adapt_step_ms,
+                pid=pid, tid=tid, cat="frame", frame=frame_idx,
+            )
+        elif decision.feed:
+            self.tracer.instant(
+                "adapt_buffered", completion_ms,
+                pid=pid, tid=tid, cat="admission", frame=frame_idx,
+            )
+        else:
+            self.tracer.instant(
+                "adapt_shed", completion_ms,
+                pid=pid, tid=tid, cat="admission", frame=frame_idx,
+            )
+        self.tracer.instant(
+            "emit", completion_ms, pid=pid, tid=tid, cat="frame", frame=frame_idx
+        )
 
     # ------------------------------------------------------------------
     def _admission_decisions(
@@ -815,8 +998,19 @@ class DeviceWorker:
             fused_ms = self.adapt_cost_fn(staged.num_streams * staged.group_size)
         else:
             fused_ms = wall_ms
-        self.adapt_batch_sizes.append(staged.num_streams)
-        self._fleet_adapt_batch_sizes.append(staged.num_streams)
+        self.adapt_batch_sizes.record(staged.num_streams)
+        self._m_adapt_batch_sizes.record(staged.num_streams)
         group.per_stream_ms = fused_ms / staged.num_streams
         group.done_clock_ms = clock_ms + fused_ms
+        if self.tracer.enabled and self.config.latency_model == "orin":
+            self.tracer.span(
+                "adapt_fused",
+                clock_ms,
+                fused_ms,
+                pid=self.name,
+                tid="device",
+                cat="adapt",
+                streams=staged.num_streams,
+                group_size=staged.group_size,
+            )
         return group.done_clock_ms

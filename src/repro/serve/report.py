@@ -12,10 +12,19 @@ against the serial alternative, and — for device pools — one
 :class:`DeviceReport` row per pool member (utilization, queue depth,
 session count, migrations) plus the migration event log.
 
-Every percentile family routes through
-:func:`repro.pipeline.monitor.latency_percentile`, so empty windows — a
-stream that never received an adaptation grant, a run with no fused
-steps — report 0.0 instead of raising.
+The fleet-wide distributions are **streaming sketches**
+(:class:`~repro.telemetry.Histogram`, DDSketch-style): device workers
+record each frame's latency / slack / adaptation cost and each batch's
+size / queue depth into mergeable O(1)-memory histograms as they serve,
+so the fleet aggregate never holds a per-frame Python list and a
+million-frame run reports percentiles in constant memory.  Per-stream
+``PipelineReport`` records stay exact — they are bounded by one
+stream's length and the bitwise parity guards diff them directly.
+
+Every percentile family keeps the shared convention of
+:func:`repro.telemetry.sketch.exact_percentile`: ``q`` in [0, 100],
+0.0 for empty windows — a stream that never received an adaptation
+grant, a run with no fused steps — instead of raising.
 """
 
 from __future__ import annotations
@@ -24,10 +33,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
-
-from ..hw.deadline import deadline_slack_ms
-from ..pipeline.monitor import PipelineReport, latency_percentile
+from ..pipeline.monitor import PipelineReport
+from ..telemetry.metrics import Histogram
 
 
 @dataclass
@@ -76,14 +83,27 @@ class FleetReport:
     device time in ``"orin"`` mode, measured host time in ``"wallclock"``
     mode.  Throughput derives from it, so batched-vs-serial comparisons
     stay within one clock.
+
+    The distribution-valued fields (``batch_sizes``,
+    ``adapt_batch_sizes``, ``queue_depths`` and the ``*_histogram``
+    family) are streaming sketches, populated by the device workers
+    while serving; ``latency_percentile`` and friends read from them.
+    ``Histogram`` keeps a list-like surface (length, truthiness,
+    equality against a plain sequence), so existing call sites read
+    unchanged.
     """
 
     deadline_ms: float
     latency_model: str = "orin"
     elapsed_ms: float = 0.0
-    batch_sizes: List[int] = field(default_factory=list)
-    adapt_batch_sizes: List[int] = field(default_factory=list)  # fused steps
-    queue_depths: List[int] = field(default_factory=list)  # at batch launch
+    batch_sizes: Histogram = field(default_factory=Histogram)
+    adapt_batch_sizes: Histogram = field(default_factory=Histogram)  # fused steps
+    queue_depths: Histogram = field(default_factory=Histogram)  # at batch launch
+    latency_histogram: Histogram = field(default_factory=Histogram)  # per frame
+    slack_histogram: Histogram = field(default_factory=Histogram)  # per frame
+    adapt_histogram: Histogram = field(default_factory=Histogram)  # adapted frames
+    accuracy_histogram: Histogram = field(default_factory=Histogram)  # per frame
+    deadline_misses: int = 0
     admission_grants: Dict[str, int] = field(default_factory=dict)
     admission_skips: Dict[str, int] = field(default_factory=dict)
     dropped_frames: Dict[str, int] = field(default_factory=dict)
@@ -102,16 +122,9 @@ class FleetReport:
     def total_frames(self) -> int:
         return sum(r.num_frames for r in self.stream_reports.values())
 
-    def _all_latencies(self) -> List[float]:
-        return [
-            f.latency_ms
-            for report in self.stream_reports.values()
-            for f in report.frames
-        ]
-
     def latency_percentile(self, q: float) -> float:
         """Fleet-wide per-frame latency percentile, ``q`` in [0, 100]."""
-        return latency_percentile(self._all_latencies(), q)
+        return self.latency_histogram.percentile(q)
 
     @property
     def p50_latency_ms(self) -> float:
@@ -127,26 +140,20 @@ class FleetReport:
 
     @property
     def mean_latency_ms(self) -> float:
-        latencies = self._all_latencies()
-        return float(np.mean(latencies)) if latencies else 0.0
+        return self.latency_histogram.mean
 
     @property
     def deadline_miss_rate(self) -> float:
         """Fraction of all served frames that missed their deadline."""
-        frames = [
-            f for r in self.stream_reports.values() for f in r.frames
-        ]
-        if not frames:
+        served = self.latency_histogram.count
+        if served == 0:
             return 0.0
-        return float(np.mean([not f.deadline_met for f in frames]))
+        return self.deadline_misses / served
 
     @property
     def mean_accuracy(self) -> float:
         """Frame-weighted mean accuracy across the fleet."""
-        frames = [
-            f.accuracy for r in self.stream_reports.values() for f in r.frames
-        ]
-        return float(np.mean(frames)) if frames else 0.0
+        return self.accuracy_histogram.mean
 
     @property
     def frames_per_second(self) -> float:
@@ -157,26 +164,16 @@ class FleetReport:
 
     @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        return self.batch_sizes.mean
 
     @property
     def mean_adapt_batch_size(self) -> float:
         """Mean number of streams fused per grouped adaptation step."""
-        if not self.adapt_batch_sizes:
-            return 0.0
-        return float(np.mean(self.adapt_batch_sizes))
+        return self.adapt_batch_sizes.mean
 
     def adaptation_percentile(self, q: float) -> float:
         """Fleet-wide adaptation-step latency percentile (adapted frames)."""
-        return latency_percentile(
-            [
-                f.adapt_ms
-                for report in self.stream_reports.values()
-                for f in report.frames
-                if f.adapt_ms is not None
-            ],
-            q,
-        )
+        return self.adapt_histogram.percentile(q)
 
     def slack_percentile(self, q: float) -> float:
         """Fleet-wide deadline-slack percentile (negative = missed).
@@ -184,26 +181,19 @@ class FleetReport:
         The low tail (p10) shows how hot the fleet runs, the signal the
         admission controller sheds adaptation on.
         """
-        return latency_percentile(
-            [
-                deadline_slack_ms(f.latency_ms, f.deadline_ms)
-                for report in self.stream_reports.values()
-                for f in report.frames
-            ],
-            q,
-        )
+        return self.slack_histogram.percentile(q)
 
     def queue_depth_percentile(self, q: float) -> float:
         """Percentile of pending-queue depth observed at batch launches."""
-        return latency_percentile(self.queue_depths, q)
+        return self.queue_depths.percentile(q)
 
     @property
     def mean_queue_depth(self) -> float:
-        return float(np.mean(self.queue_depths)) if self.queue_depths else 0.0
+        return self.queue_depths.mean
 
     @property
     def max_queue_depth(self) -> int:
-        return max(self.queue_depths) if self.queue_depths else 0
+        return int(self.queue_depths.max)
 
     @property
     def total_admission_grants(self) -> int:

@@ -63,6 +63,8 @@ from ..hw.deadline import DEADLINE_30FPS_MS, stream_utilization
 from ..hw.device import DeviceProfile
 from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS
 from ..models.spec import ModelSpec
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import NULL_TRACER, SpanTracer
 from ..utils.profiling import Timer
 from ..utils.rng import child_seed
 from .admission import AdmissionConfig
@@ -181,10 +183,13 @@ class FleetServer:
         device: Optional[DeviceProfile] = None,
         spec: Optional[ModelSpec] = None,
         device_pool: Optional[Sequence[DeviceProfile]] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.model = model
         self.config = config if config is not None else FleetConfig()
         self.spec = spec
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = MetricsRegistry()
         profiles: Optional[List[DeviceProfile]] = None
         if device_pool is not None:
             profiles = list(device_pool)
@@ -222,9 +227,6 @@ class FleetServer:
             pool = [None] * self.config.devices
         self.device = pool[0] if pool[0] is not None else device
         self.timer = Timer()
-        self._batch_sizes: List[int] = []
-        self._adapt_batch_sizes: List[int] = []  # streams fused per step
-        self._queue_depths: List[int] = []  # pending frames at batch launch
         slack_alpha = (
             self.config.migration.ewma_alpha
             if self.config.migration is not None
@@ -239,9 +241,8 @@ class FleetServer:
                 spec=spec,
                 timer=self.timer,
                 slack_alpha=slack_alpha,
-                fleet_batch_sizes=self._batch_sizes,
-                fleet_adapt_batch_sizes=self._adapt_batch_sizes,
-                fleet_queue_depths=self._queue_depths,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
             for index, profile in enumerate(pool)
         ]
@@ -385,7 +386,8 @@ class FleetServer:
                 frame = session.next_frame()
                 if frame is None:
                     continue
-                self._worker_of(session).scheduler.submit(
+                worker = self._worker_of(session)
+                worker.scheduler.submit(
                     FrameRequest(
                         stream_id=session.stream_id,
                         frame_index=session.frames_ingested - 1,
@@ -394,6 +396,15 @@ class FleetServer:
                         payload=(session, frame),
                     )
                 )
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "ingest",
+                        arrival_ms,
+                        pid=worker.name,
+                        tid=session.stream_id,
+                        cat="ingest",
+                        frame=session.frames_ingested - 1,
+                    )
             for worker in self.workers:
                 while worker.scheduler.pending_count:
                     start_ms = max(worker.device_free_ms, arrival_ms)
@@ -437,10 +448,19 @@ class FleetServer:
                 arrival_ms, _, dropped, session = heapq.heappop(heap)
                 if dropped:
                     session.drop_frame()
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "ingest_drop",
+                            arrival_ms,
+                            pid=self._worker_of(session).name,
+                            tid=session.stream_id,
+                            cat="ingest",
+                        )
                 else:
                     frame = session.next_frame()
                     if frame is not None:
-                        self._worker_of(session).scheduler.submit(
+                        worker = self._worker_of(session)
+                        worker.scheduler.submit(
                             FrameRequest(
                                 stream_id=session.stream_id,
                                 frame_index=session.frames_ingested - 1,
@@ -449,10 +469,24 @@ class FleetServer:
                                 payload=(session, frame),
                             )
                         )
+                        if self.tracer.enabled:
+                            self.tracer.instant(
+                                "ingest",
+                                arrival_ms,
+                                pid=worker.name,
+                                tid=session.stream_id,
+                                cat="ingest",
+                                frame=session.frames_ingested - 1,
+                            )
                 self._push_arrival(heap, session, num_ticks)
                 continue
             if launch_ms is None:
                 break  # pragma: no cover - loop condition excludes this
+            if self._migration_planner is not None:
+                # a drained device's heat signal must cool on the launch
+                # clock, or it never re-attracts sessions (idle-decay fix)
+                for candidate in self.workers:
+                    candidate.decay_idle_slack(launch_ms)
             # rebalance on the launch clock BEFORE the batch forms:
             # launch times are monotone across the pool (completions are
             # not), so a migration can never take effect "before"
@@ -549,6 +583,17 @@ class FleetServer:
                 "target": decision.target,
             }
         )
+        self.metrics.counter("fleet/migrations").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "migrate",
+                now_ms,
+                pid=self.workers[decision.source].name,
+                tid=decision.stream_id,
+                cat="migration",
+                source=decision.source,
+                target=decision.target,
+            )
         return True
 
     def _migrate(
@@ -583,15 +628,21 @@ class FleetServer:
 
     # ------------------------------------------------------------------
     def _build_report(self, elapsed_ms: float) -> FleetReport:
+        metrics = self.metrics
         report = FleetReport(
             deadline_ms=self.config.deadline_ms,
             latency_model=self.config.latency_model,
             elapsed_ms=elapsed_ms
             if self.config.latency_model == "orin"
             else 1e3 * (self.timer.total("inference") + self.timer.total("adaptation")),
-            batch_sizes=list(self._batch_sizes),
-            adapt_batch_sizes=list(self._adapt_batch_sizes),
-            queue_depths=list(self._queue_depths),
+            batch_sizes=metrics.histogram("fleet/batch_size"),
+            adapt_batch_sizes=metrics.histogram("fleet/adapt_batch_size"),
+            queue_depths=metrics.histogram("fleet/queue_depth"),
+            latency_histogram=metrics.histogram("fleet/latency_ms"),
+            slack_histogram=metrics.histogram("fleet/slack_ms"),
+            adapt_histogram=metrics.histogram("fleet/adapt_ms"),
+            accuracy_histogram=metrics.histogram("fleet/accuracy"),
+            deadline_misses=metrics.counter("fleet/deadline_misses").value,
             migration_events=list(self._migration_events),
         )
         report.device_reports = [

@@ -1,0 +1,103 @@
+"""Text dashboard over a fleet run's telemetry.
+
+Renders what an operator would put on a wall: per-device utilization
+bars, the latency / slack / queue sketch percentiles, and the top-k
+slowest frames broken down span by span (where did *this* frame's
+33 ms go).  Pure formatting — takes a
+:class:`~repro.serve.report.FleetReport` and optionally the
+:class:`~repro.telemetry.trace.SpanTracer` that watched the run; no
+serving imports, so the telemetry package stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .trace import SpanTracer
+
+__all__ = ["render_dashboard"]
+
+_BAR_WIDTH = 28
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_dashboard(
+    report, tracer: Optional[SpanTracer] = None, top_k: int = 5
+) -> str:
+    """Render a fleet run's telemetry as a fixed-width text dashboard."""
+    lines: List[str] = []
+    summary = report.summary()
+    lines.append("=" * 64)
+    lines.append(
+        f"fleet: {int(summary['streams'])} streams / "
+        f"{int(summary['devices'])} device(s) / "
+        f"{int(summary['frames'])} frames / "
+        f"{summary['frames_per_second']:.1f} fps / "
+        f"deadline {summary['deadline_ms']:.1f} ms"
+    )
+    lines.append("=" * 64)
+
+    # -- per-device utilization ----------------------------------------
+    rows = report.per_device_rows()
+    if rows:
+        lines.append("device utilization")
+        for row in rows:
+            util = float(row["utilization"])
+            lines.append(
+                f"  {row['device']:<14s} [{_bar(util)}] {100 * util:5.1f}%  "
+                f"{row['frames']:>5d} frames  q~{row['mean_queue_depth']:.2f}"
+            )
+        lines.append("")
+
+    # -- sketch percentiles --------------------------------------------
+    lines.append("distributions (streaming sketches)")
+    lines.append(
+        "  %-12s %9s %9s %9s %9s %9s" % ("series", "p10", "p50", "p95", "p99", "max")
+    )
+    for label, source in (
+        ("latency_ms", report.latency_histogram),
+        ("slack_ms", report.slack_histogram),
+        ("queue_depth", report.queue_depths),
+        ("adapt_ms", report.adapt_histogram),
+    ):
+        lines.append(
+            "  %-12s %9.2f %9.2f %9.2f %9.2f %9.2f"
+            % (
+                label,
+                source.percentile(10),
+                source.percentile(50),
+                source.percentile(95),
+                source.percentile(99),
+                source.max,
+            )
+        )
+    lines.append(
+        f"  miss rate {100 * summary['deadline_miss_rate']:.1f}%  "
+        f"adapt grant rate {100 * summary['admission_grant_rate']:.1f}%  "
+        f"migrations {int(summary['migrations'])}"
+    )
+    lines.append("")
+
+    # -- slowest frames with span breakdowns ---------------------------
+    if tracer is not None and len(tracer):
+        frames = sorted(
+            tracer.frame_spans().items(),
+            key=lambda item: -sum(s.dur_ms or 0.0 for s in item[1]),
+        )[:top_k]
+        if frames:
+            lines.append(f"top {len(frames)} slowest frames (span breakdown)")
+            for (stream, index), spans in frames:
+                total = sum(s.dur_ms or 0.0 for s in spans)
+                parts = " + ".join(
+                    f"{s.name} {s.dur_ms:.2f}" for s in spans if s.dur_ms
+                )
+                lines.append(
+                    f"  {stream} frame {index}: {total:.2f} ms = {parts}"
+                )
+            lines.append("")
+    return "\n".join(lines)

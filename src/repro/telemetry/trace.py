@@ -1,0 +1,247 @@
+"""Span tracing over the serving stack's explicit clocks.
+
+The fleet runs on *simulated* device time (``"orin"`` latency model) or
+on elapsed host time (``"wallclock"``) — either way the timestamps are
+handed to the tracer explicitly by the layer that owns the clock; the
+tracer never reads a wall clock in the hot path, so tracing cannot
+perturb what it measures.  Emission sites guard argument construction
+with ``tracer.enabled``, and :data:`NULL_TRACER` (the default
+everywhere) keeps the disabled path to a single attribute check.
+
+Events use the Chrome ``trace_event`` vocabulary: complete spans
+(``ph="X"``, a name + start + duration) and instants (``ph="i"``).
+Lanes map serving concepts onto the Chrome viewer's process/thread
+grid — ``pid`` is the device, ``tid`` is the stream (or the device's
+own batch lane) — so a fleet run opens directly in ``chrome://tracing``
+/ Perfetto with one swimlane per stream per device.  Export is either
+Chrome JSON (one ``{"traceEvents": [...]}`` document) or JSONL (one
+event per line, streamable); both round-trip through
+:func:`load_chrome_trace` / :func:`load_jsonl_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+__all__ = [
+    "SpanTracer",
+    "NULL_TRACER",
+    "load_chrome_trace",
+    "load_jsonl_trace",
+]
+
+
+@dataclass
+class TraceEvent:
+    """One trace event on an explicit clock (milliseconds).
+
+    ``dur_ms`` is ``None`` for instants.  ``pid``/``tid`` are the
+    device / stream lanes; args carry event-specific payload (batch
+    size, admission debt, migration source...).
+    """
+
+    name: str
+    ts_ms: float
+    dur_ms: Optional[float] = None
+    pid: str = "fleet"
+    tid: str = "main"
+    cat: str = "serve"
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_ms(self) -> float:
+        return self.ts_ms + (self.dur_ms or 0.0)
+
+    def to_chrome(self) -> Dict[str, object]:
+        """Chrome ``trace_event`` dict; timestamps in microseconds."""
+        event: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.cat,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": round(1e3 * self.ts_ms, 3),
+        }
+        if self.dur_ms is None:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(1e3 * self.dur_ms, 3)
+        if self.args:
+            event["args"] = dict(self.args)
+        return event
+
+    @classmethod
+    def from_chrome(cls, event: Dict[str, object]) -> "TraceEvent":
+        dur = event.get("dur")
+        return cls(
+            name=str(event["name"]),
+            ts_ms=float(event["ts"]) / 1e3,
+            dur_ms=None if dur is None else float(dur) / 1e3,
+            pid=str(event.get("pid", "fleet")),
+            tid=str(event.get("tid", "main")),
+            cat=str(event.get("cat", "serve")),
+            args=dict(event.get("args", {})),
+        )
+
+
+class SpanTracer:
+    """Collects spans and instants; exports Chrome JSON and JSONL.
+
+    ``enabled`` is the hot-path guard: every emission site in the
+    serving stack checks it before building args, and
+    :data:`NULL_TRACER` reports ``False`` so the untraced cost is one
+    attribute load.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        ts_ms: float,
+        dur_ms: float,
+        *,
+        pid: str = "fleet",
+        tid: str = "main",
+        cat: str = "serve",
+        **args: object,
+    ) -> None:
+        """Record a complete span [ts_ms, ts_ms + dur_ms] on a lane."""
+        self.events.append(
+            TraceEvent(
+                name=name, ts_ms=ts_ms, dur_ms=float(dur_ms),
+                pid=pid, tid=tid, cat=cat, args=args,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        ts_ms: float,
+        *,
+        pid: str = "fleet",
+        tid: str = "main",
+        cat: str = "serve",
+        **args: object,
+    ) -> None:
+        """Record a point event (zero-duration marker) on a lane."""
+        self.events.append(
+            TraceEvent(
+                name=name, ts_ms=ts_ms, dur_ms=None,
+                pid=pid, tid=tid, cat=cat, args=args,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def spans(self, name: Optional[str] = None, **lane: str) -> List[TraceEvent]:
+        """Complete spans, optionally filtered by name / pid / tid / cat."""
+        return [
+            e
+            for e in self.events
+            if e.dur_ms is not None
+            and (name is None or e.name == name)
+            and all(getattr(e, k) == v for k, v in lane.items())
+        ]
+
+    def instants(self, name: Optional[str] = None, **lane: str) -> List[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if e.dur_ms is None
+            and (name is None or e.name == name)
+            and all(getattr(e, k) == v for k, v in lane.items())
+        ]
+
+    def frame_spans(self) -> "Dict[tuple, List[TraceEvent]]":
+        """Spans grouped by (stream lane, frame index), time-ordered.
+
+        The per-frame span chain — ``queue -> forward [-> adapt_wait]
+        [-> adapt]`` — whose durations sum to the frame's reported
+        latency; the reconciliation tests and the dashboard's slowest-
+        frame breakdown both read this view.
+        """
+        groups: "Dict[tuple, List[TraceEvent]]" = {}
+        for event in self.events:
+            if event.dur_ms is None or "frame" not in event.args:
+                continue
+            groups.setdefault((event.tid, event.args["frame"]), []).append(event)
+        for spans in groups.values():
+            spans.sort(key=lambda e: (e.ts_ms, e.end_ms))
+        return groups
+
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, object]:
+        return {"traceEvents": [e.to_chrome() for e in self.events]}
+
+    def write_chrome(self, target: Union[str, IO[str]]) -> None:
+        """Write one Chrome ``trace_event`` JSON document."""
+        _dump(self.to_chrome(), target)
+
+    def write_jsonl(self, target: Union[str, IO[str]]) -> None:
+        """Write one event per line (streamable / greppable)."""
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                self.write_jsonl(handle)
+            return
+        for event in self.events:
+            target.write(json.dumps(event.to_chrome(), sort_keys=True) + "\n")
+
+
+def _dump(document: Dict[str, object], target: Union[str, IO[str]]) -> None:
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    else:
+        json.dump(document, target, indent=1, sort_keys=True)
+
+
+def load_chrome_trace(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Load a Chrome ``trace_event`` JSON file back into events."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            document = json.load(handle)
+    else:
+        document = json.load(source)
+    return [TraceEvent.from_chrome(e) for e in document["traceEvents"]]
+
+
+def load_jsonl_trace(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_jsonl_trace(handle)
+    return [
+        TraceEvent.from_chrome(json.loads(line))
+        for line in source
+        if line.strip()
+    ]
+
+
+class _NullTracer(SpanTracer):
+    """The do-nothing tracer wired in by default everywhere.
+
+    ``enabled`` is False so emission sites skip argument construction;
+    the methods are retained (and inert) so unguarded calls are still
+    safe.
+    """
+
+    enabled = False
+
+    def span(self, *args, **kwargs) -> None:  # pragma: no cover - trivial
+        pass
+
+    def instant(self, *args, **kwargs) -> None:  # pragma: no cover - trivial
+        pass
+
+
+NULL_TRACER = _NullTracer()

@@ -2,15 +2,24 @@
 
 Avoids the stdlib logging configuration dance; writes single-line records
 with a component tag and supports silencing for tests and benchmarks.
+
+Besides the human-readable stderr lines, a global JSONL sink can be
+attached with :func:`set_json_output` — every record (including debug
+records suppressed by verbosity) is then also appended as one JSON
+object per line, so fleet/CLI runs can archive machine-readable logs
+alongside their trace files.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
-from typing import Optional, TextIO
+from typing import IO, Optional, TextIO, Union
 
 _VERBOSITY = 1  # 0 = silent, 1 = info, 2 = debug
+_JSON_SINK: Optional[TextIO] = None
+_JSON_SINK_OWNED = False  # we opened it from a path, so we close it
 
 
 def set_verbosity(level: int) -> None:
@@ -21,6 +30,29 @@ def set_verbosity(level: int) -> None:
 
 def get_verbosity() -> int:
     return _VERBOSITY
+
+
+def set_json_output(target: Union[str, IO[str], None]) -> None:
+    """Attach (or detach, with ``None``) the global JSONL log sink.
+
+    ``target`` is a path (opened for append; closed when replaced or
+    detached) or an already-open text stream (left open — the caller
+    owns it).  The sink sees every record regardless of verbosity:
+    verbosity gates what a human watches, not what a run archives.
+    """
+    global _JSON_SINK, _JSON_SINK_OWNED
+    if _JSON_SINK is not None and _JSON_SINK_OWNED:
+        _JSON_SINK.close()
+    if target is None:
+        _JSON_SINK, _JSON_SINK_OWNED = None, False
+    elif isinstance(target, str):
+        _JSON_SINK, _JSON_SINK_OWNED = open(target, "a"), True
+    else:
+        _JSON_SINK, _JSON_SINK_OWNED = target, False
+
+
+def get_json_output() -> Optional[TextIO]:
+    return _JSON_SINK
 
 
 class Logger:
@@ -35,18 +67,33 @@ class Logger:
         self.stream = stream if stream is not None else sys.stderr
         self._t0 = time.perf_counter()
 
-    def _emit(self, level: str, fmt: str, *args) -> None:
+    def _emit(self, level: str, fmt: str, *args, visible: bool = True) -> None:
         elapsed = time.perf_counter() - self._t0
         message = fmt % args if args else fmt
-        self.stream.write(f"[{elapsed:8.2f}s {self.name}:{level}] {message}\n")
+        if visible:
+            self.stream.write(
+                f"[{elapsed:8.2f}s {self.name}:{level}] {message}\n"
+            )
+        if _JSON_SINK is not None:
+            _JSON_SINK.write(
+                json.dumps(
+                    {
+                        "elapsed_s": round(elapsed, 6),
+                        "name": self.name,
+                        "level": level,
+                        "message": message,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            _JSON_SINK.flush()
 
     def info(self, fmt: str, *args) -> None:
-        if _VERBOSITY >= 1:
-            self._emit("info", fmt, *args)
+        self._emit("info", fmt, *args, visible=_VERBOSITY >= 1)
 
     def debug(self, fmt: str, *args) -> None:
-        if _VERBOSITY >= 2:
-            self._emit("debug", fmt, *args)
+        self._emit("debug", fmt, *args, visible=_VERBOSITY >= 2)
 
     def warning(self, fmt: str, *args) -> None:
         # warnings always print

@@ -5,9 +5,17 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from ..telemetry.sketch import QuantileSketch
+
 
 class Timer:
     """Context-manager stopwatch accumulating named intervals.
+
+    Alongside the raw per-interval records (kept for exact totals and
+    the pipeline's last-interval reads), every interval also feeds a
+    streaming :class:`~repro.telemetry.sketch.QuantileSketch` per name,
+    so tail percentiles stay O(1)-memory and timers from different
+    workers can be merged without concatenating lists.
 
     >>> t = Timer()
     >>> with t.measure("inference"):
@@ -18,12 +26,17 @@ class Timer:
 
     def __init__(self):
         self.records: Dict[str, List[float]] = {}
+        self._sketches: Dict[str, QuantileSketch] = {}
 
     def measure(self, name: str) -> "_Interval":
         return _Interval(self, name)
 
     def add(self, name: str, seconds: float) -> None:
         self.records.setdefault(name, []).append(seconds)
+        sketch = self._sketches.get(name)
+        if sketch is None:
+            sketch = self._sketches[name] = QuantileSketch()
+        sketch.add(seconds)
 
     def total(self, name: str) -> float:
         return sum(self.records.get(name, []))
@@ -35,8 +48,33 @@ class Timer:
     def count(self, name: str) -> int:
         return len(self.records.get(name, []))
 
+    def percentile(self, name: str, q: float) -> float:
+        """Percentile ``q`` in [0, 100] of an interval series (seconds);
+        0.0 when the name was never measured."""
+        sketch = self._sketches.get(name)
+        if sketch is None:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError(f"percentile must be in [0, 100], got {q}")
+            return 0.0
+        return sketch.percentile(q)
+
+    def merge(self, other: "Timer") -> "Timer":
+        """Fold another timer's intervals into this one, in place."""
+        for name, values in other.records.items():
+            self.records.setdefault(name, []).extend(values)
+        for name, sketch in other._sketches.items():
+            mine = self._sketches.get(name)
+            if mine is None:
+                self._sketches[name] = QuantileSketch.of([], alpha=sketch.alpha).merge(
+                    sketch
+                )
+            else:
+                mine.merge(sketch)
+        return self
+
     def reset(self) -> None:
         self.records.clear()
+        self._sketches.clear()
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Per-name {total, mean, count} summary."""

@@ -47,8 +47,10 @@ class TestDeadlineMonitor:
         monitor = DeadlineMonitor(10.0)
         for v in range(1, 101):
             monitor.record(float(v))
-        assert monitor.p50_latency_ms == pytest.approx(50.5)
-        assert monitor.p95_latency_ms >= 95.0
+        # interior percentiles carry the streaming sketch's relative
+        # error bound; endpoints are exact (tracked min/max)
+        assert monitor.p50_latency_ms == pytest.approx(50.5, rel=0.011)
+        assert monitor.p95_latency_ms >= 95.0 * (1 - 0.011)
         assert monitor.latency_percentile(0) == 1.0
         assert monitor.latency_percentile(100) == 100.0
 
