@@ -9,7 +9,10 @@
 # The smoke lane exists so the benchmark regression loop (archive to
 # benchmarks/results/*.json, diff p95/fps against the previous run's
 # baseline via repro.experiments.regression) is exercised on every PR,
-# not just when a human runs the benchmarks by hand.
+# not just when a human runs the benchmarks by hand.  Lane 4 exercises
+# the cgen C plan backend (renderer parity tests + a quick C-served
+# bench run); on hosts without a C compiler it prints a visible skip
+# notice and runs only the compiler-free fallback/registry tests.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -39,5 +42,26 @@ if [[ "${1:-}" == "--full" ]]; then
     python -m repro.experiments bench-adapt --quick
 fi
 python benchmarks/check_regression.py
+
+echo "=== lane 4: cgen backend (C plan renderer parity + quick bench) ==="
+# the C backend needs a host compiler; when there is none the engine
+# falls back to numpy closures by design, so this lane degrades to a
+# loud skip rather than a silent pass-through
+if python - <<'EOF'
+import sys
+from repro.engine.backends import find_cc
+sys.exit(0 if find_cc() else 1)
+EOF
+then
+    python -m pytest tests/test_backends.py -q
+    # quick end-to-end run with the C backend serving the compiled
+    # column: band parity vs eager is asserted inside the command
+    python -m repro.experiments bench-infer --quick --backend cgen
+else
+    echo "NOTICE: cgen lane SKIPPED — no C compiler on this host;"
+    echo "        plans will fall back to numpy closures at runtime"
+    # the fallback contract itself is still testable without a compiler
+    python -m pytest tests/test_backends.py -q -k "Fallback or Config or Registry"
+fi
 
 echo "ci.sh: all lanes passed"

@@ -67,6 +67,9 @@ class LDBNAdaptConfig:
         Momentum for the "ema" mode.
     optimizer:
         "sgd" (default; a single step matches the paper) or "adam".
+    backend:
+        Plan backend for the compiled adaptation step (``None`` →
+        ``REPRO_BACKEND`` or "numpy"; see :mod:`repro.engine.backends`).
     """
 
     lr: float = 1e-3
@@ -75,6 +78,7 @@ class LDBNAdaptConfig:
     stats_mode: str = "replace"
     ema_momentum: float = 0.1
     optimizer: str = "sgd"
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -145,7 +149,9 @@ class LDBNAdapt(Adapter):
         from ..engine import CompiledAdaptStep, UnsupportedAdaptGraph
 
         if self._compiled is None:
-            self._compiled = CompiledAdaptStep(self.model)
+            self._compiled = CompiledAdaptStep(
+                self.model, backend=self.config.backend
+            )
         try:
             return self._compiled.plan_for(images)
         except UnsupportedAdaptGraph:

@@ -41,9 +41,15 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn import tensor as T
-from ..nn.functional import _conv_output_size, _im2col_indices, _pair
+from ..nn.functional import _im2col_indices, _pair
 from ..nn.modules import _BatchNormBase
-from .plan import PlanProfile, _Arena, _timed_step
+from .backends.core import (
+    PlanProfile,
+    _Arena,
+    _timed_step,
+    lower_conv,
+    lower_pool,
+)
 from .tracer import ConstRef, OpNode, TraceGraph, ValueRef
 
 
@@ -103,7 +109,7 @@ class AdaptationPlan:
     """
 
     def __init__(self, graph: TraceGraph, groups: int = 1,
-                 profile: bool = False):
+                 profile: bool = False, renderer=None):
         batch = graph.input_shape[0]
         if groups < 1 or batch % groups:
             raise ValueError(
@@ -118,10 +124,17 @@ class AdaptationPlan:
         self._grads: Dict[int, np.ndarray] = {}
         self._input_cell: List[Optional[np.ndarray]] = [None]
         self.bn_taps: List[BNLayerTap] = []
+        self._renderer = renderer
+        self._pre_replay: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        self.backend_info: Dict[str, object] = {"backend": "numpy"}
         # profiling is a compile-time choice, exactly as in ExecutionPlan:
         # the unprofiled closures carry no timing code at all
         self.profile: Optional[PlanProfile] = PlanProfile() if profile else None
         self._compile(graph)
+        if renderer is not None:
+            # only the forward stages are offered for rendering — the
+            # pruned backward program stays on the numpy oracle path
+            self.backend_info = renderer.finalize(self, graph)
 
     # ------------------------------------------------------------------
     # value access
@@ -146,6 +159,28 @@ class AdaptationPlan:
         if isinstance(ref, ConstRef):
             return tuple(ref.tensor.shape), ref.tensor.data.dtype
         return None, None
+
+    def _render_source(self, ref):
+        """Classify a forward-stage input for the renderer (see plan.py)."""
+        if isinstance(ref, ValueRef):
+            if ref.vid == self._input_vid:
+                return ("input", None)
+            fixed = self._fixed.get(ref.vid)
+            if fixed is not None:
+                return ("fixed", fixed)
+            return None
+        if isinstance(ref, ConstRef):
+            return ("const", ref.tensor)
+        return None
+
+    def _offer(self, kind: str, spec: dict, fallback) -> None:
+        """Offer one lowered forward stage to the renderer; append it."""
+        step = fallback
+        if self._renderer is not None:
+            placed = self._renderer.offer_stage(kind, spec, fallback)
+            if placed is not None:
+                step = placed
+        self._fwd.append(step)
 
     @staticmethod
     def _kind(node: OpNode) -> str:
@@ -366,7 +401,11 @@ class AdaptationPlan:
             builder = getattr(self, f"_fwd_{kind}")
             before = len(self._fwd)
             builder(node, index, cells[index], alloc, register, workspace_bytes)
-            if profile is not None:
+            if self._renderer is not None:
+                # profiling wraps for the forward happen at finalize,
+                # after the renderer resolves which stages survived
+                self._renderer.note_stage(before, len(self._fwd), f"fwd:{kind}")
+            elif profile is not None:
                 wrap_tail(self._fwd, before, f"fwd:{kind}")
             advance(index)
 
@@ -409,39 +448,23 @@ class AdaptationPlan:
         stride = _pair(node.inputs[3])
         padding = _pair(node.inputs[4])
 
-        n, c, h, w = x_shape
-        f_out, _, kh, kw = weight.shape
-        out_h = _conv_output_size(h, kh, stride[0], padding[0])
-        out_w = _conv_output_size(w, kw, stride[1], padding[1])
-        p_total = out_h * out_w
-        k_total = c * kh * kw
-        compute_dtype = node.out_dtype
-
-        identity_cols = (
-            kh == 1 and kw == 1 and stride == (1, 1) and padding == (0, 0)
+        geo = lower_conv(
+            x_shape, weight.shape, stride, padding, node.out_dtype, x_dtype
         )
-        padded = core = cols = flat = None
-        if not identity_cols:
-            k, i, j, _, _ = _im2col_indices(c, h, w, (kh, kw), stride, padding)
-            hp, wp = h + 2 * padding[0], w + 2 * padding[1]
-            flat = ((k * hp + i) * wp + j).astype(np.intp)
-            if padding != (0, 0):
-                padded = np.zeros((n, c, hp, wp), dtype=compute_dtype)
-                core = padded[:, :, padding[0]:padding[0] + h,
-                              padding[1]:padding[1] + w]
-                cols = np.empty((n, k_total, p_total), dtype=compute_dtype)
-                workspace_bytes[0] += padded.nbytes + cols.nbytes
-            else:
-                cols = np.empty((n, k_total, p_total), dtype=x_dtype)
-                workspace_bytes[0] += cols.nbytes
+        n, c = geo.n, geo.c
+        f_out, p_total, k_total = geo.f_out, geo.p_total, geo.k_total
+        identity_cols = geo.identity_cols
+        padded, core, cols, flat = geo.padded, geo.core, geo.cols, geo.flat
+        workspace_bytes[0] += geo.workspace_nbytes
         cell.update(
             x_shape=x_shape, stride=stride, padding=padding,
             identity_cols=identity_cols, k_total=k_total, p_total=p_total,
             f_out=f_out,
         )
 
-        out3 = alloc(("a", node.out_vid), (n, f_out, p_total), compute_dtype)
-        out4 = out3.reshape(n, f_out, out_h, out_w)
+        out3 = alloc(("a", node.out_vid), (n, f_out, p_total),
+                     geo.compute_dtype)
+        out4 = out3.reshape(n, f_out, geo.out_h, geo.out_w)
         register(node.out_vid, out4)
         get_x = self._getter(x_ref)
 
@@ -461,7 +484,14 @@ class AdaptationPlan:
             if bias is not None:
                 np.add(out3, bias.data.reshape(1, -1, 1), out=out3)
 
-        self._fwd.append(run)
+        self._offer(
+            "conv",
+            dict(
+                geo=geo, x_src=self._render_source(x_ref), weight=weight,
+                bias=bias, bn_module=None, relu=False, out3=out3,
+            ),
+            run,
+        )
 
     def _fwd_linear(self, node, index, cell, alloc, register, workspace_bytes):
         x_ref = node.inputs[0]
@@ -473,44 +503,92 @@ class AdaptationPlan:
         register(node.out_vid, out2)
         get_x = self._getter(x_ref)
 
+        x_dtype = self._ref_shape_dtype(x_ref)[1]
+
         def run():
             np.matmul(get_x(), weight.data.T, out=out2)
             if bias is not None:
                 np.add(out2, bias.data, out=out2)
 
-        self._fwd.append(run)
+        self._offer(
+            "linear",
+            dict(
+                x_src=self._render_source(x_ref), x_shape=x_shape,
+                x_dtype=x_dtype, out_dtype=node.out_dtype, weight=weight,
+                bias=bias, relu=False, out2=out2,
+            ),
+            run,
+        )
 
     def _fwd_relu(self, node, index, cell, alloc, register, workspace_bytes):
         out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
         register(node.out_vid, out)
-        get_x = self._getter(node.inputs[0])
-        self._fwd.append(lambda: np.maximum(get_x(), 0.0, out=out))
+        x_ref = node.inputs[0]
+        get_x = self._getter(x_ref)
+        self._offer(
+            "relu",
+            dict(x_src=self._render_source(x_ref), out=out,
+                 dtype=node.out_dtype),
+            lambda: np.maximum(get_x(), 0.0, out=out),
+        )
 
     def _fwd_add(self, node, index, cell, alloc, register, workspace_bytes):
         out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
         register(node.out_vid, out)
-        get_a = self._getter(node.inputs[0])
-        get_b = self._getter(node.inputs[1])
-        self._fwd.append(lambda: np.add(get_a(), get_b(), out=out))
+        a_ref, b_ref = node.inputs[0], node.inputs[1]
+        get_a, get_b = self._getter(a_ref), self._getter(b_ref)
+        self._offer(
+            "add",
+            dict(
+                a_src=self._render_source(a_ref),
+                b_src=self._render_source(b_ref),
+                a_shape=self._ref_shape_dtype(a_ref)[0],
+                b_shape=self._ref_shape_dtype(b_ref)[0],
+                out_shape=node.out_shape, out=out, dtype=node.out_dtype,
+            ),
+            lambda: np.add(get_a(), get_b(), out=out),
+        )
 
     def _fwd_mul(self, node, index, cell, alloc, register, workspace_bytes):
         out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
         register(node.out_vid, out)
-        get_a = self._getter(node.inputs[0])
-        get_b = self._getter(node.inputs[1])
-        self._fwd.append(lambda: np.multiply(get_a(), get_b(), out=out))
+        a_ref, b_ref = node.inputs[0], node.inputs[1]
+        get_a, get_b = self._getter(a_ref), self._getter(b_ref)
+        self._offer(
+            "mul",
+            dict(
+                a_src=self._render_source(a_ref),
+                b_src=self._render_source(b_ref),
+                a_shape=self._ref_shape_dtype(a_ref)[0],
+                b_shape=self._ref_shape_dtype(b_ref)[0],
+                out_shape=node.out_shape, out=out, dtype=node.out_dtype,
+            ),
+            lambda: np.multiply(get_a(), get_b(), out=out),
+        )
 
     def _fwd_exp(self, node, index, cell, alloc, register, workspace_bytes):
         out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
         register(node.out_vid, out)
-        get_x = self._getter(node.inputs[0])
-        self._fwd.append(lambda: np.exp(get_x(), out=out))
+        x_ref = node.inputs[0]
+        get_x = self._getter(x_ref)
+        self._offer(
+            "exp",
+            dict(x_src=self._render_source(x_ref), out=out,
+                 dtype=node.out_dtype),
+            lambda: np.exp(get_x(), out=out),
+        )
 
     def _fwd_neg(self, node, index, cell, alloc, register, workspace_bytes):
         out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
         register(node.out_vid, out)
-        get_x = self._getter(node.inputs[0])
-        self._fwd.append(lambda: np.negative(get_x(), out=out))
+        x_ref = node.inputs[0]
+        get_x = self._getter(x_ref)
+        self._offer(
+            "neg",
+            dict(x_src=self._render_source(x_ref), out=out,
+                 dtype=node.out_dtype),
+            lambda: np.negative(get_x(), out=out),
+        )
 
     def _fwd_reshape(self, node, index, cell, alloc, register, workspace_bytes):
         src = node.inputs[0]
@@ -579,24 +657,13 @@ class AdaptationPlan:
         kernel = _pair(node.inputs[1])
         stride = _pair(node.inputs[2] if node.inputs[2] is not None else kernel)
         padding = _pair(node.inputs[3])
-        n, c, h, w = x_shape
-        _, _, out_h, out_w = node.out_shape
-        p_total = out_h * out_w
-
-        padded = core = None
-        if padding != (0, 0):
-            h_eff, w_eff = h + 2 * padding[0], w + 2 * padding[1]
-            padded = np.full((n * c, h_eff, w_eff), -np.inf, dtype=x_dtype)
-            core = padded[:, padding[0]:padding[0] + h,
-                          padding[1]:padding[1] + w]
-        else:
-            h_eff, w_eff = h, w
-        k, i, j, _, _ = _im2col_indices(1, h_eff, w_eff, kernel, stride, (0, 0))
-        flat = (i * w_eff + j).astype(np.intp)
-        cols = np.empty((n * c, kernel[0] * kernel[1], p_total), dtype=x_dtype)
-        workspace_bytes[0] += cols.nbytes + (
-            padded.nbytes if padded is not None else 0
+        geo = lower_pool(
+            x_shape, node.out_shape, kernel, stride, padding, x_dtype
         )
+        n, c, h, w = geo.n, geo.c, geo.h, geo.w
+        p_total = geo.p_total
+        padded, core, cols, flat = geo.padded, geo.core, geo.cols, geo.flat
+        workspace_bytes[0] += geo.workspace_nbytes
         arg = alloc(("arg", index), (n * c, p_total), np.intp)
 
         out4 = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
@@ -605,7 +672,7 @@ class AdaptationPlan:
         get_x = self._getter(x_ref)
         cell.update(
             x_shape=x_shape, kernel=kernel, stride=stride, padding=padding,
-            h_eff=h_eff, w_eff=w_eff, arg=arg, scatter=(k, i, j),
+            h_eff=geo.h_eff, w_eff=geo.w_eff, arg=arg, scatter=geo.kij,
             p_total=p_total,
         )
 
@@ -621,7 +688,14 @@ class AdaptationPlan:
             np.argmax(cols, axis=1, out=arg)
             np.max(cols, axis=1, out=out2)
 
-        self._fwd.append(run)
+        self._offer(
+            "maxpool",
+            dict(
+                geo=geo, x_src=self._render_source(x_ref),
+                out_dtype=node.out_dtype, out2=out2, arg=arg,
+            ),
+            run,
+        )
 
     def _fwd_bn(self, node, index, cell, alloc, register, workspace_bytes):
         if not node.train_bn:
@@ -987,6 +1061,8 @@ class AdaptationPlan:
                 f"adaptation plan compiled for input {self._input_shape}, "
                 f"got {x.shape}"
             )
+        if self._pre_replay is not None:
+            x = self._pre_replay(x)
         self._input_cell[0] = x
         if self.profile is not None:
             self.profile.runs += 1

@@ -1,0 +1,31 @@
+"""Plan backends: pluggable lowerings of traced graphs to executable plans.
+
+``numpy`` is the bit-exact closure oracle, ``cgen``/``cgen-strict``
+render plans to a compiled C translation unit with per-stage numpy
+fallback.  See :mod:`repro.engine.backends.base` for the interface and
+registry, :mod:`repro.engine.backends.core` for the shared
+arena/liveness/im2col lowering machinery.
+"""
+
+from .base import (
+    PlanBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from .cgen import PARITY_ATOL, PARITY_RTOL, CGenBackend, find_cc
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "PlanBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "NumpyBackend",
+    "CGenBackend",
+    "PARITY_RTOL",
+    "PARITY_ATOL",
+    "find_cc",
+]

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..nn.tensor import Tensor
 from .adapt_plan import AdaptationPlan
+from .backends import resolve_backend
 from .plan import ExecutionPlan
 from .tracer import trace, trace_entropy_step
 
@@ -38,9 +39,10 @@ class CompiledInference:
     the same input shape overwrites; copy it if it must outlive a frame.
     """
 
-    def __init__(self, model, profile: bool = False):
+    def __init__(self, model, profile: bool = False, backend=None):
         self.model = model
         self.profile = profile  # per-op timing on every plan (opt-in)
+        self.backend = resolve_backend(backend)
         self._plans: Dict[Tuple, ExecutionPlan] = {}
 
     def _plan(self, arr: np.ndarray) -> ExecutionPlan:
@@ -52,7 +54,9 @@ class CompiledInference:
         key = (arr.shape, arr.dtype.str)
         plan = self._plans.get(key)
         if plan is None:
-            plan = ExecutionPlan(trace(self.model, arr), profile=self.profile)
+            plan = self.backend.compile_inference(
+                trace(self.model, arr), profile=self.profile
+            )
             self._plans[key] = plan
         return plan
 
@@ -77,14 +81,18 @@ class CompiledInference:
         return self._plans[(tuple(shape), np.dtype(dtype).str)]
 
 
-def compile_model(model, profile: bool = False) -> CompiledInference:
+def compile_model(model, profile: bool = False,
+                  backend=None) -> CompiledInference:
     """Return a compiled, replayable inference callable for ``model``.
 
     ``profile=True`` compiles every plan with per-op timing
     (:class:`~repro.engine.plan.PlanProfile`); the default compiles
-    closures with no timing code at all.
+    closures with no timing code at all.  ``backend`` selects the plan
+    lowering — a registry name (``"numpy"``, ``"cgen"``,
+    ``"cgen-strict"``), a :class:`~repro.engine.backends.PlanBackend`
+    instance, or ``None`` for ``$REPRO_BACKEND``/numpy.
     """
-    return CompiledInference(model, profile=profile)
+    return CompiledInference(model, profile=profile, backend=backend)
 
 
 class CompiledAdaptStep:
@@ -99,7 +107,8 @@ class CompiledAdaptStep:
     building a plan never perturbs the model.
     """
 
-    def __init__(self, model, loss_fn=None, profile: bool = False):
+    def __init__(self, model, loss_fn=None, profile: bool = False,
+                 backend=None):
         if loss_fn is None:
             from ..adapt.entropy import entropy_loss  # avoid a cycle
 
@@ -107,6 +116,7 @@ class CompiledAdaptStep:
         self.model = model
         self.loss_fn = loss_fn
         self.profile = profile  # per-op timing on every plan (opt-in)
+        self.backend = resolve_backend(backend)
         self._plans: Dict[Tuple, AdaptationPlan] = {}
 
     def plan_for(self, arr: np.ndarray, groups: int = 1) -> AdaptationPlan:
@@ -121,7 +131,9 @@ class CompiledAdaptStep:
         plan = self._plans.get(key)
         if plan is None:
             graph = trace_entropy_step(self.model, arr, self.loss_fn)
-            plan = AdaptationPlan(graph, groups=groups, profile=self.profile)
+            plan = self.backend.compile_adaptation(
+                graph, groups=groups, profile=self.profile
+            )
             self._plans[key] = plan
         return plan
 

@@ -21,76 +21,37 @@ the bookkeeping around them is removed):
   input shape; replays gather with ``np.take(..., out=)`` instead of
   rebuilding indices and materializing fresh columns.
 
-No autograd ``Context`` (or ``Tensor``) is allocated anywhere on the
-replay path.
+The arena/liveness/workspace machinery lives in
+:mod:`repro.engine.backends.core` (shared with the adaptation plan); a
+codegen backend may pass a *renderer* that is offered every stage as it
+is lowered and replaces the accepted ones with compiled-kernel calls at
+finalize time — see :mod:`repro.engine.backends.cgen`.  Without a
+renderer this module is the pure numpy-closure backend and no autograd
+``Context`` (or ``Tensor``) is allocated anywhere on the replay path.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..nn import functional as F
 from ..nn import tensor as T
-from ..nn.functional import _conv_output_size, _im2col_indices, _pair
+from ..nn.functional import _pair
 from ..nn.tensor import Context
+from .backends.core import (  # noqa: F401  (re-exported for compatibility)
+    _ALIGN,
+    _Arena,
+    _Block,
+    PlanProfile,
+    _timed_step,
+    lower_conv,
+    lower_pool,
+)
 from .tracer import ConstRef, OpNode, TraceGraph, ValueRef
-
-_ALIGN = 64
-
-
-class _Block:
-    """One arena-backed byte buffer, viewable as any (shape, dtype)."""
-
-    __slots__ = ("raw", "nbytes", "alive", "pinned")
-
-    def __init__(self, nbytes: int):
-        self.raw = np.empty(nbytes, dtype=np.uint8)
-        self.nbytes = nbytes
-        self.alive: set = set()  # vids currently backed by this block
-        self.pinned = False  # never recycled (e.g. aliased by a generic op)
-
-    def view(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
-        dtype = np.dtype(dtype)
-        need = int(np.prod(shape)) * dtype.itemsize
-        return self.raw[:need].view(dtype).reshape(shape)
-
-
-class _Arena:
-    """Size-class-free best-fit pool of :class:`_Block` buffers."""
-
-    def __init__(self):
-        self.blocks: List[_Block] = []
-        self._free: List[_Block] = []
-        self.total_bytes = 0
-        self.requested_bytes = 0  # sum of all allocation requests (pre-reuse)
-
-    def alloc(self, shape: Tuple[int, ...], dtype) -> Tuple[_Block, np.ndarray]:
-        dtype = np.dtype(dtype)
-        need = max(int(np.prod(shape)) * dtype.itemsize, 1)
-        self.requested_bytes += need
-        aligned = -(-need // _ALIGN) * _ALIGN
-        best = None
-        for block in self._free:
-            if block.nbytes >= aligned and (
-                best is None or block.nbytes < best.nbytes
-            ):
-                best = block
-        if best is not None:
-            self._free.remove(best)
-            block = best
-        else:
-            block = _Block(aligned)
-            self.blocks.append(block)
-            self.total_bytes += aligned
-        return block, block.view(shape, dtype)
-
-    def release(self, block: _Block) -> None:
-        if not block.pinned:
-            self._free.append(block)
 
 
 @dataclass(frozen=True)
@@ -104,55 +65,6 @@ class PlanStats:
     arena_bytes: int  # bytes actually held by the arena
     requested_bytes: int  # bytes the ops would allocate without reuse
     workspace_bytes: int  # dedicated im2col/pool workspaces
-
-
-@dataclass
-class PlanProfile:
-    """Opt-in per-op timing of a compiled plan's replays.
-
-    Created only when a plan is compiled with ``profile=True`` — the
-    default replay path never touches it (the closures are built without
-    any timing code, so disabled profiling costs nothing).  ``op_ms``
-    buckets total milliseconds by stage label (e.g. ``"conv+bn+relu"``,
-    ``"fwd:conv"``); ``bucket_ms`` decomposes the GEMM stages into their
-    ``im2col`` / ``gemm`` / ``epilogue`` phases (a stage's phases sum to
-    its ``op_ms`` entry, so the decomposition reconciles).
-    """
-
-    op_ms: Dict[str, float] = field(default_factory=dict)
-    op_calls: Dict[str, int] = field(default_factory=dict)
-    bucket_ms: Dict[str, float] = field(default_factory=dict)
-    runs: int = 0
-
-    def add_op(self, label: str, seconds: float) -> None:
-        self.op_ms[label] = self.op_ms.get(label, 0.0) + 1e3 * seconds
-        self.op_calls[label] = self.op_calls.get(label, 0) + 1
-
-    def add_bucket(self, name: str, seconds: float) -> None:
-        self.bucket_ms[name] = self.bucket_ms.get(name, 0.0) + 1e3 * seconds
-
-    def summary(self) -> Dict[str, object]:
-        total = sum(self.op_ms.values())
-        return {
-            "runs": self.runs,
-            "total_ms": total,
-            "op_ms": dict(sorted(self.op_ms.items(), key=lambda kv: -kv[1])),
-            "op_calls": dict(self.op_calls),
-            "bucket_ms": dict(
-                sorted(self.bucket_ms.items(), key=lambda kv: -kv[1])
-            ),
-        }
-
-
-def _timed_step(step, label: str, profile: PlanProfile):
-    """Wrap one replay closure with per-call timing into ``profile``."""
-
-    def timed():
-        t0 = time.perf_counter()
-        step()
-        profile.add_op(label, time.perf_counter() - t0)
-
-    return timed
 
 
 def _bn_epilogue(buf3: np.ndarray, module, n: int) -> None:
@@ -193,21 +105,33 @@ class ExecutionPlan:
     ``run`` returns a view into plan-owned storage: the contents are
     overwritten by the next ``run`` call, so copy if you need to keep a
     result across frames (serving loops decode immediately and don't).
+
+    ``renderer`` (optional) is a codegen backend's stage renderer: every
+    lowered stage is *offered* to it along with the numpy closure; at the
+    end of compilation :meth:`finalize` replaces accepted stages with
+    compiled-kernel calls (declined or parity-demoted stages keep their
+    numpy closures, so fallback is per-stage and structural).
     """
 
-    def __init__(self, graph: TraceGraph, profile: bool = False):
+    def __init__(self, graph: TraceGraph, profile: bool = False,
+                 renderer=None):
         self._input_shape = graph.input_shape
         self._input_vid = graph.input_vid
         self._steps: List[Callable[[], None]] = []
         self._slots: Dict[int, np.ndarray] = {}
         self._input_cell: List[Optional[np.ndarray]] = [None]
         self._fixed: Dict[int, np.ndarray] = {}
+        self._renderer = renderer
+        self._pre_replay: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        self.backend_info: Dict[str, object] = {"backend": "numpy"}
         # opt-in profiling must be chosen at compile time: the traced
         # graph is dropped after compilation, so closures cannot be
         # re-instrumented later — and the unprofiled closures carry zero
         # timing code, keeping the disabled path cost-free
         self.profile: Optional[PlanProfile] = PlanProfile() if profile else None
         self._compile(graph)
+        if renderer is not None:
+            self.backend_info = renderer.finalize(self, graph)
         # the graph (and its keepalive of every traced activation) is not
         # retained: closures captured what replay needs, parameters stay
         # reachable through their ConstRef-held tensors
@@ -229,6 +153,34 @@ class ExecutionPlan:
             return lambda: tensor.data
         value = ref
         return lambda: value
+
+    def _render_source(self, ref):
+        """Classify a stage input for the renderer.
+
+        Returns ``("input", None)`` for the plan input, ``("fixed", arr)``
+        for a compile-time-fixed buffer, ``("const", tensor)`` for a
+        traced constant/parameter, or ``None`` when the value is only
+        available through a dynamic slot (not renderable).
+        """
+        if isinstance(ref, ValueRef):
+            fixed = self._fixed.get(ref.vid)
+            if fixed is not None:
+                return ("fixed", fixed)
+            if ref.vid == self._input_vid:
+                return ("input", None)
+            return None
+        if isinstance(ref, ConstRef):
+            return ("const", ref.tensor)
+        return None
+
+    def _offer(self, kind: str, spec: dict, fallback):
+        """Offer one lowered stage to the renderer; append the step."""
+        step = fallback
+        if self._renderer is not None:
+            placed = self._renderer.offer_stage(kind, spec, fallback)
+            if placed is not None:
+                step = placed
+        self._steps.append(step)
 
     def _ref_shape_dtype(self, ref, shapes, dtypes):
         if isinstance(ref, ValueRef):
@@ -370,14 +322,20 @@ class ExecutionPlan:
                 pin_inputs(node)
 
             num_stages += 1
-            if self.profile is not None:
+            if self.profile is not None or self._renderer is not None:
                 label = "+".join(
                     self._stage_label(nodes[i]) for i in range(index, end + 1)
                 )
-                for pos in range(before, len(self._steps)):
-                    self._steps[pos] = _timed_step(
-                        self._steps[pos], label, self.profile
-                    )
+                if self._renderer is not None:
+                    # profiling wraps happen at finalize (the renderer
+                    # decides per stage whether the C kernel or the numpy
+                    # fallback survived)
+                    self._renderer.note_stage(before, len(self._steps), label)
+                else:
+                    for pos in range(before, len(self._steps)):
+                        self._steps[pos] = _timed_step(
+                            self._steps[pos], label, self.profile
+                        )
             release_after(index, end)
             index = end + 1
 
@@ -449,44 +407,25 @@ class ExecutionPlan:
         stride = _pair(node.inputs[3])
         padding = _pair(node.inputs[4])
 
-        n, c, h, w = x_shape
-        f_out, _, kh, kw = weight.shape
-        out_h = _conv_output_size(h, kh, stride[0], padding[0])
-        out_w = _conv_output_size(w, kw, stride[1], padding[1])
-        p_total = out_h * out_w
-        k_total = c * kh * kw
-        compute_dtype = node.out_dtype
-
-        identity_cols = (
-            kh == 1 and kw == 1 and stride == (1, 1) and padding == (0, 0)
+        geo = lower_conv(
+            x_shape, weight.shape, stride, padding, node.out_dtype, x_dtype
         )
-        padded = core = cols = flat = None
-        if not identity_cols:
-            k, i, j, _, _ = _im2col_indices(
-                c, h, w, (kh, kw), stride, padding
-            )
-            hp, wp = h + 2 * padding[0], w + 2 * padding[1]
-            flat = ((k * hp + i) * wp + j).astype(np.intp)
-            if padding != (0, 0):
-                padded = np.zeros((n, c, hp, wp), dtype=compute_dtype)
-                core = padded[:, :, padding[0]:padding[0] + h,
-                              padding[1]:padding[1] + w]
-                cols = np.empty((n, k_total, p_total), dtype=compute_dtype)
-                workspace_bytes[0] += padded.nbytes + cols.nbytes
-            else:
-                cols = np.empty((n, k_total, p_total), dtype=x_dtype)
-                workspace_bytes[0] += cols.nbytes
+        n, c = geo.n, geo.c
+        f_out, p_total, k_total = geo.f_out, geo.p_total, geo.k_total
+        identity_cols = geo.identity_cols
+        padded, core, cols, flat = geo.padded, geo.core, geo.cols, geo.flat
+        workspace_bytes[0] += geo.workspace_nbytes
 
-        block, out3 = arena.alloc((n, f_out, p_total), compute_dtype)
+        block, out3 = arena.alloc((n, f_out, p_total), geo.compute_dtype)
         out_vid = (relu_node or bn_node or node).out_vid
-        out4 = out3.reshape(n, f_out, out_h, out_w)
+        out4 = out3.reshape(n, f_out, geo.out_h, geo.out_w)
         self._register(out_vid, out4, block, blocks)
 
         get_x = self._getter(x_ref)
         bn_module = bn_node.module if bn_node is not None else None
         fuse_relu = relu_node is not None
 
-        if self.profile is None:
+        if self.profile is None or self._renderer is not None:
 
             def run():
                 x = get_x()
@@ -540,7 +479,14 @@ class ExecutionPlan:
                 profile.add_bucket("gemm", t2 - t1)
                 profile.add_bucket("epilogue", t3 - t2)
 
-        self._steps.append(run)
+        self._offer(
+            "conv",
+            dict(
+                geo=geo, x_src=self._render_source(x_ref), weight=weight,
+                bias=bias, bn_module=bn_module, relu=fuse_relu, out3=out3,
+            ),
+            run,
+        )
 
     def _build_linear_stage(self, node, bn_node, relu_node, shapes, dtypes,
                             arena, blocks, workspace_bytes):
@@ -549,7 +495,7 @@ class ExecutionPlan:
         # _build path only fuses bn behind conv.
         del bn_node, workspace_bytes
         x_ref = node.inputs[0]
-        x_shape, _ = self._ref_shape_dtype(x_ref, shapes, dtypes)
+        x_shape, x_dtype = self._ref_shape_dtype(x_ref, shapes, dtypes)
         weight = node.inputs[1].tensor
         bias_ref = node.inputs[2]
         bias = bias_ref.tensor if isinstance(bias_ref, ConstRef) else None
@@ -563,7 +509,7 @@ class ExecutionPlan:
         get_x = self._getter(x_ref)
         fuse_relu = relu_node is not None
 
-        if self.profile is None:
+        if self.profile is None or self._renderer is not None:
 
             def run():
                 np.matmul(get_x(), weight.data.T, out=out2)
@@ -587,7 +533,15 @@ class ExecutionPlan:
                 profile.add_bucket("gemm", t1 - t0)
                 profile.add_bucket("epilogue", t2 - t1)
 
-        self._steps.append(run)
+        self._offer(
+            "linear",
+            dict(
+                x_src=self._render_source(x_ref), x_shape=x_shape,
+                x_dtype=x_dtype, out_dtype=node.out_dtype, weight=weight,
+                bias=bias, relu=fuse_relu, out2=out2,
+            ),
+            run,
+        )
 
     def _build_maxpool_stage(self, node, shapes, dtypes, arena, blocks,
                              workspace_bytes):
@@ -596,26 +550,18 @@ class ExecutionPlan:
         kernel = _pair(node.inputs[1])
         stride = _pair(node.inputs[2] if node.inputs[2] is not None else kernel)
         padding = _pair(node.inputs[3])
-        n, c, h, w = x_shape
-        _, _, out_h, out_w = node.out_shape
-        p_total = out_h * out_w
 
-        padded = core = None
-        if padding != (0, 0):
-            h_eff, w_eff = h + 2 * padding[0], w + 2 * padding[1]
-            padded = np.full((n * c, h_eff, w_eff), -np.inf, dtype=x_dtype)
-            core = padded[:, padding[0]:padding[0] + h,
-                          padding[1]:padding[1] + w]
-        else:
-            h_eff, w_eff = h, w
-        _, i, j, _, _ = _im2col_indices(
-            1, h_eff, w_eff, kernel, stride, (0, 0)
+        geo = lower_pool(
+            x_shape, node.out_shape, kernel, stride, padding, x_dtype
         )
-        flat = (i * w_eff + j).astype(np.intp)
-        cols = np.empty((n * c, kernel[0] * kernel[1], p_total), dtype=x_dtype)
-        workspace_bytes[0] += cols.nbytes + (padded.nbytes if padded is not None else 0)
+        n, c, h, w = geo.n, geo.c, geo.h, geo.w
+        p_total = geo.p_total
+        padded, core, cols, flat = geo.padded, geo.core, geo.cols, geo.flat
+        workspace_bytes[0] += geo.workspace_nbytes
 
-        block, out4 = arena.alloc((n, c, out_h, out_w), node.out_dtype)
+        block, out4 = arena.alloc(
+            (n, c, geo.out_h, geo.out_w), node.out_dtype
+        )
         out2 = out4.reshape(n * c, p_total)
         self._register(node.out_vid, out4, block, blocks)
         get_x = self._getter(x_ref)
@@ -631,7 +577,14 @@ class ExecutionPlan:
                         mode="clip")
             np.max(cols, axis=1, out=out2)
 
-        self._steps.append(run)
+        self._offer(
+            "maxpool",
+            dict(
+                geo=geo, x_src=self._render_source(x_ref),
+                out_dtype=node.out_dtype, out2=out2,
+            ),
+            run,
+        )
 
     def _build_relu_stage(self, node, shapes, dtypes, arena, blocks,
                           can_write_inplace, index):
@@ -642,12 +595,23 @@ class ExecutionPlan:
             buf = self._fixed[x_ref.vid]
             block = blocks[x_ref.vid]
             self._register(node.out_vid, buf, block, blocks)
-            self._steps.append(lambda: np.maximum(buf, 0.0, out=buf))
+            self._offer(
+                "relu",
+                dict(x_src=("fixed", buf), out=buf, dtype=node.out_dtype),
+                lambda: np.maximum(buf, 0.0, out=buf),
+            )
             return
         block, out = arena.alloc(node.out_shape, node.out_dtype)
         self._register(node.out_vid, out, block, blocks)
         get_x = self._getter(x_ref)
-        self._steps.append(lambda: np.maximum(get_x(), 0.0, out=out))
+        self._offer(
+            "relu",
+            dict(
+                x_src=self._render_source(x_ref), out=out,
+                dtype=node.out_dtype,
+            ),
+            lambda: np.maximum(get_x(), 0.0, out=out),
+        )
 
     def _build_add_stage(self, node, shapes, dtypes, arena, blocks,
                          can_write_inplace, index):
@@ -665,7 +629,18 @@ class ExecutionPlan:
         self._register(node.out_vid, target, block, blocks)
         get_a, get_b = self._getter(a_ref), self._getter(b_ref)
         out = target
-        self._steps.append(lambda: np.add(get_a(), get_b(), out=out))
+        a_shape, _ = self._ref_shape_dtype(a_ref, shapes, dtypes)
+        b_shape, _ = self._ref_shape_dtype(b_ref, shapes, dtypes)
+        self._offer(
+            "add",
+            dict(
+                a_src=self._render_source(a_ref),
+                b_src=self._render_source(b_ref),
+                a_shape=a_shape, b_shape=b_shape,
+                out_shape=node.out_shape, out=out, dtype=node.out_dtype,
+            ),
+            lambda: np.add(get_a(), get_b(), out=out),
+        )
 
     def _build_view_stage(self, node, kind, blocks):
         src = node.inputs[0]
@@ -696,7 +671,13 @@ class ExecutionPlan:
         self._steps.append(run)
 
     def _build_bn_stage(self, node, shapes, dtypes):
-        """Standalone eval-mode BN (not behind a conv): literal eager math."""
+        """Standalone eval-mode BN (not behind a conv): literal eager math.
+
+        Never offered to a renderer: the numpy path allocates fresh
+        output arrays into dynamic slots, and rendering it would change
+        the fallback's allocation semantics — structural parity keeps
+        this stage on the oracle path.
+        """
         module = node.module
         get_x = self._getter(node.inputs[0])
         slots, vid = self._slots, node.out_vid
@@ -748,6 +729,8 @@ class ExecutionPlan:
                 f"plan compiled for input {self._input_shape}, "
                 f"got {x.shape}"
             )
+        if self._pre_replay is not None:
+            x = self._pre_replay(x)
         self._input_cell[0] = x
         if self.profile is not None:
             self.profile.runs += 1

@@ -186,6 +186,7 @@ def run_bench_serve(
     strides=STRIDES,
     devices: int = 1,
     placement: str = "least_loaded",
+    backend: str = "numpy",
 ) -> List[Dict[str, object]]:
     """The jittered-arrival admission study; returns table-ready rows.
 
@@ -196,7 +197,7 @@ def run_bench_serve(
     scale = scale if scale is not None else get_run_scale()
     benchmark, model = _prepare(scale)
     pristine = model.state_dict()
-    shard = dict(devices=devices, placement=placement)
+    shard = dict(devices=devices, placement=placement, backend=backend)
     arrival = dict(
         jitter_ms=JITTER_MS,
         phase_spread_ms=PHASE_SPREAD_MS,
@@ -255,6 +256,7 @@ def run_bench_overhead(
     num_ticks: int = 24,
     devices: int = 2,
     placement: str = "least_loaded",
+    backend: str = "numpy",
 ) -> List[Dict[str, object]]:
     """Telemetry-overhead study: the same jittered fleet traced vs not.
 
@@ -285,7 +287,7 @@ def run_bench_overhead(
         report = _run_fleet(
             model, pristine, benchmark, scale, num_streams, num_ticks,
             adapt_stride=1, devices=devices, placement=placement,
-            tracer=tracer, **arrival,
+            backend=backend, tracer=tracer, **arrival,
         )
         wall_ms = 1e3 * (time.perf_counter() - start)
         outputs[mode] = per_stream_outputs(report)
@@ -343,6 +345,7 @@ def run_bench_devices(
     num_ticks: int = 24,
     max_streams: int = SCALING_MAX_STREAMS,
     placement: str = "least_loaded",
+    backend: str = "numpy",
 ) -> List[Dict[str, object]]:
     """The device-pool scaling study; returns table-ready rows.
 
@@ -371,7 +374,7 @@ def run_bench_devices(
             report = _run_fleet(
                 model, pristine, benchmark, scale, streams, num_ticks,
                 adapt_stride=1, devices=devices, placement=placement,
-                **arrival,
+                backend=backend, **arrival,
             )
             sustained = (
                 report.deadline_miss_rate <= SCALING_MISS_BUDGET

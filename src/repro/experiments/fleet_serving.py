@@ -148,6 +148,7 @@ def run_fleet(
     pool: Optional[str] = None,
     migrate: bool = False,
     tracer: Optional[SpanTracer] = None,
+    backend: str = "numpy",
 ) -> FleetRunResult:
     """Train a source model and serve a heterogeneous fleet from it.
 
@@ -160,7 +161,8 @@ def run_fleet(
     and ``migrate`` lets sessions move off sustained-hot devices.
     ``tracer`` collects per-frame spans and fleet events for the Chrome
     trace export and the telemetry dashboard; serving results are
-    bitwise identical with or without it.
+    bitwise identical with or without it.  ``backend`` selects the plan
+    backend the pool serves and adapts with (numpy / cgen / cgen-strict).
     """
     if num_streams < 1:
         raise ValueError(f"num_streams must be >= 1, got {num_streams}")
@@ -200,6 +202,7 @@ def run_fleet(
             devices=devices,
             placement=placement,
             migration=MigrationConfig() if migrate else None,
+            backend=backend,
         ),
         device=device,
         spec=spec,

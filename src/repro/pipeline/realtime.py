@@ -34,6 +34,7 @@ import numpy as np
 from .. import nn
 from ..adapt.base import Adapter
 from ..engine import compile_model
+from ..engine.backends import available_backends
 from ..data.dataset import FrameStream, LaneSample
 from ..hw.deadline import DEADLINE_30FPS_MS
 from ..hw.device import DeviceProfile
@@ -54,10 +55,16 @@ class PipelineConfig:
     decode_method: str = "expectation"
     accuracy_threshold_cells: float = TUSIMPLE_THRESHOLD_CELLS
     rolling_window: int = 30
+    backend: str = "numpy"  # plan backend for the compiled forward
 
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
             raise ValueError(f"unknown latency model {self.latency_model!r}")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown plan backend {self.backend!r}; expected one of "
+                f"{available_backends()}"
+            )
         if self.deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
         if self.decode_method not in ("argmax", "expectation"):
@@ -108,7 +115,9 @@ class RealTimePipeline:
         """Trace/compile outside the timed region (one-time, per shape)."""
         if nn.compiled_inference_enabled():
             if self._compiled is None:
-                self._compiled = compile_model(self.model)
+                self._compiled = compile_model(
+                    self.model, backend=self.config.backend
+                )
             self.model.eval()
             self._compiled.warm(frame.image[None])
         if hasattr(self.adapter, "warm"):
@@ -119,7 +128,9 @@ class RealTimePipeline:
         batch = frame.image[None]
         if nn.compiled_inference_enabled():
             if self._compiled is None:
-                self._compiled = compile_model(self.model)
+                self._compiled = compile_model(
+                    self.model, backend=self.config.backend
+                )
             logits = self._compiled(batch)
         else:
             with nn.no_grad():

@@ -403,7 +403,9 @@ class DeviceWorker:
             else None
         )
         self._compiled = None  # built lazily; plans cached per batch size
-        self._adapt_batcher = FleetAdaptationBatcher(model)
+        self._adapt_batcher = FleetAdaptationBatcher(
+            model, backend=getattr(config, "backend", None)
+        )
         self._slack_alpha = slack_alpha
         self.slack_ewma_ms: Optional[float] = None
         self.device_free_ms = 0.0
@@ -633,7 +635,9 @@ class DeviceWorker:
         self.model.eval()
         if nn.compiled_inference_enabled():
             if self._compiled is None:
-                self._compiled = compile_model(self.model)
+                self._compiled = compile_model(
+                    self.model, backend=getattr(config, "backend", None)
+                )
             # one-time trace per batch size, outside the timed region
             self._compiled.warm(images)
         with self.timer.measure("inference"):

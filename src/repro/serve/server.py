@@ -59,6 +59,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..adapt.base import Adapter
 from ..adapt.bn_adapt import LDBNAdapt, LDBNAdaptConfig
 from ..data.dataset import LaneSample
+from ..engine.backends import available_backends
 from ..hw.deadline import DEADLINE_30FPS_MS, stream_utilization
 from ..hw.device import DeviceProfile
 from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS
@@ -108,6 +109,7 @@ class FleetConfig:
     devices: int = 1  # pool size (ignored when an explicit pool is passed)
     placement: str = "least_loaded"  # | "round_robin" | "pinned"
     migration: Optional[MigrationConfig] = None  # None → sessions never move
+    backend: str = "numpy"  # plan backend for compiled serving/adaptation
 
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
@@ -149,6 +151,11 @@ class FleetConfig:
             raise ValueError(
                 f"unknown placement policy {self.placement!r}; expected one "
                 f"of {PLACEMENT_POLICIES}"
+            )
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown plan backend {self.backend!r}; expected one of "
+                f"{available_backends()}"
             )
         if self.ingest == "sync" and self.migration is not None:
             raise ValueError(

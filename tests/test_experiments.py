@@ -271,13 +271,92 @@ class TestRegressionGate:
     def test_eager_and_non_p95_keys_ignored(self, tmp_path):
         from repro.experiments import check_regressions
 
-        rows = [{"eager_p95_ms": 1.0, "mean_ms": 2.0, "speedup": 3.0}]
+        rows = [
+            {"eager_p95_ms": 1.0, "mean_ms": 2.0, "speedup": 3.0,
+             "cgen_speedup_p95": 1.6}
+        ]
         self._write(tmp_path / "x.json", rows)
         check_regressions(str(tmp_path))
-        rows = [{"eager_p95_ms": 9.0, "mean_ms": 9.0, "speedup": 0.1}]
+        rows = [
+            {"eager_p95_ms": 9.0, "mean_ms": 9.0, "speedup": 0.1,
+             "cgen_speedup_p95": 1.2}
+        ]
         self._write(tmp_path / "x.json", rows)
         report = check_regressions(str(tmp_path))
         assert report.ok and report.metrics_compared == 0
+
+    def test_uniform_host_drift_is_not_a_regression(self, tmp_path):
+        """Every metric in a file lifting together is machine noise."""
+        from repro.experiments import check_regressions
+
+        rows = [{"compiled_p95_ms": float(i + 1)} for i in range(4)]
+        self._write(tmp_path / "x.json", rows)
+        check_regressions(str(tmp_path))
+        rows = [{"compiled_p95_ms": 1.2 * (i + 1)} for i in range(4)]
+        self._write(tmp_path / "x.json", rows)
+        report = check_regressions(str(tmp_path))
+        assert report.ok and report.metrics_compared == 4
+
+    def test_relative_outlier_still_fails_under_drift(self, tmp_path):
+        """One metric slowing far beyond the file-wide drift is signal."""
+        from repro.experiments import check_regressions
+
+        rows = [{"compiled_p95_ms": 1.0} for _ in range(4)]
+        self._write(tmp_path / "x.json", rows)
+        check_regressions(str(tmp_path))
+        rows = [{"compiled_p95_ms": 1.15} for _ in range(3)]
+        rows.append({"compiled_p95_ms": 2.2})  # 1.9x beyond ~15% drift
+        self._write(tmp_path / "x.json", rows)
+        report = check_regressions(str(tmp_path))
+        assert not report.ok
+        assert len(report.regressions) == 1
+        assert report.regressions[0].metric == "[3].compiled_p95_ms"
+
+    def test_lone_mild_outlier_is_reported_not_fatal(self, tmp_path):
+        """A single sub-cap excursion in a clean file is tail noise."""
+        from repro.experiments import check_regressions
+
+        rows = [{"compiled_p95_ms": 1.0} for _ in range(4)]
+        self._write(tmp_path / "x.json", rows)
+        check_regressions(str(tmp_path))
+        rows = [{"compiled_p95_ms": 1.0} for _ in range(3)]
+        rows.append({"compiled_p95_ms": 1.35})  # > threshold, < cap
+        self._write(tmp_path / "x.json", rows)
+        report = check_regressions(str(tmp_path))
+        assert report.ok
+        assert len(report.tail_outliers) == 1
+        assert report.tail_outliers[0].metric == "[3].compiled_p95_ms"
+        assert "tail outlier" in report.summary()
+        # the passing run still refreshed the baseline
+        baseline = load_json(str(tmp_path / "baseline" / "x.json"))
+        assert baseline[3]["compiled_p95_ms"] == 1.35
+
+    def test_two_correlated_regressions_fail(self, tmp_path):
+        """Two metrics moving together is a code regression, not noise."""
+        from repro.experiments import check_regressions
+
+        rows = [{"compiled_p95_ms": 1.0} for _ in range(4)]
+        self._write(tmp_path / "x.json", rows)
+        check_regressions(str(tmp_path))
+        rows = [{"compiled_p95_ms": 1.0}, {"compiled_p95_ms": 1.0},
+                {"compiled_p95_ms": 1.3}, {"compiled_p95_ms": 1.3}]
+        self._write(tmp_path / "x.json", rows)
+        report = check_regressions(str(tmp_path))
+        assert not report.ok
+        assert len(report.regressions) == 2
+
+    def test_drift_allowance_is_capped(self, tmp_path):
+        """An across-the-board slowdown beyond the cap still fails."""
+        from repro.experiments import check_regressions
+
+        rows = [{"compiled_p95_ms": 1.0} for _ in range(4)]
+        self._write(tmp_path / "x.json", rows)
+        check_regressions(str(tmp_path))
+        rows = [{"compiled_p95_ms": 1.5} for _ in range(4)]
+        self._write(tmp_path / "x.json", rows)
+        report = check_regressions(str(tmp_path))
+        assert not report.ok
+        assert len(report.regressions) == 4
 
     def test_nested_rows_are_walked(self, tmp_path):
         from repro.experiments.regression import collect_p95_metrics
