@@ -33,6 +33,16 @@ python -m repro.experiments bench-serve --quick --devices 2
 # fleet traced vs untraced, asserts bitwise output parity and archives
 # both rows under the same regression gate
 python -m repro.experiments bench-serve --quick --trace
+# fault tolerance: checkpointing must be bitwise inert fault-free, a
+# seeded crash+join must recover every hosted session with bounded
+# frame loss, and the identical schedule must replay bitwise; rows are
+# archived under the same regression gate
+python -m repro.experiments bench-serve --quick --recovery
+# seeded crash+join fleet smoke: the elastic-pool path end to end
+# through the CLI (fault/recovery tables printed, results are scratch)
+python -m repro.experiments fleet --streams 3 --frames 12 --devices 2 \
+    --migrate --faults "crash@200:0,join@300:orin-30w" \
+    --checkpoint-interval 4 --results-dir "$(mktemp -d)" > /dev/null
 # traced fleet smoke: dashboard + Chrome-trace export end to end (the
 # trace files are scratch, not archived benchmark results)
 python -m repro.experiments fleet --trace --streams 2 --frames 8 \

@@ -26,6 +26,14 @@ module hosts two studies on the simulated Jetson Orin:
   deadline-miss rate, a 2-device pool sustains >= 1.8x the adapting
   streams of one device.
 
+* :func:`run_bench_recovery` — elastic-pool fault tolerance: the same
+  jittered 2-device fleet served fault-free, fault-free with session
+  checkpointing enabled (must be bitwise inert), and through a seeded
+  mid-run crash + device join (run twice — the replay must be bitwise
+  identical, every hosted session must recover, and the adapted-state
+  frames lost must stay under the checkpoint interval per recovered
+  stream).  :func:`check_recovery` asserts all three claims.
+
 Everything is simulated (roofline service times, seeded arrivals), so
 every row is exactly reproducible and safe to regression-gate.
 """
@@ -41,7 +49,15 @@ from ..adapt import LDBNAdaptConfig
 from ..data.benchmarks import make_benchmark
 from ..hw.device import get_power_mode
 from ..models.registry import get_config
-from ..serve import AdmissionConfig, FleetConfig, FleetServer
+from ..hw.deadline import DEADLINE_30FPS_MS
+from ..serve import (
+    AdmissionConfig,
+    CheckpointConfig,
+    FaultSchedule,
+    FleetConfig,
+    FleetServer,
+    MigrationConfig,
+)
 from ..telemetry import SpanTracer
 from ..utils.logging import Logger
 from .config import RunScale, get_run_scale
@@ -457,3 +473,134 @@ def check_device_scaling(rows: List[Dict[str, object]]) -> None:
     ordered = sorted(capacity)
     for smaller, larger in zip(ordered, ordered[1:]):
         assert capacity[larger] >= capacity[smaller], capacity
+
+
+#: recovery study: checkpoint every N served frames, crash device 0 at
+#: 45% of the horizon, join a 30 W device at 60%
+RECOVERY_INTERVAL = 4
+RECOVERY_CRASH_AT = 0.45
+RECOVERY_JOIN_AT = 0.60
+
+#: display order of the crash-recovery table
+RECOVERY_COLUMNS = (
+    "scenario", "frames", "miss_rate", "crashes", "recoveries",
+    "device_joins", "frames_lost", "crash_dropped", "checkpoint_writes",
+    "fleet_fps", "checkpoint_inert", "replay_ok", "loss_bounded",
+)
+
+
+def _recovery_row(scenario: str, report) -> Dict[str, object]:
+    return {
+        "scenario": scenario,
+        "frames": report.total_frames,
+        "miss_rate": report.deadline_miss_rate,
+        "crashes": report.crashes,
+        "recoveries": report.recoveries,
+        "device_joins": report.device_joins,
+        "frames_lost": report.total_frames_lost,
+        "crash_dropped": report.total_crash_dropped_frames,
+        "checkpoint_writes": report.checkpoint_writes,
+        "fleet_fps": report.frames_per_second,
+    }
+
+
+def run_bench_recovery(
+    scale: Optional[RunScale] = None,
+    num_streams: int = 3,
+    num_ticks: int = 24,
+    backend: str = "numpy",
+) -> List[Dict[str, object]]:
+    """The crash-recovery study; returns table-ready rows.
+
+    Serves the same jittered ``num_streams``-stream 2-device fleet four
+    times from a pristine model:
+
+    * ``baseline`` — fault-free, no checkpointing;
+    * ``checkpointed`` — fault-free with the session checkpoint store
+      on.  Captures copy state, so its per-stream outputs must be
+      *bitwise* identical to the baseline (``checkpoint_inert``);
+    * ``crash`` (x2) — a seeded :class:`FaultSchedule` kills device 0
+      mid-run and joins an ``orin-30w`` device after; the second run
+      replays the identical schedule and must reproduce the first
+      bitwise (``replay_ok``).  Every session hosted by the dead device
+      must recover, and the adapted-state frames lost must stay under
+      ``RECOVERY_INTERVAL`` per recovered stream (``loss_bounded``).
+    """
+    scale = scale if scale is not None else get_run_scale()
+    benchmark, model = _prepare(scale)
+    pristine = model.state_dict()
+    arrival = dict(
+        jitter_ms=JITTER_MS,
+        phase_spread_ms=PHASE_SPREAD_MS,
+        drop_rate=DROP_RATE,
+    )
+    shard = dict(devices=2, backend=backend)
+    horizon_ms = num_ticks * DEADLINE_30FPS_MS
+    schedule = FaultSchedule.parse(
+        f"crash@{RECOVERY_CRASH_AT * horizon_ms:g}:0,"
+        f"join@{RECOVERY_JOIN_AT * horizon_ms:g}:orin-30w"
+    )
+
+    log.info("bench-serve: recovery baseline (no faults, no checkpoints)")
+    baseline = _run_fleet(
+        model, pristine, benchmark, scale, num_streams, num_ticks,
+        adapt_stride=1, **arrival, **shard,
+    )
+    rows = [_recovery_row("baseline", baseline)]
+
+    log.info("bench-serve: recovery inertness (checkpoints, no faults)")
+    checkpointed = _run_fleet(
+        model, pristine, benchmark, scale, num_streams, num_ticks,
+        adapt_stride=1,
+        checkpoint=CheckpointConfig(interval_frames=RECOVERY_INTERVAL),
+        **arrival, **shard,
+    )
+    inert = per_stream_outputs(checkpointed) == per_stream_outputs(baseline)
+    row = _recovery_row("checkpointed", checkpointed)
+    row["checkpoint_inert"] = inert
+    rows.append(row)
+
+    crash_outputs = []
+    for attempt in ("crash", "crash-replay"):
+        log.info("bench-serve: seeded crash+join fleet (%s)", attempt)
+        report = _run_fleet(
+            model, pristine, benchmark, scale, num_streams, num_ticks,
+            adapt_stride=1,
+            checkpoint=CheckpointConfig(interval_frames=RECOVERY_INTERVAL),
+            faults=schedule,
+            migration=MigrationConfig(),
+            **arrival, **shard,
+        )
+        crash_outputs.append(per_stream_outputs(report))
+        row = _recovery_row(attempt, report)
+        row["loss_bounded"] = (
+            report.total_frames_lost
+            <= RECOVERY_INTERVAL * max(report.recoveries, 1)
+        )
+        rows.append(row)
+    replay_ok = crash_outputs[0] == crash_outputs[1]
+    for row in rows[2:]:
+        row["replay_ok"] = replay_ok
+    return rows
+
+
+def check_recovery(rows: List[Dict[str, object]]) -> None:
+    """Assert the fault-tolerance acceptance claims over one study run."""
+    by_scenario = {str(r["scenario"]): r for r in rows}
+    checkpointed = by_scenario["checkpointed"]
+    crash = by_scenario["crash"]
+    assert checkpointed["checkpoint_inert"], (
+        "checkpointing changed a fault-free fleet's per-stream outputs"
+    )
+    assert checkpointed["checkpoint_writes"] > 0, checkpointed
+    assert crash["replay_ok"], (
+        "identical FaultSchedule seed did not replay bitwise"
+    )
+    assert crash["crashes"] == 1 and crash["device_joins"] == 1, crash
+    assert crash["recoveries"] >= 1, (
+        "the crashed device hosted no recovered session"
+    )
+    assert crash["loss_bounded"], (
+        f"frames lost {crash['frames_lost']} exceeded the checkpoint "
+        f"interval x recovered streams bound"
+    )

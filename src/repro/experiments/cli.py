@@ -9,6 +9,7 @@
     python -m repro.experiments fleet --jitter 10 --drop 0.05 --admission slack
     python -m repro.experiments fleet --devices 2 --placement round_robin
     python -m repro.experiments fleet --pool orin-60w,orin-30w --migrate
+    python -m repro.experiments fleet --faults crash@200:0,join@300:orin-30w
     python -m repro.experiments fleet --trace
     python -m repro.experiments trace
     python -m repro.experiments bench-infer --quick
@@ -18,6 +19,7 @@
     python -m repro.experiments bench-serve --quick
     python -m repro.experiments bench-serve --quick --devices 2
     python -m repro.experiments bench-serve --quick --trace
+    python -m repro.experiments bench-serve --quick --recovery
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
@@ -30,7 +32,8 @@ artifact; ``bench-infer`` (eager-vs-compiled inference), ``bench-adapt``
 (eager-vs-compiled/fused adaptation steps) and ``bench-serve``
 (jittered-arrival slack-admission study + async/sync parity guard at
 ``--devices 1``, the device-pool scaling study at ``--devices N``, the
-telemetry-overhead study at ``--trace``) each archive results and run
+telemetry-overhead study at ``--trace``, the crash-recovery study at
+``--recovery``) each archive results and run
 the regression gate (none is a paper artifact, so ``all`` includes none
 of them).
 """
@@ -49,12 +52,15 @@ from .bench_serve import (
     COLUMNS as BENCH_SERVE_COLUMNS,
     DEVICE_COLUMNS as BENCH_DEVICE_COLUMNS,
     OVERHEAD_COLUMNS as BENCH_OVERHEAD_COLUMNS,
+    RECOVERY_COLUMNS as BENCH_RECOVERY_COLUMNS,
     STRIDES,
     check_device_scaling,
+    check_recovery,
     check_slack_dominates,
     check_trace_overhead,
     run_bench_devices,
     run_bench_overhead,
+    run_bench_recovery,
     run_bench_serve,
     scaling_archive,
 )
@@ -123,6 +129,9 @@ def _print_fleet(scale, args, backend=None, force_trace: bool = False) -> None:
         placement=args.placement,
         pool=args.pool,
         migrate=args.migrate,
+        faults=args.faults,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_mode=args.checkpoint_mode,
         tracer=tracer,
     )
     streams, adapt_stride = args.streams, args.adapt_stride
@@ -136,9 +145,26 @@ def _print_fleet(scale, args, backend=None, force_trace: bool = False) -> None:
     print("fleet dashboard")
     print(format_table(result.summary_rows(), floatfmt=".3f"))
     print()
-    if devices > 1:
+    if devices > 1 or result.report.fault_events:
         print("device pool")
         print(format_table(result.per_device_rows(), floatfmt=".3f"))
+        print()
+    if result.report.fault_events:
+        print(f"fault schedule ({result.faults})")
+        print(
+            format_table(
+                result.report.fault_events,
+                columns=[
+                    "kind", "time_ms", "device", "duration_ms", "factor",
+                    "profile",
+                ],
+                floatfmt=".1f",
+            )
+        )
+        print()
+    if result.report.recovery_events:
+        print("session recoveries")
+        print(format_table(result.report.recovery_events, floatfmt=".1f"))
         print()
     print("roofline: batched vs serial inference at this fleet size")
     print(
@@ -263,7 +289,7 @@ def _run_bench_adapt(
 
 def _run_bench_serve(
     scale, quick: bool, results_dir: str, devices: int, placement: str,
-    trace: bool = False, backend=None,
+    trace: bool = False, recovery: bool = False, backend=None,
 ) -> int:
     """Fleet serving studies: archive, assert, gate.
 
@@ -272,8 +298,35 @@ def _run_bench_serve(
     over pools of 1, 2 and N devices instead, asserting the scaling
     gate (2 devices sustain >= 1.8x the adapting streams of one);
     ``--trace`` runs the telemetry-overhead study (the same 4-stream
-    2-device fleet traced vs untraced, with bitwise output parity).
+    2-device fleet traced vs untraced, with bitwise output parity);
+    ``--recovery`` runs the crash-recovery study (checkpoint inertness,
+    seeded crash+join replay determinism, bounded frame loss).
     """
+    if recovery:
+        rows = run_bench_recovery(
+            scale=scale,
+            num_streams=3,
+            num_ticks=12 if quick else 24,
+            backend=backend if backend is not None else "numpy",
+        )
+        print("BENCH-SERVE — crash recovery: checkpointed elastic pool")
+        print(
+            format_table(
+                rows, columns=list(BENCH_RECOVERY_COLUMNS), floatfmt=".3f"
+            )
+        )
+        try:
+            check_recovery(rows)
+        except AssertionError as exc:
+            print(f"RECOVERY FAILURE: fault tolerance claim failed: {exc}")
+            return 1
+        merge_json_section(
+            os.path.join(results_dir, "serve_throughput.json"),
+            "recovery_quick" if quick else "recovery",
+            {str(r["scenario"]): r for r in rows},
+        )
+        return _gate(results_dir, quick)
+
     if trace:
         rows = run_bench_overhead(
             scale=scale,
@@ -470,6 +523,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fleet only: migrate sessions off sustained-hot devices",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        help="fleet only: deterministic fault schedule, e.g. "
+        "'crash@400:0,stall@600:1:50,slow@700:1:1.5,join@800:orin-30w' "
+        "(kind@time_ms[:device][:arg]); crashes imply checkpointing",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="fleet only: checkpoint each session every N served frames "
+        "(default: off, or 8 when --faults schedules a crash)",
+    )
+    parser.add_argument(
+        "--checkpoint-mode",
+        choices=("sync", "async"),
+        default="sync",
+        help="fleet only: durable-at-capture checkpoints, or write-behind "
+        "staging that loses the newest capture on a crash",
+    )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="bench-serve only: run the crash-recovery study (checkpoint "
+        "inertness, replay determinism, bounded frame loss) instead",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="fleet: collect spans, print the telemetry dashboard and "
@@ -524,7 +604,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.artifact == "bench-serve":
         return _run_bench_serve(
             scale, args.quick, args.results_dir, args.devices, args.placement,
-            trace=args.trace, backend=backend,
+            trace=args.trace, recovery=args.recovery, backend=backend,
         )
 
     runners = {

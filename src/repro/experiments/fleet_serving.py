@@ -30,6 +30,8 @@ from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
 from ..models.registry import get_config
 from ..serve import (
     AdmissionConfig,
+    CheckpointConfig,
+    FaultSchedule,
     FleetConfig,
     FleetReport,
     FleetServer,
@@ -65,6 +67,7 @@ class FleetRunResult:
     devices: int = 1
     placement: str = "least_loaded"
     pool: Optional[str] = None  # explicit heterogeneous pool, if any
+    faults: Optional[str] = None  # fault-schedule spec, if any
     domain_schedules: Dict[str, str] = field(default_factory=dict)
 
     def per_stream_rows(self) -> List[Dict[str, object]]:
@@ -147,6 +150,9 @@ def run_fleet(
     placement: str = "least_loaded",
     pool: Optional[str] = None,
     migrate: bool = False,
+    faults: Optional[object] = None,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint_mode: str = "sync",
     tracer: Optional[SpanTracer] = None,
     backend: str = "numpy",
 ) -> FleetRunResult:
@@ -159,6 +165,13 @@ def run_fleet(
     placed by ``placement``; ``pool`` overrides it with an explicit
     (possibly heterogeneous) comma list like ``"orin-60w,orin-30w"``,
     and ``migrate`` lets sessions move off sustained-hot devices.
+    ``faults`` injects a deterministic failure schedule — either a
+    :class:`~repro.serve.FaultSchedule` or its spec string, e.g.
+    ``"crash@400:0,join@600:orin-30w"``; a schedule with crashes implies
+    checkpointing (interval 8 unless ``checkpoint_interval`` overrides
+    it).  ``checkpoint_interval``/``checkpoint_mode`` enable the session
+    checkpoint store on their own — with no faults scheduled the run is
+    bitwise identical to an uncheckpointed one.
     ``tracer`` collects per-frame spans and fleet events for the Chrome
     trace export and the telemetry dashboard; serving results are
     bitwise identical with or without it.  ``backend`` selects the plan
@@ -168,6 +181,17 @@ def run_fleet(
         raise ValueError(f"num_streams must be >= 1, got {num_streams}")
     if admission not in ("stride", "slack"):
         raise ValueError(f"unknown admission policy {admission!r}")
+    if isinstance(faults, str):
+        faults = FaultSchedule.parse(faults) if faults else None
+    checkpoint = None
+    if checkpoint_interval is not None:
+        checkpoint = CheckpointConfig(
+            interval_frames=checkpoint_interval, mode=checkpoint_mode
+        )
+    elif faults is not None and faults.crash_count:
+        # a crash without a store would be rejected by FleetConfig;
+        # default to the standard interval so the CLI stays one-flag
+        checkpoint = CheckpointConfig(mode=checkpoint_mode)
     scale = scale if scale is not None else get_run_scale()
     device_pool = build_device_pool(pool) if pool else None
     if device_pool is not None:
@@ -202,6 +226,8 @@ def run_fleet(
             devices=devices,
             placement=placement,
             migration=MigrationConfig() if migrate else None,
+            checkpoint=checkpoint,
+            faults=faults,
             backend=backend,
         ),
         device=device,
@@ -245,5 +271,6 @@ def run_fleet(
         devices=devices,
         placement=placement,
         pool=pool,
+        faults=faults.spec() if faults is not None else None,
         domain_schedules=schedules,
     )

@@ -4,19 +4,100 @@ Checkpoints are plain ``.npz`` archives mapping state-dict keys to arrays,
 plus an optional JSON metadata blob (model preset name, training config)
 stored under a reserved key.  This keeps checkpoints portable, diffable and
 dependency-free.
+
+Writes are **atomic**: the archive is written to ``path + ".tmp"`` and
+moved into place with :func:`os.replace`, so a crash mid-write can never
+leave a torn archive under the real path — readers see either the old
+complete checkpoint or the new complete one.  Every archive additionally
+embeds a **key manifest** in its metadata; strict loads verify the stored
+arrays against it, so a truncated or mixed-up archive is rejected instead
+of silently restoring partial state.
+
+:func:`save_arrays` / :func:`load_arrays` are the raw layer (any string →
+array mapping, e.g. the fleet's per-session checkpoints);
+:func:`save_checkpoint` / :func:`load_checkpoint` specialize them to
+module state dicts.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .modules import Module
 
 _META_KEY = "__repro_meta__"
+_MANIFEST_KEY = "__keys__"
+
+
+def save_arrays(
+    path: str,
+    arrays: Mapping[str, np.ndarray],
+    metadata: Optional[dict] = None,
+) -> str:
+    """Atomically serialize a named-array mapping (plus metadata) to ``path``.
+
+    Parent directories are created as needed; a ``.npz`` suffix is added
+    if missing.  The sorted key list is embedded in the metadata blob as
+    a manifest for :func:`load_arrays`' strict check.  Returns the final
+    path written.
+    """
+    if _META_KEY in arrays:
+        raise ValueError(f"array key {_META_KEY!r} is reserved for metadata")
+    meta = dict(metadata) if metadata is not None else {}
+    meta[_MANIFEST_KEY] = sorted(arrays)
+    payload: Dict[str, np.ndarray] = {
+        k: np.asarray(v) for k, v in arrays.items()
+    }
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    final = path if path.endswith(".npz") else path + ".npz"
+    directory = os.path.dirname(os.path.abspath(final))
+    os.makedirs(directory, exist_ok=True)
+    tmp = final + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **payload)
+    os.replace(tmp, final)
+    return final
+
+
+def load_arrays(
+    path: str,
+    strict: bool = True,
+) -> Tuple[Dict[str, np.ndarray], Optional[dict]]:
+    """Load a named-array archive; returns ``(arrays, metadata)``.
+
+    With ``strict=True`` (default) the stored arrays are verified against
+    the archive's embedded key manifest: missing or unexpected keys raise
+    ``KeyError``.  Archives written before the manifest existed carry no
+    manifest and pass unchecked.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        state = {k: data[k] for k in data.files if k != _META_KEY}
+        metadata = None
+        if _META_KEY in data.files:
+            metadata = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+    manifest = None
+    if metadata is not None:
+        manifest = metadata.pop(_MANIFEST_KEY, None)
+        if not metadata:
+            metadata = None
+    if strict and manifest is not None:
+        expected, actual = set(manifest), set(state)
+        if expected != actual:
+            missing = sorted(expected - actual)
+            unexpected = sorted(actual - expected)
+            raise KeyError(
+                f"checkpoint {path!r} does not match its key manifest: "
+                f"missing {missing}, unexpected {unexpected}"
+            )
+    return state, metadata
 
 
 def save_checkpoint(
@@ -26,18 +107,10 @@ def save_checkpoint(
 ) -> None:
     """Serialize ``module.state_dict()`` (and optional metadata) to ``path``.
 
-    Parent directories are created as needed; a ``.npz`` suffix is added by
-    numpy if missing.
+    Atomic (tmp + ``os.replace``) with an embedded key manifest — see
+    :func:`save_arrays`.
     """
-    state = module.state_dict()
-    arrays: Dict[str, np.ndarray] = {k: np.asarray(v) for k, v in state.items()}
-    if metadata is not None:
-        arrays[_META_KEY] = np.frombuffer(
-            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
-        )
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    np.savez(path, **arrays)
+    save_arrays(path, module.state_dict(), metadata)
 
 
 def load_checkpoint(
@@ -48,15 +121,12 @@ def load_checkpoint(
     """Load a checkpoint; optionally restore it into ``module``.
 
     Returns ``(state_dict, metadata)``.  ``metadata`` is None when the
-    checkpoint was saved without it.
+    checkpoint was saved without it.  ``strict`` both verifies the
+    archive against its key manifest (a torn or mismatched file is
+    rejected before any state is touched) and, when ``module`` is given,
+    enforces exact state-dict key agreement.
     """
-    if not os.path.exists(path) and os.path.exists(path + ".npz"):
-        path = path + ".npz"
-    with np.load(path, allow_pickle=False) as data:
-        state = {k: data[k] for k in data.files if k != _META_KEY}
-        metadata = None
-        if _META_KEY in data.files:
-            metadata = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+    state, metadata = load_arrays(path, strict=strict)
     if module is not None:
         module.load_state_dict(state, strict=strict)
     return state, metadata

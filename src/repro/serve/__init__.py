@@ -93,6 +93,54 @@ Architecture
   the server); ``FleetConfig(devices=1)`` — the default — reproduces
   the former single-device server exactly, and ``ingest="sync"`` keeps
   the tick-synchronous loop as the parity oracle.
+* **checkpoint.py / faults.py** — session durability and deterministic
+  failure injection (see the failure model below).
+  :class:`SessionCheckpointStore` periodically serializes each
+  session's complete adapted state to atomic ``.npz`` archives;
+  :class:`FaultSchedule` is a seeded, replayable list of crash / stall
+  / slow-down / join events the coordinator drains through its event
+  loop like a second arrival stream.
+
+Failure model
+-------------
+The elastic pool survives devices dying mid-run and admits devices
+joining a running fleet (``FleetServer.add_device``, also a ``join``
+fault event).  What is durable, what is lost, and how recovery runs:
+
+* **Durable** — each session's last checkpoint: BN statistics and
+  gamma/beta (the ``ParameterSnapshot``), optimizer slots, the
+  adapter's pending-frame buffer and step index, admission
+  debt/deferrals, serving counters and the arrival-process cursor.
+  Checkpoints are written atomically (tmp + ``os.replace`` with an
+  embedded key manifest — a torn archive can never be loaded), every
+  ``CheckpointConfig.interval_frames`` served frames, plus a baseline
+  at attach time.  ``mode="async"`` models a write-behind store: a
+  capture is staged and only durable at the next opportunity, bounded
+  by ``max_staleness_frames``.
+* **Lost on a crash** — everything since the last durable checkpoint:
+  adapted-state progress of frames served since then (counted per
+  stream in ``FleetReport.frames_lost``, bounded by the checkpoint
+  interval per stream), frames queued on the dead device
+  (``crash_dropped_frames`` — its memory died with it), any staged
+  async capture, and the dead controller's live admission state (the
+  checkpointed debt is re-imported instead).
+* **Recovery sequence** — the watchdog detects the death at the missed
+  next launch (``max(crash_ms, device_free_ms)``: a batch already
+  committed on the simulated clock completes); queued frames are
+  counted dead; each hosted session is restored from its durable
+  checkpoint, re-placed over the surviving pool by the normal placement
+  path, re-quoted at the new device's prices, and its admission
+  debt re-imported.  Nothing is recomputed: serving counters stand,
+  only adapted state rolls back, so no frame is ever served twice and
+  per-stream frame order is preserved.  Joined or freshly drained
+  devices are re-priced within a bounded number of idle-decay ticks by
+  a canary probe that snaps their stale slack EWMA to the roofline
+  prior.
+
+Checkpointing, fault injection and recovery all run on the simulated
+event clock, so a seeded ``FaultSchedule`` replays bitwise — and with
+no faults scheduled, a checkpointing run is bitwise identical to a
+fault-free baseline (captures copy; they never touch live state).
 * **report.py** — fleet dashboard: p50/p95/p99 latency, deadline-slack
   percentiles, queue depth at batch launch, per-stream accuracy,
   adaptation-step p50/p95, admission grants/skips, dropped frames,
@@ -127,6 +175,13 @@ is the property harness for the scheduler/admission/pool invariants.
 
 from .adapt_batch import FleetAdaptationBatcher, static_fuse_key
 from .admission import AdmissionConfig, SlackAdmission, StepCandidate
+from .checkpoint import (
+    CheckpointConfig,
+    SessionCheckpointStore,
+    capture_session_state,
+    restore_session_state,
+)
+from .faults import FaultEvent, FaultSchedule
 from .pool import (
     PLACEMENT_POLICIES,
     DeviceWorker,
@@ -156,6 +211,12 @@ __all__ = [
     "FleetServer",
     "FleetConfig",
     "FleetReport",
+    "CheckpointConfig",
+    "SessionCheckpointStore",
+    "capture_session_state",
+    "restore_session_state",
+    "FaultEvent",
+    "FaultSchedule",
     "DeviceReport",
     "DeviceWorker",
     "MigrationConfig",

@@ -166,6 +166,18 @@ class SlackAdmission:
             "deferrals": self._deferrals.pop(stream_id, 0),
         }
 
+    def peek_stream(self, stream_id: str) -> Dict[str, object]:
+        """Non-destructive view of one stream's admission state.
+
+        Same shape as :meth:`export_stream` but leaves the controller
+        untouched — the checkpoint store snapshots live streams with it.
+        """
+        return {
+            "static_key": self._static_keys.get(stream_id),
+            "debt": self._debt.get(stream_id, 0),
+            "deferrals": self._deferrals.get(stream_id, 0),
+        }
+
     def import_stream(self, stream_id: str, state: Dict[str, object]) -> None:
         """Attach a stream previously exported from another controller."""
         self._static_keys[stream_id] = state.get("static_key")

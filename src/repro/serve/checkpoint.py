@@ -1,0 +1,396 @@
+"""Durable per-session checkpoints for the device pool.
+
+LD-BN-ADAPT's value is the state it accumulates online: per-stream BN
+statistics and gamma/beta, optimizer slots, admission debt, the arrival
+cursor.  A device crash destroys exactly that state for every hosted
+stream — so the fleet periodically serializes each
+:class:`~repro.serve.streams.StreamSession`'s complete adapted state to
+a checkpoint store built on :mod:`repro.nn.serialization`'s atomic
+``.npz`` archives.  Recovery (:meth:`repro.serve.server.FleetServer.
+crash_device`) restores the last *durable* checkpoint; frames served
+between that checkpoint and the crash are counted as lost, never
+recomputed.
+
+Layout: one archive per stream (``<root>/<stream-id>.npz``), atomically
+replaced on every write, with array keys
+
+* ``bn.param.<i>`` — the BN snapshot's interleaved gamma/beta copies
+* ``bn.buffer.<i>.<name>`` — per-layer running mean/var/count buffers
+* ``opt.<j>.<slot>`` — optimizer slots per trainable parameter
+  (SGD momentum, Adam step/m/v; scratch buffers are excluded)
+* ``adapt.buffer.<k>`` — frames buffered toward the next adaptation step
+
+and a JSON metadata blob carrying the scalar state: serving counters,
+the adapter's step index, admission debt/deferrals, and the arrival
+process cursor (frame index, last timestamp, generator state) so a
+cold restore resumes the exact seeded arrival realization.
+
+Policy lives in :class:`CheckpointConfig`: ``interval_frames`` sets the
+cadence (and thus the worst-case loss per stream), ``mode="async"``
+models a background writer — a capture is *staged* in memory and only
+becomes durable at the session's next checkpoint opportunity, so a
+crash loses the staged capture exactly like a real write-behind store —
+and ``max_staleness_frames`` bounds how stale the durable copy may get
+before the writer is forced synchronous.
+
+Checkpointing never mutates session state (captures copy), so a run
+with checkpointing enabled is bitwise identical to one without.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.serialization import load_arrays, save_arrays
+
+SCHEMA = "repro-session-checkpoint-v1"
+
+#: optimizer slots that are scratch space, not state (fully overwritten
+#: each step) — excluded from checkpoints
+_SCRATCH_SLOTS = ("work",)
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpoint policy for fleet sessions.
+
+    Attributes
+    ----------
+    interval_frames:
+        Checkpoint a session every N served frames.  The worst-case
+        adapted-state loss on a crash is bounded by this (sync mode) or
+        twice this (async mode, staged capture lost too).
+    mode:
+        ``"sync"`` — captures become durable immediately.  ``"async"`` —
+        captures are staged and written at the session's next checkpoint
+        opportunity (a crash in between loses the staged capture).
+    max_staleness_frames:
+        Upper bound on served frames since the last *durable* checkpoint
+        before an async write is forced synchronous.  None = unbounded.
+    dir:
+        Checkpoint directory; None = a fresh temporary directory per
+        store.
+    """
+
+    interval_frames: int = 8
+    mode: str = "sync"
+    max_staleness_frames: Optional[int] = None
+    dir: Optional[str] = None
+
+    def __post_init__(self):
+        if self.interval_frames < 1:
+            raise ValueError(
+                f"interval_frames must be >= 1, got {self.interval_frames}"
+            )
+        if self.mode not in ("sync", "async"):
+            raise ValueError(
+                f"mode must be 'sync' or 'async', got {self.mode!r}"
+            )
+        if (
+            self.max_staleness_frames is not None
+            and self.max_staleness_frames < self.interval_frames
+        ):
+            raise ValueError(
+                f"max_staleness_frames ({self.max_staleness_frames}) must "
+                f"be >= interval_frames ({self.interval_frames})"
+            )
+
+
+# ----------------------------------------------------------------------
+# pure capture/restore helpers (no I/O) — the store and the property
+# tests share them
+def capture_session_state(
+    session,
+    admission_state: Optional[Dict[str, object]] = None,
+    now_ms: float = 0.0,
+) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Snapshot a session's complete adapted state as ``(arrays, meta)``.
+
+    Everything is copied — the capture stays frozen while the live
+    session keeps serving.  ``admission_state`` is the non-destructive
+    :meth:`~repro.serve.admission.SlackAdmission.peek_stream` view of
+    the hosting device's controller (the fuse key is *not* serialized;
+    it is recomputed from the adapter at restore).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    bn = session.bn_state
+    for i, saved in enumerate(bn.params.saved):
+        arrays[f"bn.param.{i}"] = saved.copy()
+    for i, bufs in enumerate(bn.buffers):
+        for name, arr in bufs.items():
+            arrays[f"bn.buffer.{i}.{name}"] = np.array(arr)
+    optimizer = getattr(session.adapter, "optimizer", None)
+    if optimizer is not None:
+        for j, param in enumerate(optimizer.params):
+            slots = optimizer.state.get(id(param))
+            if not slots:
+                continue
+            for slot, value in slots.items():
+                if slot in _SCRATCH_SLOTS:
+                    continue
+                arrays[f"opt.{j}.{slot}"] = np.asarray(value).copy()
+    pending = getattr(session.adapter, "_buffer", None) or []
+    for k, frame in enumerate(pending):
+        arrays[f"adapt.buffer.{k}"] = np.asarray(frame).copy()
+
+    meta = {
+        "schema": SCHEMA,
+        "stream_id": session.stream_id,
+        "time_ms": float(now_ms),
+        "frames_seen": session.frames_seen,
+        "frames_ingested": session.frames_ingested,
+        "frames_dropped": session.frames_dropped,
+        "adapt_grants": session.adapt_grants,
+        "adapt_skips": session.adapt_skips,
+        "migrations": session.migrations,
+        "adapter_step": session.adapter.steps_taken,
+        "adapt_pending": len(pending),
+        "admission": {
+            "debt": int(admission_state.get("debt", 0))
+            if admission_state
+            else 0,
+            "deferrals": int(admission_state.get("deferrals", 0))
+            if admission_state
+            else 0,
+        },
+    }
+    if session.arrivals is not None:
+        meta["arrival"] = {
+            "index": session.arrivals._index,
+            "last_ms": session.arrivals._last_ms,
+            "rng": session.arrivals._rng.bit_generator.state,
+        }
+    return arrays, meta
+
+
+def restore_session_state(
+    session,
+    arrays: Dict[str, np.ndarray],
+    meta: dict,
+    counters: bool = False,
+) -> dict:
+    """Write a captured state back into ``session``; returns admission state.
+
+    Restores the BN snapshot (in place — per-sample folding keeps its
+    aliases), optimizer slots (stale slots for checkpointed-empty
+    parameters are dropped), the adapter's pending-frame buffer and step
+    index.  With ``counters=True`` the serving counters and arrival
+    cursor are restored too — that is a *cold* restore resuming a
+    stream from scratch; live crash recovery keeps the session's
+    counters (frames since the checkpoint are lost, not rewound, so
+    report indices never collide).
+
+    The return value is an :meth:`~repro.serve.admission.SlackAdmission.
+    import_stream`-shaped dict (minus the fuse key, which the caller
+    recomputes from the adapter).
+    """
+    if meta.get("schema") != SCHEMA:
+        raise ValueError(
+            f"checkpoint schema {meta.get('schema')!r} for stream "
+            f"{session.stream_id!r} does not match {SCHEMA!r}"
+        )
+    if meta.get("stream_id") != session.stream_id:
+        raise ValueError(
+            f"checkpoint belongs to stream {meta.get('stream_id')!r}, "
+            f"not {session.stream_id!r}"
+        )
+    bn = session.bn_state
+    for i, saved in enumerate(bn.params.saved):
+        saved[...] = arrays[f"bn.param.{i}"]
+    for i, bufs in enumerate(bn.buffers):
+        for name, arr in bufs.items():
+            arr[...] = arrays[f"bn.buffer.{i}.{name}"]
+    optimizer = getattr(session.adapter, "optimizer", None)
+    if optimizer is not None:
+        for j, param in enumerate(optimizer.params):
+            optimizer.state.pop(id(param), None)
+            prefix = f"opt.{j}."
+            slots = {
+                key[len(prefix):]: arrays[key]
+                for key in arrays
+                if key.startswith(prefix)
+            }
+            if not slots:
+                continue
+            restored: Dict[str, object] = {}
+            for slot, value in slots.items():
+                if slot == "step":
+                    restored[slot] = int(value)
+                else:
+                    restored[slot] = value.copy()
+            optimizer.state[id(param)] = restored
+    if hasattr(session.adapter, "_buffer"):
+        session.adapter._buffer = [
+            arrays[f"adapt.buffer.{k}"].copy()
+            for k in range(int(meta.get("adapt_pending", 0)))
+        ]
+    session.adapter._step = int(meta["adapter_step"])
+    if counters:
+        session.frames_seen = int(meta["frames_seen"])
+        session.frames_ingested = int(meta["frames_ingested"])
+        session.frames_dropped = int(meta["frames_dropped"])
+        session.adapt_grants = int(meta["adapt_grants"])
+        session.adapt_skips = int(meta["adapt_skips"])
+        session.migrations = int(meta["migrations"])
+        arrival = meta.get("arrival")
+        if arrival is not None and session.arrivals is not None:
+            session.arrivals._index = int(arrival["index"])
+            session.arrivals._last_ms = float(arrival["last_ms"])
+            session.arrivals._rng.bit_generator.state = arrival["rng"]
+    return {
+        "debt": int(meta["admission"]["debt"]),
+        "deferrals": int(meta["admission"]["deferrals"]),
+    }
+
+
+# ----------------------------------------------------------------------
+class SessionCheckpointStore:
+    """Interval-driven durable store of per-session checkpoints.
+
+    The hosting :class:`~repro.serve.pool.DeviceWorker` calls
+    :meth:`observe` after serving a session; the store decides from
+    ``config`` whether a capture is due and whether it becomes durable
+    now (sync / staleness-forced) or is staged for the next opportunity
+    (async).  :meth:`restore` reads the last durable archive — staged
+    captures are deliberately *not* consulted: a crash loses them, like
+    any write-behind store.
+    """
+
+    def __init__(self, config: Optional[CheckpointConfig] = None):
+        self.config = config if config is not None else CheckpointConfig()
+        self.root = (
+            self.config.dir
+            if self.config.dir is not None
+            else tempfile.mkdtemp(prefix="repro-ckpt-")
+        )
+        os.makedirs(self.root, exist_ok=True)
+        self.writes = 0  # durable archives written
+        self.staged_writes = 0  # captures parked for the background writer
+        self._staged: Dict[str, Tuple[Dict[str, np.ndarray], dict]] = {}
+        self._last_capture_frames: Dict[str, int] = {}
+        self._last_durable_frames: Dict[str, int] = {}
+
+    def path_for(self, stream_id: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", stream_id)
+        return os.path.join(self.root, f"{safe}.npz")
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        session,
+        admission_state: Optional[Dict[str, object]] = None,
+        now_ms: float = 0.0,
+    ) -> int:
+        """Give the store one checkpoint opportunity for ``session``.
+
+        Flushes the session's staged capture (the background writer has
+        had a full interval to complete it), then captures a fresh
+        checkpoint if ``interval_frames`` have been served since the
+        last capture.  Returns the number of durable writes performed
+        (0, 1 or 2) so the caller can account them.
+        """
+        sid = session.stream_id
+        written = 0
+        if sid in self._staged:
+            written += self._write(sid, *self._staged.pop(sid))
+        last = self._last_capture_frames.get(sid, 0)
+        if session.frames_seen - last < self.config.interval_frames:
+            return written
+        arrays, meta = capture_session_state(session, admission_state, now_ms)
+        self._last_capture_frames[sid] = session.frames_seen
+        force_sync = (
+            self.config.max_staleness_frames is not None
+            and session.frames_seen - self._last_durable_frames.get(sid, 0)
+            >= self.config.max_staleness_frames
+        )
+        if self.config.mode == "sync" or force_sync:
+            written += self._write(sid, arrays, meta)
+        else:
+            self._staged[sid] = (arrays, meta)
+            self.staged_writes += 1
+        return written
+
+    def checkpoint(
+        self,
+        session,
+        admission_state: Optional[Dict[str, object]] = None,
+        now_ms: float = 0.0,
+    ) -> int:
+        """Unconditionally capture ``session`` and make it durable now.
+
+        Used at registration/attach time so every session has a durable
+        baseline before it serves a single frame.
+        """
+        arrays, meta = capture_session_state(session, admission_state, now_ms)
+        self._staged.pop(session.stream_id, None)
+        self._last_capture_frames[session.stream_id] = session.frames_seen
+        return self._write(session.stream_id, arrays, meta)
+
+    def flush(self) -> int:
+        """Make every staged capture durable (end-of-run barrier)."""
+        written = 0
+        for sid in list(self._staged):
+            written += self._write(sid, *self._staged.pop(sid))
+        return written
+
+    def drop_staged(self, stream_id: str) -> None:
+        """Discard a staged capture (its device crashed before the write)."""
+        self._staged.pop(stream_id, None)
+
+    def _write(
+        self, stream_id: str, arrays: Dict[str, np.ndarray], meta: dict
+    ) -> int:
+        save_arrays(self.path_for(stream_id), arrays, meta)
+        self.writes += 1
+        self._last_durable_frames[stream_id] = int(meta["frames_seen"])
+        return 1
+
+    # ------------------------------------------------------------------
+    def has_checkpoint(self, stream_id: str) -> bool:
+        return os.path.exists(self.path_for(stream_id))
+
+    def load(self, stream_id: str) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Read a stream's durable archive (strict manifest check)."""
+        path = self.path_for(stream_id)
+        arrays, meta = load_arrays(path, strict=True)
+        if meta is None:
+            raise ValueError(f"checkpoint {path!r} carries no metadata")
+        return arrays, meta
+
+    def restore(self, session, counters: bool = False) -> Optional[dict]:
+        """Restore ``session`` from its last durable checkpoint.
+
+        Returns the checkpoint's metadata (the caller computes frames
+        lost as ``session.frames_seen - meta["frames_seen"]`` and
+        re-imports admission state), or None when the stream has no
+        durable checkpoint yet.
+        """
+        if not self.has_checkpoint(session.stream_id):
+            return None
+        arrays, meta = self.load(session.stream_id)
+        meta["admission"] = dict(meta["admission"])
+        meta["admission"].update(
+            restore_session_state(session, arrays, meta, counters=counters)
+        )
+        return meta
+
+    def metadata(self, stream_id: str) -> Optional[dict]:
+        """The durable checkpoint's metadata without touching any session."""
+        if not self.has_checkpoint(stream_id):
+            return None
+        path = self.path_for(stream_id)
+        with np.load(path, allow_pickle=False) as data:
+            if "__repro_meta__" not in data.files:
+                return None
+            meta = json.loads(
+                bytes(data["__repro_meta__"].tobytes()).decode("utf-8")
+            )
+        meta.pop("__keys__", None)
+        return meta

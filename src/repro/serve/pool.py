@@ -58,6 +58,7 @@ from ..telemetry.metrics import Histogram, MetricsRegistry
 from ..telemetry.trace import NULL_TRACER, SpanTracer
 from .adapt_batch import FleetAdaptationBatcher, static_fuse_key
 from .admission import SlackAdmission, StepCandidate
+from .checkpoint import SessionCheckpointStore
 from .report import DeviceReport
 from .scheduler import (
     BatchPlan,
@@ -373,6 +374,7 @@ class DeviceWorker:
         slack_alpha: float = 0.25,
         metrics: Optional[MetricsRegistry] = None,
         tracer: SpanTracer = NULL_TRACER,
+        checkpoints: Optional[SessionCheckpointStore] = None,
     ):
         self.index = index
         self.model = model
@@ -381,13 +383,21 @@ class DeviceWorker:
         self.spec = spec
         self.timer = timer
         self.tracer = tracer
+        self.checkpoints = checkpoints
+        # fault-injection state: a multiplier of 1.0 is bitwise-inert for
+        # the modeled latencies, so the slow-down hook can live in the
+        # closures permanently without perturbing fault-free runs
+        self.slowdown = 1.0
+        self.alive = True
+        self.crashed_ms: Optional[float] = None
+        self.joined_ms = 0.0
         if config.latency_model == "orin":
-            self.latency_fn = lambda b: batched_inference_latency_ms(  # noqa: E731
-                spec, device, b
+            self.latency_fn = lambda b: self.slowdown * (  # noqa: E731
+                batched_inference_latency_ms(spec, device, b)
             )
-            self.adapt_cost_fn = lambda n: ld_bn_adapt_latency(  # noqa: E731
-                spec, device, n
-            ).adaptation_ms
+            self.adapt_cost_fn = lambda n: self.slowdown * (  # noqa: E731
+                ld_bn_adapt_latency(spec, device, n).adaptation_ms
+            )
         else:
             # wallclock mode measures instead of planning; batch greedily
             self.latency_fn = None
@@ -420,6 +430,8 @@ class DeviceWorker:
         self.adapt_batch_sizes = Histogram()
         self._last_served_ms: Optional[float] = None  # idle-decay anchor
         self.slack_decays = 0
+        self.canary_probes = 0
+        self._decays_since_served = 0  # canary trigger, reset on serve
         # fleet-wide metric sinks shared with the coordinator via its
         # registry (sketches merge order-independently, and launch order
         # across workers == global time order anyway — the event loop
@@ -436,6 +448,8 @@ class DeviceWorker:
         self._m_accuracy = metrics.histogram("fleet/accuracy")
         self._m_misses = metrics.counter("fleet/deadline_misses")
         self._m_decays = metrics.counter("fleet/slack_decays")
+        self._m_canary = metrics.counter("fleet/canary_probes")
+        self._m_checkpoints = metrics.counter("fleet/checkpoints")
 
     @property
     def name(self) -> str:
@@ -474,13 +488,17 @@ class DeviceWorker:
         self,
         session: StreamSession,
         admission_state: Optional[Dict[str, object]] = None,
+        now_ms: float = 0.0,
     ) -> None:
         """Place a session on this device (registration or migration).
 
         Prices the session's modeled adaptation step on *this* device's
         profile and registers (or imports, when migrating) its admission
         state.  The session object itself — BN snapshot, optimizer
-        slots, monitors — moves untouched.
+        slots, monitors — moves untouched.  With a checkpoint store
+        enabled, the attach immediately writes a durable baseline so
+        even a session that crashes before its first interval has
+        something to recover from.
         """
         sid = session.stream_id
         self.sessions[sid] = session
@@ -497,6 +515,18 @@ class DeviceWorker:
                 self.admission.register_stream(
                     sid, static_fuse_key(session.adapter)
                 )
+        if self.checkpoints is not None:
+            self._m_checkpoints.inc(
+                self.checkpoints.checkpoint(
+                    session, self._admission_view(sid), now_ms
+                )
+            )
+
+    def _admission_view(self, stream_id: str) -> Optional[Dict[str, object]]:
+        """Non-destructive admission state for checkpoint captures."""
+        if self.admission is None:
+            return None
+        return self.admission.peek_stream(stream_id)
 
     def detach(self, session: StreamSession) -> Optional[Dict[str, object]]:
         """Remove a session from this device; returns its admission state."""
@@ -506,6 +536,40 @@ class DeviceWorker:
         if self.admission is not None:
             return self.admission.export_stream(sid)
         return None
+
+    # -- fault hooks ----------------------------------------------------
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade this device's modeled service times by ``factor``.
+
+        Compounds with earlier slow-downs (the closures read
+        ``self.slowdown`` live).  Hosted sessions are re-quoted so
+        admission feasibility and placement see the new prices.
+        """
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        self.slowdown *= factor
+        if self.config.latency_model != "orin":
+            return
+        # the scheduler/admission closures read self.slowdown live; only
+        # the cached per-session quotes need refreshing
+        for session in self.sessions.values():
+            batch = getattr(
+                getattr(session.adapter, "config", None), "batch_size", 1
+            )
+            session.adapt_latency_ms = self.adapt_cost_fn(batch)
+            self.session_cost_ms[session.stream_id] = self.estimate_cost_ms(
+                session.adapter
+            )
+
+    def crash(self, now_ms: float) -> None:
+        """Mark this device dead at ``now_ms``; it never launches again.
+
+        The coordinator owns the recovery sequence (queue extraction,
+        checkpoint restore, re-placement) — this only flips the death
+        state the event loop and reports read.
+        """
+        self.alive = False
+        self.crashed_ms = now_ms
 
     def observe_slack(self, slack_ms: float) -> None:
         """Feed one served frame's deadline slack into the worker EWMA.
@@ -532,6 +596,12 @@ class DeviceWorker:
     # busy devices.
     IDLE_DECAY_GRACE_PERIODS = 2.0
     IDLE_DECAY_RATE = 0.25
+    #: after this many consecutive decays without serving, a canary probe
+    #: snaps the EWMA to the roofline prior outright — the geometric decay
+    #: never *reaches* the prior, so a drained (or crash-recovered) device
+    #: would otherwise stay fractionally "hot" forever.  Bounds the
+    #: re-pricing of an idle device to a fixed number of decay ticks.
+    CANARY_PROBE_DECAYS = 8
 
     def roofline_slack_prior_ms(self) -> Optional[float]:
         """Best-case slack of an idle device (batch-1 frame, no queueing)."""
@@ -561,10 +631,31 @@ class DeviceWorker:
         if periods < 1:
             return False
         old = self.slack_ewma_ms
-        # closed form of `periods` EWMA pulls toward the prior
-        self.slack_ewma_ms = prior + (old - prior) * (
-            (1.0 - self.IDLE_DECAY_RATE) ** periods
-        )
+        self._decays_since_served += 1
+        if self._decays_since_served >= self.CANARY_PROBE_DECAYS:
+            # canary probe: the modeled cost of one idle batch-1 frame IS
+            # the prior, so after enough decays without any real traffic
+            # the probe simply installs it — the device is re-priced
+            # within a bounded number of decay ticks instead of creeping
+            # toward the prior asymptotically
+            self.slack_ewma_ms = prior
+            self.canary_probes += 1
+            self._m_canary.inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "canary_probe",
+                    now_ms,
+                    pid=self.name,
+                    tid="device",
+                    cat="migration",
+                    old_ewma_ms=old,
+                    prior_ms=prior,
+                )
+        else:
+            # closed form of `periods` EWMA pulls toward the prior
+            self.slack_ewma_ms = prior + (old - prior) * (
+                (1.0 - self.IDLE_DECAY_RATE) ** periods
+            )
         # re-anchor so the next idle period decays incrementally
         self._last_served_ms = now_ms - self.IDLE_DECAY_GRACE_PERIODS * period
         self.slack_decays += 1
@@ -596,6 +687,9 @@ class DeviceWorker:
             max_queue_depth=int(self.queue_depths.max),
             migrations_in=self.migrations_in,
             migrations_out=self.migrations_out,
+            alive=self.alive,
+            crashed_ms=self.crashed_ms,
+            joined_ms=self.joined_ms,
         )
 
     # -- the per-batch serving path ------------------------------------
@@ -775,6 +869,28 @@ class DeviceWorker:
             session.busy_until_ms = max(session.busy_until_ms, clock_ms)
         self.busy_ms += clock_ms - start_ms
         self._last_served_ms = clock_ms
+        self._decays_since_served = 0  # real traffic resets the canary
+        if self.checkpoints is not None:
+            seen: Set[int] = set()
+            for session in sessions:
+                if id(session) in seen:
+                    continue
+                seen.add(id(session))
+                wrote = self.checkpoints.observe(
+                    session, self._admission_view(session.stream_id), clock_ms
+                )
+                if wrote:
+                    self._m_checkpoints.inc(wrote)
+                    if tracer.enabled:
+                        tracer.instant(
+                            "checkpoint",
+                            clock_ms,
+                            pid=self.name,
+                            tid="device",
+                            cat="fault",
+                            stream=session.stream_id,
+                            frames_seen=session.frames_seen,
+                        )
         return clock_ms
 
     def _trace_frame(

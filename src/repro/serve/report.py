@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..pipeline.monitor import PipelineReport
 from ..telemetry.metrics import Histogram
@@ -58,6 +58,9 @@ class DeviceReport:
     max_queue_depth: int = 0
     migrations_in: int = 0
     migrations_out: int = 0
+    alive: bool = True
+    crashed_ms: Optional[float] = None  # death time on the fleet clock
+    joined_ms: float = 0.0  # 0 = pool member since launch
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -72,6 +75,8 @@ class DeviceReport:
             "max_queue_depth": self.max_queue_depth,
             "migrations_in": self.migrations_in,
             "migrations_out": self.migrations_out,
+            "alive": self.alive,
+            "joined_ms": self.joined_ms,
         }
 
 
@@ -112,6 +117,15 @@ class FleetReport:
     )
     device_reports: List[DeviceReport] = field(default_factory=list)
     migration_events: List[Dict[str, object]] = field(default_factory=list)
+    # elastic-pool outcome: injected faults, per-crash recovery records,
+    # and the quantified cost of each crash (adapted-state frames rolled
+    # back to the checkpoint + queued frames that died with the device)
+    fault_events: List[Dict[str, object]] = field(default_factory=list)
+    recovery_events: List[Dict[str, object]] = field(default_factory=list)
+    frames_lost: Dict[str, int] = field(default_factory=dict)
+    crash_dropped_frames: Dict[str, int] = field(default_factory=dict)
+    checkpoint_writes: int = 0
+    canary_probes: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -245,6 +259,43 @@ class FleetReport:
         return max(d.utilization for d in self.device_reports)
 
     @property
+    def crashes(self) -> int:
+        """Devices that died during the run."""
+        return sum(1 for e in self.fault_events if e.get("kind") == "crash")
+
+    @property
+    def device_joins(self) -> int:
+        """Devices that joined the pool mid-run."""
+        return sum(1 for e in self.fault_events if e.get("kind") == "join")
+
+    @property
+    def recoveries(self) -> int:
+        """Sessions restored from checkpoints after a crash."""
+        return len(self.recovery_events)
+
+    @property
+    def total_frames_lost(self) -> int:
+        """Served frames whose adaptation effect was rolled back by crashes."""
+        return sum(self.frames_lost.values())
+
+    @property
+    def total_crash_dropped_frames(self) -> int:
+        """Queued frames that died with a crashed device."""
+        return sum(self.crash_dropped_frames.values())
+
+    @property
+    def mean_recovery_latency_ms(self) -> float:
+        """Mean crash-to-replacement latency across recovered sessions."""
+        latencies = [
+            e["recovery_latency_ms"]
+            for e in self.recovery_events
+            if "recovery_latency_ms" in e
+        ]
+        if not latencies:
+            return 0.0
+        return float(sum(latencies) / len(latencies))
+
+    @property
     def per_stream_accuracy(self) -> Dict[str, float]:
         return {
             sid: report.mean_accuracy
@@ -286,6 +337,13 @@ class FleetReport:
             "dropped_frames": float(self.total_dropped_frames),
             "migrations": float(self.total_migrations),
             "max_device_utilization": self.max_device_utilization,
+            "crashes": float(self.crashes),
+            "recoveries": float(self.recoveries),
+            "device_joins": float(self.device_joins),
+            "frames_lost": float(self.total_frames_lost),
+            "crash_dropped_frames": float(self.total_crash_dropped_frames),
+            "checkpoint_writes": float(self.checkpoint_writes),
+            "canary_probes": float(self.canary_probes),
         }
 
     def per_device_rows(self) -> List[Dict[str, object]]:

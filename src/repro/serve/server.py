@@ -61,14 +61,17 @@ from ..adapt.bn_adapt import LDBNAdapt, LDBNAdaptConfig
 from ..data.dataset import LaneSample
 from ..engine.backends import available_backends
 from ..hw.deadline import DEADLINE_30FPS_MS, stream_utilization
-from ..hw.device import DeviceProfile
+from ..hw.device import DeviceProfile, get_power_mode
 from ..metrics.lane_accuracy import TUSIMPLE_THRESHOLD_CELLS
 from ..models.spec import ModelSpec
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.trace import NULL_TRACER, SpanTracer
 from ..utils.profiling import Timer
 from ..utils.rng import child_seed
+from .adapt_batch import static_fuse_key
 from .admission import AdmissionConfig
+from .checkpoint import CheckpointConfig, SessionCheckpointStore
+from .faults import FaultEvent, FaultSchedule
 from .pool import (
     PLACEMENT_POLICIES,
     DeviceWorker,
@@ -110,6 +113,8 @@ class FleetConfig:
     placement: str = "least_loaded"  # | "round_robin" | "pinned"
     migration: Optional[MigrationConfig] = None  # None → sessions never move
     backend: str = "numpy"  # plan backend for compiled serving/adaptation
+    checkpoint: Optional[CheckpointConfig] = None  # None → no session store
+    faults: Optional[FaultSchedule] = None  # None → nothing ever fails
 
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
@@ -174,6 +179,23 @@ class FleetConfig:
                 "migration would silently never fire — rebalancing needs "
                 "the simulated 'orin' clock"
             )
+        if self.faults is not None and len(self.faults):
+            if self.ingest != "async" or self.latency_model != "orin":
+                raise ValueError(
+                    "fault injection is driven through the event-driven "
+                    "launch clock — it requires ingest='async' and "
+                    "latency_model='orin' (the sync oracle and wallclock "
+                    "serving have no global simulated time to schedule "
+                    "faults on)"
+                )
+            if self.faults.crash_count and self.checkpoint is None:
+                raise ValueError(
+                    "a FaultSchedule with crash events requires a "
+                    "CheckpointConfig: crash recovery restores sessions "
+                    "from their durable checkpoints, and without a store "
+                    "every hosted stream's adapted state would silently "
+                    "be destroyed"
+                )
 
     @property
     def period_ms(self) -> float:
@@ -234,10 +256,15 @@ class FleetServer:
             pool = [None] * self.config.devices
         self.device = pool[0] if pool[0] is not None else device
         self.timer = Timer()
-        slack_alpha = (
+        self._slack_alpha = (
             self.config.migration.ewma_alpha
             if self.config.migration is not None
             else 0.25
+        )
+        self.checkpoints: Optional[SessionCheckpointStore] = (
+            SessionCheckpointStore(self.config.checkpoint)
+            if self.config.checkpoint is not None
+            else None
         )
         self.workers: List[DeviceWorker] = [
             DeviceWorker(
@@ -247,9 +274,10 @@ class FleetServer:
                 device=profile,
                 spec=spec,
                 timer=self.timer,
-                slack_alpha=slack_alpha,
+                slack_alpha=self._slack_alpha,
                 metrics=self.metrics,
                 tracer=self.tracer,
+                checkpoints=self.checkpoints,
             )
             for index, profile in enumerate(pool)
         ]
@@ -262,6 +290,16 @@ class FleetServer:
         )
         self._migration_events: List[Dict[str, object]] = []
         self._event_seq = 0  # ties arrival events deterministically
+        # fault-injection bookkeeping: applied-fault rows, per-crash
+        # recovery records, and the quantified per-stream loss
+        self._fault_queue: List[FaultEvent] = (
+            list(self.config.faults) if self.config.faults is not None else []
+        )
+        self._fault_cursor = 0
+        self._fault_rows: List[Dict[str, object]] = []
+        self._recovery_events: List[Dict[str, object]] = []
+        self._frames_lost: Dict[str, int] = {}
+        self._crash_dropped: Dict[str, int] = {}
 
     # -- single-device compatibility views -----------------------------
     @property
@@ -331,14 +369,28 @@ class FleetServer:
                 "silently discarded — use the async ingest"
             )
         period = self.config.period_ms
+        alive = self.alive_workers
+        if device is not None:
+            if not 0 <= device < len(self.workers):
+                raise ValueError(
+                    f"pinned device {device} out of range for a "
+                    f"{len(self.workers)}-device pool"
+                )
+            if not self.workers[device].alive:
+                raise ValueError(f"cannot pin stream to dead device {device}")
         costs = [
             stream_utilization(worker.estimate_cost_ms(adapter), period)
-            for worker in self.workers
+            for worker in alive
         ]
-        loads = [worker.load for worker in self.workers]
-        target = place_stream(
-            self.config.placement, index, costs, loads, pinned=device
-        )
+        loads = [worker.load for worker in alive]
+        pinned = None
+        if device is not None:
+            pinned = next(
+                i for i, worker in enumerate(alive) if worker.index == device
+            )
+        target = alive[
+            place_stream(self.config.placement, index, costs, loads, pinned=pinned)
+        ].index
         session = self.registry.register(
             stream_id,
             stream,
@@ -353,12 +405,256 @@ class FleetServer:
         self._placements[stream_id] = target
         return session
 
+    @property
+    def alive_workers(self) -> List[DeviceWorker]:
+        """Pool members that can still launch (placement/migration targets)."""
+        return [worker for worker in self.workers if worker.alive]
+
     def device_of(self, stream_id: str) -> int:
         """Pool index currently serving the stream."""
         return self._placements[stream_id]
 
     def _worker_of(self, session: StreamSession) -> DeviceWorker:
         return self.workers[self._placements[session.stream_id]]
+
+    # -- elastic pool: join / crash / fault replay ---------------------
+    def add_device(
+        self,
+        profile: Optional[DeviceProfile] = None,
+        now_ms: float = 0.0,
+    ) -> DeviceWorker:
+        """Register a new device with a running fleet.
+
+        ``profile`` is a :class:`DeviceProfile` or a power-mode name
+        ("orin-30w"); None inherits the coordinator's base device.  The
+        worker's clock starts at ``now_ms`` and its slack EWMA is seeded
+        from the roofline prior (the slack a lone batch-1 frame would
+        see on it), so the migration planner can rebalance onto the new
+        capacity immediately instead of waiting for an observation that
+        — with no sessions placed — would never come.
+        """
+        if isinstance(profile, str):
+            profile = get_power_mode(profile)
+        if profile is None:
+            profile = self.device
+        if self.config.latency_model == "orin" and profile is None:
+            raise ValueError("latency_model='orin' joins need a DeviceProfile")
+        worker = DeviceWorker(
+            len(self.workers),
+            self.model,
+            self.config,
+            device=profile if self.config.latency_model == "orin" else None,
+            spec=self.spec,
+            timer=self.timer,
+            slack_alpha=self._slack_alpha,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            checkpoints=self.checkpoints,
+        )
+        worker.device_free_ms = now_ms
+        worker.joined_ms = now_ms
+        worker._last_served_ms = now_ms
+        worker.slack_ewma_ms = worker.roofline_slack_prior_ms()
+        self.workers.append(worker)
+        if (
+            self.config.migration is not None
+            and self._migration_planner is None
+            and len(self.alive_workers) > 1
+        ):
+            # the pool was sized 1 at construction; rebalancing becomes
+            # possible the moment a second device exists
+            self._migration_planner = MigrationPlanner(self.config.migration)
+        self._fault_rows.append(
+            {
+                "kind": "join",
+                "time_ms": now_ms,
+                "device": worker.index,
+                "profile": profile.name if profile is not None else None,
+            }
+        )
+        self.metrics.counter("fleet/device_joins").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "device_join",
+                now_ms,
+                pid=worker.name,
+                tid="device",
+                cat="fault",
+                profile=profile.name if profile is not None else "wallclock",
+            )
+        return worker
+
+    def crash_device(self, index: int, now_ms: float) -> List[Dict[str, object]]:
+        """Kill device ``index`` at ``now_ms`` and recover its sessions.
+
+        The crash sequence (all on the simulated clock, so a seeded
+        replay reproduces it bitwise):
+
+        1. The device dies at ``now_ms``; a batch already committed on
+           its clock completes (the simulation commits batches
+           atomically at launch), so the *watchdog* detects the missed
+           next launch at ``detect_ms = max(now_ms, device_free_ms)``.
+        2. Frames queued on the dead device die with its memory — they
+           are counted per stream (``crash_dropped_frames``), never
+           served, never re-served.
+        3. Every hosted session is restored from its last durable
+           checkpoint (async-staged captures are lost, like any
+           write-behind store) and re-placed over the surviving pool via
+           the normal placement path; its admission debt is re-imported
+           from the checkpoint and its adaptation price re-quoted by the
+           new device.  Frames served between the checkpoint and the
+           crash are **lost, not recomputed**: serving counters stand,
+           only the adapted state rolls back (``frames_lost`` row).
+
+        Returns the per-session recovery records (also appended to the
+        run report).
+        """
+        worker = self.workers[index]
+        if not worker.alive:
+            raise ValueError(f"device {index} is already dead")
+        worker.crash(now_ms)
+        detect_ms = max(now_ms, worker.device_free_ms)
+        self._fault_rows.append(
+            {"kind": "crash", "time_ms": now_ms, "device": index}
+        )
+        self.metrics.counter("fleet/crashes").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "device_crash",
+                now_ms,
+                pid=worker.name,
+                tid="device",
+                cat="fault",
+                detect_ms=detect_ms,
+                sessions=len(worker.sessions),
+            )
+        alive = self.alive_workers
+        if not alive and worker.sessions:
+            raise RuntimeError(
+                f"device {index} crashed with {len(worker.sessions)} hosted "
+                "sessions and no surviving device to recover them onto"
+            )
+        # queued frames died with the device
+        for sid in list(worker.scheduler.pending_stream_ids):
+            lost = worker.scheduler.extract_stream(sid)
+            if lost:
+                self._crash_dropped[sid] = self._crash_dropped.get(
+                    sid, 0
+                ) + len(lost)
+                self.metrics.counter("fleet/crash_dropped_frames").inc(
+                    len(lost)
+                )
+        records: List[Dict[str, object]] = []
+        period = self.config.period_ms
+        for session in list(worker.sessions.values()):
+            sid = session.stream_id
+            worker.detach(session)  # dead controller's debt is lost too
+            if self.checkpoints is not None:
+                self.checkpoints.drop_staged(sid)
+                meta = self.checkpoints.restore(session)
+            else:
+                meta = None
+            if meta is not None:
+                frames_lost = session.frames_seen - int(meta["frames_seen"])
+                admission_state = {
+                    "static_key": static_fuse_key(session.adapter),
+                    "debt": meta["admission"]["debt"],
+                    "deferrals": meta["admission"]["deferrals"],
+                }
+            else:  # no durable checkpoint: all adapted state is gone
+                frames_lost = session.frames_seen
+                admission_state = None
+            costs = [
+                stream_utilization(w.estimate_cost_ms(session.adapter), period)
+                for w in alive
+            ]
+            loads = [w.load for w in alive]
+            # recovery always re-places by load — a "pinned" fleet's pin
+            # died with the device
+            placement = (
+                self.config.placement
+                if self.config.placement != "pinned"
+                else "least_loaded"
+            )
+            target = alive[
+                place_stream(placement, len(self._placements), costs, loads)
+            ]
+            target.attach(
+                session, admission_state=admission_state, now_ms=detect_ms
+            )
+            target.device_free_ms = max(target.device_free_ms, detect_ms)
+            self._placements[sid] = target.index
+            session.migrations += 1
+            record = {
+                "time_ms": detect_ms,
+                "stream": sid,
+                "source": index,
+                "target": target.index,
+                "frames_lost": frames_lost,
+                "crash_dropped": self._crash_dropped.get(sid, 0),
+                "checkpoint_frames": int(meta["frames_seen"]) if meta else 0,
+                "recovery_latency_ms": detect_ms - now_ms,
+            }
+            records.append(record)
+            self._recovery_events.append(record)
+            self._frames_lost[sid] = self._frames_lost.get(sid, 0) + frames_lost
+            self.metrics.counter("fleet/recoveries").inc()
+            self.metrics.counter("fleet/frames_lost").inc(frames_lost)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "session_recovered",
+                    detect_ms,
+                    pid=target.name,
+                    tid=sid,
+                    cat="fault",
+                    source=index,
+                    frames_lost=frames_lost,
+                )
+        return records
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        """Apply one scheduled fault on the event loop's clock."""
+        if event.kind == "join":
+            self.add_device(event.profile, now_ms=event.time_ms)
+            return
+        if event.device is None or not 0 <= event.device < len(self.workers):
+            raise ValueError(
+                f"fault {event!r} targets device {event.device}, but the "
+                f"pool has {len(self.workers)} devices at t={event.time_ms}"
+            )
+        worker = self.workers[event.device]
+        if event.kind == "crash":
+            if worker.alive:
+                self.crash_device(event.device, event.time_ms)
+            return
+        if not worker.alive:
+            return  # stalling or slowing a dead device is meaningless
+        if event.kind == "stall":
+            worker.device_free_ms = max(
+                worker.device_free_ms, event.time_ms + event.duration_ms
+            )
+            self._fault_rows.append(event.as_row())
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "device_stall",
+                    event.time_ms,
+                    pid=worker.name,
+                    tid="device",
+                    cat="fault",
+                    duration_ms=event.duration_ms,
+                )
+        elif event.kind == "slow":
+            worker.set_slowdown(event.factor)
+            self._fault_rows.append(event.as_row())
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "device_slow",
+                    event.time_ms,
+                    pid=worker.name,
+                    tid="device",
+                    cat="fault",
+                    factor=event.factor,
+                )
 
     # ------------------------------------------------------------------
     def run(self, num_ticks: int) -> FleetReport:
@@ -448,9 +744,22 @@ class FleetServer:
                     worker.index,
                 )
                 for worker in self.workers
-                if worker.scheduler.pending_count
+                if worker.alive and worker.scheduler.pending_count
             ]
             launch_ms, launch_idx = min(ready) if ready else (None, None)
+            # scheduled faults drain through the same global clock as
+            # arrivals and launches (fault wins ties: a device crashing
+            # at exactly its launch instant never launches), which is
+            # what makes a seeded faulted run replay bitwise
+            if self._fault_cursor < len(self._fault_queue):
+                fault = self._fault_queue[self._fault_cursor]
+                upcoming = [t for t in (launch_ms,) if t is not None]
+                if heap:
+                    upcoming.append(heap[0][0])
+                if not upcoming or fault.time_ms <= min(upcoming):
+                    self._fault_cursor += 1
+                    self._apply_fault(fault)
+                    continue
             if heap and (launch_ms is None or heap[0][0] <= launch_ms):
                 arrival_ms, _, dropped, session = heapq.heappop(heap)
                 if dropped:
@@ -493,7 +802,8 @@ class FleetServer:
                 # a drained device's heat signal must cool on the launch
                 # clock, or it never re-attracts sessions (idle-decay fix)
                 for candidate in self.workers:
-                    candidate.decay_idle_slack(launch_ms)
+                    if candidate.alive:
+                        candidate.decay_idle_slack(launch_ms)
             # rebalance on the launch clock BEFORE the batch forms:
             # launch times are monotone across the pool (completions are
             # not), so a migration can never take effect "before"
@@ -538,15 +848,22 @@ class FleetServer:
         planner = self._migration_planner
         if planner is None:
             return False
+        # the planner only ever sees the alive sub-pool: a dead device is
+        # empty and never-observed, which would otherwise make it look
+        # maximally cool — the perfect (and catastrophically wrong)
+        # migration target
+        alive = self.alive_workers
+        if len(alive) < 2:
+            return False
         if planner.in_cooldown(now_ms):
             return False  # no decision possible: skip the movable scans
         if not planner.any_hot(
-            [worker.slack_ewma_ms for worker in self.workers],
-            [worker.frames_served for worker in self.workers],
+            [worker.slack_ewma_ms for worker in alive],
+            [worker.frames_served for worker in alive],
         ):
             return False  # no sustained-hot source: skip the scans too
         movable = set()
-        for worker in self.workers:
+        for worker in alive:
             pending = worker.scheduler.pending_stream_ids
             for sid, session in worker.sessions.items():
                 # a session moves only when no batch containing it is
@@ -565,29 +882,31 @@ class FleetServer:
         period = self.config.period_ms
         costs = {
             sid: stream_utilization(cost, period)
-            for worker in self.workers
+            for worker in alive
             for sid, cost in worker.session_cost_ms.items()
         }
         decision = planner.plan(
             now_ms,
-            [worker.slack_ewma_ms for worker in self.workers],
-            [worker.frames_served for worker in self.workers],
-            [list(worker.sessions) for worker in self.workers],
+            [worker.slack_ewma_ms for worker in alive],
+            [worker.frames_served for worker in alive],
+            [list(worker.sessions) for worker in alive],
             movable,
             costs,
         )
         if decision is None:
             return False
-        self._migrate(
-            decision.stream_id, decision.source, decision.target, now_ms
-        )
+        # the decision indexes the alive sub-pool; translate back to
+        # global pool indices before touching workers/placements
+        source = alive[decision.source].index
+        target = alive[decision.target].index
+        self._migrate(decision.stream_id, source, target, now_ms)
         planner.commit(decision, now_ms)
         self._migration_events.append(
             {
                 "time_ms": now_ms,
                 "stream": decision.stream_id,
-                "source": decision.source,
-                "target": decision.target,
+                "source": source,
+                "target": target,
             }
         )
         self.metrics.counter("fleet/migrations").inc()
@@ -595,11 +914,11 @@ class FleetServer:
             self.tracer.instant(
                 "migrate",
                 now_ms,
-                pid=self.workers[decision.source].name,
+                pid=self.workers[source].name,
                 tid=decision.stream_id,
                 cat="migration",
-                source=decision.source,
-                target=decision.target,
+                source=source,
+                target=target,
             )
         return True
 
@@ -622,7 +941,7 @@ class FleetServer:
         """
         session = self.registry.get(stream_id)
         state = self.workers[source].detach(session)
-        self.workers[target].attach(session, admission_state=state)
+        self.workers[target].attach(session, admission_state=state, now_ms=now_ms)
         for request in self.workers[source].scheduler.extract_stream(stream_id):
             self.workers[target].scheduler.submit(request)
         self.workers[target].device_free_ms = max(
@@ -635,6 +954,10 @@ class FleetServer:
 
     # ------------------------------------------------------------------
     def _build_report(self, elapsed_ms: float) -> FleetReport:
+        if self.checkpoints is not None:
+            # end-of-run barrier: staged async captures become durable,
+            # so a cold restart can resume every stream's final state
+            self.checkpoints.flush()
         metrics = self.metrics
         report = FleetReport(
             deadline_ms=self.config.deadline_ms,
@@ -651,6 +974,14 @@ class FleetServer:
             accuracy_histogram=metrics.histogram("fleet/accuracy"),
             deadline_misses=metrics.counter("fleet/deadline_misses").value,
             migration_events=list(self._migration_events),
+            fault_events=list(self._fault_rows),
+            recovery_events=list(self._recovery_events),
+            frames_lost=dict(self._frames_lost),
+            crash_dropped_frames=dict(self._crash_dropped),
+            checkpoint_writes=(
+                self.checkpoints.writes if self.checkpoints is not None else 0
+            ),
+            canary_probes=sum(w.canary_probes for w in self.workers),
         )
         report.device_reports = [
             worker.report(report.elapsed_ms) for worker in self.workers

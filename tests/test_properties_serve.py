@@ -23,7 +23,12 @@ Seeded random fleets probe the invariants the serving loop leans on:
   always name a sustained-hot observed source, a cooler-by-the-gap
   target, and a movable session, and respect the cooldowns;
 * :class:`ArrivalProcess` realizations are monotone, deterministic per
-  seed, and degenerate to the exact tick grid at zero jitter.
+  seed, and degenerate to the exact tick grid at zero jitter;
+* **checkpoints and crash recovery**: a session restored from a capture
+  is bitwise the capture regardless of how far the live state ran on,
+  the checkpoint's admission view conserves debt without touching the
+  live controller, and a mid-run device crash never serves a frame
+  twice nor reorders any stream's frames.
 """
 
 from collections import defaultdict
@@ -781,3 +786,169 @@ class TestArrivalProperties:
             index, arrival, dropped = process.next_event()
             assert (index, dropped) == (i, False)
             assert arrival == pytest.approx(i * period)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / crash recovery
+# ----------------------------------------------------------------------
+
+class TestCheckpointProperties:
+    def _adapted_session(self, seed, lr, steps, checkpoint=None, faults=None):
+        from repro.adapt import LDBNAdaptConfig
+        from repro.hw import ORIN_POWER_MODES
+        from repro.models import build_model, get_config
+        from repro.serve import FleetConfig, FleetServer
+
+        model = build_model(
+            "tiny-r18", num_lanes=2, rng=np.random.default_rng(seed)
+        )
+        server = FleetServer(
+            model,
+            FleetConfig(
+                latency_model="orin", devices=2,
+                checkpoint=checkpoint, faults=faults,
+            ),
+            device=ORIN_POWER_MODES["orin-60w"],
+            spec=get_config("paper-r18").to_spec(),
+        )
+        session = server.add_stream(
+            "s0", iter(()), adapter_config=LDBNAdaptConfig(lr=lr), device=0
+        )
+        rng = np.random.default_rng(seed + 1)
+        h, w = model.config.input_hw
+        session.swap_in()
+        for _ in range(steps):
+            session.adapter.observe_frame(
+                rng.normal(0.5, 0.3, size=(3, h, w)).astype(np.float32)
+            )
+        session.swap_out()
+        return server, session, rng
+
+    @given(
+        steps=st.integers(0, 2),
+        extra=st.integers(1, 2),
+        lr=st.floats(1e-4, 1e-2),
+        seed=st.integers(0, 2**16),
+        debt=st.integers(0, 8),
+        deferrals=st.integers(0, 3),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_capture_restore_roundtrip_bitwise(
+        self, steps, extra, lr, seed, debt, deferrals
+    ):
+        """Satellite acceptance: after any adaptation history, a restored
+        session is bitwise the capture — BN snapshot, running buffers,
+        optimizer slots, pending frames, step index and admission debt —
+        no matter how far the live state ran on afterwards."""
+        from repro.serve import capture_session_state, restore_session_state
+
+        server, session, rng = self._adapted_session(seed, lr, steps)
+        admission = {"debt": debt, "deferrals": deferrals}
+        reference, meta = capture_session_state(session, admission)
+
+        h, w = server.model.config.input_hw
+        session.swap_in()
+        for _ in range(extra):  # the live session keeps adapting
+            session.adapter.observe_frame(
+                rng.normal(0.5, 0.3, size=(3, h, w)).astype(np.float32)
+            )
+        session.swap_out()
+
+        restored_admission = restore_session_state(session, reference, meta)
+        assert restored_admission == admission
+        roundtrip, meta2 = capture_session_state(session, restored_admission)
+        assert set(roundtrip) == set(reference)
+        for key in reference:
+            np.testing.assert_array_equal(roundtrip[key], reference[key])
+        assert meta2["adapter_step"] == meta["adapter_step"]
+        assert meta2["adapt_pending"] == meta["adapt_pending"]
+        assert meta2["admission"] == meta["admission"]
+
+    @given(
+        debt=st.integers(0, 30),
+        deferrals=st.integers(0, 10),
+        key=st.one_of(st.none(), st.sampled_from(["a", "b"])),
+    )
+    @settings(**SETTINGS)
+    def test_checkpoint_view_conserves_admission_debt(
+        self, debt, deferrals, key
+    ):
+        """peek_stream (what checkpoints capture) reads the same state
+        export_stream moves, without destroying the live controller."""
+        source = SlackAdmission()
+        source.import_stream(
+            "s0", {"static_key": key, "debt": debt, "deferrals": deferrals}
+        )
+        view = source.peek_stream("s0")
+        assert view == {
+            "static_key": key, "debt": debt, "deferrals": deferrals
+        }
+        # non-destructive: the live stream still carries its claim
+        assert source.debt("s0") == debt
+        assert source.peek_stream("s0") == view
+        # a restore-side import conserves the checkpointed debt exactly
+        target = SlackAdmission()
+        target.import_stream("s0", dict(view))
+        assert target.debt("s0") == debt
+        assert target.export_stream("s0") == view
+
+    @given(
+        crash_tick=st.integers(2, 6),
+        streams=st.integers(2, 3),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_no_frame_served_twice_across_crash(
+        self, tiny_benchmark, crash_tick, streams, seed
+    ):
+        """Crashing a device and re-placing its sessions never serves a
+        frame twice and preserves every stream's frame order."""
+        from repro.adapt import LDBNAdaptConfig
+        from repro.hw import ORIN_POWER_MODES
+        from repro.models import build_model, get_config
+        from repro.serve import (
+            CheckpointConfig,
+            FaultEvent,
+            FaultSchedule,
+            FleetConfig,
+            FleetServer,
+        )
+
+        ticks = 8
+        period = 1000.0 / 30.0
+        model = build_model(
+            "tiny-r18", num_lanes=2, rng=np.random.default_rng(seed)
+        )
+        server = FleetServer(
+            model,
+            FleetConfig(
+                latency_model="orin",
+                devices=2,
+                checkpoint=CheckpointConfig(interval_frames=2),
+                faults=FaultSchedule(
+                    [FaultEvent("crash", crash_tick * period, device=0)]
+                ),
+            ),
+            device=ORIN_POWER_MODES["orin-60w"],
+            spec=get_config("paper-r18").to_spec(),
+        )
+        for i in range(streams):
+            frames = (
+                tiny_benchmark.target_stream(
+                    rng=np.random.default_rng(seed + 50 + i)
+                )
+                .take(ticks)
+                .samples
+            )
+            server.add_stream(
+                f"s{i}", iter(frames), adapter_config=LDBNAdaptConfig(lr=1e-3)
+            )
+        report = server.run(ticks)
+        assert report.crashes == 1
+        assert report.recoveries >= 1
+        for stream_report in report.stream_reports.values():
+            indices = [f.index for f in stream_report.frames]
+            assert len(indices) == len(set(indices))  # never served twice
+            assert indices == sorted(indices)  # order preserved
+        for event in report.recovery_events:
+            assert 0 <= event["frames_lost"] < 2  # the checkpoint interval

@@ -1,0 +1,472 @@
+"""Elastic-pool fault tolerance: checkpoints, fault schedules, recovery.
+
+The acceptance claims under test:
+
+* a seeded 2-device run with one mid-run crash recovers every hosted
+  session from its durable checkpoint with zero post-recovery
+  divergence (bitwise), and the adapted-state frames lost stay under
+  the checkpoint interval per stream;
+* the identical :class:`FaultSchedule` replays bitwise;
+* a fault-free run with checkpointing enabled matches the fault-free
+  baseline exactly (captures copy, they never touch live state);
+* checkpoint archives are atomic (tmp + ``os.replace``) and strict
+  loads reject archives that do not match their embedded key manifest;
+* a joining device is priced from the roofline prior immediately and a
+  drained one is re-priced by the canary probe within a bounded number
+  of idle-decay ticks.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.adapt import LDBNAdaptConfig
+from repro.experiments.bench_serve import per_stream_outputs
+from repro.hw import ORIN_POWER_MODES
+from repro.models import get_config
+from repro.nn.serialization import load_arrays, save_arrays
+from repro.serve import (
+    CheckpointConfig,
+    FaultEvent,
+    FaultSchedule,
+    FleetConfig,
+    FleetServer,
+    MigrationConfig,
+    SessionCheckpointStore,
+    capture_session_state,
+    restore_session_state,
+)
+
+DEVICE = ORIN_POWER_MODES["orin-60w"]
+SPEC = get_config("paper-r18").to_spec()
+PERIOD_MS = 1000.0 / 30.0
+
+
+def _frame_lists(benchmark, count, frames, seed=320):
+    return [
+        benchmark.target_stream(rng=np.random.default_rng(seed + i))
+        .take(frames)
+        .samples
+        for i in range(count)
+    ]
+
+
+def _serve(model, pristine, frame_lists, ticks, **cfg):
+    model.load_state_dict(pristine)
+    server = FleetServer(
+        model,
+        FleetConfig(latency_model="orin", **cfg),
+        device=DEVICE,
+        spec=SPEC,
+    )
+    for i, frames in enumerate(frame_lists):
+        server.add_stream(
+            f"s{i}", iter(list(frames)), adapter_config=LDBNAdaptConfig(lr=1e-3)
+        )
+    return server.run(ticks), server
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meteor", 10.0)
+        with pytest.raises(ValueError):
+            FaultEvent("crash", -1.0, device=0)
+        with pytest.raises(ValueError):
+            FaultEvent("crash", 10.0)  # no device
+        with pytest.raises(ValueError):
+            FaultEvent("stall", 10.0, device=0, duration_ms=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent("slow", 10.0, device=0, factor=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent("join", 10.0)  # no profile
+
+    def test_as_row_is_kind_specific(self):
+        assert FaultEvent("crash", 5.0, device=1).as_row() == {
+            "kind": "crash", "time_ms": 5.0, "device": 1,
+        }
+        assert FaultEvent("stall", 5.0, device=0, duration_ms=7.0).as_row() == {
+            "kind": "stall", "time_ms": 5.0, "device": 0, "duration_ms": 7.0,
+        }
+        assert FaultEvent("join", 5.0, profile="orin-30w").as_row() == {
+            "kind": "join", "time_ms": 5.0, "profile": "orin-30w",
+        }
+
+
+class TestFaultSchedule:
+    SPEC_STR = "crash@400:0,stall@600:1:50,slow@700:1:1.5,join@800:orin-30w"
+
+    def test_parse_spec_roundtrip(self):
+        schedule = FaultSchedule.parse(self.SPEC_STR)
+        assert len(schedule) == 4
+        assert schedule.crash_count == 1
+        assert schedule.spec() == self.SPEC_STR
+        assert FaultSchedule.parse(schedule.spec()) == schedule
+
+    def test_events_sort_by_time(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent("crash", 500.0, device=0),
+                FaultEvent("join", 100.0, profile="orin-30w"),
+            ]
+        )
+        assert [e.kind for e in schedule] == ["join", "crash"]
+
+    def test_parse_rejects_malformed_specs(self):
+        for bad in ("crash@x:0", "crash@400", "stall@1:0", "warp@4:0"):
+            with pytest.raises(ValueError):
+                FaultSchedule.parse(bad)
+
+    def test_parse_tolerates_empty_segments(self):
+        assert len(FaultSchedule.parse("crash@5:0,,")) == 1
+        assert len(FaultSchedule.parse("")) == 0
+
+    def test_random_is_seed_deterministic(self):
+        kwargs = dict(horizon_ms=1000.0, devices=2, crashes=2, joins=1)
+        first = FaultSchedule.random(7, **kwargs)
+        again = FaultSchedule.random(7, **kwargs)
+        other = FaultSchedule.random(8, **kwargs)
+        assert first == again
+        assert first != other
+        assert first.crash_count == 2
+        for event in first:
+            assert 200.0 <= event.time_ms <= 800.0  # the middle band
+            if event.kind == "crash":
+                assert event.device in (0, 1)
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, 1000.0, devices=0)
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, 1000.0, devices=1, margin=0.5)
+
+
+class TestCheckpointConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval_frames=0)
+        with pytest.raises(ValueError):
+            CheckpointConfig(mode="lazy")
+        with pytest.raises(ValueError):
+            CheckpointConfig(interval_frames=8, max_staleness_frames=4)
+
+    def test_fleet_config_guards(self):
+        crash = FaultSchedule([FaultEvent("crash", 10.0, device=0)])
+        with pytest.raises(ValueError):
+            # a crash without a checkpoint store cannot recover anything
+            FleetConfig(latency_model="orin", devices=2, faults=crash)
+        with pytest.raises(ValueError):
+            FleetConfig(
+                latency_model="orin",
+                devices=2,
+                ingest="sync",
+                faults=crash,
+                checkpoint=CheckpointConfig(),
+            )
+
+
+class TestCheckpointStore:
+    def _serve_with_store(
+        self, model, benchmark, streams=2, ticks=8, **ckpt_kwargs
+    ):
+        pristine = model.state_dict()
+        frame_lists = _frame_lists(benchmark, streams, ticks)
+        ckpt_kwargs.setdefault("interval_frames", 2)
+        return _serve(
+            model, pristine, frame_lists, ticks,
+            devices=1, checkpoint=CheckpointConfig(**ckpt_kwargs),
+        )
+
+    def test_atomic_writes_leave_no_tmp_files(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        report, server = self._serve_with_store(
+            trained_tiny_model, tiny_benchmark
+        )
+        store = server.checkpoints
+        names = os.listdir(store.root)
+        assert names and all(n.endswith(".npz") for n in names)
+        assert report.checkpoint_writes == store.writes > 0
+
+    def test_interval_bounds_checkpoint_staleness(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        _, server = self._serve_with_store(
+            trained_tiny_model, tiny_benchmark, interval_frames=2
+        )
+        store = server.checkpoints
+        for session in server.registry:
+            meta = store.metadata(session.stream_id)
+            assert meta is not None
+            assert session.frames_seen - meta["frames_seen"] < 2
+
+    def test_async_mode_stages_then_flushes(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        _, server = self._serve_with_store(
+            trained_tiny_model, tiny_benchmark, mode="async"
+        )
+        store = server.checkpoints
+        assert store.staged_writes > 0
+        assert not store._staged  # end-of-run flush drained the stage
+        for session in server.registry:
+            assert store.has_checkpoint(session.stream_id)
+
+    def test_restore_rolls_session_back_bitwise(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        _, server = self._serve_with_store(
+            trained_tiny_model, tiny_benchmark, streams=1
+        )
+        store = server.checkpoints
+        session = server.registry.get("s0")
+        store.checkpoint(session, {"debt": 3, "deferrals": 1}, now_ms=123.0)
+        reference, _ = capture_session_state(session)
+
+        # vandalize everything the checkpoint protects
+        for saved in session.bn_state.params.saved:
+            saved += 1.0
+        for bufs in session.bn_state.buffers:
+            for arr in bufs.values():
+                arr[...] = arr + 1  # ints (batch counters) included
+        session.adapter.optimizer.state.clear()
+        session.adapter._buffer = []
+        session.adapter._step += 7
+
+        meta = store.restore(session)
+        assert meta is not None
+        assert meta["admission"] == {"debt": 3, "deferrals": 1}
+        restored, _ = capture_session_state(session)
+        assert set(restored) == set(reference)
+        for key in reference:
+            np.testing.assert_array_equal(restored[key], reference[key])
+
+    def test_restore_rejects_foreign_checkpoint(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        _, server = self._serve_with_store(
+            trained_tiny_model, tiny_benchmark, streams=2
+        )
+        store = server.checkpoints
+        arrays, meta = store.load("s0")
+        with pytest.raises(ValueError):
+            restore_session_state(
+                server.registry.get("s1"), arrays, meta
+            )
+        with pytest.raises(ValueError):
+            restore_session_state(
+                server.registry.get("s0"), arrays, dict(meta, schema="?")
+            )
+
+    def test_strict_load_rejects_manifest_mismatch(
+        self, trained_tiny_model, tiny_benchmark, tmp_path
+    ):
+        _, server = self._serve_with_store(
+            trained_tiny_model, tiny_benchmark, streams=1
+        )
+        store = server.checkpoints
+        arrays, _ = load_arrays(store.path_for("s0"), strict=True)
+
+        # re-write the archive raw, dropping one manifested array
+        with np.load(store.path_for("s0"), allow_pickle=False) as data:
+            payload = {k: data[k] for k in data.files}
+        dropped = next(k for k in payload if k != "__repro_meta__")
+        del payload[dropped]
+        torn = str(tmp_path / "torn.npz")
+        with open(torn, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(KeyError):
+            load_arrays(torn, strict=True)
+        state, _ = load_arrays(torn, strict=False)
+        assert set(state) == set(arrays) - {dropped}
+
+    def test_save_arrays_reserves_the_meta_key(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_arrays(
+                str(tmp_path / "x.npz"),
+                {"__repro_meta__": np.zeros(1)},
+            )
+
+    def test_store_without_checkpoint_returns_none(self, tmp_path):
+        store = SessionCheckpointStore(
+            CheckpointConfig(dir=str(tmp_path / "ckpt"))
+        )
+        assert not store.has_checkpoint("ghost")
+        assert store.metadata("ghost") is None
+
+
+class TestCrashRecovery:
+    """End-to-end elastic pool: crash, recover, join, replay."""
+
+    def _fleet(
+        self, model, benchmark, streams=3, ticks=10, seed=320,
+        pristine=None, **cfg
+    ):
+        # serving leaves the shared model carrying the last stream's BN
+        # state, so repeat runs must reload the SAME pristine snapshot
+        pristine = model.state_dict() if pristine is None else pristine
+        frame_lists = _frame_lists(benchmark, streams, ticks, seed=seed)
+        return _serve(model, pristine, frame_lists, ticks, **cfg)
+
+    def test_crash_recovers_every_hosted_session(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        interval = 2
+        crash_ms = 4.0 * PERIOD_MS
+        report, server = self._fleet(
+            trained_tiny_model, tiny_benchmark,
+            devices=2,
+            checkpoint=CheckpointConfig(interval_frames=interval),
+            faults=FaultSchedule([FaultEvent("crash", crash_ms, device=0)]),
+        )
+        assert report.crashes == 1
+        assert not server.workers[0].alive
+        assert server.workers[0].crashed_ms == crash_ms
+        assert not server.workers[0].sessions
+        assert report.recoveries >= 1
+        # every recovered session landed on the survivor and kept serving
+        for event in report.recovery_events:
+            assert event["source"] == 0
+            assert event["target"] == 1
+            assert event["recovery_latency_ms"] >= 0.0
+            assert 0 <= event["frames_lost"] < interval
+        assert report.total_frames_lost <= interval * report.recoveries
+        # no frame served twice, per-stream order preserved
+        for stream_report in report.stream_reports.values():
+            indices = [f.index for f in stream_report.frames]
+            assert indices == sorted(set(indices))
+
+    def test_post_recovery_state_is_bitwise_the_checkpoint(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        report, server = self._fleet(
+            trained_tiny_model, tiny_benchmark,
+            devices=2,
+            checkpoint=CheckpointConfig(interval_frames=2),
+        )
+        store = server.checkpoints
+        crashed = next(w for w in server.workers if w.sessions)
+        hosted = list(crashed.sessions)
+        records = server.crash_device(
+            crashed.index, now_ms=crashed.device_free_ms + 1.0
+        )
+        assert {r["stream"] for r in records} == set(hosted)
+        for sid in hosted:
+            session = server.registry.get(sid)
+            arrays, meta = store.load(sid)
+            live, _ = capture_session_state(session)
+            assert set(live) == set(arrays)
+            for key in arrays:
+                np.testing.assert_array_equal(live[key], arrays[key])
+            assert session.adapter.steps_taken == meta["adapter_step"]
+            # counters were NOT rolled back: the frames are lost, not
+            # rewound, so report record indices can never collide
+            assert session.frames_seen >= meta["frames_seen"]
+
+    def test_identical_schedule_replays_bitwise(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        schedule = FaultSchedule.parse(
+            f"crash@{4 * PERIOD_MS:g}:0,join@{6 * PERIOD_MS:g}:orin-30w"
+        )
+        pristine = trained_tiny_model.state_dict()
+        runs = [
+            self._fleet(
+                trained_tiny_model, tiny_benchmark,
+                devices=2,
+                pristine=pristine,
+                checkpoint=CheckpointConfig(interval_frames=2),
+                faults=schedule,
+                migration=MigrationConfig(),
+            )[0]
+            for _ in range(2)
+        ]
+        assert per_stream_outputs(runs[0]) == per_stream_outputs(runs[1])
+        assert runs[0].summary() == runs[1].summary()
+        assert runs[0].recovery_events == runs[1].recovery_events
+
+    def test_checkpointing_is_inert_without_faults(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        pristine = trained_tiny_model.state_dict()
+        baseline, _ = self._fleet(
+            trained_tiny_model, tiny_benchmark, devices=2, pristine=pristine
+        )
+        for mode in ("sync", "async"):
+            checkpointed, _ = self._fleet(
+                trained_tiny_model, tiny_benchmark,
+                devices=2,
+                pristine=pristine,
+                checkpoint=CheckpointConfig(interval_frames=2, mode=mode),
+            )
+            assert per_stream_outputs(checkpointed) == per_stream_outputs(
+                baseline
+            )
+
+    def test_join_extends_the_pool_mid_run(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        join_ms = 3.0 * PERIOD_MS
+        report, server = self._fleet(
+            trained_tiny_model, tiny_benchmark,
+            devices=2,
+            migration=MigrationConfig(),
+            faults=FaultSchedule(
+                [FaultEvent("join", join_ms, profile="orin-30w")]
+            ),
+        )
+        assert report.device_joins == 1
+        assert len(server.workers) == 3
+        joined = server.workers[2]
+        assert joined.alive
+        assert joined.joined_ms == join_ms
+        assert joined.device.name == "orin-30w"
+        # the joined device is priced (traffic may have moved its EWMA
+        # off the roofline prior it was seeded with)
+        assert joined.slack_ewma_ms is not None
+        rows = report.per_device_rows()
+        assert rows[2]["joined_ms"] == join_ms
+        # the API seeds a fresh join from the roofline prior directly
+        late = server.add_device("orin-15w", now_ms=999.0)
+        assert late.slack_ewma_ms == late.roofline_slack_prior_ms()
+        assert late.joined_ms == 999.0
+        assert late.device_free_ms == 999.0
+
+    def test_stall_and_slow_degrade_without_killing(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        schedule = FaultSchedule.parse(
+            f"stall@{2 * PERIOD_MS:g}:1:{2 * PERIOD_MS:g},"
+            f"slow@{4 * PERIOD_MS:g}:1:1.5"
+        )
+        report, server = self._fleet(
+            trained_tiny_model, tiny_benchmark, devices=2, faults=schedule
+        )
+        assert [e["kind"] for e in report.fault_events] == ["stall", "slow"]
+        assert server.workers[1].alive
+        assert server.workers[1].slowdown == 1.5
+        assert report.crashes == 0 and report.recoveries == 0
+        # a 1.5x slower device quotes 1.5x the healthy adaptation price
+        healthy = server.workers[0]
+        slowed = server.workers[1]
+        assert slowed.adapt_cost_fn(1) == pytest.approx(
+            1.5 * healthy.adapt_cost_fn(1)
+        )
+
+    def test_crash_device_api_guards(
+        self, trained_tiny_model, tiny_benchmark
+    ):
+        _, server = self._fleet(
+            trained_tiny_model, tiny_benchmark,
+            devices=2,
+            checkpoint=CheckpointConfig(interval_frames=2),
+        )
+        server.crash_device(0, now_ms=server.workers[0].device_free_ms)
+        with pytest.raises(ValueError):
+            server.crash_device(0, now_ms=1e6)  # already dead
+        with pytest.raises(ValueError):
+            server.add_stream("late", iter(()), device=0)  # dead pin
+        with pytest.raises(RuntimeError):
+            # the last alive device cannot crash while hosting sessions
+            server.crash_device(1, now_ms=1e6)

@@ -585,13 +585,22 @@ class TestIdleSlackDecay:
         worker.slack_ewma_ms = prior - 20.0
         worker._last_served_ms = 0.0
         period = worker.config.period_ms
-        now, previous = 0.0, worker.slack_ewma_ms
-        for _ in range(40):
+        # start past the grace window so every call below actually decays
+        now = worker.IDLE_DECAY_GRACE_PERIODS * period
+        previous = worker.slack_ewma_ms
+        for _ in range(worker.CANARY_PROBE_DECAYS - 1):
             now += 2.0 * period
-            worker.decay_idle_slack(now)
-            assert previous <= worker.slack_ewma_ms < prior
+            assert worker.decay_idle_slack(now)
+            assert previous < worker.slack_ewma_ms < prior
             previous = worker.slack_ewma_ms
-        assert worker.slack_ewma_ms == pytest.approx(prior, abs=1e-6)
+        # the canary probe bounds convergence: the next decay installs
+        # the prior exactly instead of creeping toward it asymptotically
+        now += 2.0 * period
+        assert worker.decay_idle_slack(now)
+        assert worker.slack_ewma_ms == prior
+        assert worker.canary_probes == 1
+        # at the prior the EWMA is fresh — further idle ticks are no-ops
+        assert not worker.decay_idle_slack(now + 2.0 * period)
 
     def test_decay_emits_telemetry_event(self, trained_tiny_model):
         tracer = SpanTracer()
