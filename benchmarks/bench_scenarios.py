@@ -1,0 +1,52 @@
+"""SCENARIOS — the multi-domain shift matrix with drift-aware resets.
+
+Runs every registered scenario (abrupt cuts, ramps, oscillations,
+compound degradations — see ``repro.data.domains.SCENARIOS``) through
+the fleet server twice: once with drift detection disabled and once
+with the CUSUM detector + adaptation-reset policy enabled.  Rows are
+archived as the ``scenario_matrix`` section of ``serve_throughput.json``
+so per-scenario accuracy, recovery time, and fleet fps sit under the
+same regression gate as the serving benchmarks.
+
+Asserted via :func:`repro.experiments.check_scenarios`:
+
+* every scheduled-shift scenario raises at least one drift alarm, and
+  the stationary control (``steady_highway``) raises none;
+* enabling resets never costs more than 5% mean accuracy on any
+  scenario;
+* recurring-regime scenarios warm-start from the cluster bank;
+* at least one shifted scenario recovers to its settled accuracy
+  strictly faster with resets than without (the headline claim).
+
+The CI smoke lane runs the 3-scenario ``--quick`` subset through the
+CLI (``python -m repro.experiments bench-scenarios --quick``); this
+entry point is the full matrix.
+"""
+
+from conftest import results_path
+
+from repro.experiments import (
+    check_scenarios,
+    format_table,
+    get_run_scale,
+    merge_json_section,
+    run_bench_scenarios,
+)
+from repro.experiments.bench_scenarios import COLUMNS as BENCH_SCENARIO_COLUMNS
+
+
+def test_scenario_matrix(benchmark):
+    scale = get_run_scale()
+    rows = benchmark.pedantic(
+        run_bench_scenarios, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    print("\nSCENARIOS — shift matrix: drift resets vs stride-waiting")
+    print(format_table(rows, columns=list(BENCH_SCENARIO_COLUMNS)))
+    merge_json_section(
+        results_path("serve_throughput.json"),
+        "scenario_matrix",
+        {f"{r['scenario']}/{r['policy']}": r for r in rows},
+    )
+
+    check_scenarios(rows)

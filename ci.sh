@@ -38,6 +38,10 @@ python -m repro.experiments bench-serve --quick --trace
 # frame loss, and the identical schedule must replay bitwise; rows are
 # archived under the same regression gate
 python -m repro.experiments bench-serve --quick --recovery
+# scenario matrix smoke: 3 scenarios served with and without drift
+# resets, per-scenario accuracy/recovery gates asserted and rows
+# archived under the same regression gate
+python -m repro.experiments bench-scenarios --quick
 # seeded crash+join fleet smoke: the elastic-pool path end to end
 # through the CLI (fault/recovery tables printed, results are scratch)
 python -m repro.experiments fleet --streams 3 --frames 12 --devices 2 \

@@ -24,7 +24,14 @@ from .base import (
 )
 from .bn_adapt import LDBNAdapt, LDBNAdaptConfig
 from .entropy import entropy_loss
-from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from .kmeans import (
+    KMeansResult,
+    frame_signature,
+    kmeans,
+    kmeans_plus_plus_init,
+    nearest_signature,
+    signature_distance,
+)
 from .sota import CarlaneSOTA, SOTAConfig, SOTAReport
 from .variants import ConvAdapt, FCAdapt, VariantConfig
 
@@ -48,4 +55,7 @@ __all__ = [
     "kmeans",
     "kmeans_plus_plus_init",
     "KMeansResult",
+    "frame_signature",
+    "signature_distance",
+    "nearest_signature",
 ]

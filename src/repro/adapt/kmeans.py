@@ -11,7 +11,7 @@ initialization, empty-cluster re-seeding and monotone-inertia guarantee
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -126,3 +126,45 @@ def kmeans(
         n_iter=iteration,
         inertia_history=history,
     )
+
+
+# ----------------------------------------------------------------------
+# domain signatures (for cluster warm-starts)
+# ----------------------------------------------------------------------
+# The fleet's drift-reset path keys banked BN states by a cheap embedding
+# of the frames they were adapted to — per-channel first/second moments,
+# the same statistics LD-BN-ADAPT corrects.  Nearest-signature matching
+# is nearest-centroid assignment in this embedding space.
+
+
+def frame_signature(image: np.ndarray) -> np.ndarray:
+    """Per-channel mean and std of one ``(C, H, W)`` frame → ``(2C,)``."""
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 3:
+        raise ValueError(f"frame_signature expects (C, H, W), got {img.shape}")
+    return np.concatenate([img.mean(axis=(1, 2)), img.std(axis=(1, 2))])
+
+
+def signature_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two signatures."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"signature shapes differ: {a.shape} vs {b.shape}")
+    return float(np.sqrt(((a - b) ** 2).sum()))
+
+
+def nearest_signature(
+    signature: np.ndarray, bank: List[np.ndarray]
+) -> Tuple[int, float]:
+    """Index and distance of the closest stored signature.
+
+    Returns ``(-1, inf)`` for an empty bank.  Ties break toward the
+    earliest entry, keeping lookups deterministic.
+    """
+    best, best_dist = -1, float("inf")
+    for i, candidate in enumerate(bank):
+        dist = signature_distance(signature, candidate)
+        if dist < best_dist:
+            best, best_dist = i, dist
+    return best, best_dist

@@ -18,15 +18,35 @@ from .benchmarks import (
     make_benchmark,
 )
 from .camera import CameraModel, default_camera, row_anchor_rows
-from .dataset import DataLoader, FrameStream, LaneDataset, LaneSample, generate_dataset
+from .dataset import (
+    DataLoader,
+    FrameStream,
+    LaneDataset,
+    LaneSample,
+    ScenarioStream,
+    generate_dataset,
+)
 from .domains import (
     CARLA_SIM,
     DOMAINS,
+    FOG_GLARE,
+    FOG_HIGHWAY,
+    GLARE_HIGHWAY,
     MODEL_VEHICLE,
+    NIGHT_HIGHWAY,
+    RAIN_HIGHWAY,
+    SCENARIOS,
+    SENSOR_DEGRADED,
+    TUNNEL_SODIUM,
     TUSIMPLE_HIGHWAY,
     DomainConfig,
     DomainSample,
+    ScenarioConfig,
+    ShiftEvent,
+    blend_domains,
+    compose_domains,
     get_domain,
+    get_scenario,
 )
 from .encoding import (
     cell_units_to_cols,
@@ -57,7 +77,21 @@ __all__ = [
     "CARLA_SIM",
     "MODEL_VEHICLE",
     "TUSIMPLE_HIGHWAY",
+    "NIGHT_HIGHWAY",
+    "RAIN_HIGHWAY",
+    "FOG_HIGHWAY",
+    "GLARE_HIGHWAY",
+    "TUNNEL_SODIUM",
+    "SENSOR_DEGRADED",
+    "FOG_GLARE",
     "get_domain",
+    "blend_domains",
+    "compose_domains",
+    "ShiftEvent",
+    "ScenarioConfig",
+    "SCENARIOS",
+    "get_scenario",
+    "ScenarioStream",
     "encode_labels",
     "flip_labels",
     "flip_gt",

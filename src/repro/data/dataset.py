@@ -18,8 +18,9 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..models.ufld import UFLDConfig
+from ..utils.rng import child_seed
 from .camera import CameraModel, default_camera, row_anchor_rows
-from .domains import DomainConfig
+from .domains import DomainConfig, ScenarioConfig
 from .encoding import encode_labels
 from .geometry import LaneScene, evolve_scene, sample_scene
 from .render import render_scene
@@ -243,4 +244,80 @@ class FrameStream:
         """Materialize the next ``count`` frames as a dataset."""
         return LaneDataset(
             [next(self) for _ in range(count)], name="stream-window"
+        )
+
+
+class ScenarioStream:
+    """A camera stream driven by a :class:`ScenarioConfig` shift schedule.
+
+    Unlike :class:`FrameStream`'s fixed round-robin domain rotation, the
+    effective domain is resolved per frame from the scenario's timed
+    events (cuts, ramps, oscillations), shifted by the stream's
+    deterministic phase offset.  The road scene is resampled only at cut
+    events — gradual and periodic shifts relight the same road, which is
+    what makes them *appearance* drifts rather than new drives.
+
+    Seeding is namespaced via ``child_seed(seed, "scenario/<name>/<id>")``
+    so a stream's frames depend only on ``(seed, scenario, stream_id)``,
+    never on pool size or placement order.
+    """
+
+    def __init__(
+        self,
+        scenario: "ScenarioConfig",
+        config: UFLDConfig,
+        seed: int,
+        stream_id: str = "s0",
+        fps: float = 30.0,
+        scene_lanes: Optional[int] = None,
+        horizon: int = 10_000,
+    ):
+        if not isinstance(scenario, ScenarioConfig):
+            raise TypeError(f"expected ScenarioConfig, got {type(scenario)!r}")
+        self.scenario = scenario
+        self.config = config
+        self.stream_id = stream_id
+        self.fps = fps
+        self.scene_lanes = scene_lanes if scene_lanes is not None else config.num_lanes
+        self.rng = np.random.default_rng(
+            child_seed(seed, f"scenario/{scenario.name}/{stream_id}")
+        )
+        self.phase = scenario.phase_offset(seed, stream_id)
+        self._resets = set(scenario.scene_reset_frames(self.phase, horizon))
+        self._frame_index = 0
+        self._scene: Optional[LaneScene] = None
+
+    def _new_scene(self, domain: DomainConfig) -> LaneScene:
+        return sample_scene(
+            self.rng,
+            num_lanes=self.scene_lanes,
+            image_hw=self.config.input_hw,
+            lane_width_m=domain.lane_width_m,
+            curvature_scale=domain.curvature_scale,
+            heading_scale=domain.heading_scale,
+            camera=_domain_camera(domain, self.config),
+            missing_boundary_prob=domain.missing_boundary_prob,
+        )
+
+    def __iter__(self) -> Iterator[LaneSample]:
+        return self
+
+    def __next__(self) -> LaneSample:
+        domain = self.scenario.domain_at(self._frame_index, self.phase)
+        if self._scene is None or self._frame_index in self._resets:
+            self._scene = self._new_scene(domain)
+        else:
+            self._scene = evolve_scene(self._scene, self.rng)
+        timestamp = self._frame_index / self.fps
+        sample = _render_labeled_frame(
+            self._scene, domain, self.config, self.rng, timestamp=timestamp
+        )
+        self._frame_index += 1
+        return sample
+
+    def take(self, count: int) -> LaneDataset:
+        """Materialize the next ``count`` frames as a dataset."""
+        return LaneDataset(
+            [next(self) for _ in range(count)],
+            name=f"{self.scenario.name}-{self.stream_id}",
         )

@@ -25,9 +25,11 @@ Fig. 2's no-adaptation bars) — see EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from ..utils.rng import child_seed
 
 Range = Tuple[float, float]
 
@@ -218,3 +220,478 @@ def get_domain(name: str) -> DomainConfig:
     if name not in DOMAINS:
         raise KeyError(f"unknown domain {name!r}; available: {sorted(DOMAINS)}")
     return DOMAINS[name]
+
+
+# ----------------------------------------------------------------------
+# domain algebra: blending and composition
+# ----------------------------------------------------------------------
+# Field groups used by blend/compose.  Kept explicit (rather than
+# introspected) so a new DomainConfig field must be classified here
+# before scenarios can silently ignore it.
+_RANGE_FIELDS = (
+    "road_albedo", "roadside_albedo", "sky_top", "sky_bottom",
+    "marking_brightness", "marking_width_m", "marking_wear",
+    "dash_period_m", "dash_duty", "illumination", "contrast_gamma",
+    "color_cast_r", "color_cast_g", "color_cast_b", "noise_sigma",
+    "vignette", "clutter_strength", "glare_strength",
+    "texture_strength", "haze",
+)
+_INT_RANGE_FIELDS = ("blur_radius", "clutter_count")
+_GEOMETRY_FIELDS = (
+    "lane_width_m", "curvature_scale", "heading_scale", "horizon_frac",
+    "missing_boundary_prob",
+)
+
+_DEFAULTS = DomainConfig(name="_defaults")
+
+
+def blend_domains(
+    a: DomainConfig, b: DomainConfig, t: float, name: Optional[str] = None
+) -> DomainConfig:
+    """Linearly interpolate two domains' parameter distributions.
+
+    ``t=0`` reproduces ``a`` (up to the name), ``t=1`` reproduces ``b``;
+    ranges interpolate endpoint-wise, integer ranges round to nearest.
+    Used for gradual shifts (ramps / waves) in scenario schedules.
+    """
+    t = float(min(max(t, 0.0), 1.0))
+    kwargs: Dict[str, object] = {}
+    for f in _RANGE_FIELDS:
+        (alo, ahi), (blo, bhi) = getattr(a, f), getattr(b, f)
+        kwargs[f] = (alo + t * (blo - alo), ahi + t * (bhi - ahi))
+    for f in _INT_RANGE_FIELDS:
+        (alo, ahi), (blo, bhi) = getattr(a, f), getattr(b, f)
+        kwargs[f] = (
+            int(round(alo + t * (blo - alo))),
+            int(round(ahi + t * (bhi - ahi))),
+        )
+    for f in _GEOMETRY_FIELDS:
+        av, bv = getattr(a, f), getattr(b, f)
+        kwargs[f] = av + t * (bv - av)
+    return DomainConfig(
+        name=name or f"{a.name}~{b.name}@{t:.2f}", **kwargs
+    )
+
+
+def compose_domains(
+    base: DomainConfig, *overlays: DomainConfig, name: Optional[str] = None
+) -> DomainConfig:
+    """Stack degradations: overlay fields that differ from the
+    :class:`DomainConfig` defaults override ``base`` (later overlays
+    win).  This is how compound scenarios (fog + glare) are built from
+    single-degradation domains without re-declaring every range.
+    """
+    kwargs: Dict[str, object] = {}
+    fields = _RANGE_FIELDS + _INT_RANGE_FIELDS + _GEOMETRY_FIELDS
+    for f in fields:
+        kwargs[f] = getattr(base, f)
+    for overlay in overlays:
+        for f in fields:
+            value = getattr(overlay, f)
+            if value != getattr(_DEFAULTS, f):
+                kwargs[f] = value
+    composed_name = name or "+".join(
+        [base.name] + [o.name for o in overlays]
+    )
+    return DomainConfig(name=composed_name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# degradation domains for the scenario matrix
+# ----------------------------------------------------------------------
+# All highway-based degradations keep TUSIMPLE_HIGHWAY's geometry so a
+# mid-scenario shift changes *appearance statistics* (the mechanism BN
+# adaptation corrects) without teleporting the road.
+
+NIGHT_HIGHWAY = DomainConfig(
+    name="night_highway",
+    # unlit rural highway: strong gain drop, dark sky, headlight-only
+    # marking visibility, elevated shot noise from sensor gain-up
+    road_albedo=(0.20, 0.28),
+    roadside_albedo=(0.22, 0.32),
+    sky_top=(0.04, 0.10),
+    sky_bottom=(0.06, 0.14),
+    marking_brightness=(0.50, 0.70),
+    marking_wear=(0.15, 0.35),
+    dash_period_m=(8.0, 12.0),
+    dash_duty=(0.4, 0.6),
+    illumination=(0.20, 0.35),
+    contrast_gamma=(1.10, 1.25),
+    color_cast_b=(1.05, 1.20),
+    noise_sigma=(0.08, 0.12),
+    texture_strength=(0.015, 0.03),
+    lane_width_m=3.7,
+    missing_boundary_prob=0.15,
+)
+
+RAIN_HIGHWAY = DomainConfig(
+    name="rain_highway",
+    # wet road: darker specular asphalt, droplet blur, gray veil,
+    # markings smeared by the water film
+    road_albedo=(0.22, 0.30),
+    roadside_albedo=(0.38, 0.48),
+    sky_top=(0.60, 0.72),
+    sky_bottom=(0.55, 0.68),
+    marking_brightness=(0.60, 0.75),
+    marking_wear=(0.25, 0.45),
+    dash_period_m=(8.0, 12.0),
+    dash_duty=(0.4, 0.6),
+    illumination=(0.60, 0.78),
+    noise_sigma=(0.06, 0.10),
+    blur_radius=(1, 2),
+    haze=(0.20, 0.35),
+    texture_strength=(0.03, 0.06),
+    lane_width_m=3.7,
+    missing_boundary_prob=0.15,
+)
+
+FOG_HIGHWAY = DomainConfig(
+    name="fog_highway",
+    # dense fog: dominant haze veil (affine contrast collapse), mild
+    # blur, washed-out sky — the archetypal first/second-moment shift
+    road_albedo=(0.44, 0.54),
+    roadside_albedo=(0.52, 0.64),
+    sky_top=(0.82, 0.92),
+    sky_bottom=(0.80, 0.90),
+    marking_brightness=(0.70, 0.82),
+    marking_wear=(0.15, 0.35),
+    dash_period_m=(8.0, 12.0),
+    dash_duty=(0.4, 0.6),
+    illumination=(0.85, 1.00),
+    noise_sigma=(0.04, 0.07),
+    blur_radius=(1, 2),
+    haze=(0.78, 0.90),
+    texture_strength=(0.01, 0.02),
+    lane_width_m=3.7,
+    missing_boundary_prob=0.15,
+)
+
+GLARE_HIGHWAY = DomainConfig(
+    name="glare_highway",
+    # low sun into the lens: over-exposure, strong horizon bloom,
+    # crushed contrast
+    road_albedo=(0.48, 0.58),
+    roadside_albedo=(0.55, 0.66),
+    sky_top=(0.90, 0.98),
+    sky_bottom=(0.85, 0.95),
+    marking_brightness=(0.72, 0.85),
+    marking_wear=(0.15, 0.35),
+    dash_period_m=(8.0, 12.0),
+    dash_duty=(0.4, 0.6),
+    illumination=(1.25, 1.45),
+    contrast_gamma=(0.80, 0.92),
+    color_cast_r=(1.05, 1.15),
+    noise_sigma=(0.03, 0.06),
+    glare_strength=(0.55, 0.80),
+    texture_strength=(0.02, 0.045),
+    lane_width_m=3.7,
+    missing_boundary_prob=0.15,
+)
+
+TUNNEL_SODIUM = DomainConfig(
+    name="tunnel_sodium",
+    # sodium-lit tunnel: heavy warm cast, strong vignetting from the
+    # bore, low ambient light, no sky
+    road_albedo=(0.30, 0.38),
+    roadside_albedo=(0.25, 0.35),
+    sky_top=(0.10, 0.18),
+    sky_bottom=(0.12, 0.20),
+    marking_brightness=(0.65, 0.80),
+    marking_wear=(0.10, 0.25),
+    dash_period_m=(8.0, 12.0),
+    dash_duty=(0.4, 0.6),
+    illumination=(0.35, 0.50),
+    color_cast_r=(1.15, 1.30),
+    color_cast_g=(0.95, 1.05),
+    color_cast_b=(0.45, 0.60),
+    noise_sigma=(0.05, 0.09),
+    vignette=(0.35, 0.55),
+    texture_strength=(0.015, 0.03),
+    lane_width_m=3.7,
+)
+
+SENSOR_DEGRADED = DomainConfig(
+    name="sensor_degraded",
+    # failing camera: severe noise, defocus blur, channel imbalance —
+    # appearance statistics drift without any scene change
+    road_albedo=(0.44, 0.54),
+    roadside_albedo=(0.52, 0.64),
+    sky_top=(0.85, 0.95),
+    sky_bottom=(0.75, 0.90),
+    marking_brightness=(0.72, 0.85),
+    marking_wear=(0.15, 0.35),
+    dash_period_m=(8.0, 12.0),
+    dash_duty=(0.4, 0.6),
+    illumination=(0.80, 0.95),
+    color_cast_g=(0.80, 0.92),
+    noise_sigma=(0.14, 0.20),
+    blur_radius=(2, 3),
+    texture_strength=(0.02, 0.045),
+    lane_width_m=3.7,
+    missing_boundary_prob=0.15,
+)
+
+FOG_GLARE = compose_domains(
+    FOG_HIGHWAY, GLARE_HIGHWAY, name="fog_glare"
+)
+
+for _d in (
+    NIGHT_HIGHWAY, RAIN_HIGHWAY, FOG_HIGHWAY, GLARE_HIGHWAY,
+    TUNNEL_SODIUM, SENSOR_DEGRADED, FOG_GLARE,
+):
+    DOMAINS[_d.name] = _d
+del _d
+
+
+# ----------------------------------------------------------------------
+# scenario schedules
+# ----------------------------------------------------------------------
+_SHIFT_KINDS = ("cut", "ramp", "oscillate", "wave")
+
+
+@dataclass(frozen=True)
+class ShiftEvent:
+    """One timed shift in a scenario schedule.
+
+    * ``cut`` — abrupt switch to ``domain`` at ``at_frame``;
+    * ``ramp`` — linear blend into ``domain`` over ``duration`` frames;
+    * ``oscillate`` — square-wave alternation between the pre-event
+      domain and ``domain`` with the given (even) ``period``;
+    * ``wave`` — smooth triangle-wave oscillation, same period rules.
+    """
+
+    at_frame: int
+    domain: str
+    kind: str = "cut"
+    duration: int = 0
+    period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SHIFT_KINDS:
+            raise ValueError(
+                f"unknown shift kind {self.kind!r}; one of {_SHIFT_KINDS}"
+            )
+        if self.at_frame < 0:
+            raise ValueError(f"at_frame must be >= 0, got {self.at_frame}")
+        if self.kind == "ramp" and self.duration < 1:
+            raise ValueError("ramp shifts need duration >= 1")
+        if self.kind in ("oscillate", "wave") and (
+            self.period < 2 or self.period % 2
+        ):
+            raise ValueError("periodic shifts need an even period >= 2")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A named, timed schedule of domain shifts over one stream.
+
+    The schedule is resolved per frame by :meth:`domain_at`; a later
+    event supersedes an earlier one (an oscillation runs until the next
+    event's start).  ``phase_jitter_frames`` delays the whole schedule
+    by a per-stream offset derived via :func:`repro.utils.rng.child_seed`
+    from ``(seed, scenario, stream_id)`` only, so realizations are
+    invariant to pool size and placement — exactly like arrival seeds.
+    """
+
+    name: str
+    base: str
+    events: Tuple[ShiftEvent, ...] = ()
+    phase_jitter_frames: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        get_domain(self.base)
+        last = -1
+        for ev in self.events:
+            if ev.at_frame <= last:
+                raise ValueError(
+                    f"scenario {self.name!r}: events must have strictly "
+                    f"increasing at_frame"
+                )
+            last = ev.at_frame
+            get_domain(ev.domain)
+        if self.phase_jitter_frames < 0:
+            raise ValueError("phase_jitter_frames must be >= 0")
+
+    def phase_offset(self, seed: int, stream_id: str) -> int:
+        """Deterministic per-stream schedule delay in frames."""
+        if self.phase_jitter_frames <= 0:
+            return 0
+        word = child_seed(seed, f"scenario/{self.name}/{stream_id}/phase")
+        return int(word % (self.phase_jitter_frames + 1))
+
+    def domain_at(self, frame: int, phase: int = 0) -> DomainConfig:
+        """Effective appearance domain at a stream-local frame index."""
+        if frame < 0:
+            raise ValueError(f"frame must be >= 0, got {frame}")
+        current = get_domain(self.base)
+        for ev in self.events:
+            start = ev.at_frame + phase
+            if frame < start:
+                break
+            target = get_domain(ev.domain)
+            if ev.kind == "cut":
+                current = target
+            elif ev.kind == "ramp":
+                span = frame - start
+                if span >= ev.duration:
+                    current = target
+                else:
+                    current = blend_domains(
+                        current, target, (span + 1) / (ev.duration + 1)
+                    )
+            else:  # oscillate / wave around the pre-event domain
+                anchor = current
+                pos = (frame - start) % ev.period
+                half = ev.period // 2
+                if ev.kind == "oscillate":
+                    current = target if pos < half else anchor
+                else:
+                    t = pos / half if pos <= half else (ev.period - pos) / half
+                    current = blend_domains(anchor, target, t)
+        return current
+
+    def shift_frames(self, phase: int = 0, horizon: int = 0) -> List[int]:
+        """Frames where a shift *lands* (for recovery-time measurement).
+
+        Cuts land at their start, ramps at completion, oscillations at
+        every square-wave edge, waves at every peak.
+        """
+        out: List[int] = []
+        for i, ev in enumerate(self.events):
+            start = ev.at_frame + phase
+            end = horizon
+            if i + 1 < len(self.events):
+                end = min(end, self.events[i + 1].at_frame + phase)
+            if ev.kind == "cut":
+                if start < horizon:
+                    out.append(start)
+            elif ev.kind == "ramp":
+                if start + ev.duration < end:
+                    out.append(start + ev.duration)
+            else:
+                half = ev.period // 2
+                first = start if ev.kind == "oscillate" else start + half
+                step = half if ev.kind == "oscillate" else ev.period
+                frame = first
+                while frame < end:
+                    out.append(frame)
+                    frame += step
+        return sorted(set(out))
+
+    def scene_reset_frames(self, phase: int = 0, horizon: int = 0) -> List[int]:
+        """Frames where the road *scene* is resampled (cut events only;
+        gradual and periodic shifts relight the same road)."""
+        return [
+            ev.at_frame + phase
+            for ev in self.events
+            if ev.kind == "cut" and ev.at_frame + phase < horizon
+        ]
+
+
+# ----------------------------------------------------------------------
+# scenario registry
+# ----------------------------------------------------------------------
+# Frame indices are designed for ~48-frame serving horizons (quick CI
+# runs use 32); shifts land no earlier than frame 10 so a drift
+# detector's warmup window sees the initial regime.
+
+SCENARIOS: Dict[str, ScenarioConfig] = {
+    s.name: s
+    for s in (
+        ScenarioConfig(
+            name="steady_highway",
+            base="tusimple_highway",
+            description="stationary control: no scheduled shift; any "
+            "drift alarm here is a false positive",
+        ),
+        # Abrupt events land at frame 18 (and 34), deliberately off the
+        # common power-of-two stride grids: real shifts are asynchronous
+        # to the adaptation cadence, and aligning them would let the
+        # no-reset policy adapt at the shift frame by pure coincidence.
+        ScenarioConfig(
+            name="night_cut",
+            base="tusimple_highway",
+            events=(ShiftEvent(18, "night_highway"),),
+            description="novel abrupt shift: day highway cuts to unlit "
+            "night at frame 18",
+        ),
+        ScenarioConfig(
+            name="dusk_ramp",
+            base="tusimple_highway",
+            events=(ShiftEvent(12, "night_highway", kind="ramp", duration=16),),
+            description="gradual novel shift: 16-frame dusk fade into "
+            "night; slower than the adaptation cadence, so no reset "
+            "should be needed",
+        ),
+        ScenarioConfig(
+            name="fog_bank",
+            base="tusimple_highway",
+            events=(
+                ShiftEvent(18, "fog_highway"),
+                ShiftEvent(34, "tusimple_highway"),
+            ),
+            description="transient degradation: drive into a fog bank "
+            "at 18 and out at 34 (return shift should bank-warm-start)",
+        ),
+        ScenarioConfig(
+            name="fog_glare",
+            base="tusimple_highway",
+            events=(ShiftEvent(18, "fog_glare"),),
+            description="compound degradation: fog veil and low-sun "
+            "bloom land together",
+        ),
+        ScenarioConfig(
+            name="tunnel_strobe",
+            base="tusimple_highway",
+            events=(ShiftEvent(18, "tunnel_sodium", kind="oscillate", period=16),),
+            description="recurring abrupt shift: tunnel entries/exits "
+            "every 8 frames; the cluster bank should warm-start "
+            "re-entries",
+        ),
+        ScenarioConfig(
+            name="sensor_decay",
+            base="tusimple_highway",
+            events=(
+                ShiftEvent(10, "sensor_degraded", kind="ramp", duration=20),
+            ),
+            description="slow sensor failure: noise/blur ramp over 20 "
+            "frames",
+        ),
+        ScenarioConfig(
+            name="rain_onset",
+            base="tusimple_highway",
+            events=(ShiftEvent(14, "rain_highway"),),
+            phase_jitter_frames=6,
+            description="abrupt rain with per-stream phase offsets: "
+            "streams hit the squall up to 6 frames apart",
+        ),
+        ScenarioConfig(
+            name="day_night_wave",
+            base="tusimple_highway",
+            events=(ShiftEvent(10, "night_highway", kind="wave", period=24),),
+            description="smooth recurring oscillation between day and "
+            "night lighting",
+        ),
+        ScenarioConfig(
+            name="track_handover",
+            base="tusimple_highway",
+            events=(
+                ShiftEvent(18, "model_vehicle"),
+                ShiftEvent(34, "tusimple_highway"),
+            ),
+            description="cross-benchmark handover: highway to the "
+            "1/8-scale indoor track and back",
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ScenarioConfig:
+    """Look up a named scenario."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        )
+    return SCENARIOS[name]

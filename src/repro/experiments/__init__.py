@@ -14,6 +14,12 @@ from .ablations import (
 )
 from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
+from .bench_scenarios import (
+    QUICK_SCENARIOS,
+    check_scenarios,
+    recovery_spans,
+    run_bench_scenarios,
+)
 from .bench_serve import (
     check_device_scaling,
     check_slack_dominates,
@@ -86,6 +92,10 @@ __all__ = [
     "run_bench_adapt",
     "run_bench_serve",
     "run_bench_devices",
+    "run_bench_scenarios",
+    "check_scenarios",
+    "recovery_spans",
+    "QUICK_SCENARIOS",
     "check_slack_dominates",
     "check_device_scaling",
     "scaling_archive",

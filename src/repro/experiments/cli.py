@@ -20,6 +20,7 @@
     python -m repro.experiments bench-serve --quick --devices 2
     python -m repro.experiments bench-serve --quick --trace
     python -m repro.experiments bench-serve --quick --recovery
+    python -m repro.experiments bench-scenarios --quick
     python -m repro.experiments all --scale tiny
 
 Prints the same tables the benchmark harness archives, for quick
@@ -33,9 +34,11 @@ artifact; ``bench-infer`` (eager-vs-compiled inference), ``bench-adapt``
 (jittered-arrival slack-admission study + async/sync parity guard at
 ``--devices 1``, the device-pool scaling study at ``--devices N``, the
 telemetry-overhead study at ``--trace``, the crash-recovery study at
-``--recovery``) each archive results and run
-the regression gate (none is a paper artifact, so ``all`` includes none
-of them).
+``--recovery``) and ``bench-scenarios`` (the shift-scenario matrix:
+drift-aware adaptation resets vs stride-waiting over every registered
+scenario, or the 3-scenario CI subset at ``--quick``) each archive
+results and run the regression gate (none is a paper artifact, so
+``all`` includes none of them).
 """
 
 from __future__ import annotations
@@ -48,6 +51,12 @@ from typing import List, Optional
 from .ablations import run_param_census, run_sota_cost
 from .bench_adapt import run_bench_adapt
 from .bench_infer import run_bench_infer
+from .bench_scenarios import (
+    COLUMNS as BENCH_SCENARIO_COLUMNS,
+    QUICK_SCENARIOS,
+    check_scenarios,
+    run_bench_scenarios,
+)
 from .bench_serve import (
     COLUMNS as BENCH_SERVE_COLUMNS,
     DEVICE_COLUMNS as BENCH_DEVICE_COLUMNS,
@@ -75,7 +84,7 @@ from ..telemetry import SpanTracer, render_dashboard
 
 _ARTIFACTS = (
     "fig1", "fig2", "fig3", "census", "sota-cost", "fleet", "trace",
-    "bench-infer", "bench-adapt", "bench-serve", "all",
+    "bench-infer", "bench-adapt", "bench-serve", "bench-scenarios", "all",
 )
 
 
@@ -419,6 +428,37 @@ def _run_bench_serve(
     return _gate(results_dir, quick)
 
 
+def _run_bench_scenarios(scale, quick: bool, results_dir: str) -> int:
+    """Scenario matrix: drift resets vs stride-waiting, archive, gate.
+
+    ``--quick`` serves the 3-scenario CI subset over a shorter horizon;
+    the full run covers every registered scenario.
+    """
+    rows = run_bench_scenarios(
+        scale=scale,
+        scenario_names=QUICK_SCENARIOS if quick else None,
+        num_streams=2,
+        num_ticks=36 if quick else 48,
+    )
+    print("BENCH-SCENARIOS — shift matrix: drift resets vs stride-waiting")
+    print(
+        format_table(rows, columns=list(BENCH_SCENARIO_COLUMNS), floatfmt=".3f")
+    )
+    try:
+        check_scenarios(rows)
+    except AssertionError as exc:
+        print(f"SCENARIO FAILURE: drift-reset claim failed: {exc}")
+        return 1
+    # quick rows (fewer scenarios/ticks) live in their own section so the
+    # positional regression gate never diffs them against full-run rows
+    merge_json_section(
+        os.path.join(results_dir, "serve_throughput.json"),
+        "scenario_matrix_quick" if quick else "scenario_matrix",
+        {f"{r['scenario']}/{r['policy']}": r for r in rows},
+    )
+    return _gate(results_dir, quick)
+
+
 def _gate(results_dir: str, quick: bool = False) -> int:
     """Run the latency/throughput regression gate over archived results.
 
@@ -606,6 +646,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             scale, args.quick, args.results_dir, args.devices, args.placement,
             trace=args.trace, recovery=args.recovery, backend=backend,
         )
+    if args.artifact == "bench-scenarios":
+        return _run_bench_scenarios(scale, args.quick, args.results_dir)
 
     runners = {
         "fig1": _print_fig1,

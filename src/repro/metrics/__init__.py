@@ -1,6 +1,13 @@
 """``repro.metrics`` — TuSimple/CARLANE lane accuracy and entropy tracking."""
 
-from .entropy_stats import EntropyTracker, max_entropy, mean_entropy, shannon_entropy
+from .entropy_stats import (
+    DriftConfig,
+    DriftDetector,
+    EntropyTracker,
+    max_entropy,
+    mean_entropy,
+    shannon_entropy,
+)
 from .lane_accuracy import (
     LANE_MATCH_RATIO,
     TUSIMPLE_THRESHOLD_CELLS,
@@ -19,4 +26,6 @@ __all__ = [
     "mean_entropy",
     "max_entropy",
     "EntropyTracker",
+    "DriftConfig",
+    "DriftDetector",
 ]

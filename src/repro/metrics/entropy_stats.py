@@ -10,7 +10,7 @@ numpy logits (no autograd) — the differentiable loss lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -77,3 +77,138 @@ class EntropyTracker:
             "max": self.maximum if self.count else 0.0,
             "count": float(self.count),
         }
+
+
+# ----------------------------------------------------------------------
+# online drift detection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tuning for the one-sided CUSUM drift detector.
+
+    ``warmup`` samples calibrate the baseline mean/variance (Welford);
+    afterwards each sample's z-score feeds a one-sided upward CUSUM
+    ``g <- max(0, g + z - slack)`` that fires at ``threshold``.  Between
+    alarms the baseline follows the signal with an exponential band of
+    rate ``baseline_alpha`` so the detector tracks a slowly *improving*
+    regime (online adaptation lowers entropy) without firing, while an
+    abrupt upward shift outruns the band and trips the alarm.  A firing
+    recalibrates from scratch (fresh warmup).
+    """
+
+    warmup: int = 6
+    threshold: float = 8.0
+    slack: float = 0.5
+    baseline_alpha: float = 0.05
+    min_std: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.warmup < 2:
+            raise ValueError("warmup must be >= 2 (variance needs 2 samples)")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if self.slack < 0:
+            raise ValueError("slack must be >= 0")
+        if not 0.0 <= self.baseline_alpha < 1.0:
+            raise ValueError("baseline_alpha must be in [0, 1)")
+        if self.min_std <= 0:
+            raise ValueError("min_std must be > 0")
+
+
+class DriftDetector:
+    """One-sided CUSUM over a scalar statistic stream (pure numpy floats).
+
+    The detector is statistic-agnostic; the serving loop feeds it a
+    per-frame drift statistic (feature-signature distance by default,
+    mean prediction entropy optionally).  Either statistic *rises* on a
+    model adapted to the old domain when the domain changes, so only
+    *upward* excursions signal drift (downward ones are adaptation
+    working).  State is a fixed-order float64 vector (:meth:`state_vector`
+    / :meth:`load_state_vector`) so checkpoints round-trip bitwise.
+    """
+
+    _STATE_LEN = 7
+
+    def __init__(self, config: Optional[DriftConfig] = None):
+        self.config = config or DriftConfig()
+        self.warm_count = 0
+        self.mean = 0.0
+        self.m2 = 0.0  # Welford sum of squared deviations (warmup only)
+        self.var = 0.0
+        self.g = 0.0  # CUSUM statistic, in baseline sigmas
+        self.drifts = 0
+        self.observed = 0
+
+    @property
+    def warmed(self) -> bool:
+        return self.warm_count >= self.config.warmup
+
+    @property
+    def std(self) -> float:
+        return float(max(np.sqrt(self.var), self.config.min_std))
+
+    def update(self, value: float) -> bool:
+        """Feed one sample; returns True when a drift alarm fires."""
+        v = float(value)
+        self.observed += 1
+        if not self.warmed:
+            self.warm_count += 1
+            delta = v - self.mean
+            self.mean += delta / self.warm_count
+            self.m2 += delta * (v - self.mean)
+            if self.warmed:
+                self.var = self.m2 / max(self.warm_count - 1, 1)
+            return False
+        z = (v - self.mean) / self.std
+        self.g = max(0.0, self.g + z - self.config.slack)
+        if self.g >= self.config.threshold:
+            self.drifts += 1
+            self.recalibrate()
+            return True
+        # follow the current regime slowly, so a genuine shift outruns
+        # the band while adaptation-driven improvement is absorbed
+        alpha = self.config.baseline_alpha
+        delta = v - self.mean
+        self.mean += alpha * delta
+        self.var = (1.0 - alpha) * (self.var + alpha * delta * delta)
+        return False
+
+    def recalibrate(self) -> None:
+        """Drop the baseline and re-enter warmup (post-alarm / post-reset)."""
+        self.warm_count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.var = 0.0
+        self.g = 0.0
+
+    def state_vector(self) -> np.ndarray:
+        """Serialize to a fixed-order float64 vector (bitwise exact)."""
+        return np.array(
+            [
+                float(self.warm_count),
+                self.mean,
+                self.m2,
+                self.var,
+                self.g,
+                float(self.drifts),
+                float(self.observed),
+            ],
+            dtype=np.float64,
+        )
+
+    def load_state_vector(self, state: np.ndarray) -> None:
+        state = np.asarray(state, dtype=np.float64)
+        if state.shape != (self._STATE_LEN,):
+            raise ValueError(
+                f"drift state must have shape ({self._STATE_LEN},), "
+                f"got {state.shape}"
+            )
+        self.warm_count = int(state[0])
+        self.mean = float(state[1])
+        self.m2 = float(state[2])
+        self.var = float(state[3])
+        self.g = float(state[4])
+        self.drifts = int(state[5])
+        self.observed = int(state[6])

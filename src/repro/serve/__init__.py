@@ -93,6 +93,17 @@ Architecture
   the server); ``FleetConfig(devices=1)`` — the default — reproduces
   the former single-device server exactly, and ``ingest="sync"`` keeps
   the tick-synchronous loop as the parity oracle.
+* **drift.py** — drift-aware adaptation resets.  Each session can
+  feed its per-frame mean prediction entropy to a one-sided CUSUM
+  (:class:`repro.metrics.DriftDetector`); an alarm re-initializes the
+  session's BN state from the source snapshot or warm-starts it from a
+  per-session bank of previously adapted states keyed by domain
+  signature (:func:`repro.adapt.frame_signature`), clears optimizer
+  momentum, re-aligns the adaptation stagger so the next frame adapts,
+  and re-quotes the stream on its device.  Enabled via
+  ``FleetConfig(drift=DriftResetConfig(...))``; detection is pure
+  observation, so a run in which no alarm fires is bitwise identical
+  to one without the detector.
 * **checkpoint.py / faults.py** — session durability and deterministic
   failure injection (see the failure model below).
   :class:`SessionCheckpointStore` periodically serializes each
@@ -124,6 +135,14 @@ fault event).  What is durable, what is lost, and how recovery runs:
   (``crash_dropped_frames`` — its memory died with it), any staged
   async capture, and the dead controller's live admission state (the
   checkpointed debt is re-imported instead).
+* **Drift resets** — a drift alarm is a *logical* failure of the
+  stream's adapted state (the world changed under it).  The reset is
+  applied at batch completion on the device clock and immediately
+  billed as an **unconditional durable checkpoint** (staged async
+  captures are dropped): a device crash racing the reset can therefore
+  never restore pre-reset BN state from a stale archive.  The detector
+  state and the warm-start bank are part of the session checkpoint, so
+  a recovered session resumes detection exactly where it left off.
 * **Recovery sequence** — the watchdog detects the death at the missed
   next launch (``max(crash_ms, device_free_ms)``: a batch already
   committed on the simulated clock completes); queued frames are
@@ -181,6 +200,7 @@ from .checkpoint import (
     capture_session_state,
     restore_session_state,
 )
+from .drift import DriftResetConfig, SessionDriftState
 from .faults import FaultEvent, FaultSchedule
 from .pool import (
     PLACEMENT_POLICIES,
@@ -217,6 +237,8 @@ __all__ = [
     "restore_session_state",
     "FaultEvent",
     "FaultSchedule",
+    "DriftResetConfig",
+    "SessionDriftState",
     "DeviceReport",
     "DeviceWorker",
     "MigrationConfig",

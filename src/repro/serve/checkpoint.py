@@ -139,12 +139,20 @@ def capture_session_state(
     pending = getattr(session.adapter, "_buffer", None) or []
     for k, frame in enumerate(pending):
         arrays[f"adapt.buffer.{k}"] = np.asarray(frame).copy()
+    drift = getattr(session, "drift", None)
+    if drift is not None:
+        # detector vector, regime accumulators and warm-start bank (the
+        # source snapshot is NOT serialized: it is re-captured from the
+        # pristine model whenever a session is constructed)
+        arrays.update(drift.state_arrays())
 
     meta = {
         "schema": SCHEMA,
         "stream_id": session.stream_id,
         "time_ms": float(now_ms),
         "frames_seen": session.frames_seen,
+        "adapt_phase": session.adapt_phase,
+        "adapt_burst_until": session.adapt_burst_until,
         "frames_ingested": session.frames_ingested,
         "frames_dropped": session.frames_dropped,
         "adapt_grants": session.adapt_grants,
@@ -167,6 +175,8 @@ def capture_session_state(
             "last_ms": session.arrivals._last_ms,
             "rng": session.arrivals._rng.bit_generator.state,
         }
+    if drift is not None:
+        meta["drift"] = drift.state_meta()
     return arrays, meta
 
 
@@ -232,8 +242,18 @@ def restore_session_state(
             for k in range(int(meta.get("adapt_pending", 0)))
         ]
     session.adapter._step = int(meta["adapter_step"])
+    drift = getattr(session, "drift", None)
+    if drift is not None and "drift" in meta:
+        drift.load_state(arrays, meta["drift"])
     if counters:
         session.frames_seen = int(meta["frames_seen"])
+        # a drift reset re-aligns the stagger and opens a burst; both
+        # must survive a crash or the restored session waits out the
+        # stride on the pre-reset schedule
+        session.adapt_phase = int(meta.get("adapt_phase", session.adapt_phase))
+        session.adapt_burst_until = int(
+            meta.get("adapt_burst_until", session.adapt_burst_until)
+        )
         session.frames_ingested = int(meta["frames_ingested"])
         session.frames_dropped = int(meta["frames_dropped"])
         session.adapt_grants = int(meta["adapt_grants"])

@@ -52,6 +52,7 @@ from ..hw.deadline import (
     stream_utilization,
 )
 from ..hw.roofline import batched_inference_latency_ms, ld_bn_adapt_latency
+from ..metrics.entropy_stats import shannon_entropy
 from ..metrics.lane_accuracy import point_accuracy
 from ..models.ufld import decode_predictions
 from ..telemetry.metrics import Histogram, MetricsRegistry
@@ -450,6 +451,9 @@ class DeviceWorker:
         self._m_decays = metrics.counter("fleet/slack_decays")
         self._m_canary = metrics.counter("fleet/canary_probes")
         self._m_checkpoints = metrics.counter("fleet/checkpoints")
+        self._m_drift_events = metrics.counter("fleet/drift_events")
+        self._m_drift_resets = metrics.counter("fleet/drift_resets")
+        self._m_drift_cluster = metrics.counter("fleet/drift_cluster_restores")
 
     @property
     def name(self) -> str:
@@ -779,7 +783,19 @@ class DeviceWorker:
         decisions, group_of = self._plan_adaptation(
             plan, start_ms, infer_ms, leftover_depth
         )
-        for req, session, frame, pred in zip(plan.requests, sessions, frames, preds):
+        # drift detection feeds on the forward the batch already paid
+        # for; with no session listening this is skipped outright and
+        # serving stays bitwise identical (the inertness gate)
+        batch_entropy = None
+        if any(s.drift is not None for s in sessions):
+            raw = logits.numpy()
+            batch_entropy = shannon_entropy(raw, axis=1).mean(
+                axis=tuple(range(1, raw.ndim - 1))
+            )
+        drift_fired: Dict[int, Tuple[StreamSession, np.ndarray]] = {}
+        for frame_pos, (req, session, frame, pred) in enumerate(
+            zip(plan.requests, sessions, frames, preds)
+        ):
             metrics = point_accuracy(
                 pred[None], frame.gt_cells[None], config.accuracy_threshold_cells
             )
@@ -861,6 +877,12 @@ class DeviceWorker:
                 frame, latency_ms, metrics.accuracy, result,
                 adapt_ms=adapt_step_ms if result is not None else None,
             )
+            if session.drift is not None and session.drift.observe(
+                float(batch_entropy[frame_pos]), frame.image
+            ):
+                # resets apply after the batch completes: detection must
+                # never perturb an in-flight fused adaptation group
+                drift_fired[id(session)] = (session, frame.image)
         for session in sessions:
             # until the whole batch completes the session counts as in
             # flight on this device — the migration planner's movability
@@ -870,6 +892,41 @@ class DeviceWorker:
         self.busy_ms += clock_ms - start_ms
         self._last_served_ms = clock_ms
         self._decays_since_served = 0  # real traffic resets the canary
+        for session, image in drift_fired.values():
+            mode = session.drift.reset(session, image)
+            sid = session.stream_id
+            # the incoming regime re-prices the stream's adaptation step
+            # on this device (same quote path as attach/set_slowdown)
+            if config.latency_model == "orin":
+                batch = getattr(
+                    getattr(session.adapter, "config", None), "batch_size", 1
+                )
+                session.adapt_latency_ms = self.adapt_cost_fn(batch)
+            self.session_cost_ms[sid] = self.estimate_cost_ms(session.adapter)
+            self._m_drift_events.inc()
+            self._m_drift_resets.inc()
+            if mode == "cluster":
+                self._m_drift_cluster.inc()
+            if tracer.enabled:
+                tracer.instant(
+                    "drift_reset",
+                    clock_ms,
+                    pid=self.name,
+                    tid="device",
+                    cat="drift",
+                    stream=sid,
+                    mode=mode,
+                    frames_seen=session.frames_seen,
+                )
+            if self.checkpoints is not None:
+                # bill an unconditional durable checkpoint: a crash
+                # racing the reset must never restore pre-reset state
+                # from a stale archive (staged captures are dropped too)
+                self._m_checkpoints.inc(
+                    self.checkpoints.checkpoint(
+                        session, self._admission_view(sid), clock_ms
+                    )
+                )
         if self.checkpoints is not None:
             seen: Set[int] = set()
             for session in sessions:

@@ -126,6 +126,10 @@ class FleetReport:
     crash_dropped_frames: Dict[str, int] = field(default_factory=dict)
     checkpoint_writes: int = 0
     canary_probes: int = 0
+    # drift detection outcome (per stream; empty when detection is off)
+    drift_events: Dict[str, int] = field(default_factory=dict)
+    drift_resets: Dict[str, int] = field(default_factory=dict)
+    drift_cluster_restores: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -296,6 +300,21 @@ class FleetReport:
         return float(sum(latencies) / len(latencies))
 
     @property
+    def total_drift_events(self) -> int:
+        """Drift alarms fired across the fleet."""
+        return sum(self.drift_events.values())
+
+    @property
+    def total_drift_resets(self) -> int:
+        """Adaptation resets applied across the fleet."""
+        return sum(self.drift_resets.values())
+
+    @property
+    def total_drift_cluster_restores(self) -> int:
+        """Resets warm-started from a banked cluster state."""
+        return sum(self.drift_cluster_restores.values())
+
+    @property
     def per_stream_accuracy(self) -> Dict[str, float]:
         return {
             sid: report.mean_accuracy
@@ -344,6 +363,9 @@ class FleetReport:
             "crash_dropped_frames": float(self.total_crash_dropped_frames),
             "checkpoint_writes": float(self.checkpoint_writes),
             "canary_probes": float(self.canary_probes),
+            "drift_events": float(self.total_drift_events),
+            "drift_resets": float(self.total_drift_resets),
+            "drift_cluster_restores": float(self.total_drift_cluster_restores),
         }
 
     def per_device_rows(self) -> List[Dict[str, object]]:

@@ -71,6 +71,7 @@ from ..utils.rng import child_seed
 from .adapt_batch import static_fuse_key
 from .admission import AdmissionConfig
 from .checkpoint import CheckpointConfig, SessionCheckpointStore
+from .drift import DriftResetConfig, SessionDriftState
 from .faults import FaultEvent, FaultSchedule
 from .pool import (
     PLACEMENT_POLICIES,
@@ -115,6 +116,7 @@ class FleetConfig:
     backend: str = "numpy"  # plan backend for compiled serving/adaptation
     checkpoint: Optional[CheckpointConfig] = None  # None → no session store
     faults: Optional[FaultSchedule] = None  # None → nothing ever fails
+    drift: Optional[DriftResetConfig] = None  # None → no drift detection
 
     def __post_init__(self):
         if self.latency_model not in ("orin", "wallclock"):
@@ -401,6 +403,10 @@ class FleetServer:
             adapt_phase=index % self.config.adapt_stride,
             arrivals=ArrivalProcess(arrival),
         )
+        if self.config.drift is not None:
+            # captured now, while the snapshot still holds the pristine
+            # source state — that capture is the reset target
+            session.drift = SessionDriftState(self.config.drift, session)
         self.workers[target].attach(session)
         self._placements[stream_id] = target
         return session
@@ -991,4 +997,10 @@ class FleetServer:
             report.admission_grants[session.stream_id] = session.adapt_grants
             report.admission_skips[session.stream_id] = session.adapt_skips
             report.dropped_frames[session.stream_id] = session.frames_dropped
+            if session.drift is not None:
+                report.drift_events[session.stream_id] = session.drift.events
+                report.drift_resets[session.stream_id] = session.drift.resets
+                report.drift_cluster_restores[session.stream_id] = (
+                    session.drift.cluster_restores
+                )
         return report

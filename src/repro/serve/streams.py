@@ -220,6 +220,14 @@ class StreamSession:
         self.migrations = 0  # times the session moved to another device
         self.busy_until_ms = 0.0  # completion of the last batch serving us
         self.exhausted = False
+        # attached by the fleet when drift detection is configured
+        # (see serve.drift.SessionDriftState); None keeps serving inert
+        self.drift = None
+        # frames before this index are unconditionally due for adaptation
+        # (a drift reset opens a short burst so the new regime's BN
+        # statistics are re-estimated every frame instead of surviving a
+        # whole stride on one frame's estimate)
+        self.adapt_burst_until = 0
 
     def next_frame(self) -> Optional[LaneSample]:
         """Pull the next frame; marks the session exhausted at stream end."""
@@ -255,7 +263,11 @@ class StreamSession:
         this stream already decided earlier in the *same* served batch
         (a backlogged batch can carry several), keeping the stagger
         aligned with per-stream frame order rather than record order.
+        A post-reset burst (``adapt_burst_until``) overrides the stride:
+        every frame inside it adapts.
         """
+        if self.frames_seen + offset < self.adapt_burst_until:
+            return True
         return (
             self.frames_seen + offset - self.adapt_phase
         ) % self.adapt_stride == 0

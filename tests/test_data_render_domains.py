@@ -18,7 +18,12 @@ from repro.data.render import _box_blur, _low_freq_noise, _vertical_gradient
 
 class TestDomainConfigs:
     def test_canonical_domains_registered(self):
-        assert set(DOMAINS) == {"carla_sim", "model_vehicle", "tusimple_highway"}
+        # the paper's three benchmarks plus the scenario-matrix
+        # degradation domains (see data.domains)
+        assert {"carla_sim", "model_vehicle", "tusimple_highway"} <= set(
+            DOMAINS
+        )
+        assert all(DOMAINS[name].name == name for name in DOMAINS)
 
     def test_get_domain_unknown(self):
         with pytest.raises(KeyError):

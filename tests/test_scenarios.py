@@ -1,0 +1,264 @@
+"""The multi-domain scenario matrix: domain algebra + shift schedules.
+
+Covers the schedule layer the drift-reset study stands on:
+
+* :meth:`DomainConfig.sample` edge cases — degenerate (``hi == lo``)
+  ranges collapse to the endpoint, inverted ranges raise, draws are
+  deterministic per seed;
+* :func:`blend_domains` / :func:`compose_domains` — endpoint identity,
+  clamping, and overlay precedence;
+* :class:`ShiftEvent` / :class:`ScenarioConfig` validation and the
+  per-frame ``domain_at`` semantics (cuts, ramps, square and triangle
+  waves, event supersession);
+* the scenario registry contract the benchmark matrix assumes
+  (8-12 named scenarios, one stationary control, resolvable domains);
+* :class:`ScenarioStream` determinism — frames depend only on
+  ``(seed, scenario, stream_id)``, never on pool size or placement,
+  exactly like arrival processes.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DOMAINS,
+    SCENARIOS,
+    ScenarioStream,
+    blend_domains,
+    compose_domains,
+    get_domain,
+    get_scenario,
+)
+from repro.data.domains import DomainConfig, ScenarioConfig, ShiftEvent
+from repro.models import get_config
+
+
+class TestDomainSampleEdgeCases:
+    def test_degenerate_range_collapses_to_endpoint(self, rng):
+        domain = dataclasses.replace(
+            get_domain("tusimple_highway"),
+            illumination=(0.7, 0.7),
+            noise_sigma=(0.02, 0.02),
+        )
+        for _ in range(5):
+            sample = domain.sample(rng)
+            assert sample.illumination == 0.7
+            assert sample.noise_sigma == 0.02
+
+    def test_inverted_range_raises(self, rng):
+        domain = dataclasses.replace(
+            get_domain("tusimple_highway"), illumination=(1.0, 0.5)
+        )
+        with pytest.raises(ValueError):
+            domain.sample(rng)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        domain = get_domain("night_highway")
+        a = [domain.sample(np.random.default_rng(7)) for _ in range(3)]
+        b = [domain.sample(np.random.default_rng(7)) for _ in range(3)]
+        assert a == b
+        assert a != [domain.sample(np.random.default_rng(8)) for _ in range(3)]
+
+
+class TestDomainAlgebra:
+    def test_blend_endpoints_reproduce_inputs(self):
+        a, b = get_domain("tusimple_highway"), get_domain("fog_highway")
+        at0 = blend_domains(a, b, 0.0, name=a.name)
+        at1 = blend_domains(a, b, 1.0, name=b.name)
+        assert at0 == a
+        assert at1 == b
+
+    def test_blend_clamps_t(self):
+        a, b = get_domain("tusimple_highway"), get_domain("fog_highway")
+        assert blend_domains(a, b, -3.0, name="x") == blend_domains(
+            a, b, 0.0, name="x"
+        )
+        assert blend_domains(a, b, 7.0, name="x") == blend_domains(
+            a, b, 1.0, name="x"
+        )
+
+    def test_blend_midpoint_interpolates_rangewise(self):
+        a, b = get_domain("tusimple_highway"), get_domain("night_highway")
+        mid = blend_domains(a, b, 0.5)
+        for f in ("illumination", "noise_sigma", "road_albedo"):
+            (alo, ahi), (blo, bhi) = getattr(a, f), getattr(b, f)
+            lo, hi = getattr(mid, f)
+            assert lo == pytest.approx((alo + blo) / 2)
+            assert hi == pytest.approx((ahi + bhi) / 2)
+
+    def test_compose_overrides_only_non_default_fields(self):
+        base = get_domain("tusimple_highway")
+        overlay = DomainConfig(name="haze_only", haze=(0.3, 0.5))
+        fused = compose_domains(base, overlay)
+        assert fused.haze == (0.3, 0.5)
+        # fields the overlay left at defaults keep the base's values
+        assert fused.illumination == base.illumination
+        assert fused.lane_width_m == base.lane_width_m
+        assert fused.name == f"{base.name}+haze_only"
+
+    def test_compose_later_overlays_win(self):
+        base = get_domain("tusimple_highway")
+        first = DomainConfig(name="a", haze=(0.1, 0.2))
+        second = DomainConfig(name="b", haze=(0.6, 0.8))
+        assert compose_domains(base, first, second).haze == (0.6, 0.8)
+
+
+class TestShiftEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftEvent(4, "fog_highway", kind="teleport")
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftEvent(-1, "fog_highway")
+
+    def test_ramp_needs_duration(self):
+        with pytest.raises(ValueError):
+            ShiftEvent(4, "fog_highway", kind="ramp")
+
+    def test_periodic_needs_even_period(self):
+        with pytest.raises(ValueError):
+            ShiftEvent(4, "fog_highway", kind="oscillate", period=7)
+        with pytest.raises(ValueError):
+            ShiftEvent(4, "fog_highway", kind="wave", period=0)
+
+
+class TestScenarioConfig:
+    def test_unknown_domains_rejected(self):
+        with pytest.raises(KeyError):
+            ScenarioConfig(name="x", base="narnia")
+        with pytest.raises(KeyError):
+            ScenarioConfig(
+                name="x",
+                base="tusimple_highway",
+                events=(ShiftEvent(4, "narnia"),),
+            )
+
+    def test_events_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(
+                name="x",
+                base="tusimple_highway",
+                events=(
+                    ShiftEvent(8, "fog_highway"),
+                    ShiftEvent(8, "night_highway"),
+                ),
+            )
+
+    def test_cut_switches_at_frame(self):
+        s = get_scenario("night_cut")
+        assert s.domain_at(17).name == "tusimple_highway"
+        assert s.domain_at(18).name == "night_highway"
+        assert s.shift_frames(horizon=48) == [18]
+
+    def test_ramp_blends_then_lands(self):
+        s = get_scenario("dusk_ramp")
+        (event,) = s.events
+        assert s.domain_at(event.at_frame - 1).name == "tusimple_highway"
+        mid = s.domain_at(event.at_frame + event.duration // 2)
+        assert mid.name not in ("tusimple_highway", "night_highway")
+        landed = s.domain_at(event.at_frame + event.duration)
+        assert landed.name == "night_highway"
+        # the shift *lands* at ramp completion
+        assert s.shift_frames(horizon=48) == [event.at_frame + event.duration]
+
+    def test_oscillation_alternates_with_anchor(self):
+        s = get_scenario("tunnel_strobe")
+        (event,) = s.events
+        half = event.period // 2
+        assert s.domain_at(event.at_frame).name == "tunnel_sodium"
+        assert s.domain_at(event.at_frame + half).name == "tusimple_highway"
+        assert s.domain_at(event.at_frame + event.period).name == "tunnel_sodium"
+        edges = s.shift_frames(horizon=48)
+        assert edges == [18, 26, 34, 42]
+
+    def test_phase_shifts_the_whole_schedule(self):
+        s = get_scenario("night_cut")
+        assert s.domain_at(20, phase=4).name == "tusimple_highway"
+        assert s.domain_at(22, phase=4).name == "night_highway"
+        assert s.shift_frames(phase=4, horizon=48) == [22]
+
+    def test_phase_offset_depends_only_on_identity(self):
+        s = get_scenario("rain_onset")
+        offsets = {
+            sid: s.phase_offset(11, sid) for sid in ("s0", "s1", "s2")
+        }
+        assert all(
+            0 <= off <= s.phase_jitter_frames for off in offsets.values()
+        )
+        assert offsets == {
+            sid: s.phase_offset(11, sid) for sid in ("s0", "s1", "s2")
+        }
+        # no jitter configured -> offset is identically zero
+        assert get_scenario("night_cut").phase_offset(11, "s0") == 0
+
+
+class TestScenarioRegistry:
+    def test_registry_size_and_lookup(self):
+        assert 8 <= len(SCENARIOS) <= 12
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert get_scenario(name) is scenario
+            assert scenario.base in DOMAINS
+            for event in scenario.events:
+                assert event.domain in DOMAINS
+        with pytest.raises(KeyError):
+            get_scenario("motorway_of_doom")
+
+    def test_stationary_control_has_no_shifts(self):
+        steady = get_scenario("steady_highway")
+        assert steady.events == ()
+        assert steady.shift_frames(horizon=100) == []
+
+    def test_every_scheduled_scenario_shifts_within_horizon(self):
+        for name, scenario in SCENARIOS.items():
+            if name == "steady_highway":
+                continue
+            assert scenario.shift_frames(horizon=48), name
+
+
+class TestScenarioStream:
+    CONFIG = get_config("tiny-r18", num_lanes=2)
+
+    def _frames(self, name, stream_id, count=6, seed=11):
+        stream = ScenarioStream(
+            get_scenario(name), self.CONFIG, seed=seed, stream_id=stream_id
+        )
+        return [next(stream) for _ in range(count)]
+
+    def test_rejects_non_scenario(self):
+        with pytest.raises(TypeError):
+            ScenarioStream(get_domain("fog_highway"), self.CONFIG, seed=0)
+
+    def test_deterministic_per_identity(self):
+        a = self._frames("night_cut", "s0")
+        b = self._frames("night_cut", "s0")
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.image, y.image)
+            np.testing.assert_array_equal(x.gt_cells, y.gt_cells)
+
+    def test_streams_differ_by_id_and_seed(self):
+        base = self._frames("night_cut", "s0", count=1)[0]
+        other_id = self._frames("night_cut", "s1", count=1)[0]
+        other_seed = self._frames("night_cut", "s0", count=1, seed=12)[0]
+        assert not np.array_equal(base.image, other_id.image)
+        assert not np.array_equal(base.image, other_seed.image)
+
+    def test_invariant_to_pool_size_and_placement(self):
+        # realizing s1 alone must equal realizing it second in a pool:
+        # seeding is namespaced per (seed, scenario, stream_id), so other
+        # streams' draws can never perturb it
+        alone = self._frames("rain_onset", "s1")
+        _ = self._frames("rain_onset", "s0")  # unrelated sibling draws
+        pooled = self._frames("rain_onset", "s1")
+        for x, y in zip(alone, pooled):
+            np.testing.assert_array_equal(x.image, y.image)
+
+    def test_cut_changes_appearance_statistics(self):
+        frames = self._frames("night_cut", "s0", count=20)
+        before = float(np.mean([f.image.mean() for f in frames[14:18]]))
+        after = float(np.mean([f.image.mean() for f in frames[18:]]))
+        # day highway cuts to unlit night: brightness collapses
+        assert after < before - 0.1
