@@ -132,9 +132,13 @@ class AdaptationPlan:
         self.profile: Optional[PlanProfile] = PlanProfile() if profile else None
         self._compile(graph)
         if renderer is not None:
-            # only the forward stages are offered for rendering — the
-            # pruned backward program stays on the numpy oracle path
+            # both the forward stages and the pruned backward chain are
+            # offered for rendering; the renderer walks `_fwd` then
+            # `_bwd` (its section order) at finalize
             self.backend_info = renderer.finalize(self, graph)
+            # drop the renderer (it holds every offered fallback closure
+            # and the workspaces they capture) — see plan.py
+            self._renderer = None
 
     # ------------------------------------------------------------------
     # value access
@@ -419,7 +423,13 @@ class AdaptationPlan:
                 builder = getattr(self, f"_bwd_{kind}")
                 before = len(self._bwd)
                 builder(node, index, cells[index], alloc, sink, grad_inputs(index))
-                if profile is not None:
+                if self._renderer is not None:
+                    # backward stages live in the renderer's second
+                    # section; profiling wraps happen at finalize
+                    self._renderer.note_stage(
+                        before, len(self._bwd), f"bwd:{kind}", section=1
+                    )
+                elif profile is not None:
                     wrap_tail(self._bwd, before, f"bwd:{kind}")
                 emitted += 1
             advance(pos)
@@ -724,9 +734,17 @@ class AdaptationPlan:
 
         out = alloc(("a", node.out_vid), node.out_shape, node.out_dtype)
         xhat = alloc(("xh", index), node.out_shape, node.out_dtype)
+        # inv_std persists in a plan-owned buffer (not a per-run
+        # temporary): the rendered backward reads it through a pointer
+        # fixed at compile time.  Tiny — (G, C) per BN layer.
+        inv_std = np.empty((groups, c), dtype=node.out_dtype)
+        inv5 = inv_std.reshape(pshape)
         if groups > 1:
-            gamma_slot = np.empty((groups, c), dtype=np.float64)
-            beta_slot = np.empty((groups, c), dtype=np.float64)
+            # ones/zeros (the BN identity), not np.empty: the backend
+            # parity probe replays the traced example before the fleet
+            # fills the slots, and garbage would make probes flaky
+            gamma_slot = np.ones((groups, c), dtype=np.float64)
+            beta_slot = np.zeros((groups, c), dtype=np.float64)
             get_gamma = lambda: gamma_slot.reshape(pshape)  # noqa: E731
             get_beta = lambda: beta_slot.reshape(pshape)  # noqa: E731
         else:
@@ -745,25 +763,30 @@ class AdaptationPlan:
         )
         self.bn_taps.append(tap)
         get_x = self._getter(x_ref)
+        hw = int(np.prod(x_shape[2:], dtype=np.int64))
         cell.update(
             gshape=gshape, axes=axes, m=m, tap=tap, xhat=xhat,
-            get_gamma=get_gamma,
+            get_gamma=get_gamma, inv_std=inv_std, inv5=inv5, hw=hw,
+            gamma_slot=gamma_slot, module=module,
         )
 
         def run():
             x5 = get_x().reshape(gshape)
             mean = x5.mean(axis=axes, keepdims=True)
             var = x5.var(axis=axes, keepdims=True)
-            inv_std = 1.0 / np.sqrt(var + eps)
+            # same ufunc sequence as `1.0 / np.sqrt(var + eps)`, written
+            # into the persistent buffer — bitwise identical values
+            np.add(var, eps, out=inv5)
+            np.sqrt(inv5, out=inv5)
+            np.divide(1.0, inv5, out=inv5)
             xh5 = xhat.reshape(gshape)
             np.subtract(x5, mean, out=xh5)
-            np.multiply(xh5, inv_std, out=xh5)
+            np.multiply(xh5, inv5, out=xh5)
             out5 = out.reshape(gshape)
             np.multiply(xh5, get_gamma(), out=out5)
             np.add(out5, get_beta(), out=out5)
             tap.batch_mean[...] = mean.reshape(groups, c)
             tap.batch_var[...] = var.reshape(groups, c)
-            cell["inv_std"] = inv_std
 
         self._fwd.append(run)
         register(node.out_vid, out)
@@ -771,17 +794,31 @@ class AdaptationPlan:
     # ------------------------------------------------------------------
     # backward stage builders (emitted in reverse node order)
     # ------------------------------------------------------------------
-    def _contribute(self, vid, sink, compute_fresh, compute_value):
+    def _contribute(self, vid, sink, compute_fresh, compute_value,
+                    offer=None):
         """Emit one gradient contribution into ``vid``.
 
         ``compute_fresh(dst)`` writes the contribution with ``out=``;
         ``compute_value()`` returns it (used in accumulate mode, where the
         eager path also materializes a temporary before ``existing +
-        grad``).
+        grad``).  ``offer`` is an optional ``(kind, spec)`` renderer offer
+        for the fresh-write form — the destination buffer is added to the
+        spec once the sink fixes it.  Accumulating contributions are never
+        offered (the rendered backward covers the reduced single-writer
+        chain).
         """
         dst, fresh = sink(vid)
         if fresh:
-            self._bwd.append(lambda: compute_fresh(dst))
+            fallback = lambda: compute_fresh(dst)  # noqa: E731
+            if offer is not None and self._renderer is not None:
+                kind, spec = offer
+                placed = self._renderer.offer_stage(
+                    kind, dict(spec, dst=dst), fallback
+                )
+                if placed is not None:
+                    self._bwd.append(placed)
+                    return
+            self._bwd.append(fallback)
         else:
             self._bwd.append(lambda: np.add(dst, compute_value(), out=dst))
 
@@ -794,6 +831,7 @@ class AdaptationPlan:
             vid, sink,
             lambda dst: dst.fill(seed),
             lambda: seed,
+            offer=("fill", dict(value=seed, dtype=self._dtypes[vid])),
         )
 
     def _bwd_neg(self, node, index, cell, alloc, sink, grad_in):
@@ -885,6 +923,7 @@ class AdaptationPlan:
             grad_in[0], sink,
             lambda dst: np.copyto(dst, reshaped()),
             reshaped,
+            offer=("copy", dict(g=g, dtype=node.out_dtype)),
         )
 
     def _bwd_add(self, node, index, cell, alloc, sink, grad_in):
@@ -895,6 +934,7 @@ class AdaptationPlan:
                     ref.vid, sink,
                     lambda dst: np.copyto(dst, g),
                     lambda: g,
+                    offer=("copy", dict(g=g, dtype=node.out_dtype)),
                 )
 
     def _bwd_relu(self, node, index, cell, alloc, sink, grad_in):
@@ -912,7 +952,10 @@ class AdaptationPlan:
             np.greater(out, 0, out=mask)
             return g * mask
 
-        self._contribute(grad_in[0], sink, fresh, value)
+        self._contribute(
+            grad_in[0], sink, fresh, value,
+            offer=("relu_bwd", dict(g=g, y=out, dtype=node.out_dtype)),
+        )
 
     def _bwd_linear(self, node, index, cell, alloc, sink, grad_in):
         if not grad_in:
@@ -923,6 +966,11 @@ class AdaptationPlan:
             grad_in[0], sink,
             lambda dst: np.matmul(g, weight.data, out=dst),
             lambda: g @ weight.data,
+            offer=("linear_bwd", dict(
+                g=g, weight=weight,
+                g_shape=self._shapes[node.out_vid],
+                fin=int(weight.shape[1]), dtype=node.out_dtype,
+            )),
         )
 
     def _bwd_conv(self, node, index, cell, alloc, sink, grad_in):
@@ -943,6 +991,17 @@ class AdaptationPlan:
                     out=grad_cols, optimize=True,
                 )
                 return grad_cols.reshape(n, c, h, w)
+
+            self._contribute(
+                grad_in[0], sink,
+                lambda dst: np.copyto(dst, value()),
+                value,
+                offer=("conv_bwd", dict(
+                    g=g4, weight=weight, g_dims=(n, f_out, p_total),
+                    kt=k_total, dtype=dtype,
+                )),
+            )
+            return
         else:
             kernel = (weight.shape[2], weight.shape[3])
             k, i, j, _, _ = _im2col_indices(c, h, w, kernel, stride, padding)
@@ -1008,6 +1067,7 @@ class AdaptationPlan:
         gshape, axes, m = cell["gshape"], cell["axes"], cell["m"]
         tap, xhat = cell["tap"], cell["xhat"]
         get_gamma = cell["get_gamma"]
+        inv5 = cell["inv5"]
         groups = self.groups
         c = tap.module.num_features
 
@@ -1022,13 +1082,23 @@ class AdaptationPlan:
             )
             return g5, xh5
 
+        gamma_src = (
+            ("slot", cell["gamma_slot"]) if cell["gamma_slot"] is not None
+            else ("module", cell["module"])
+        )
+        spec = dict(
+            g=g, xhat=xhat, inv_std=cell["inv_std"],
+            grad_gamma=tap.grad_gamma, grad_beta=tap.grad_beta,
+            dims=(groups, self.group_size, c, cell["hw"]),
+            m=m, gamma=gamma_src, dtype=node.out_dtype,
+        )
+
         if grad_in:
             def value():
                 g5, xh5 = grads_gamma_beta()
-                inv_std = cell["inv_std"]
                 dx_hat = g5 * get_gamma()
                 grad5 = (
-                    inv_std
+                    inv5
                     / m
                     * (
                         m * dx_hat
@@ -1042,10 +1112,17 @@ class AdaptationPlan:
                 grad_in[0], sink,
                 lambda dst: np.copyto(dst, value()),
                 value,
+                offer=("bn_bwd", spec),
             )
         else:
             # the first BN in the network: nothing upstream needs gradient
-            self._bwd.append(lambda: grads_gamma_beta())
+            fallback = lambda: grads_gamma_beta()  # noqa: E731
+            step = fallback
+            if self._renderer is not None:
+                placed = self._renderer.offer_stage("bn_bwd", spec, fallback)
+                if placed is not None:
+                    step = placed
+            self._bwd.append(step)
 
     # ------------------------------------------------------------------
     # replay

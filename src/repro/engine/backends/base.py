@@ -41,11 +41,12 @@ class PlanBackend:
 
     name: str = "abstract"
 
-    def compile_inference(self, graph, profile: bool = False):
+    def compile_inference(self, graph, profile: bool = False,
+                          threads=None):
         raise NotImplementedError
 
     def compile_adaptation(self, graph, groups: int = 1,
-                           profile: bool = False):
+                           profile: bool = False, threads=None):
         raise NotImplementedError
 
 

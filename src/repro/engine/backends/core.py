@@ -121,6 +121,21 @@ class ConvLowering:
     kij: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
     workspace_nbytes: int = 0
 
+    def release_workspace(self) -> None:
+        """Drop the gather workspaces (padded image, column matrix).
+
+        Called by a codegen backend once every stage using this lowering
+        gathers inside its own kernel (fused im2col) — the plan-side
+        buffers would otherwise sit resident for the plan's lifetime.
+        ``flat``/``kij`` stay: they are compile-time geometry, not
+        workspace.  Irreversible for this plan; the numpy closures that
+        captured these arrays must already be unreachable.
+        """
+        self.padded = None
+        self.core = None
+        self.cols = None
+        self.workspace_nbytes = 0
+
 
 def lower_conv(
     x_shape: Tuple[int, ...],

@@ -39,10 +39,12 @@ class CompiledInference:
     the same input shape overwrites; copy it if it must outlive a frame.
     """
 
-    def __init__(self, model, profile: bool = False, backend=None):
+    def __init__(self, model, profile: bool = False, backend=None,
+                 threads: Optional[int] = None):
         self.model = model
         self.profile = profile  # per-op timing on every plan (opt-in)
         self.backend = resolve_backend(backend)
+        self.threads = threads  # kernel pool width (codegen backends)
         self._plans: Dict[Tuple, ExecutionPlan] = {}
 
     def _plan(self, arr: np.ndarray) -> ExecutionPlan:
@@ -54,9 +56,15 @@ class CompiledInference:
         key = (arr.shape, arr.dtype.str)
         plan = self._plans.get(key)
         if plan is None:
-            plan = self.backend.compile_inference(
-                trace(self.model, arr), profile=self.profile
-            )
+            graph = trace(self.model, arr)
+            if self.threads is None:
+                plan = self.backend.compile_inference(
+                    graph, profile=self.profile
+                )
+            else:
+                plan = self.backend.compile_inference(
+                    graph, profile=self.profile, threads=self.threads
+                )
             self._plans[key] = plan
         return plan
 
@@ -81,8 +89,8 @@ class CompiledInference:
         return self._plans[(tuple(shape), np.dtype(dtype).str)]
 
 
-def compile_model(model, profile: bool = False,
-                  backend=None) -> CompiledInference:
+def compile_model(model, profile: bool = False, backend=None,
+                  threads: Optional[int] = None) -> CompiledInference:
     """Return a compiled, replayable inference callable for ``model``.
 
     ``profile=True`` compiles every plan with per-op timing
@@ -90,9 +98,13 @@ def compile_model(model, profile: bool = False,
     closures with no timing code at all.  ``backend`` selects the plan
     lowering — a registry name (``"numpy"``, ``"cgen"``,
     ``"cgen-strict"``), a :class:`~repro.engine.backends.PlanBackend`
-    instance, or ``None`` for ``$REPRO_BACKEND``/numpy.
+    instance, or ``None`` for ``$REPRO_BACKEND``/numpy.  ``threads``
+    fixes the codegen kernel-pool width per plan (``None`` defers to the
+    backend's own resolution chain; the numpy backend ignores it).
     """
-    return CompiledInference(model, profile=profile, backend=backend)
+    return CompiledInference(
+        model, profile=profile, backend=backend, threads=threads
+    )
 
 
 class CompiledAdaptStep:
@@ -108,7 +120,7 @@ class CompiledAdaptStep:
     """
 
     def __init__(self, model, loss_fn=None, profile: bool = False,
-                 backend=None):
+                 backend=None, threads: Optional[int] = None):
         if loss_fn is None:
             from ..adapt.entropy import entropy_loss  # avoid a cycle
 
@@ -117,6 +129,7 @@ class CompiledAdaptStep:
         self.loss_fn = loss_fn
         self.profile = profile  # per-op timing on every plan (opt-in)
         self.backend = resolve_backend(backend)
+        self.threads = threads  # kernel pool width (codegen backends)
         self._plans: Dict[Tuple, AdaptationPlan] = {}
 
     def plan_for(self, arr: np.ndarray, groups: int = 1) -> AdaptationPlan:
@@ -131,9 +144,15 @@ class CompiledAdaptStep:
         plan = self._plans.get(key)
         if plan is None:
             graph = trace_entropy_step(self.model, arr, self.loss_fn)
-            plan = self.backend.compile_adaptation(
-                graph, groups=groups, profile=self.profile
-            )
+            if self.threads is None:
+                plan = self.backend.compile_adaptation(
+                    graph, groups=groups, profile=self.profile
+                )
+            else:
+                plan = self.backend.compile_adaptation(
+                    graph, groups=groups, profile=self.profile,
+                    threads=self.threads,
+                )
             self._plans[key] = plan
         return plan
 

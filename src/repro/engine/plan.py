@@ -132,6 +132,11 @@ class ExecutionPlan:
         self._compile(graph)
         if renderer is not None:
             self.backend_info = renderer.finalize(self, graph)
+            # the renderer holds every offered stage (and its numpy
+            # fallback closure, which captures the im2col workspaces);
+            # dropping it here is what lets a fused-im2col backend
+            # actually free the workspaces it released
+            self._renderer = None
         # the graph (and its keepalive of every traced activation) is not
         # retained: closures captured what replay needs, parameters stay
         # reachable through their ConstRef-held tensors
